@@ -1,0 +1,75 @@
+//! Criterion timings of full protocol runs (prover + all node verifiers):
+//! near-linear scaling in n for every theorem protocol and the baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdip_bench::{Family, YesInstance};
+use pdip_graph::gen;
+use pdip_protocols::{pls_baseline, LrParams, LrSorting, PopParams, Transport};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_lr_sorting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lr-sorting-run");
+    group.sample_size(20);
+    for k in [8usize, 10, 12] {
+        let n = 1usize << k;
+        let mut rng = SmallRng::seed_from_u64(k as u64);
+        let inst = gen::lr::random_lr_yes(n, n / 3, true, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            let lr = LrSorting::new(inst, LrParams::default(), Transport::Native);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                assert!(lr.run(None, seed).accepted())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_theorem_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem-protocol-run-n1024");
+    group.sample_size(10);
+    for fam in [
+        Family::PathOuterplanar,
+        Family::Outerplanar,
+        Family::EmbeddedPlanarity,
+        Family::Planarity,
+        Family::SeriesParallel,
+        Family::Treewidth2,
+    ] {
+        let inst = YesInstance::generate(fam, 1024, 77);
+        group.bench_function(fam.name(), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                inst.with_protocol(PopParams::default(), Transport::Native, |p| {
+                    assert!(p.run_honest(seed).accepted())
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pls_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pls-baseline-run");
+    group.sample_size(20);
+    for k in [10usize, 12, 14] {
+        let n = 1usize << k;
+        let mut rng = SmallRng::seed_from_u64(k as u64);
+        let g = gen::outerplanar::random_path_outerplanar(n, 0.6, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            let pls = pls_baseline::PlsPathOuterplanar {
+                graph: &g.graph,
+                witness: Some(&g.path),
+                is_yes: true,
+            };
+            b.iter(|| assert!(pls.run().accepted()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lr_sorting, bench_theorem_protocols, bench_pls_baseline);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion timings of the graph substrate: the algorithms every honest
+//! prover and recognizer relies on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdip_graph::gen;
+use pdip_graph::{is_planar, is_series_parallel, outer_cycle, sp_tree, RootedForest};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_planarity_test(c: &mut Criterion) {
+    let mut group = c.benchmark_group("left-right-planarity-test");
+    for k in [10usize, 12, 14] {
+        let n = 1usize << k;
+        let mut rng = SmallRng::seed_from_u64(k as u64);
+        let yes = gen::planar::random_triangulation(n, &mut rng).graph;
+        let no = gen::no_instances::nonplanar_with_gadget(n, 1, true, &mut rng);
+        group.bench_with_input(BenchmarkId::new("planar", n), &yes, |b, g| {
+            b.iter(|| assert!(is_planar(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("nonplanar", n), &no, |b, g| {
+            b.iter(|| assert!(!is_planar(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sp_recognition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("series-parallel-recognition");
+    for k in [8usize, 10, 12] {
+        let n = 1usize << k;
+        let mut rng = SmallRng::seed_from_u64(k as u64);
+        let g = gen::sp::random_series_parallel(n, &mut rng).graph;
+        group.bench_with_input(BenchmarkId::new("sp-tree", g.m()), &g, |b, g| {
+            b.iter(|| assert!(sp_tree(g).is_some()))
+        });
+        group.bench_with_input(BenchmarkId::new("recognize", g.m()), &g, |b, g| {
+            b.iter(|| assert!(is_series_parallel(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_outer_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("outerplanar-outer-cycle");
+    for k in [8usize, 10] {
+        let n = 1usize << k;
+        let mut rng = SmallRng::seed_from_u64(k as u64);
+        // A single biconnected outerplanar block: polygon + laminar chords.
+        let mut g = pdip_graph::Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)));
+        let mut arcs = Vec::new();
+        gen::laminar_arcs(0, n - 1, 0.4, &mut rng, &mut arcs);
+        for (a, b) in arcs {
+            if !g.has_edge(a, b) {
+                g.add_edge(a, b);
+            }
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| assert!(outer_cycle(g).is_some()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("instance-generation");
+    group.bench_function("triangulation-4096", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| gen::planar::random_triangulation(4096, &mut rng))
+    });
+    group.bench_function("path-outerplanar-4096", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| gen::outerplanar::random_path_outerplanar(4096, 0.6, &mut rng))
+    });
+    group.bench_function("spanning-tree-4096", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = gen::planar::random_planar(4096, 0.5, &mut rng).graph;
+        b.iter(|| RootedForest::bfs_spanning_tree(&g, 0))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_planarity_test,
+    bench_sp_recognition,
+    bench_outer_cycle,
+    bench_generators
+);
+criterion_main!(benches);

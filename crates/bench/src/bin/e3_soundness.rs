@@ -1,0 +1,160 @@
+//! E3 — empirical soundness: cheating provers vs no-instances.
+//!
+//! Theorems 1.2–1.7 claim soundness error 1/polylog n. For each family we
+//! generate structured no-instances, run every implemented cheating
+//! strategy many times, and report acceptance rates at two instance
+//! sizes — the rates should be small and *shrink* as n grows (larger
+//! fields and longer tags).
+
+use pdip_bench::{no_instance, print_table, FAMILIES};
+use pdip_protocols::{PopParams, Transport};
+
+fn main() {
+    let trials = 80u64;
+    println!("E3 — cheating-prover acceptance rates ({trials} trials per cell)\n");
+    let headers = ["protocol", "cheat", "rate @ n~60", "rate @ n~300"];
+    let mut rows = Vec::new();
+    for fam in FAMILIES {
+        let cheat_count = no_instance(fam, 60, 0)
+            .with_protocol(PopParams::default(), Transport::Native, |p| p.cheat_names().len());
+        for s in 0..cheat_count {
+            let mut cells = Vec::new();
+            let mut cheat_name = String::new();
+            for n in [60usize, 300] {
+                let mut accepted = 0u64;
+                for t in 0..trials {
+                    let inst = no_instance(fam, n, t * 31 + n as u64);
+                    inst.with_protocol(PopParams::default(), Transport::Native, |p| {
+                        cheat_name = p.cheat_names()[s].clone();
+                        if p.run_cheat(s, t).accepted() {
+                            accepted += 1;
+                        }
+                    });
+                }
+                cells.push(format!("{:.1}%", 100.0 * accepted as f64 / trials as f64));
+            }
+            rows.push(vec![fam.name().to_string(), cheat_name, cells[0].clone(), cells[1].clone()]);
+        }
+    }
+    print_table(&headers, &rows);
+    println!(
+        "\nShape check: every rate is far below 50% and the n~300 column is at most\n\
+         the n~60 column (up to sampling noise) — the 1/polylog n soundness error\n\
+         shrinks with n. Deterministically-caught cheats read 0.0%.\n"
+    );
+
+    // At the paper's default parameters (c = 3) the error is ~log^-3 n —
+    // invisible at this trial count. Weakening the fields to c = 1 and a
+    // single spanning-tree repetition makes the 1/polylog n decay visible.
+    println!("E3b — weakened parameters (c = 1, 1 ST repetition), {trials} trials\n");
+    let weak = PopParams { c: 1, st_repetitions: 1 };
+    let headers = ["protocol", "cheat", "rate @ n~60", "rate @ n~300", "rate @ n~1200"];
+    let mut rows = Vec::new();
+    for fam in FAMILIES {
+        let cheat_count = no_instance(fam, 60, 0)
+            .with_protocol(weak, Transport::Native, |p| p.cheat_names().len());
+        for s in 0..cheat_count {
+            let mut cells = Vec::new();
+            let mut cheat_name = String::new();
+            for n in [60usize, 300, 1200] {
+                let mut accepted = 0u64;
+                for t in 0..trials {
+                    let inst = no_instance(fam, n, t * 37 + n as u64);
+                    inst.with_protocol(weak, Transport::Native, |p| {
+                        cheat_name = p.cheat_names()[s].clone();
+                        if p.run_cheat(s, t).accepted() {
+                            accepted += 1;
+                        }
+                    });
+                }
+                cells.push(format!("{:.1}%", 100.0 * accepted as f64 / trials as f64));
+            }
+            rows.push(vec![
+                fam.name().to_string(),
+                cheat_name,
+                cells[0].clone(),
+                cells[1].clone(),
+                cells[2].clone(),
+            ]);
+        }
+    }
+    print_table(&headers, &rows);
+    println!(
+        "\nMost composite cheats trip several independent checks at once, so even\n\
+         weakened parameters leave them near 0%. The remaining sections isolate\n\
+         single probabilistic events to expose the raw 1/polylog n error.\n"
+    );
+
+    // --- E3c: LR-sorting, the pure field-collision events ---
+    println!("E3c — LR-sorting cheats at c = 1 (single collision events), 300 trials\n");
+    use pdip_graph::gen;
+    use pdip_protocols::{LrCheat, LrParams, LrSorting};
+    let headers = ["cheat", "n=64", "n=1024", "n=16384"];
+    let mut rows = Vec::new();
+    for cheat in [LrCheat::ClaimInner, LrCheat::OuterForgedIndex, LrCheat::SwapBlockPositions] {
+        let mut cells = vec![format!("{cheat:?}")];
+        for n in [64usize, 1024, 16384] {
+            let mut accepted = 0u32;
+            let mut ran = 0u32;
+            for t in 0..300u64 {
+                use rand::SeedableRng as _;
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(t * 13 + n as u64);
+                let Some(no) = gen::lr::random_lr_no(n, n / 3, true, 1, &mut rng) else {
+                    continue;
+                };
+                ran += 1;
+                let lr =
+                    LrSorting::new(&no, LrParams { c: 1, block_len: None }, Transport::Native);
+                if lr.run(Some(cheat), t).accepted() {
+                    accepted += 1;
+                }
+            }
+            cells.push(format!("{:.1}%", 100.0 * accepted as f64 / ran.max(1) as f64));
+        }
+        rows.push(cells);
+    }
+    print_table(&headers, &rows);
+    println!(
+        "\nWith c = 1 the collision events survive a visible few percent of runs\n\
+         (each cheat also trips auxiliary checks, so rates sit below the raw 1/p).\n\
+         The clean single-event decay is isolated in E3d below and in the c-sweep\n\
+         of E8b.\n"
+    );
+
+    // --- E3d: the spanning-tree prime-collision event ---
+    println!("E3d — fake-path with exactly one extra root (Lemma 2.5 event), 300 trials\n");
+    use pdip_protocols::{PathOuterplanarity, PopCheat, PopInstance};
+    let headers = ["n", "window primes", "predicted 1/#primes", "measured acceptance"];
+    let mut rows = Vec::new();
+    for n in [64usize, 1024, 16384, 65536] {
+        // A path with a single pendant node: outerplanar, no Hamiltonian
+        // path, and the greedy fake path misses exactly the pendant.
+        let mut g = pdip_graph::Graph::from_edges(n - 1, (0..n - 2).map(|i| (i, i + 1)));
+        let pend = g.add_node();
+        g.add_edge(n / 2, pend);
+        let inst = PopInstance { graph: g, witness: None, is_yes: false };
+        let params = PopParams { c: 2, st_repetitions: 1 };
+        let p = PathOuterplanarity::new(&inst, params, Transport::Native);
+        let mut accepted = 0u32;
+        for t in 0..300u64 {
+            if p.run(Some(PopCheat::FakePath), t).accepted() {
+                accepted += 1;
+            }
+        }
+        let st = pdip_protocols::SpanningTreeVerification::new(
+            pdip_protocols::StParams::for_n(n, 2, 1),
+        );
+        let primes = st.primes().len();
+        rows.push(vec![
+            n.to_string(),
+            primes.to_string(),
+            format!("{:.1}%", 100.0 / primes as f64),
+            format!("{:.1}%", 100.0 * accepted as f64 / 300.0),
+        ]);
+    }
+    print_table(&headers, &rows);
+    println!(
+        "\nThe measured acceptance matches the predicted prime-collision probability\n\
+         and shrinks as the window (log^c n) grows — the 1/polylog n error, live."
+    );
+}

@@ -1,0 +1,48 @@
+//! E5 — the Ω(log n) one-round lower bound (Theorem 1.8), measured.
+//!
+//! For the one-round nesting scheme with names compressed to `b` bits, the
+//! collision forgery of `pdip_protocols::lower_bound` produces an accepted
+//! proof of a *crossing* instance whenever `2^b` fits inside the path. The
+//! binary reports the forgery threshold `b*(n)` — the largest compromised
+//! width — which tracks log₂ n, while the interactive protocol's labels
+//! (O(log log n)) stay far below it.
+
+use pdip_bench::print_table;
+use pdip_protocols::lower_bound::{attempt_forgery, forgery_threshold, full_width_rejects_crossing};
+
+fn main() {
+    println!("E5 — forgery threshold of one-round schemes vs n (Theorem 1.8)\n");
+    let headers = ["n", "log2 n", "forgery threshold b*", "log2 n - b*", "full width rejects"];
+    let mut rows = Vec::new();
+    for k in 6..=16 {
+        let n = 1usize << k;
+        let t = forgery_threshold(n);
+        rows.push(vec![
+            n.to_string(),
+            k.to_string(),
+            t.to_string(),
+            (k as i64 - t as i64).to_string(),
+            full_width_rejects_crossing(n).to_string(),
+        ]);
+    }
+    print_table(&headers, &rows);
+
+    println!("\nPer-width detail at n = 4096:");
+    let headers = ["name width b", "forgery outcome"];
+    let mut rows = Vec::new();
+    for b in 1..=13 {
+        let outcome = match attempt_forgery(4096, b) {
+            Some(true) => "ACCEPTED (forged no-instance proof)",
+            Some(false) => "rejected",
+            None => "infeasible (2^b exceeds the instance)",
+        };
+        rows.push(vec![b.to_string(), outcome.into()]);
+    }
+    print_table(&headers, &rows);
+    println!(
+        "\nShape check: b*(n) = log2 n - Θ(1) — any one-round scheme whose names\n\
+         carry o(log n) bits admits colliding arcs and forged proofs, matching the\n\
+         Ω(log n) bound. The 5-round protocol evades this with per-run random\n\
+         names: collisions can no longer be planted in advance."
+    );
+}

@@ -1,0 +1,55 @@
+//! E6 — the Δ-dependence of the planarity proof (Theorem 1.5).
+//!
+//! The planarity protocol pays O(log log n + log Δ): the rotation values
+//! (ρ_u(e), ρ_v(e)) cost O(log Δ) bits in the first prover round. The
+//! binary sweeps the planted maximum degree at fixed n and the instance
+//! size at fixed Δ, reporting the first-round label size and the overall
+//! proof size. Embedded planarity (Theorem 1.4, where the rotation is
+//! *input*, not proof) is shown for contrast: its size is Δ-independent.
+
+use pdip_bench::print_table;
+use pdip_core::DipProtocol;
+use pdip_graph::gen::planar::fan_planar;
+use pdip_protocols::{EmbInstance, EmbeddedPlanarity, PlInstance, Planarity, PopParams, Transport};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("E6 — planarity proof size vs maximum degree Δ (n = 2048)\n");
+    let n = 2048;
+    let headers =
+        ["Δ (planted)", "Δ (actual)", "planarity round-1 bits", "planarity proof bits", "embedded round-1 bits"];
+    let mut rows = Vec::new();
+    for target in [6usize, 16, 64, 256, 1024] {
+        let mut rng = SmallRng::seed_from_u64(target as u64);
+        // The fan generator pins the maximum degree exactly.
+        let gen = fan_planar(n, target, &mut rng);
+        let actual = gen.graph.max_degree();
+        let pl_inst = PlInstance {
+            graph: gen.graph.clone(),
+            witness_rho: Some(gen.rho.clone()),
+            is_yes: true,
+        };
+        let pl = Planarity::new(&pl_inst, PopParams::default(), Transport::Native);
+        let res = pl.run_honest(3);
+        assert!(res.accepted());
+        let emb_inst = EmbInstance { graph: gen.graph, rho: gen.rho, is_yes: true };
+        let emb = EmbeddedPlanarity::new(&emb_inst, PopParams::default(), Transport::Native);
+        let eres = emb.run_honest(3);
+        assert!(eres.accepted());
+        rows.push(vec![
+            target.to_string(),
+            actual.to_string(),
+            res.stats.per_round_max_bits[0].to_string(),
+            res.stats.proof_size().to_string(),
+            eres.stats.per_round_max_bits[0].to_string(),
+        ]);
+    }
+    print_table(&headers, &rows);
+    println!(
+        "\nShape check: the planarity round-1 column climbs by ~2 bits per doubling\n\
+         of Δ (the 2·log Δ rotation pair); the embedded-planarity column is flat.\n\
+         The overall proof size is dominated by the O(log log n) rounds until\n\
+         log Δ overtakes them — exactly the open question 1 regime of the paper."
+    );
+}

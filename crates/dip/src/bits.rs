@@ -1,0 +1,100 @@
+//! Bit accounting and fixed-width random tags.
+//!
+//! The paper measures a protocol by its *proof size*: the length in bits of
+//! the longest label the honest prover assigns. Labels in this
+//! implementation are structured Rust values; every field declares its
+//! exact wire width through these helpers, and the runtime aggregates the
+//! totals (`pdip_core::Transcript`).
+
+/// Bits needed to encode one value from a domain of `k` distinct values
+/// (`⌈log₂ k⌉`; 0 for `k ≤ 1`).
+pub fn bits_for_domain(k: usize) -> usize {
+    if k <= 1 {
+        0
+    } else {
+        (usize::BITS - (k - 1).leading_zeros()) as usize
+    }
+}
+
+/// Bits needed to encode an index in `0..=max` (`bits_for_domain(max + 1)`).
+pub fn bits_for_max(max: usize) -> usize {
+    bits_for_domain(max + 1)
+}
+
+/// A fixed-width random bitstring, e.g. the per-node names `s_v` of the
+/// nesting-verification stage (§5 of the paper).
+///
+/// Comparing two tags compares both the value and the declared width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tag {
+    /// The sampled value (only the low `bits` bits are meaningful).
+    pub value: u64,
+    /// The declared width in bits (≤ 64).
+    pub bits: usize,
+}
+
+impl Tag {
+    /// Samples a uniform `bits`-bit tag.
+    ///
+    /// # Panics
+    /// Panics if `bits > 64`.
+    pub fn random(bits: usize, rng: &mut impl rand::Rng) -> Self {
+        assert!(bits <= 64, "tags are limited to 64 bits");
+        let value = if bits == 0 {
+            0
+        } else if bits == 64 {
+            rng.gen::<u64>()
+        } else {
+            rng.gen::<u64>() & ((1u64 << bits) - 1)
+        };
+        Tag { value, bits }
+    }
+
+    /// The all-zero tag of a given width (used as a placeholder by cheating
+    /// provers).
+    pub fn zero(bits: usize) -> Self {
+        Tag { value: 0, bits }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn domain_bit_counts() {
+        assert_eq!(bits_for_domain(0), 0);
+        assert_eq!(bits_for_domain(1), 0);
+        assert_eq!(bits_for_domain(2), 1);
+        assert_eq!(bits_for_domain(3), 2);
+        assert_eq!(bits_for_domain(4), 2);
+        assert_eq!(bits_for_domain(5), 3);
+        assert_eq!(bits_for_domain(1 << 20), 20);
+        assert_eq!(bits_for_max(7), 3);
+        assert_eq!(bits_for_max(8), 4);
+    }
+
+    #[test]
+    fn tags_respect_width() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for bits in [0usize, 1, 5, 31, 64] {
+            for _ in 0..20 {
+                let t = Tag::random(bits, &mut rng);
+                if bits < 64 {
+                    assert!(t.value < (1u64 << bits).max(1));
+                }
+                assert_eq!(t.bits, bits);
+            }
+        }
+    }
+
+    #[test]
+    fn tag_collisions_are_rare() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let tags: Vec<Tag> = (0..100).map(|_| Tag::random(40, &mut rng)).collect();
+        let distinct: std::collections::HashSet<_> = tags.iter().collect();
+        assert_eq!(distinct.len(), 100);
+    }
+}

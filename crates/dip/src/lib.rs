@@ -1,0 +1,28 @@
+//! The distributed interactive proof (DIP) model of Kol–Oshman–Saxena, as
+//! used by Gil & Parter's planarity protocols (PODC 2025).
+//!
+//! A DIP runs on a connected graph whose nodes form the distributed
+//! verifier. Interaction alternates between *verifier rounds* (every node
+//! draws a public random string for the prover) and *prover rounds* (the
+//! prover assigns each node a label); after the last prover round each
+//! node decides yes/no from its own coins, its own labels, and its
+//! neighbors' labels only. The instance is accepted iff every node says
+//! yes.
+//!
+//! This crate provides the shared plumbing: exact label-size accounting
+//! ([`transcript::SizeStats`], the paper's "proof size" = longest honest
+//! label), per-round label storage with tampering hooks for adversarial
+//! provers, rejection bookkeeping, fixed-width random tags, and the
+//! [`DipProtocol`] interface the experiment harness drives.
+
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod outcome;
+pub mod protocol;
+pub mod transcript;
+
+pub use bits::{bits_for_domain, bits_for_max, Tag};
+pub use outcome::{Rejections, RunResult, Verdict};
+pub use protocol::{acceptance_rate, DipProtocol};
+pub use transcript::{neighbor_labels, LabelRound, RoundKind, SizeStats};

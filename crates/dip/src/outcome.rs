@@ -1,0 +1,137 @@
+//! Run outcomes: verdicts, rejection reasons and aggregated results.
+
+use crate::transcript::SizeStats;
+use pdip_graph::NodeId;
+
+/// The global decision of the distributed verifier: accept iff *every*
+/// node outputs yes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// All nodes accepted.
+    Accept,
+    /// At least one node rejected.
+    Reject,
+}
+
+impl Verdict {
+    /// `Accept` iff `ok`.
+    pub fn from_bool(ok: bool) -> Self {
+        if ok {
+            Verdict::Accept
+        } else {
+            Verdict::Reject
+        }
+    }
+
+    /// Whether the verdict is `Accept`.
+    pub fn accepted(&self) -> bool {
+        matches!(self, Verdict::Accept)
+    }
+}
+
+/// The outcome of one protocol run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The collective decision.
+    pub verdict: Verdict,
+    /// Size statistics of the (honest-prover) labels.
+    pub stats: SizeStats,
+    /// Nodes that output 'no' (empty on accept), with a human-readable
+    /// reason for the first few — invaluable when debugging soundness.
+    pub rejections: Vec<(NodeId, String)>,
+}
+
+impl RunResult {
+    /// An accepting result.
+    pub fn accept(stats: SizeStats) -> Self {
+        RunResult { verdict: Verdict::Accept, stats, rejections: Vec::new() }
+    }
+
+    /// A rejecting result with the recorded per-node reasons.
+    pub fn reject(stats: SizeStats, rejections: Vec<(NodeId, String)>) -> Self {
+        debug_assert!(!rejections.is_empty());
+        RunResult { verdict: Verdict::Reject, stats, rejections }
+    }
+
+    /// Whether the run accepted.
+    pub fn accepted(&self) -> bool {
+        self.verdict.accepted()
+    }
+}
+
+/// A per-node rejection collector used by decision procedures.
+#[derive(Debug, Default, Clone)]
+pub struct Rejections {
+    items: Vec<(NodeId, String)>,
+}
+
+impl Rejections {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that node `v` rejects for `reason` (reasons beyond the
+    /// first 16 are dropped to bound memory).
+    pub fn reject(&mut self, v: NodeId, reason: impl Into<String>) {
+        if self.items.len() < 16 {
+            self.items.push((v, reason.into()));
+        } else if self.items.len() == 16 {
+            self.items.push((v, "... further rejections elided".into()));
+        }
+    }
+
+    /// Convenience: reject unless `cond` holds.
+    pub fn check(&mut self, v: NodeId, cond: bool, reason: impl Fn() -> String) {
+        if !cond {
+            self.reject(v, reason());
+        }
+    }
+
+    /// Whether any node rejected.
+    pub fn any(&self) -> bool {
+        !self.items.is_empty()
+    }
+
+    /// Finalizes into a [`RunResult`].
+    pub fn into_result(self, stats: SizeStats) -> RunResult {
+        if self.items.is_empty() {
+            RunResult::accept(stats)
+        } else {
+            RunResult::reject(stats, self.items)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_bool_roundtrip() {
+        assert!(Verdict::from_bool(true).accepted());
+        assert!(!Verdict::from_bool(false).accepted());
+    }
+
+    #[test]
+    fn rejections_collector() {
+        let mut r = Rejections::new();
+        assert!(!r.any());
+        r.check(3, true, || "fine".into());
+        assert!(!r.any());
+        r.check(4, false, || "broken".into());
+        assert!(r.any());
+        let res = r.into_result(SizeStats::default());
+        assert!(!res.accepted());
+        assert_eq!(res.rejections[0].0, 4);
+    }
+
+    #[test]
+    fn rejection_cap() {
+        let mut r = Rejections::new();
+        for v in 0..100 {
+            r.reject(v, "x");
+        }
+        assert!(r.items.len() <= 17);
+    }
+}

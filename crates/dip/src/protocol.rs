@@ -1,0 +1,75 @@
+//! The experiment-facing protocol interface.
+//!
+//! Every protocol in `pdip-protocols` exposes its runs through
+//! [`DipProtocol`], so the experiment harness (E1–E8) can sweep protocols,
+//! instance sizes, and prover behaviours uniformly. A `DipProtocol` value
+//! is a protocol *bound to one instance* (graph plus task input plus
+//! parameters).
+
+use crate::outcome::RunResult;
+
+/// A DIP bound to a concrete instance.
+pub trait DipProtocol {
+    /// Short protocol name, e.g. `"lr-sorting"`.
+    fn name(&self) -> String;
+
+    /// Number of interaction rounds (the paper's measure; e.g. 5 for
+    /// LR-sorting, 1 for the PLS baselines).
+    fn rounds(&self) -> usize;
+
+    /// Number of nodes of the bound instance.
+    fn instance_size(&self) -> usize;
+
+    /// Ground truth: is the bound instance a yes-instance?
+    fn is_yes_instance(&self) -> bool;
+
+    /// One run with the honest prover (defined only for yes-instances;
+    /// implementations may panic or reject on no-instances).
+    fn run_honest(&self, seed: u64) -> RunResult;
+
+    /// The named cheating-prover strategies this protocol implements.
+    fn cheat_names(&self) -> Vec<String>;
+
+    /// One run against cheating strategy `strategy` (an index into
+    /// [`DipProtocol::cheat_names`]).
+    fn run_cheat(&self, strategy: usize, seed: u64) -> RunResult;
+}
+
+/// Empirical acceptance rate over `trials` runs with distinct seeds.
+pub fn acceptance_rate(
+    run: impl Fn(u64) -> RunResult,
+    base_seed: u64,
+    trials: usize,
+) -> f64 {
+    let mut accepted = 0usize;
+    for t in 0..trials {
+        if run(base_seed.wrapping_add(t as u64)).accepted() {
+            accepted += 1;
+        }
+    }
+    accepted as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::RunResult;
+    use crate::transcript::SizeStats;
+
+    #[test]
+    fn acceptance_rate_counts() {
+        // Accept on even seeds only.
+        let rate = acceptance_rate(
+            |seed| {
+                if seed % 2 == 0 {
+                    RunResult::accept(SizeStats::default())
+                } else {
+                    RunResult::reject(SizeStats::default(), vec![(0, "odd".into())])
+                }
+            },
+            0,
+            10,
+        );
+        assert!((rate - 0.5).abs() < 1e-9);
+    }
+}

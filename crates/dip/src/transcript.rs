@@ -1,0 +1,180 @@
+//! Transcripts: per-round, per-node labels with exact bit accounting.
+
+use pdip_graph::{Graph, NodeId};
+
+/// Whether a round belongs to the prover or the verifier
+/// (the paper's `I_prv` / `I_vrf`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundKind {
+    /// The prover assigns labels to nodes.
+    Prover,
+    /// Every node draws a public random string and sends it to the prover.
+    Verifier,
+}
+
+/// The labels of one prover round, together with their declared bit sizes.
+#[derive(Debug, Clone)]
+pub struct LabelRound<L> {
+    labels: Vec<L>,
+    bits: Vec<usize>,
+}
+
+impl<L> LabelRound<L> {
+    /// Builds a round from per-node labels and a size function.
+    pub fn new(labels: Vec<L>, size_of: impl Fn(&L) -> usize) -> Self {
+        let bits = labels.iter().map(&size_of).collect();
+        LabelRound { labels, bits }
+    }
+
+    /// Label of node `v`.
+    pub fn label(&self, v: NodeId) -> &L {
+        &self.labels[v]
+    }
+
+    /// Declared size in bits of node `v`'s label.
+    pub fn bits(&self, v: NodeId) -> usize {
+        self.bits[v]
+    }
+
+    /// Mutable access for adversarial tampering (sizes are *not* updated:
+    /// the proof-size measure refers to the honest prover only).
+    pub fn label_mut(&mut self, v: NodeId) -> &mut L {
+        &mut self.labels[v]
+    }
+
+    /// Swaps the labels of two nodes (generic tampering adversary).
+    pub fn swap(&mut self, a: NodeId, b: NodeId) {
+        self.labels.swap(a, b);
+        self.bits.swap(a, b);
+    }
+
+    /// The largest label in this round, in bits.
+    pub fn max_bits(&self) -> usize {
+        self.bits.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the round is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// Size statistics accumulated over the prover rounds of one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SizeStats {
+    /// Per prover-round maximum label size in bits.
+    pub per_round_max_bits: Vec<usize>,
+    /// Per prover-round total communication in bits (sum over nodes).
+    pub per_round_total_bits: Vec<usize>,
+    /// Total verifier→prover coin bits (sum over nodes and rounds).
+    pub coin_bits: usize,
+    /// Number of interaction rounds of the protocol.
+    pub rounds: usize,
+}
+
+impl SizeStats {
+    /// The paper's *proof size*: the longest label over all nodes and
+    /// prover rounds.
+    pub fn proof_size(&self) -> usize {
+        self.per_round_max_bits.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The per-node proof budget: sum over prover rounds of the round
+    /// maxima (an upper bound on what any single node receives).
+    pub fn per_node_total(&self) -> usize {
+        self.per_round_max_bits.iter().sum()
+    }
+
+    /// Records one prover round.
+    pub fn record_round<L>(&mut self, round: &LabelRound<L>) {
+        self.per_round_max_bits.push(round.max_bits());
+        self.per_round_total_bits.push((0..round.len()).map(|v| round.bits(v)).sum());
+    }
+
+    /// Merges stats of a sub-protocol executed in parallel (same rounds):
+    /// per-round maxima add up because a node receives the concatenation.
+    pub fn merge_parallel(&mut self, other: &SizeStats) {
+        let rounds = self.per_round_max_bits.len().max(other.per_round_max_bits.len());
+        self.per_round_max_bits.resize(rounds, 0);
+        self.per_round_total_bits.resize(rounds, 0);
+        for (i, &b) in other.per_round_max_bits.iter().enumerate() {
+            self.per_round_max_bits[i] += b;
+        }
+        for (i, &b) in other.per_round_total_bits.iter().enumerate() {
+            self.per_round_total_bits[i] += b;
+        }
+        self.coin_bits += other.coin_bits;
+        self.rounds = self.rounds.max(other.rounds);
+    }
+}
+
+/// Collects the labels of the neighbors of `v` in port order — the only
+/// remote information the verifier at `v` may use (KOS18 model).
+pub fn neighbor_labels<'a, L>(g: &Graph, round: &'a LabelRound<L>, v: NodeId) -> Vec<&'a L> {
+    g.neighbor_nodes(v).map(|u| round.label(u)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_round_accounting() {
+        let labels = vec![3u32, 50, 7];
+        let round = LabelRound::new(labels, |&x| x.count_ones() as usize + 2);
+        assert_eq!(round.bits(0), 4);
+        assert_eq!(round.bits(1), 5); // 50 = 0b110010 -> 3 ones + 2
+        assert_eq!(round.max_bits(), 5);
+    }
+
+    #[test]
+    fn stats_proof_size_is_max_over_rounds() {
+        let mut stats = SizeStats::default();
+        stats.record_round(&LabelRound::new(vec![1u8, 2, 3], |_| 4));
+        stats.record_round(&LabelRound::new(vec![1u8, 2, 3], |&x| x as usize * 3));
+        assert_eq!(stats.per_round_max_bits, vec![4, 9]);
+        assert_eq!(stats.proof_size(), 9);
+        assert_eq!(stats.per_node_total(), 13);
+    }
+
+    #[test]
+    fn parallel_merge_adds_per_round() {
+        let mut a = SizeStats {
+            per_round_max_bits: vec![3, 5],
+            per_round_total_bits: vec![9, 15],
+            coin_bits: 10,
+            rounds: 3,
+        };
+        let b = SizeStats {
+            per_round_max_bits: vec![2, 2, 2],
+            per_round_total_bits: vec![4, 4, 4],
+            coin_bits: 1,
+            rounds: 5,
+        };
+        a.merge_parallel(&b);
+        assert_eq!(a.per_round_max_bits, vec![5, 7, 2]);
+        assert_eq!(a.coin_bits, 11);
+        assert_eq!(a.rounds, 5);
+    }
+
+    #[test]
+    fn neighbor_labels_in_port_order() {
+        let g = Graph::from_edges(3, [(1, 0), (1, 2)]);
+        let round = LabelRound::new(vec![10u32, 20, 30], |_| 1);
+        let nb = neighbor_labels(&g, &round, 1);
+        assert_eq!(nb, vec![&10, &30]);
+    }
+
+    #[test]
+    fn swap_tampering() {
+        let mut round = LabelRound::new(vec![1u8, 2], |&x| x as usize);
+        round.swap(0, 1);
+        assert_eq!(*round.label(0), 2);
+        assert_eq!(round.bits(0), 2);
+    }
+}

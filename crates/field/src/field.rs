@@ -1,0 +1,165 @@
+//! Prime-field arithmetic over `u64` moduli.
+
+/// The prime field 𝔽_p for a prime `p < 2⁶⁴`.
+///
+/// Elements are canonical representatives in `0..p`. All operations reduce
+/// through `u128` intermediates, so they are exact for any 64-bit prime.
+///
+/// # Examples
+///
+/// ```
+/// use pdip_field::Fp;
+///
+/// let f = Fp::new(101);
+/// assert_eq!(f.add(70, 70), 39);
+/// assert_eq!(f.mul(f.inv(7), 7), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fp {
+    p: u64,
+}
+
+impl Fp {
+    /// Creates the field 𝔽_p.
+    ///
+    /// # Panics
+    /// Panics if `p` is not prime (checked deterministically).
+    pub fn new(p: u64) -> Self {
+        assert!(crate::primes::is_prime(p), "{p} is not prime");
+        Fp { p }
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> u64 {
+        self.p
+    }
+
+    /// Number of bits needed to transmit one field element.
+    pub fn element_bits(&self) -> usize {
+        64 - (self.p - 1).leading_zeros() as usize
+    }
+
+    /// Canonical representative of `x`.
+    pub fn reduce(&self, x: u64) -> u64 {
+        x % self.p
+    }
+
+    /// Canonical representative of a signed value.
+    pub fn reduce_i64(&self, x: i64) -> u64 {
+        let r = x.rem_euclid(self.p as i64);
+        r as u64
+    }
+
+    /// `a + b mod p`.
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        let (a, b) = (self.reduce(a), self.reduce(b));
+        let s = a as u128 + b as u128;
+        (s % self.p as u128) as u64
+    }
+
+    /// `a - b mod p`.
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        let (a, b) = (self.reduce(a), self.reduce(b));
+        if a >= b {
+            a - b
+        } else {
+            a + self.p - b
+        }
+    }
+
+    /// `-a mod p`.
+    pub fn neg(&self, a: u64) -> u64 {
+        self.sub(0, a)
+    }
+
+    /// `a * b mod p`.
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        let (a, b) = (self.reduce(a), self.reduce(b));
+        ((a as u128 * b as u128) % self.p as u128) as u64
+    }
+
+    /// `a^e mod p` by square-and-multiply.
+    pub fn pow(&self, a: u64, mut e: u64) -> u64 {
+        let mut base = self.reduce(a);
+        let mut acc = 1u64;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// The multiplicative inverse of `a`.
+    ///
+    /// # Panics
+    /// Panics if `a ≡ 0 (mod p)`.
+    pub fn inv(&self, a: u64) -> u64 {
+        let a = self.reduce(a);
+        assert_ne!(a, 0, "zero has no inverse");
+        // Fermat: a^(p-2).
+        self.pow(a, self.p - 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_arithmetic() {
+        let f = Fp::new(13);
+        assert_eq!(f.add(7, 9), 3);
+        assert_eq!(f.sub(3, 9), 7);
+        assert_eq!(f.neg(5), 8);
+        assert_eq!(f.mul(7, 9), 63 % 13);
+        assert_eq!(f.pow(2, 12), 1); // Fermat
+    }
+
+    #[test]
+    fn inverses() {
+        let f = Fp::new(1_000_003);
+        for a in [1u64, 2, 999, 1_000_002] {
+            assert_eq!(f.mul(a, f.inv(a)), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero has no inverse")]
+    fn zero_inverse_panics() {
+        Fp::new(7).inv(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not prime")]
+    fn composite_rejected() {
+        Fp::new(10);
+    }
+
+    #[test]
+    fn large_modulus_no_overflow() {
+        // Largest prime below 2^63.
+        let p = crate::primes::smallest_prime_above((1u64 << 62) + 1);
+        let f = Fp::new(p);
+        let a = p - 1;
+        assert_eq!(f.mul(a, a), 1); // (-1)^2 = 1
+        assert_eq!(f.add(a, 2), 1);
+    }
+
+    #[test]
+    fn signed_reduction() {
+        let f = Fp::new(11);
+        assert_eq!(f.reduce_i64(-1), 10);
+        assert_eq!(f.reduce_i64(-22), 0);
+        assert_eq!(f.reduce_i64(25), 3);
+    }
+
+    #[test]
+    fn element_bits() {
+        assert_eq!(Fp::new(2).element_bits(), 1);
+        assert_eq!(Fp::new(13).element_bits(), 4);
+        assert_eq!(Fp::new(257).element_bits(), 9);
+    }
+}

@@ -1,0 +1,52 @@
+//! Prime fields, prime windows and multiset polynomials.
+//!
+//! The paper's protocols compare multisets by polynomial identity testing
+//! over a prime field 𝔽_p (Lemma 2.6): a multiset `S` is encoded as the
+//! polynomial `φ_S(x) = ∏_{s ∈ S} (s − x)`, two multisets are equal iff
+//! their polynomials agree, and evaluating at a random point catches
+//! inequality with probability `1 − |S|/p`. The LR-sorting protocol (§4)
+//! additionally evaluates prefix polynomials of block-position bitstrings,
+//! and the spanning-tree verification of this reproduction samples a random
+//! prime from a `polylog n` window.
+//!
+//! All arithmetic is over `u64` moduli with `u128` intermediate products —
+//! exact for every prime below 2⁶⁴.
+
+#![warn(missing_docs)]
+// Parallel-array index loops are idiomatic throughout this codebase.
+#![allow(clippy::needless_range_loop)]
+
+pub mod field;
+pub mod poly;
+pub mod primes;
+
+pub use field::Fp;
+pub use poly::{multiset_poly_eval, prefix_poly_evals};
+pub use primes::{is_prime, next_prime, primes_in_window, smallest_prime_above};
+
+#[cfg(test)]
+mod integration_tests {
+    use super::*;
+
+    #[test]
+    fn multiset_equality_via_pit() {
+        let p = smallest_prime_above(1 << 20);
+        let f = Fp::new(p);
+        let s1 = [3u64, 7, 7, 11];
+        let s2 = [7u64, 11, 3, 7];
+        let s3 = [3u64, 7, 11, 11];
+        // Equal multisets agree at every point; unequal multisets disagree
+        // at all but at most |S| points.
+        let mut disagreements = 0;
+        for z in 0..200u64 {
+            let a = multiset_poly_eval(&f, s1.iter().copied(), z);
+            let b = multiset_poly_eval(&f, s2.iter().copied(), z);
+            let c = multiset_poly_eval(&f, s3.iter().copied(), z);
+            assert_eq!(a, b);
+            if a != c {
+                disagreements += 1;
+            }
+        }
+        assert!(disagreements >= 196); // degree-4 polynomials
+    }
+}

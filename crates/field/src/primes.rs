@@ -1,0 +1,147 @@
+//! Deterministic primality testing and prime windows.
+//!
+//! The protocols pick moduli as "the smallest prime above `polylog n`"
+//! (Lemma 2.6, §4) and — in this reproduction's spanning-tree verifier —
+//! sample uniformly from the primes in a window `[w, 2w]`. All sizes in
+//! play fit comfortably in `u64`, so we use the deterministic
+//! Miller–Rabin base set valid for all 64-bit integers.
+
+/// Deterministic Miller–Rabin for `u64` (exact for all inputs).
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    // Write n-1 = d * 2^s.
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        s += 1;
+    }
+    let mul = |a: u64, b: u64| ((a as u128 * b as u128) % n as u128) as u64;
+    let pow = |mut base: u64, mut e: u64| {
+        let mut acc = 1u64;
+        base %= n;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = mul(acc, base);
+            }
+            base = mul(base, base);
+            e >>= 1;
+        }
+        acc
+    };
+    // This base set is deterministic for all n < 2^64.
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow(a, d);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mul(x, x);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// The smallest prime `>= n`.
+///
+/// # Panics
+/// Panics if there is no prime `>= n` representable in `u64` (practically
+/// unreachable for protocol parameters).
+pub fn smallest_prime_above(n: u64) -> u64 {
+    let mut c = n.max(2);
+    loop {
+        if is_prime(c) {
+            return c;
+        }
+        c = c.checked_add(1).expect("prime search overflow");
+    }
+}
+
+/// The smallest prime strictly greater than `n`.
+pub fn next_prime(n: u64) -> u64 {
+    smallest_prime_above(n + 1)
+}
+
+/// All primes in `[lo, hi]` (inclusive), ascending. Intended for
+/// `polylog n`-sized windows; complexity is `O((hi - lo) * cost(MR))`.
+pub fn primes_in_window(lo: u64, hi: u64) -> Vec<u64> {
+    (lo.max(2)..=hi).filter(|&x| is_prime(x)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let known = [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41];
+        for n in 0..43u64 {
+            assert_eq!(is_prime(n), known.contains(&n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        for n in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265] {
+            assert!(!is_prime(n), "Carmichael {n}");
+        }
+    }
+
+    #[test]
+    fn known_large_primes() {
+        assert!(is_prime(2_147_483_647)); // 2^31 - 1 (Mersenne)
+        assert!(is_prime(1_000_000_007));
+        assert!(is_prime(18_446_744_073_709_551_557)); // largest u64 prime
+        assert!(!is_prime(18_446_744_073_709_551_615)); // u64::MAX
+    }
+
+    #[test]
+    fn next_prime_steps() {
+        assert_eq!(smallest_prime_above(0), 2);
+        assert_eq!(smallest_prime_above(14), 17);
+        assert_eq!(smallest_prime_above(17), 17);
+        assert_eq!(next_prime(17), 19);
+    }
+
+    #[test]
+    fn window_contents() {
+        assert_eq!(primes_in_window(10, 30), vec![11, 13, 17, 19, 23, 29]);
+        assert!(primes_in_window(24, 28).is_empty());
+        // Bertrand: a window [w, 2w] always contains a prime.
+        for w in [8u64, 100, 1000, 123_456] {
+            assert!(!primes_in_window(w, 2 * w).is_empty());
+        }
+    }
+
+    #[test]
+    fn exhaustive_vs_sieve_up_to_10000() {
+        let n = 10_000usize;
+        let mut sieve = vec![true; n + 1];
+        sieve[0] = false;
+        sieve[1] = false;
+        for i in 2..=n {
+            if sieve[i] {
+                for j in (i * i..=n).step_by(i) {
+                    sieve[j] = false;
+                }
+            }
+        }
+        for i in 0..=n {
+            assert_eq!(is_prime(i as u64), sieve[i], "i = {i}");
+        }
+    }
+}

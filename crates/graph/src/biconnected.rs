@@ -1,0 +1,321 @@
+//! Biconnected components, cut nodes and the block–cut tree.
+//!
+//! The outerplanarity protocol (§6 of the paper) and the treewidth ≤ 2
+//! protocol (§8) both decompose the graph into its biconnected components
+//! and root the resulting block–cut tree at one component; the prover then
+//! runs a per-component protocol. This module provides the decomposition
+//! (iterative Hopcroft–Tarjan) and the rooted [`BlockCutTree`].
+
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// The biconnected decomposition of a connected graph.
+#[derive(Debug, Clone)]
+pub struct BiconnectedComponents {
+    /// Edge partition: `component_of_edge[e]` is the component index of edge `e`.
+    pub component_of_edge: Vec<usize>,
+    /// For each component, its edge ids.
+    pub components: Vec<Vec<EdgeId>>,
+    /// Whether each node is a cut node (articulation point).
+    pub is_cut_node: Vec<bool>,
+}
+
+impl BiconnectedComponents {
+    /// Computes the biconnected components of `g`.
+    ///
+    /// Isolated nodes belong to no component; a bridge edge forms its own
+    /// component of size 1. Works on disconnected graphs too (components
+    /// are computed per connected component).
+    pub fn compute(g: &Graph) -> Self {
+        let n = g.n();
+        let mut disc = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut timer = 0usize;
+        let mut edge_stack: Vec<EdgeId> = Vec::new();
+        let mut component_of_edge = vec![usize::MAX; g.m()];
+        let mut components: Vec<Vec<EdgeId>> = Vec::new();
+        let mut is_cut_node = vec![false; n];
+
+        // Iterative DFS. Frame: (v, parent edge id, next port index).
+        for start in 0..n {
+            if disc[start] != usize::MAX {
+                continue;
+            }
+            let mut stack: Vec<(NodeId, Option<EdgeId>, usize)> = vec![(start, None, 0)];
+            disc[start] = timer;
+            low[start] = timer;
+            timer += 1;
+            let mut root_children = 0usize;
+            while !stack.is_empty() {
+                let frame = stack.len() - 1;
+                let (v, pe, port) = stack[frame];
+                if port < g.degree(v) {
+                    stack[frame].2 += 1;
+                    let (u, e) = g.neighbors(v)[port];
+                    if Some(e) == pe {
+                        continue;
+                    }
+                    if disc[u] == usize::MAX {
+                        // Tree edge.
+                        edge_stack.push(e);
+                        disc[u] = timer;
+                        low[u] = timer;
+                        timer += 1;
+                        if v == start {
+                            root_children += 1;
+                        }
+                        stack.push((u, Some(e), 0));
+                    } else if disc[u] < disc[v] {
+                        // Back edge (to an ancestor).
+                        edge_stack.push(e);
+                        low[v] = low[v].min(disc[u]);
+                    }
+                } else {
+                    stack.pop();
+                    if let Some(&(p, _, _)) = stack.last() {
+                        low[p] = low[p].min(low[v]);
+                        if low[v] >= disc[p] {
+                            // p separates v's subtree: pop a component.
+                            if p != start {
+                                is_cut_node[p] = true;
+                            }
+                            let idx = components.len();
+                            let mut comp = Vec::new();
+                            while let Some(&top) = edge_stack.last() {
+                                let te = g.edge(top);
+                                // Pop until (and including) the tree edge (p, v).
+                                let is_boundary = (te.u == p && te.v == v) || (te.u == v && te.v == p);
+                                edge_stack.pop();
+                                component_of_edge[top] = idx;
+                                comp.push(top);
+                                if is_boundary {
+                                    break;
+                                }
+                            }
+                            components.push(comp);
+                        }
+                    }
+                }
+            }
+            // Root is a cut node iff it has >= 2 DFS children.
+            if root_children >= 2 {
+                is_cut_node[start] = true;
+            }
+        }
+        BiconnectedComponents { component_of_edge, components, is_cut_node }
+    }
+
+    /// Number of biconnected components.
+    pub fn count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The distinct node ids appearing in component `c`, ascending.
+    pub fn component_nodes(&self, g: &Graph, c: usize) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.components[c]
+            .iter()
+            .flat_map(|&e| {
+                let edge = g.edge(e);
+                [edge.u, edge.v]
+            })
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Component indices that contain node `v`, ascending.
+    pub fn components_of_node(&self, g: &Graph, v: NodeId) -> Vec<usize> {
+        let mut cs: Vec<usize> = g.incident_edges(v).map(|e| self.component_of_edge[e]).collect();
+        cs.sort_unstable();
+        cs.dedup();
+        cs
+    }
+}
+
+/// The block–cut tree of a connected graph, rooted at a chosen component.
+///
+/// Tree nodes are either biconnected components ("blocks") or cut nodes;
+/// a cut node is adjacent to every block containing it. Following §6 of the
+/// paper, for each non-root block `C` the cut node that is its parent in the
+/// tree is the *C-separating node*.
+#[derive(Debug, Clone)]
+pub struct BlockCutTree {
+    /// The underlying decomposition.
+    pub bcc: BiconnectedComponents,
+    /// Index of the root block.
+    pub root_block: usize,
+    /// For each block: the separating (parent) cut node, or `None` for the root block.
+    pub separating_node: Vec<Option<NodeId>>,
+    /// For each block: its depth in the block–cut tree counted in blocks
+    /// (root block = 0). This is the `d(C)` of §6 before the mod-3 reduction.
+    pub block_depth: Vec<usize>,
+}
+
+impl BlockCutTree {
+    /// Builds the rooted block–cut tree of connected `g`, rooted at the
+    /// block containing edge 0 (or the only block).
+    ///
+    /// # Panics
+    /// Panics if `g` is not connected or has no edges.
+    pub fn rooted(g: &Graph) -> Self {
+        assert!(g.is_connected(), "block-cut tree requires a connected graph");
+        assert!(g.m() > 0, "block-cut tree requires at least one edge");
+        let bcc = BiconnectedComponents::compute(g);
+        let root_block = bcc.component_of_edge[0];
+        let k = bcc.count();
+        let mut separating_node = vec![None; k];
+        let mut block_depth = vec![usize::MAX; k];
+        block_depth[root_block] = 0;
+
+        // BFS over the block-cut tree: alternate blocks and cut nodes.
+        let mut block_queue = std::collections::VecDeque::new();
+        block_queue.push_back(root_block);
+        let mut visited_block = vec![false; k];
+        visited_block[root_block] = true;
+        while let Some(b) = block_queue.pop_front() {
+            for v in bcc.component_nodes(g, b) {
+                if !bcc.is_cut_node[v] {
+                    continue;
+                }
+                for c in bcc.components_of_node(g, v) {
+                    if !visited_block[c] {
+                        visited_block[c] = true;
+                        separating_node[c] = Some(v);
+                        block_depth[c] = block_depth[b] + 1;
+                        block_queue.push_back(c);
+                    }
+                }
+            }
+        }
+        BlockCutTree { bcc, root_block, separating_node, block_depth }
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.bcc.count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge_is_one_component() {
+        let g = Graph::from_edges(2, [(0, 1)]);
+        let bcc = BiconnectedComponents::compute(&g);
+        assert_eq!(bcc.count(), 1);
+        assert!(!bcc.is_cut_node[0] && !bcc.is_cut_node[1]);
+    }
+
+    #[test]
+    fn cycle_is_biconnected() {
+        let g = Graph::from_edges(5, (0..5).map(|i| (i, (i + 1) % 5)));
+        let bcc = BiconnectedComponents::compute(&g);
+        assert_eq!(bcc.count(), 1);
+        assert!(bcc.is_cut_node.iter().all(|&c| !c));
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_node() {
+        // Triangles {0,1,2} and {2,3,4} share cut node 2.
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        let bcc = BiconnectedComponents::compute(&g);
+        assert_eq!(bcc.count(), 2);
+        assert!(bcc.is_cut_node[2]);
+        assert_eq!(bcc.is_cut_node.iter().filter(|&&c| c).count(), 1);
+        let mut sizes: Vec<usize> = bcc.components.iter().map(|c| c.len()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![3, 3]);
+        assert_eq!(bcc.components_of_node(&g, 2).len(), 2);
+    }
+
+    #[test]
+    fn path_every_edge_is_a_block() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let bcc = BiconnectedComponents::compute(&g);
+        assert_eq!(bcc.count(), 3);
+        assert!(!bcc.is_cut_node[0]);
+        assert!(bcc.is_cut_node[1]);
+        assert!(bcc.is_cut_node[2]);
+        assert!(!bcc.is_cut_node[3]);
+    }
+
+    #[test]
+    fn bridge_plus_cycles() {
+        // cycle {0,1,2} - bridge (2,3) - cycle {3,4,5}
+        let g = Graph::from_edges(
+            6,
+            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)],
+        );
+        let bcc = BiconnectedComponents::compute(&g);
+        assert_eq!(bcc.count(), 3);
+        assert!(bcc.is_cut_node[2] && bcc.is_cut_node[3]);
+        // The bridge forms a singleton component.
+        assert!(bcc.components.iter().any(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn block_cut_tree_depths() {
+        // blocks: B0={0,1,2} (root contains edge 0), bridge {2,3}, B2={3,4,5}
+        let g = Graph::from_edges(
+            6,
+            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)],
+        );
+        let t = BlockCutTree::rooted(&g);
+        assert_eq!(t.block_count(), 3);
+        assert_eq!(t.block_depth[t.root_block], 0);
+        assert_eq!(t.separating_node[t.root_block], None);
+        // The bridge's separating node is 2; the far cycle's is 3.
+        let bridge = (0..3)
+            .find(|&c| t.bcc.components[c].len() == 1)
+            .unwrap();
+        assert_eq!(t.separating_node[bridge], Some(2));
+        assert_eq!(t.block_depth[bridge], 1);
+        let far = (0..3)
+            .find(|&c| c != t.root_block && t.bcc.components[c].len() == 3)
+            .unwrap();
+        assert_eq!(t.separating_node[far], Some(3));
+        assert_eq!(t.block_depth[far], 2);
+    }
+
+    #[test]
+    fn component_nodes_sorted_unique() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (0, 3)]);
+        let bcc = BiconnectedComponents::compute(&g);
+        let tri = (0..bcc.count()).find(|&c| bcc.components[c].len() == 3).unwrap();
+        assert_eq!(bcc.component_nodes(&g, tri), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn star_center_is_cut_node() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)]);
+        let bcc = BiconnectedComponents::compute(&g);
+        assert_eq!(bcc.count(), 3);
+        assert!(bcc.is_cut_node[0]);
+        assert!(!bcc.is_cut_node[1]);
+    }
+
+    #[test]
+    fn all_edges_assigned_components() {
+        let g = Graph::from_edges(
+            8,
+            [
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 2),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 5),
+            ],
+        );
+        let bcc = BiconnectedComponents::compute(&g);
+        assert!(bcc.component_of_edge.iter().all(|&c| c != usize::MAX));
+        let total: usize = bcc.components.iter().map(|c| c.len()).sum();
+        assert_eq!(total, g.m());
+    }
+}

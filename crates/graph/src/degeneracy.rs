@@ -1,0 +1,300 @@
+//! Degeneracy orderings, greedy colorings and forest decompositions.
+//!
+//! Two of the paper's building blocks reduce to classical sparse-graph
+//! machinery:
+//!
+//! * **Lemma 2.3** (spanning-forest encoding) colors the contracted graphs
+//!   `G_odd` / `G_even` with O(1) colors. Contractions of planar graphs are
+//!   planar, planar graphs are 5-degenerate, so a greedy coloring along a
+//!   degeneracy ordering uses ≤ 6 colors — the documented substitution for
+//!   the paper's 4-coloring (constant label size either way).
+//! * **Lemma 2.4** (edge-label simulation) partitions the edge set of a
+//!   planar graph into O(1) forests. We orient each edge towards the earlier
+//!   endpoint in a degeneracy ordering (an *acyclic* orientation with
+//!   out-degree ≤ degeneracy) and split the out-edges of every node by rank;
+//!   with an acyclic orientation each rank class is a forest.
+
+use crate::graph::{EdgeId, Graph, NodeId, Orientation};
+
+/// A degeneracy ordering: repeatedly remove a minimum-degree node.
+///
+/// Returns `(order, degeneracy)` where `order[i]` is the i-th removed node
+/// and `degeneracy` is the maximum degree seen at removal time.
+///
+/// # Examples
+///
+/// ```
+/// use pdip_graph::{Graph, degeneracy_ordering};
+///
+/// // A tree is 1-degenerate.
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (1, 3)]);
+/// let (_, d) = degeneracy_ordering(&g);
+/// assert_eq!(d, 1);
+/// ```
+pub fn degeneracy_ordering(g: &Graph) -> (Vec<NodeId>, usize) {
+    let n = g.n();
+    let mut deg: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    let max_deg = deg.iter().copied().max().unwrap_or(0);
+    // Bucket queue keyed by current degree.
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); max_deg + 1];
+    for v in 0..n {
+        buckets[deg[v]].push(v);
+    }
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut degeneracy = 0usize;
+    let mut cursor = 0usize;
+    for _ in 0..n {
+        // Find the lowest non-empty bucket, tolerating stale entries.
+        cursor = cursor.min(max_deg);
+        let v = loop {
+            while cursor <= max_deg && buckets[cursor].is_empty() {
+                cursor += 1;
+            }
+            let cand = buckets[cursor].pop().expect("bucket queue exhausted early");
+            if !removed[cand] && deg[cand] == cursor {
+                break cand;
+            }
+            // stale entry: skip; cursor may need to go back down later but
+            // stale entries only ever sit in buckets >= true degree, so the
+            // loop is safe.
+        };
+        removed[v] = true;
+        degeneracy = degeneracy.max(deg[v]);
+        order.push(v);
+        for u in g.neighbor_nodes(v) {
+            if !removed[u] {
+                deg[u] -= 1;
+                buckets[deg[u]].push(u);
+                if deg[u] < cursor {
+                    cursor = deg[u];
+                }
+            }
+        }
+    }
+    (order, degeneracy)
+}
+
+/// Greedy proper coloring along the *reverse* of a degeneracy ordering,
+/// guaranteeing at most `degeneracy + 1` colors.
+///
+/// Returns `(colors, color_count)`.
+pub fn greedy_coloring(g: &Graph) -> (Vec<usize>, usize) {
+    let (order, d) = degeneracy_ordering(g);
+    let mut color = vec![usize::MAX; g.n()];
+    let mut used = vec![false; d + 2];
+    for &v in order.iter().rev() {
+        for slot in used.iter_mut() {
+            *slot = false;
+        }
+        for u in g.neighbor_nodes(v) {
+            if color[u] != usize::MAX && color[u] < used.len() {
+                used[color[u]] = true;
+            }
+        }
+        color[v] = used.iter().position(|&b| !b).expect("d+1 colors always suffice");
+    }
+    let count = color.iter().copied().max().map_or(0, |c| c + 1);
+    (color, count)
+}
+
+/// Verifies that `colors` is a proper coloring of `g`.
+pub fn is_proper_coloring(g: &Graph, colors: &[usize]) -> bool {
+    g.edges().iter().all(|e| colors[e.u] != colors[e.v])
+}
+
+/// An acyclic orientation of `g` in which every node has out-degree at most
+/// the degeneracy: each edge points from the endpoint removed *earlier* in
+/// the degeneracy ordering to the one removed later (when a node is
+/// removed, at most `d` neighbors remain, and those are exactly the heads
+/// of its out-edges).
+pub fn degeneracy_orientation(g: &Graph) -> (Orientation, usize) {
+    let (order, d) = degeneracy_ordering(g);
+    let mut rank = vec![0usize; g.n()];
+    for (i, &v) in order.iter().enumerate() {
+        rank[v] = i;
+    }
+    // Edge (u, v): orient from the earlier-removed endpoint to the later.
+    let o = Orientation::by(g, |u, v| rank[u] < rank[v]);
+    (o, d)
+}
+
+/// A partition of the edges of `g` into rooted forests, each given as a
+/// parent-pointer map, produced from a degeneracy orientation.
+///
+/// `forest_of_edge[e]` is the forest index of edge `e`;
+/// `parent[f][v] = Some((p, e))` means edge `e` connects `v` to its parent
+/// `p` in forest `f`. The number of forests equals the degeneracy (≤ 5 for
+/// planar graphs, ≤ 2 for outerplanar graphs).
+#[derive(Debug, Clone)]
+pub struct ForestDecomposition {
+    /// Forest index of every edge.
+    pub forest_of_edge: Vec<usize>,
+    /// `parents[f][v]`: parent pointer of `v` within forest `f`.
+    pub parents: Vec<Vec<Option<(NodeId, EdgeId)>>>,
+}
+
+impl ForestDecomposition {
+    /// Decomposes the edges of `g` into forests along a degeneracy
+    /// orientation. Every node has at most one *parent* per forest (the head
+    /// of its k-th out-edge), and because the orientation is acyclic every
+    /// class is a forest.
+    pub fn compute(g: &Graph) -> Self {
+        let (o, d) = degeneracy_orientation(g);
+        let k = d.max(1);
+        let mut forest_of_edge = vec![usize::MAX; g.m()];
+        let mut parents = vec![vec![None; g.n()]; k];
+        for v in 0..g.n() {
+            for (i, e) in o.out_edges(g, v).enumerate() {
+                forest_of_edge[e] = i;
+                parents[i][v] = Some((o.head(g, e), e));
+            }
+        }
+        ForestDecomposition { forest_of_edge, parents }
+    }
+
+    /// Number of forests.
+    pub fn count(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// The node accountable for edge `e` (the tail in the orientation:
+    /// the node whose label carries `e`'s simulated edge-label, Lemma 2.4).
+    pub fn accountable_endpoint(&self, g: &Graph, e: EdgeId) -> NodeId {
+        let f = self.forest_of_edge[e];
+        let edge = g.edge(e);
+        // The accountable endpoint is the child: its parent pointer in
+        // forest f is exactly e.
+        if self.parents[f][edge.u].map(|(_, pe)| pe) == Some(e) {
+            edge.u
+        } else {
+            debug_assert_eq!(self.parents[f][edge.v].map(|(_, pe)| pe), Some(e));
+            edge.v
+        }
+    }
+
+    /// Checks the forest property of every class (acyclic parent pointers)
+    /// and that the classes partition the edges.
+    pub fn validate(&self, g: &Graph) -> bool {
+        if self.forest_of_edge.contains(&usize::MAX) {
+            return false;
+        }
+        for f in 0..self.count() {
+            // Parent pointers acyclic: walk up with a step bound.
+            for start in 0..g.n() {
+                let mut cur = start;
+                let mut steps = 0usize;
+                while let Some((p, _)) = self.parents[f][cur] {
+                    cur = p;
+                    steps += 1;
+                    if steps > g.n() {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
+    }
+
+    #[test]
+    fn tree_degeneracy_is_one() {
+        let g = Graph::from_edges(6, [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5)]);
+        let (order, d) = degeneracy_ordering(&g);
+        assert_eq!(d, 1);
+        assert_eq!(order.len(), 6);
+    }
+
+    #[test]
+    fn cycle_degeneracy_is_two() {
+        let (_, d) = degeneracy_ordering(&cycle(7));
+        assert_eq!(d, 2);
+    }
+
+    #[test]
+    fn complete_graph_degeneracy() {
+        let mut g = Graph::new(5);
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                g.add_edge(u, v);
+            }
+        }
+        let (_, d) = degeneracy_ordering(&g);
+        assert_eq!(d, 4);
+    }
+
+    #[test]
+    fn greedy_coloring_is_proper_and_small() {
+        let g = cycle(8);
+        let (colors, k) = greedy_coloring(&g);
+        assert!(is_proper_coloring(&g, &colors));
+        assert!(k <= 3);
+    }
+
+    #[test]
+    fn odd_cycle_needs_three_colors() {
+        let g = cycle(5);
+        let (colors, k) = greedy_coloring(&g);
+        assert!(is_proper_coloring(&g, &colors));
+        assert_eq!(k, 3);
+    }
+
+    #[test]
+    fn orientation_is_acyclic_and_bounded() {
+        let g = cycle(6);
+        let (o, d) = degeneracy_orientation(&g);
+        assert!(o.is_acyclic(&g));
+        for v in 0..6 {
+            assert!(o.out_degree(&g, v) <= d);
+        }
+    }
+
+    #[test]
+    fn forest_decomposition_partitions_and_validates() {
+        // K4: 3-degenerate, decomposes into 3 forests.
+        let mut g = Graph::new(4);
+        for u in 0..4 {
+            for v in (u + 1)..4 {
+                g.add_edge(u, v);
+            }
+        }
+        let fd = ForestDecomposition::compute(&g);
+        assert!(fd.validate(&g));
+        assert!(fd.count() <= 3);
+        for e in 0..g.m() {
+            let acc = fd.accountable_endpoint(&g, e);
+            assert!(g.edge(e).is_incident(acc));
+        }
+    }
+
+    #[test]
+    fn forest_decomposition_on_tree_single_forest() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let fd = ForestDecomposition::compute(&g);
+        assert!(fd.validate(&g));
+        assert_eq!(fd.count(), 1);
+    }
+
+    #[test]
+    fn each_node_one_parent_per_forest() {
+        let g = cycle(9);
+        let fd = ForestDecomposition::compute(&g);
+        for f in 0..fd.count() {
+            for v in 0..g.n() {
+                // By construction at most one parent; check pointer sanity.
+                if let Some((p, e)) = fd.parents[f][v] {
+                    assert_eq!(g.edge(e).other(v), p);
+                    assert_eq!(fd.forest_of_edge[e], f);
+                }
+            }
+        }
+    }
+}

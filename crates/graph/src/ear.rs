@@ -1,0 +1,346 @@
+//! Nested ear decompositions of series-parallel graphs (Eppstein).
+//!
+//! A *nested ear decomposition* (§8 of the paper, after \[Epp92\]) partitions
+//! the edge set into simple paths ("ears") `P_1, ..., P_k` such that
+//!
+//! 1. both endpoints of each ear `P_j ≠ P_1` lie on some ear `P_i`, `i < j`;
+//! 2. the interior nodes of `P_j` appear in no earlier ear;
+//! 3. the ears attached to the same host ear are properly nested within it.
+//!
+//! Lemma 8.1: a graph is series-parallel iff it has a nested ear
+//! decomposition. [`EarDecomposition::from_sp_tree`] constructs one from an
+//! SP decomposition tree: the spine of the root becomes `P_1` and every
+//! non-first branch of a parallel composition becomes a new ear hosted on
+//! the ear its terminals live in. [`EarDecomposition::validate`] checks the
+//! three conditions from scratch (used by tests and by instance
+//! classification).
+
+use crate::graph::{Graph, NodeId};
+use crate::series_parallel::{SpNode, SpTree};
+
+/// One ear: a simple path given by its vertex sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ear {
+    /// The vertex sequence of the path (length ≥ 2).
+    pub path: Vec<NodeId>,
+    /// Index of the host ear both endpoints lie on (`None` for `P_1`).
+    pub host: Option<usize>,
+}
+
+impl Ear {
+    /// The two endpoints of the ear.
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        (*self.path.first().unwrap(), *self.path.last().unwrap())
+    }
+
+    /// The interior nodes of the ear.
+    pub fn interior(&self) -> &[NodeId] {
+        &self.path[1..self.path.len() - 1]
+    }
+}
+
+/// A nested ear decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EarDecomposition {
+    /// Ears in host-before-guest order (`ears[0]` is `P_1`).
+    pub ears: Vec<Ear>,
+}
+
+impl EarDecomposition {
+    /// Builds a nested ear decomposition from an SP decomposition tree.
+    ///
+    /// The spines of first parallel branches stay inside their host ear;
+    /// each further branch becomes its own ear. Ears are emitted in
+    /// DFS preorder, so hosts always precede guests.
+    pub fn from_sp_tree(tree: &SpTree) -> Self {
+        let mut ears: Vec<Ear> = Vec::new();
+        let (root_s, _) = tree.terminals(tree.root);
+        ears.push(Ear { path: tree.spine(tree.root, root_s), host: None });
+        // Stack of (node, ear the node's spine belongs to, orientation start).
+        let mut stack: Vec<(usize, usize, NodeId)> = vec![(tree.root, 0, root_s)];
+        while let Some((i, ear, from)) = stack.pop() {
+            let entry = &tree.nodes[i];
+            let to = if from == entry.s { entry.t } else { entry.s };
+            match entry.node {
+                SpNode::Leaf { .. } => {}
+                SpNode::Series { mid, children } => {
+                    let (c0s, c0t) = tree.terminals(children.0);
+                    let (first, second) = if c0s == from || c0t == from {
+                        (children.0, children.1)
+                    } else {
+                        (children.1, children.0)
+                    };
+                    stack.push((first, ear, from));
+                    stack.push((second, ear, mid));
+                }
+                SpNode::Parallel { .. } => {
+                    // Flatten the whole chain of nested parallels over the
+                    // same terminal pair into one n-ary composition: the
+                    // first branch continues the current ear's spine, every
+                    // other branch becomes an ear hosted on the *current*
+                    // ear (never on a sibling, so no ear is ever hosted on
+                    // a single-edge ear).
+                    let mut branches = Vec::new();
+                    collect_parallel_branches(tree, i, &mut branches);
+                    stack.push((branches[0], ear, from));
+                    for &b in &branches[1..] {
+                        let new_ear = ears.len();
+                        ears.push(Ear { path: tree.spine(b, from), host: Some(ear) });
+                        stack.push((b, new_ear, from));
+                    }
+                    let _ = to;
+                }
+            }
+        }
+        EarDecomposition { ears }
+    }
+
+    /// Number of ears.
+    pub fn len(&self) -> usize {
+        self.ears.len()
+    }
+
+    /// Whether the decomposition has no ears.
+    pub fn is_empty(&self) -> bool {
+        self.ears.is_empty()
+    }
+
+    /// Checks that this is a valid nested ear decomposition of `g`:
+    /// the ears are simple paths partitioning `E(g)`, condition (1)
+    /// (endpoints on an earlier host ear), condition (2) (fresh interiors)
+    /// and condition (3) (ears properly nested within their host).
+    pub fn validate(&self, g: &Graph) -> Result<(), String> {
+        if self.ears.is_empty() {
+            return Err("no ears".into());
+        }
+        if self.ears[0].host.is_some() {
+            return Err("P_1 must not have a host".into());
+        }
+        // Paths are simple and use real edges; edge partition.
+        let mut edge_used = vec![false; g.m()];
+        let mut node_first_seen: Vec<Option<usize>> = vec![None; g.n()];
+        for (j, ear) in self.ears.iter().enumerate() {
+            if ear.path.len() < 2 {
+                return Err(format!("ear {j} is too short"));
+            }
+            let mut seen = std::collections::HashSet::new();
+            for &v in &ear.path {
+                if !seen.insert(v) {
+                    return Err(format!("ear {j} repeats node {v}"));
+                }
+            }
+            for w in ear.path.windows(2) {
+                let e = g
+                    .edge_between(w[0], w[1])
+                    .ok_or_else(|| format!("ear {j} uses non-edge ({}, {})", w[0], w[1]))?;
+                if edge_used[e] {
+                    return Err(format!("edge ({}, {}) used twice", w[0], w[1]));
+                }
+                edge_used[e] = true;
+            }
+            // Condition (2): interiors unseen so far; record first sightings.
+            for &v in ear.interior() {
+                if node_first_seen[v].is_some() {
+                    return Err(format!("interior node {v} of ear {j} appeared earlier"));
+                }
+            }
+            // Condition (1): endpoints lie on the host ear.
+            if j > 0 {
+                let host = ear.host.ok_or_else(|| format!("ear {j} has no host"))?;
+                if host >= j {
+                    return Err(format!("ear {j} hosted on later ear {host}"));
+                }
+                let (a, b) = ear.endpoints();
+                let hp = &self.ears[host].path;
+                if !hp.contains(&a) || !hp.contains(&b) {
+                    return Err(format!("endpoints of ear {j} not on host ear {host}"));
+                }
+            }
+            for &v in &ear.path {
+                node_first_seen[v].get_or_insert(j);
+            }
+        }
+        if !edge_used.iter().all(|&u| u) {
+            return Err("ears do not cover all edges".into());
+        }
+        // Condition (3): ears on the same host are properly nested.
+        for i in 0..self.ears.len() {
+            let hp = &self.ears[i].path;
+            let pos: std::collections::HashMap<NodeId, usize> =
+                hp.iter().enumerate().map(|(k, &v)| (v, k)).collect();
+            // Collect intervals of guests of ear i (as host-path positions).
+            let mut intervals: Vec<(usize, usize)> = Vec::new();
+            for ear in self.ears.iter().filter(|e| e.host == Some(i)) {
+                let (a, b) = ear.endpoints();
+                let (pa, pb) = (pos[&a], pos[&b]);
+                intervals.push((pa.min(pb), pa.max(pb)));
+            }
+            // Enclosing intervals first: left ascending, right descending.
+            intervals.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+            // Check pairwise properly-nested (no interleaving).
+            let mut stack: Vec<(usize, usize)> = Vec::new();
+            for &(lo, hi) in &intervals {
+                while let Some(&(slo, shi)) = stack.last() {
+                    if shi <= lo {
+                        stack.pop();
+                    } else if lo >= slo && hi <= shi {
+                        break;
+                    } else {
+                        return Err(format!(
+                            "ears on host {i} interleave: [{slo},{shi}] vs [{lo},{hi}]"
+                        ));
+                    }
+                }
+                stack.push((lo, hi));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Expands a maximal chain of nested parallel compositions (all over the
+/// same terminal pair) into its non-parallel branches, in spine-first
+/// order.
+fn collect_parallel_branches(tree: &SpTree, i: usize, out: &mut Vec<usize>) {
+    match tree.nodes[i].node {
+        SpNode::Parallel { children } => {
+            collect_parallel_branches(tree, children.0, out);
+            collect_parallel_branches(tree, children.1, out);
+        }
+        _ => out.push(i),
+    }
+}
+
+/// Convenience: the nested ear decomposition of a series-parallel graph,
+/// if it is one.
+pub fn nested_ear_decomposition(g: &Graph) -> Option<EarDecomposition> {
+    crate::series_parallel::sp_tree(g).map(|t| EarDecomposition::from_sp_tree(&t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn check(g: &Graph) -> EarDecomposition {
+        let d = nested_ear_decomposition(g).expect("graph should be series-parallel");
+        d.validate(g).unwrap();
+        d
+    }
+
+    #[test]
+    fn single_edge() {
+        let g = Graph::from_edges(2, [(0, 1)]);
+        let d = check(&g);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.ears[0].path, vec![0, 1]);
+    }
+
+    #[test]
+    fn path_is_one_ear() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let d = check(&g);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn cycle_is_two_ears() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let d = check(&g);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.ears[1].host, Some(0));
+    }
+
+    #[test]
+    fn theta_graph_ears() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (2, 1), (0, 3), (3, 4), (4, 1)]);
+        let d = check(&g);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn nested_thetas() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1);
+        let mut frontier = vec![(0usize, 1usize)];
+        for _ in 0..4 {
+            let mut next = Vec::new();
+            for (u, v) in frontier {
+                let a = g.add_node();
+                g.add_edge(u, a);
+                g.add_edge(a, v);
+                next.push((u, a));
+                next.push((a, v));
+            }
+            frontier = next;
+        }
+        let d = check(&g);
+        assert!(d.len() > 4);
+    }
+
+    #[test]
+    fn two_blocks_share_cut_node() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        check(&g);
+    }
+
+    #[test]
+    fn validate_rejects_crossing_ears() {
+        // Path 0-1-2-3 with arcs (0,2) and (1,3): a crossing, not SP-nested.
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 2), (1, 3)]);
+        let bad = EarDecomposition {
+            ears: vec![
+                Ear { path: vec![0, 1, 2, 3], host: None },
+                Ear { path: vec![0, 2], host: Some(0) },
+                Ear { path: vec![1, 3], host: Some(0) },
+            ],
+        };
+        assert!(bad.validate(&g).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_missing_edges() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let partial =
+            EarDecomposition { ears: vec![Ear { path: vec![0, 1, 2], host: None }] };
+        assert!(partial.validate(&g).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_reused_interior() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)]);
+        let bad = EarDecomposition {
+            ears: vec![
+                Ear { path: vec![0, 1, 2, 3], host: None },
+                Ear { path: vec![0, 3], host: Some(0) },
+                Ear { path: vec![1, 3], host: Some(0) },
+            ],
+        };
+        // This one is actually valid nesting; tamper: make ear 2's interior
+        // reuse node 2 via a fake path. Instead check a direct violation:
+        let worse = EarDecomposition {
+            ears: vec![
+                Ear { path: vec![0, 1, 2], host: None },
+                Ear { path: vec![0, 3, 2], host: Some(0) },
+                Ear { path: vec![1, 3], host: Some(0) },
+            ],
+        };
+        // node 3 is interior of ear 1 and endpoint of ear 2, fine; but edge
+        // (1,3)'s endpoint 3 is NOT on ear 0 -> condition (1) violation.
+        assert!(worse.validate(&g).is_err());
+        let _ = bad;
+    }
+
+    #[test]
+    fn sibling_ears_share_endpoints_ok() {
+        // Four parallel 2-paths between 0 and 1.
+        let mut g = Graph::new(2);
+        for _ in 0..4 {
+            let a = g.add_node();
+            g.add_edge(0, a);
+            g.add_edge(a, 1);
+        }
+        let d = check(&g);
+        assert_eq!(d.len(), 4);
+    }
+}

@@ -1,0 +1,172 @@
+//! Generators for LR-sorting instances (§4 of the paper).
+//!
+//! An LR-sorting instance is a directed graph with a directed Hamiltonian
+//! path `P` known to the nodes; yes-instances direct every non-path edge
+//! from left to right (so the graph is a DAG whose unique topological
+//! order is `P`), no-instances reverse at least one edge.
+
+use super::{laminar_arcs, random_permutation, relabel, relabel_nodes};
+use crate::graph::{EdgeId, Graph, NodeId, Orientation};
+use rand::Rng;
+
+/// An LR-sorting instance.
+#[derive(Debug, Clone)]
+pub struct LrInstance {
+    /// The underlying undirected graph.
+    pub graph: Graph,
+    /// Edge directions.
+    pub orientation: Orientation,
+    /// The Hamiltonian path, left to right (node ids).
+    pub path: Vec<NodeId>,
+    /// Edge ids of the path edges (in path order).
+    pub path_edges: Vec<EdgeId>,
+    /// Whether this is a yes-instance (every edge directed left→right).
+    pub is_yes: bool,
+}
+
+impl LrInstance {
+    /// Position of each node on the path (`pos[v]` = index).
+    pub fn positions(&self) -> Vec<usize> {
+        let mut pos = vec![usize::MAX; self.graph.n()];
+        for (i, &v) in self.path.iter().enumerate() {
+            pos[v] = i;
+        }
+        pos
+    }
+
+    /// Ground truth check: does the orientation direct every edge
+    /// left→right along the path?
+    pub fn all_edges_forward(&self) -> bool {
+        let pos = self.positions();
+        (0..self.graph.m()).all(|e| {
+            pos[self.orientation.tail(&self.graph, e)] < pos[self.orientation.head(&self.graph, e)]
+        })
+    }
+}
+
+/// A random yes-instance of LR-sorting on `n` nodes.
+///
+/// With `planar = true` the non-path arcs form a laminar family, so the
+/// instance is path-outerplanar (hence planar) and suitable for the
+/// node-label variant (Lemma 4.2). With `planar = false`, arbitrary
+/// forward arcs are added — suitable only for the edge-label variant
+/// (Lemma 4.1). `extra` scales the number of non-path arcs.
+pub fn random_lr_yes(n: usize, extra: usize, planar: bool, rng: &mut impl Rng) -> LrInstance {
+    assert!(n >= 2);
+    let mut g = Graph::new(n);
+    let mut path_edges = Vec::with_capacity(n - 1);
+    for i in 0..n - 1 {
+        path_edges.push(g.add_edge(i, i + 1));
+    }
+    if planar {
+        let mut arcs = Vec::new();
+        let density = (extra as f64 / n.max(1) as f64).clamp(0.05, 0.95);
+        if n >= 3 {
+            laminar_arcs(0, n - 1, density, rng, &mut arcs);
+        }
+        for (a, b) in arcs {
+            if !g.has_edge(a, b) {
+                g.add_edge(a, b);
+            }
+        }
+    } else {
+        for _ in 0..extra {
+            let a = rng.gen_range(0..n - 1);
+            let b = rng.gen_range(a + 1..n);
+            if b > a + 1 && !g.has_edge(a, b) {
+                g.add_edge(a, b);
+            }
+        }
+    }
+    // All edges run from the smaller position to the larger (positions are
+    // identities before relabeling).
+    let orientation = Orientation::by(&g, |u, v| u < v);
+    let perm = random_permutation(n, rng);
+    let graph = relabel(&g, &perm);
+    // relabel preserves edge ids and endpoint insertion order, so the
+    // orientation vector carries over unchanged.
+    let path = relabel_nodes(&(0..n).collect::<Vec<_>>(), &perm);
+    LrInstance { graph, orientation, path, path_edges, is_yes: true }
+}
+
+/// A no-instance: a yes-instance with `flips ≥ 1` random non-path edges
+/// reversed. Returns `None` if the yes-instance has no non-path edge to
+/// flip (regenerate with larger `extra`).
+pub fn random_lr_no(
+    n: usize,
+    extra: usize,
+    planar: bool,
+    flips: usize,
+    rng: &mut impl Rng,
+) -> Option<LrInstance> {
+    let mut inst = random_lr_yes(n, extra, planar, rng);
+    let non_path: Vec<EdgeId> = (0..inst.graph.m())
+        .filter(|e| !inst.path_edges.contains(e))
+        .collect();
+    if non_path.is_empty() {
+        return None;
+    }
+    for _ in 0..flips.max(1) {
+        let e = non_path[rng.gen_range(0..non_path.len())];
+        inst.orientation.flip(e);
+    }
+    inst.is_yes = inst.all_edges_forward();
+    if inst.is_yes {
+        return None; // flips cancelled out (even number on same edge)
+    }
+    Some(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn yes_instances_are_forward_dags() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        for n in [2usize, 3, 10, 64, 200] {
+            for planar in [true, false] {
+                let inst = random_lr_yes(n, n / 2, planar, &mut rng);
+                assert!(inst.all_edges_forward(), "n={n} planar={planar}");
+                assert!(inst.orientation.is_acyclic(&inst.graph));
+                assert!(crate::outerplanar::is_hamiltonian_path(&inst.graph, &inst.path));
+            }
+        }
+    }
+
+    #[test]
+    fn planar_yes_instances_are_path_outerplanar() {
+        let mut rng = SmallRng::seed_from_u64(32);
+        for _ in 0..10 {
+            let inst = random_lr_yes(50, 25, true, &mut rng);
+            assert!(crate::outerplanar::is_path_outerplanar_with(&inst.graph, &inst.path));
+        }
+    }
+
+    #[test]
+    fn no_instances_have_backward_edge() {
+        let mut rng = SmallRng::seed_from_u64(33);
+        let mut made = 0;
+        for _ in 0..20 {
+            if let Some(inst) = random_lr_no(40, 20, true, 1, &mut rng) {
+                assert!(!inst.all_edges_forward());
+                assert!(!inst.is_yes);
+                made += 1;
+            }
+        }
+        assert!(made > 10);
+    }
+
+    #[test]
+    fn path_edges_are_consistent() {
+        let mut rng = SmallRng::seed_from_u64(34);
+        let inst = random_lr_yes(30, 10, true, &mut rng);
+        for (i, &e) in inst.path_edges.iter().enumerate() {
+            let edge = inst.graph.edge(e);
+            let (a, b) = (inst.path[i], inst.path[i + 1]);
+            assert!(edge.is_incident(a) && edge.is_incident(b));
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Random instance generators for the paper's six graph families, plus
+//! structured no-instances.
+//!
+//! Every generator returns the instance together with the witness the
+//! honest prover needs (Hamiltonian path, rotation system, outer cycle …).
+//! Instance *classification* never trusts the witness: tests re-certify
+//! generated yes-instances with the recognizers in this crate and certify
+//! no-instances by their violated property.
+
+pub mod lr;
+pub mod no_instances;
+pub mod outerplanar;
+pub mod planar;
+pub mod sp;
+
+use crate::graph::{Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A uniformly random permutation of `0..n`.
+pub fn random_permutation(n: usize, rng: &mut impl Rng) -> Vec<NodeId> {
+    let mut p: Vec<NodeId> = (0..n).collect();
+    p.shuffle(rng);
+    p
+}
+
+/// Relabels the nodes of `g` through `perm` (`new_id = perm[old_id]`),
+/// preserving edge ids and per-edge endpoint order.
+///
+/// # Panics
+/// Panics if `perm` is not a permutation of `0..g.n()`.
+pub fn relabel(g: &Graph, perm: &[NodeId]) -> Graph {
+    assert_eq!(perm.len(), g.n());
+    let mut seen = vec![false; g.n()];
+    for &p in perm {
+        assert!(p < g.n() && !seen[p], "perm is not a permutation");
+        seen[p] = true;
+    }
+    let mut h = Graph::new(g.n());
+    for e in g.edges() {
+        h.add_edge(perm[e.u], perm[e.v]);
+    }
+    h
+}
+
+/// Applies `perm` to a node sequence (e.g. a witness path).
+pub fn relabel_nodes(nodes: &[NodeId], perm: &[NodeId]) -> Vec<NodeId> {
+    nodes.iter().map(|&v| perm[v]).collect()
+}
+
+/// A laminar (properly nested) family of arcs over positions `lo..hi` of a
+/// path, generated recursively. Arcs are pairs `(i, j)` with `i + 1 < j`.
+/// `density` in `[0, 1]` controls how many arcs appear.
+pub fn laminar_arcs(
+    lo: usize,
+    hi: usize,
+    density: f64,
+    rng: &mut impl Rng,
+    out: &mut Vec<(usize, usize)>,
+) {
+    if hi - lo < 2 {
+        return;
+    }
+    if rng.gen_bool(density) {
+        out.push((lo, hi));
+    }
+    let mid = rng.gen_range(lo + 1..hi);
+    if rng.gen_bool(0.9) {
+        laminar_arcs(lo, mid, density, rng, out);
+    }
+    if rng.gen_bool(0.9) {
+        laminar_arcs(mid, hi, density, rng, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn permutation_is_valid() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let p = random_permutation(20, &mut rng);
+        let mut q = p.clone();
+        q.sort_unstable();
+        assert_eq!(q, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let p = random_permutation(4, &mut rng);
+        let h = relabel(&g, &p);
+        assert_eq!(h.m(), g.m());
+        for e in g.edges() {
+            assert!(h.has_edge(p[e.u], p[e.v]));
+        }
+    }
+
+    #[test]
+    fn laminar_arcs_nest() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let mut arcs = Vec::new();
+            laminar_arcs(0, 30, 0.8, &mut rng, &mut arcs);
+            for (i, &(a, b)) in arcs.iter().enumerate() {
+                for &(c, d) in &arcs[i + 1..] {
+                    let cross = (a < c && c < b && b < d) || (c < a && a < d && d < b);
+                    assert!(!cross, "arcs ({a},{b}) and ({c},{d}) cross");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Structured no-instances for each graph family.
+//!
+//! Each constructor plants the canonical obstruction of its family inside a
+//! host graph that otherwise *belongs* to the family, so soundness
+//! experiments exercise protocols on adversarially "almost-yes" inputs:
+//!
+//! * planarity — a `K5` or `K3,3` subdivision spliced into a planar host;
+//! * outerplanarity — two crossing chords in a polygon (a `K4` minor) or a
+//!   planted `K2,3` subdivision; the graph stays planar;
+//! * path-outerplanarity — additionally graphs with no Hamiltonian path;
+//! * series-parallel / treewidth ≤ 2 — a planted `K4` subdivision.
+
+use super::{random_permutation, relabel};
+use crate::graph::{Graph, NodeId};
+use rand::Rng;
+
+/// Splices a subdivided `K5` (if `use_k5`) or `K3,3` into a random planar
+/// host: the branch nodes are fresh, each branch path has `sub ≥ 0` inner
+/// subdivision nodes, and the gadget is connected to the host by one edge.
+/// The result is connected and non-planar.
+pub fn nonplanar_with_gadget(
+    host_n: usize,
+    sub: usize,
+    use_k5: bool,
+    rng: &mut impl Rng,
+) -> Graph {
+    let host = super::planar::random_planar(host_n.max(4), 0.4, rng).graph;
+    let mut g = host.clone();
+    let branch: Vec<NodeId> = (0..if use_k5 { 5 } else { 6 }).map(|_| g.add_node()).collect();
+    let pairs: Vec<(usize, usize)> = if use_k5 {
+        (0..5).flat_map(|u| ((u + 1)..5).map(move |v| (u, v))).collect()
+    } else {
+        (0..3).flat_map(|u| (3..6).map(move |v| (u, v))).collect()
+    };
+    for (a, b) in pairs {
+        let mut prev = branch[a];
+        for _ in 0..sub {
+            let mid = g.add_node();
+            g.add_edge(prev, mid);
+            prev = mid;
+        }
+        g.add_edge(prev, branch[b]);
+    }
+    // Connect the gadget to the host.
+    let hook = rng.gen_range(0..host.n());
+    g.add_edge(hook, branch[0]);
+    let perm = random_permutation(g.n(), rng);
+    relabel(&g, &perm)
+}
+
+/// A planar but non-outerplanar graph: an outerplanar host whose largest
+/// block gets two crossing chords (forming a `K4` minor on the block's
+/// cycle). Stays planar.
+pub fn planar_not_outerplanar(n: usize, rng: &mut impl Rng) -> Graph {
+    assert!(n >= 6);
+    // A single polygon block with two crossing chords.
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        g.add_edge(i, (i + 1) % n);
+    }
+    // Crossing chords (a, c) and (b, d) with a < b < c < d.
+    let a = 0;
+    let b = rng.gen_range(1..n / 2);
+    let c = rng.gen_range(b + 1..n - 1);
+    let d = rng.gen_range(c + 1..n);
+    for (x, y) in [(a, c), (b, d)] {
+        if !g.has_edge(x, y) {
+            g.add_edge(x, y);
+        }
+    }
+    let perm = random_permutation(n, rng);
+    relabel(&g, &perm)
+}
+
+/// An outerplanar graph with no Hamiltonian path: three polygon blocks
+/// glued at one shared cut node (the block–cut tree branches).
+pub fn outerplanar_no_hamiltonian_path(block: usize, rng: &mut impl Rng) -> Graph {
+    assert!(block >= 3);
+    let mut g = Graph::new(1); // node 0 is the shared cut node
+    for _ in 0..3 {
+        let base = g.n();
+        for _ in 0..block - 1 {
+            g.add_node();
+        }
+        // Cycle: 0, base, base+1, ..., base+block-2.
+        let cyc: Vec<NodeId> =
+            std::iter::once(0).chain(base..base + block - 1).collect();
+        for i in 0..cyc.len() {
+            g.add_edge(cyc[i], cyc[(i + 1) % cyc.len()]);
+        }
+    }
+    let perm = random_permutation(g.n(), rng);
+    relabel(&g, &perm)
+}
+
+/// A connected graph with a planted subdivided `K4` inside a treewidth ≤ 2
+/// host: not series-parallel and treewidth ≥ 3.
+pub fn tw2_violator(host_blocks: usize, sub: usize, rng: &mut impl Rng) -> Graph {
+    let host = super::sp::random_treewidth2(host_blocks.max(1), 4, rng).graph;
+    let mut g = host.clone();
+    let branch: Vec<NodeId> = (0..4).map(|_| g.add_node()).collect();
+    for a in 0..4 {
+        for b in (a + 1)..4 {
+            let mut prev = branch[a];
+            for _ in 0..sub {
+                let mid = g.add_node();
+                g.add_edge(prev, mid);
+                prev = mid;
+            }
+            g.add_edge(prev, branch[b]);
+        }
+    }
+    let hook = rng.gen_range(0..host.n());
+    g.add_edge(hook, branch[0]);
+    let perm = random_permutation(g.n(), rng);
+    relabel(&g, &perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outerplanar::{is_outerplanar, is_path_outerplanar};
+    use crate::planarity::is_planar;
+    use crate::series_parallel::{is_series_parallel, is_treewidth_at_most_2};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gadgets_are_nonplanar_connected() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        for use_k5 in [true, false] {
+            for sub in [0usize, 1, 3] {
+                let g = nonplanar_with_gadget(20, sub, use_k5, &mut rng);
+                assert!(g.is_connected());
+                assert!(!is_planar(&g), "k5={use_k5} sub={sub}");
+            }
+        }
+    }
+
+    #[test]
+    fn crossing_chords_not_outerplanar_but_planar() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..10 {
+            let g = planar_not_outerplanar(12, &mut rng);
+            assert!(is_planar(&g));
+            assert!(!is_outerplanar(&g));
+        }
+    }
+
+    #[test]
+    fn branching_blocks_kill_hamiltonian_path() {
+        let mut rng = SmallRng::seed_from_u64(43);
+        let g = outerplanar_no_hamiltonian_path(4, &mut rng);
+        assert!(is_outerplanar(&g));
+        assert!(!is_path_outerplanar(&g));
+    }
+
+    #[test]
+    fn k4_gadget_breaks_tw2() {
+        let mut rng = SmallRng::seed_from_u64(44);
+        for sub in [0usize, 2] {
+            let g = tw2_violator(3, sub, &mut rng);
+            assert!(g.is_connected());
+            assert!(!is_series_parallel(&g));
+            assert!(!is_treewidth_at_most_2(&g), "sub={sub}");
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Generators for path-outerplanar and general outerplanar instances.
+
+use super::{laminar_arcs, random_permutation, relabel, relabel_nodes};
+use crate::graph::{Graph, NodeId};
+use rand::Rng;
+
+/// A path-outerplanar instance: the graph plus the witness Hamiltonian path
+/// (in order from the leftmost node).
+#[derive(Debug, Clone)]
+pub struct PathOuterplanarInstance {
+    /// The instance graph.
+    pub graph: Graph,
+    /// The witness Hamiltonian path (node ids left to right).
+    pub path: Vec<NodeId>,
+}
+
+/// A random path-outerplanar graph on `n` nodes: a Hamiltonian path plus a
+/// random laminar family of non-path arcs, with node labels shuffled so
+/// node ids carry no positional information.
+///
+/// `density` in `[0, 1]` controls the number of arcs.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn random_path_outerplanar(
+    n: usize,
+    density: f64,
+    rng: &mut impl Rng,
+) -> PathOuterplanarInstance {
+    assert!(n > 0);
+    let mut g = Graph::new(n);
+    for i in 0..n.saturating_sub(1) {
+        g.add_edge(i, i + 1);
+    }
+    let mut arcs = Vec::new();
+    if n >= 3 {
+        laminar_arcs(0, n - 1, density, rng, &mut arcs);
+    }
+    for (a, b) in arcs {
+        if !g.has_edge(a, b) {
+            g.add_edge(a, b);
+        }
+    }
+    let perm = random_permutation(n, rng);
+    let graph = relabel(&g, &perm);
+    let path = relabel_nodes(&(0..n).collect::<Vec<_>>(), &perm);
+    PathOuterplanarInstance { graph, path }
+}
+
+/// The maximal path-outerplanar "fan": path `0..n` plus all arcs `(0, j)`
+/// for `j ≥ 2`, reaching the outerplanar edge bound `2n - 3`. Labels are
+/// shuffled.
+pub fn fan_path_outerplanar(n: usize, rng: &mut impl Rng) -> PathOuterplanarInstance {
+    assert!(n >= 2);
+    let mut g = Graph::new(n);
+    for i in 0..n - 1 {
+        g.add_edge(i, i + 1);
+    }
+    for j in 2..n {
+        g.add_edge(0, j);
+    }
+    let perm = random_permutation(n, rng);
+    PathOuterplanarInstance {
+        graph: relabel(&g, &perm),
+        path: relabel_nodes(&(0..n).collect::<Vec<_>>(), &perm),
+    }
+}
+
+/// An outerplanar instance: the graph plus, for each biconnected block,
+/// nothing extra — the honest prover recomputes structure via the
+/// recognizers. Kept as a struct for symmetry/extension.
+#[derive(Debug, Clone)]
+pub struct OuterplanarInstance {
+    /// The instance graph.
+    pub graph: Graph,
+}
+
+/// A random biconnected outerplanar block: a cycle on `k` nodes (`k ≥ 3`)
+/// with a random laminar family of chords. Returns the block as edges over
+/// local ids `0..k` (the outer cycle is `0,1,…,k-1`).
+fn random_block(k: usize, density: f64, rng: &mut impl Rng) -> Vec<(usize, usize)> {
+    let mut edges: Vec<(usize, usize)> = (0..k).map(|i| (i, (i + 1) % k)).collect();
+    if k >= 4 {
+        let mut arcs = Vec::new();
+        laminar_arcs(0, k - 1, density, rng, &mut arcs);
+        for (a, b) in arcs {
+            // Skip the closing edge (0, k-1), it is already on the cycle.
+            if !(a == 0 && b == k - 1) {
+                edges.push((a, b));
+            }
+        }
+    }
+    edges
+}
+
+/// A random connected outerplanar graph built as a *tree* of biconnected
+/// blocks glued at cut nodes: `blocks` random polygon blocks with laminar
+/// chords, each attached at a uniformly random existing node. Labels
+/// shuffled.
+pub fn random_outerplanar(
+    n: usize,
+    blocks: usize,
+    density: f64,
+    rng: &mut impl Rng,
+) -> OuterplanarInstance {
+    assert!(n >= 3 && blocks >= 1);
+    // Decide the number of *fresh* nodes per block up front: the first
+    // block needs >= 3, later blocks reuse an attachment node so they need
+    // >= 2 fresh nodes each. Trailing blocks are dropped if n is too small.
+    let mut fresh_counts = vec![3usize];
+    let mut used = 3usize;
+    for _ in 1..blocks {
+        if used + 2 > n {
+            break;
+        }
+        fresh_counts.push(2);
+        used += 2;
+    }
+    // Distribute the leftover nodes uniformly.
+    for _ in used..n {
+        let i = rng.gen_range(0..fresh_counts.len());
+        fresh_counts[i] += 1;
+    }
+    let mut g = Graph::new(0);
+    for (b, &fresh) in fresh_counts.iter().enumerate() {
+        let attach = if b == 0 { None } else { Some(rng.gen_range(0..g.n())) };
+        let k = fresh + usize::from(attach.is_some()); // block size
+        let base = g.n();
+        for _ in 0..fresh {
+            g.add_node();
+        }
+        // Local block id -> global id (local 0 is the attachment node).
+        let to_global = |local: usize| -> usize {
+            match attach {
+                None => base + local,
+                Some(a) => {
+                    if local == 0 {
+                        a
+                    } else {
+                        base + local - 1
+                    }
+                }
+            }
+        };
+        for (a, b) in random_block(k, density, rng) {
+            let (ga, gb) = (to_global(a), to_global(b));
+            if !g.has_edge(ga, gb) {
+                g.add_edge(ga, gb);
+            }
+        }
+    }
+    let perm = random_permutation(g.n(), rng);
+    OuterplanarInstance { graph: relabel(&g, &perm) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outerplanar::{is_outerplanar, is_path_outerplanar_with};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_outerplanar_instances_are_valid() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for n in [1usize, 2, 3, 5, 17, 64, 200] {
+            for _ in 0..5 {
+                let inst = random_path_outerplanar(n, 0.7, &mut rng);
+                assert!(
+                    is_path_outerplanar_with(&inst.graph, &inst.path),
+                    "n = {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fan_is_maximal() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let inst = fan_path_outerplanar(20, &mut rng);
+        assert_eq!(inst.graph.m(), 2 * 20 - 3);
+        assert!(is_path_outerplanar_with(&inst.graph, &inst.path));
+    }
+
+    #[test]
+    fn outerplanar_instances_are_outerplanar_and_connected() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for (n, blocks) in [(6usize, 2usize), (20, 4), (50, 7), (30, 1)] {
+            for _ in 0..5 {
+                let inst = random_outerplanar(n, blocks, 0.5, &mut rng);
+                assert!(inst.graph.is_connected(), "n={n} blocks={blocks}");
+                assert!(is_outerplanar(&inst.graph), "n={n} blocks={blocks}");
+            }
+        }
+    }
+}

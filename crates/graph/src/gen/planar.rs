@@ -1,0 +1,360 @@
+//! Generators for planar instances with combinatorial embeddings.
+//!
+//! Planar instances are grown as *stacked triangulations* (Apollonian
+//! networks): starting from a triangle, a fresh node is repeatedly inserted
+//! into a randomly chosen face and joined to its three corners. Both the
+//! graph and its rotation system are maintained exactly, so every generated
+//! instance carries a valid combinatorial planar embedding (the witness the
+//! honest prover of Theorem 1.5 needs). Sparser planar graphs are obtained
+//! by deleting non-spanning-tree edges and restricting the embedding.
+
+use super::{random_permutation, relabel};
+use crate::embedding::RotationSystem;
+use crate::graph::{EdgeId, Graph, NodeId};
+use crate::traversal::RootedForest;
+use rand::Rng;
+
+/// A planar instance: the graph plus a valid combinatorial planar
+/// embedding.
+#[derive(Debug, Clone)]
+pub struct PlanarInstance {
+    /// The instance graph.
+    pub graph: Graph,
+    /// A rotation system inducing a planar (genus-0) embedding.
+    pub rho: RotationSystem,
+}
+
+/// Builder maintaining a triangulation with exact rotations and faces.
+struct TriangulationBuilder {
+    g: Graph,
+    /// rotation orders (clockwise) as edge ids per node.
+    order: Vec<Vec<EdgeId>>,
+    /// faces as oriented dart triples ((a,b),(b,c),(c,a)) stored as node triples.
+    faces: Vec<(NodeId, NodeId, NodeId)>,
+}
+
+impl TriangulationBuilder {
+    fn new() -> Self {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        // Rotation at v: any order; pick port order and read off the two
+        // induced faces by tracing the resulting embedding.
+        let order: Vec<Vec<EdgeId>> = (0..3).map(|v| g.incident_edges(v).collect()).collect();
+        let rho = RotationSystem::from_orders(&g, order.clone());
+        let faces = rho
+            .faces(&g)
+            .into_iter()
+            .map(|darts| {
+                let a = darts[0].from;
+                let b = g.edge(darts[0].edge).other(a);
+                let c = g.edge(darts[1].edge).other(b);
+                (a, b, c)
+            })
+            .collect();
+        TriangulationBuilder { g, order, faces }
+    }
+
+    /// Inserts a fresh node into face `f`, keeping rotations and faces exact.
+    fn insert_into_face(&mut self, f: usize) -> NodeId {
+        let (a, b, c) = self.faces.swap_remove(f);
+        let w = self.g.add_node();
+        let ea = self.g.add_edge(a, w);
+        let eb = self.g.add_edge(b, w);
+        let ec = self.g.add_edge(c, w);
+        self.order.push(Vec::new());
+        // Rotation at w so that the three sub-faces trace correctly:
+        // clockwise cycle aw -> cw -> bw.
+        self.order[w] = vec![ea, ec, eb];
+        // At each face corner y with incoming dart (x -> y) and outgoing
+        // (y -> z), insert edge (y, w) immediately after edge (x, y).
+        for (x, y, e_new) in [(c, a, ea), (a, b, eb), (b, c, ec)] {
+            let e_xy = self.g.edge_between(x, y).expect("face edge");
+            let pos = self.order[y].iter().position(|&e| e == e_xy).expect("edge in rotation");
+            self.order[y].insert(pos + 1, e_new);
+        }
+        self.faces.push((a, b, w));
+        self.faces.push((b, c, w));
+        self.faces.push((c, a, w));
+        w
+    }
+}
+
+/// A random maximal planar graph (stacked triangulation) on `n ≥ 3` nodes
+/// with its exact embedding. Labels shuffled.
+pub fn random_triangulation(n: usize, rng: &mut impl Rng) -> PlanarInstance {
+    assert!(n >= 3);
+    let mut b = TriangulationBuilder::new();
+    while b.g.n() < n {
+        let f = rng.gen_range(0..b.faces.len());
+        b.insert_into_face(f);
+    }
+    finish(b.g, b.order, rng)
+}
+
+/// A random triangulation with a *planted* high-degree node: face choices
+/// are biased so one node reaches degree ≥ `target_degree` (used by the
+/// Δ-dependence experiment E6).
+pub fn triangulation_with_degree(
+    n: usize,
+    target_degree: usize,
+    rng: &mut impl Rng,
+) -> PlanarInstance {
+    assert!(n >= 3 && target_degree >= 3 && target_degree < n);
+    let mut b = TriangulationBuilder::new();
+    let hub: NodeId = 0;
+    while b.g.n() < n {
+        let need_more = b.g.degree(hub) < target_degree;
+        let f = if need_more {
+            // Insert into a face incident to the hub: increases deg(hub).
+            (0..b.faces.len())
+                .filter(|&i| {
+                    let (a, bb, c) = b.faces[i];
+                    a == hub || bb == hub || c == hub
+                })
+                .max_by_key(|_| rng.gen_range(0..1_000_000u32))
+                .expect("hub always lies on some face")
+        } else {
+            // Avoid hub faces so the max degree stays planted.
+            let non_hub: Vec<usize> = (0..b.faces.len())
+                .filter(|&i| {
+                    let (a, bb, c) = b.faces[i];
+                    a != hub && bb != hub && c != hub
+                })
+                .collect();
+            if non_hub.is_empty() {
+                rng.gen_range(0..b.faces.len())
+            } else {
+                non_hub[rng.gen_range(0..non_hub.len())]
+            }
+        };
+        b.insert_into_face(f);
+    }
+    finish(b.g, b.order, rng)
+}
+
+/// A random connected planar graph: a triangulation whose non-tree edges
+/// are kept with probability `keep`, with the embedding restricted
+/// accordingly. Labels shuffled.
+pub fn random_planar(n: usize, keep: f64, rng: &mut impl Rng) -> PlanarInstance {
+    let full = random_triangulation_unshuffled(n, rng);
+    let tree = RootedForest::bfs_spanning_tree(&full.graph, 0);
+    let mut keep_edge = vec![false; full.graph.m()];
+    for e in 0..full.graph.m() {
+        keep_edge[e] = tree.contains_edge(e) || rng.gen_bool(keep);
+    }
+    let (g, rho) = restrict_embedding(&full.graph, &full.rho, &keep_edge);
+    finish_pair(g, rho, rng)
+}
+
+fn random_triangulation_unshuffled(n: usize, rng: &mut impl Rng) -> PlanarInstance {
+    assert!(n >= 3);
+    let mut b = TriangulationBuilder::new();
+    while b.g.n() < n {
+        let f = rng.gen_range(0..b.faces.len());
+        b.insert_into_face(f);
+    }
+    let rho = RotationSystem::from_orders(&b.g, b.order);
+    PlanarInstance { graph: b.g, rho }
+}
+
+/// Restricts `g` and its rotation system to the edges with
+/// `keep_edge[e] == true`. Node set unchanged.
+pub fn restrict_embedding(
+    g: &Graph,
+    rho: &RotationSystem,
+    keep_edge: &[bool],
+) -> (Graph, RotationSystem) {
+    let mut h = Graph::new(g.n());
+    let mut new_id = vec![usize::MAX; g.m()];
+    for (e, edge) in g.edges().iter().enumerate() {
+        if keep_edge[e] {
+            new_id[e] = h.add_edge(edge.u, edge.v);
+        }
+    }
+    let order: Vec<Vec<EdgeId>> = (0..g.n())
+        .map(|v| {
+            rho.order_at(v)
+                .iter()
+                .filter(|&&e| keep_edge[e])
+                .map(|&e| new_id[e])
+                .collect()
+        })
+        .collect();
+    let rho2 = RotationSystem::from_orders(&h, order);
+    (h, rho2)
+}
+
+fn finish(g: Graph, order: Vec<Vec<EdgeId>>, rng: &mut impl Rng) -> PlanarInstance {
+    let rho = RotationSystem::from_orders(&g, order);
+    finish_pair(g, rho, rng)
+}
+
+/// Shuffles node labels of an embedded instance.
+fn finish_pair(g: Graph, rho: RotationSystem, rng: &mut impl Rng) -> PlanarInstance {
+    let perm = random_permutation(g.n(), rng);
+    let h = relabel(&g, &perm);
+    // Edge ids are preserved by relabel; move each node's order to its new id.
+    let mut order = vec![Vec::new(); h.n()];
+    for v in 0..g.n() {
+        order[perm[v]] = rho.order_at(v).to_vec();
+    }
+    let rho2 = RotationSystem::from_orders(&h, order);
+    PlanarInstance { graph: h, rho: rho2 }
+}
+
+/// A planar instance with an *exact* maximum degree: a fan (hub joined to
+/// a path of `delta` nodes, triangulating the polygon) padded with a tail
+/// path to reach `n` nodes. The hub has degree exactly `delta`; every
+/// other node has degree ≤ 3. Labels shuffled.
+///
+/// # Panics
+/// Panics if `delta < 2` or `n < delta + 2`.
+pub fn fan_planar(n: usize, delta: usize, rng: &mut impl Rng) -> PlanarInstance {
+    assert!(delta >= 2 && n >= delta + 2);
+    let mut g = Graph::new(1 + delta);
+    let hub: NodeId = 0;
+    // Path 1..=delta under the hub.
+    let mut path_edges = Vec::new();
+    for i in 1..delta {
+        path_edges.push(g.add_edge(i, i + 1));
+    }
+    let spokes: Vec<EdgeId> = (1..=delta).map(|i| g.add_edge(hub, i)).collect();
+    // Tail path from node `delta` to pad the node count.
+    let mut tail_edges = Vec::new();
+    let mut prev = delta;
+    while g.n() < n {
+        let v = g.add_node();
+        tail_edges.push(g.add_edge(prev, v));
+        prev = v;
+    }
+    // Rotation: hub sees the spokes in path order; path node i sees
+    // [spoke, left-path, right-path] — i.e. walking around each triangle
+    // (hub, i, i+1) consistently.
+    let mut order: Vec<Vec<EdgeId>> = vec![Vec::new(); g.n()];
+    // The hub sees the spokes in reverse path order so each triangle
+    // (hub, i, i+1) closes as a face orbit.
+    order[hub] = spokes.iter().rev().copied().collect();
+    for i in 1..=delta {
+        let mut o = vec![spokes[i - 1]];
+        if i > 1 {
+            o.push(path_edges[i - 2]); // edge to i-1
+        }
+        if i < delta {
+            o.insert(1, path_edges[i - 1]); // edge to i+1, right after the spoke
+        }
+        if i == delta && !tail_edges.is_empty() {
+            o.push(tail_edges[0]);
+        }
+        order[i] = o;
+    }
+    for (k, &e) in tail_edges.iter().enumerate() {
+        let v = delta + 1 + k;
+        order[v].push(e);
+        if k + 1 < tail_edges.len() {
+            order[v].push(tail_edges[k + 1]);
+        }
+    }
+    let rho = RotationSystem::from_orders(&g, order);
+    debug_assert!(rho.is_planar_embedding(&g), "fan rotation must be planar");
+    finish_pair(g, rho, rng)
+}
+
+/// An *invalid-embedding* instance: a valid planar embedding with one
+/// node's rotation scrambled until the Euler-genus defect is positive.
+/// The graph itself remains planar — only the given embedding is wrong —
+/// which is exactly the no-instance family of the planar-embedding task.
+pub fn scrambled_embedding(n: usize, rng: &mut impl Rng) -> PlanarInstance {
+    loop {
+        let mut inst = random_triangulation(n.max(5), rng);
+        for _attempt in 0..50 {
+            let v = rng.gen_range(0..inst.graph.n());
+            let d = inst.graph.degree(v);
+            if d < 4 {
+                continue;
+            }
+            let i = rng.gen_range(0..d);
+            let j = rng.gen_range(0..d);
+            if i == j {
+                continue;
+            }
+            let mut rho = inst.rho.clone();
+            rho.swap_positions(v, i, j);
+            if !rho.is_planar_embedding(&inst.graph) {
+                inst.rho = rho;
+                return inst;
+            }
+        }
+        // Extremely unlikely: retry with a fresh triangulation.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planarity::is_planar;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn triangulations_are_maximal_planar_with_valid_embedding() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for n in [3usize, 4, 5, 10, 50, 200] {
+            let inst = random_triangulation(n, &mut rng);
+            assert_eq!(inst.graph.n(), n);
+            assert_eq!(inst.graph.m(), 3 * n - 6);
+            assert!(inst.rho.is_planar_embedding(&inst.graph), "n = {n}");
+            assert!(is_planar(&inst.graph));
+        }
+    }
+
+    #[test]
+    fn planted_degree_reached() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        for target in [5usize, 12, 30] {
+            let inst = triangulation_with_degree(80, target, &mut rng);
+            assert!(inst.graph.max_degree() >= target, "target = {target}");
+            assert!(inst.rho.is_planar_embedding(&inst.graph));
+        }
+    }
+
+    #[test]
+    fn random_planar_is_planar_connected_embedded() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        for keep in [0.0, 0.3, 0.8] {
+            let inst = random_planar(60, keep, &mut rng);
+            assert!(inst.graph.is_connected());
+            assert!(is_planar(&inst.graph));
+            assert!(inst.rho.is_planar_embedding(&inst.graph), "keep = {keep}");
+        }
+    }
+
+    #[test]
+    fn scrambled_embedding_is_invalid_but_planar_graph() {
+        let mut rng = SmallRng::seed_from_u64(14);
+        let inst = scrambled_embedding(40, &mut rng);
+        assert!(!inst.rho.is_planar_embedding(&inst.graph));
+        assert!(is_planar(&inst.graph));
+    }
+
+    #[test]
+    fn fan_has_exact_degree_and_valid_embedding() {
+        let mut rng = SmallRng::seed_from_u64(16);
+        for (n, delta) in [(10usize, 4usize), (50, 12), (300, 128)] {
+            let inst = fan_planar(n, delta, &mut rng);
+            assert_eq!(inst.graph.n(), n);
+            assert_eq!(inst.graph.max_degree(), delta, "n={n} delta={delta}");
+            assert!(inst.rho.is_planar_embedding(&inst.graph), "n={n} delta={delta}");
+            assert!(inst.graph.is_connected());
+        }
+    }
+
+    #[test]
+    fn restriction_keeps_embedding_valid() {
+        let mut rng = SmallRng::seed_from_u64(15);
+        let inst = random_triangulation(30, &mut rng);
+        // Keep every edge: identity restriction.
+        let all = vec![true; inst.graph.m()];
+        let (h, rho) = restrict_embedding(&inst.graph, &inst.rho, &all);
+        assert_eq!(h.m(), inst.graph.m());
+        assert!(rho.is_planar_embedding(&h));
+    }
+}

@@ -1,0 +1,158 @@
+//! Generators for series-parallel and treewidth ≤ 2 instances.
+
+use super::{random_permutation, relabel};
+use crate::graph::{Graph, NodeId};
+use rand::Rng;
+
+/// A series-parallel instance (two-terminal, connected).
+#[derive(Debug, Clone)]
+pub struct SpInstance {
+    /// The instance graph.
+    pub graph: Graph,
+    /// The two terminals of the outermost composition.
+    pub terminals: (NodeId, NodeId),
+}
+
+/// A random two-terminal series-parallel graph with roughly `size` edges,
+/// grown by recursive random series/parallel composition. Simplicity is
+/// guaranteed by never emitting two parallel unit edges over the same
+/// terminal pair. Labels shuffled.
+///
+/// # Panics
+/// Panics if `size == 0`.
+pub fn random_series_parallel(size: usize, rng: &mut impl Rng) -> SpInstance {
+    assert!(size > 0);
+    let mut g = Graph::new(2);
+    let mut used_pairs = std::collections::HashSet::new();
+    build(&mut g, &mut used_pairs, 0, 1, size, rng);
+    let perm = random_permutation(g.n(), rng);
+    let graph = relabel(&g, &perm);
+    SpInstance { graph, terminals: (perm[0], perm[1]) }
+}
+
+fn build(
+    g: &mut Graph,
+    used: &mut std::collections::HashSet<(NodeId, NodeId)>,
+    s: NodeId,
+    t: NodeId,
+    size: usize,
+    rng: &mut impl Rng,
+) {
+    if size <= 1 {
+        let key = (s.min(t), s.max(t));
+        if used.insert(key) {
+            g.add_edge(s, t);
+        } else {
+            // The direct edge exists: emit a 2-path instead (still SP).
+            let mid = g.add_node();
+            g.add_edge(s, mid);
+            g.add_edge(mid, t);
+        }
+        return;
+    }
+    let k = rng.gen_range(1..size);
+    if rng.gen_bool(0.5) {
+        // Series composition through a fresh middle node.
+        let mid = g.add_node();
+        build(g, used, s, mid, k, rng);
+        build(g, used, mid, t, size - k, rng);
+    } else {
+        // Parallel composition over the same terminals.
+        build(g, used, s, t, k, rng);
+        build(g, used, s, t, size - k, rng);
+    }
+}
+
+/// A treewidth ≤ 2 instance.
+#[derive(Debug, Clone)]
+pub struct Treewidth2Instance {
+    /// The instance graph.
+    pub graph: Graph,
+}
+
+/// A random connected treewidth ≤ 2 graph: a *tree* of series-parallel
+/// blocks glued at cut nodes (branching allowed, so the result is usually
+/// not two-terminal series-parallel itself). Labels shuffled.
+pub fn random_treewidth2(blocks: usize, block_size: usize, rng: &mut impl Rng) -> Treewidth2Instance {
+    assert!(blocks >= 1 && block_size >= 1);
+    let mut g = Graph::new(0);
+    for b in 0..blocks {
+        let inst = random_series_parallel(block_size.max(1), rng);
+        let attach = if b == 0 { None } else { Some(rng.gen_range(0..g.n())) };
+        let base = g.n();
+        // Glue terminal `terminals.0` of the block onto the attachment node.
+        let glue_local = inst.terminals.0;
+        let to_global = |local: NodeId| -> NodeId {
+            match attach {
+                None => base + local,
+                Some(a) => {
+                    if local == glue_local {
+                        a
+                    } else if local < glue_local {
+                        base + local
+                    } else {
+                        base + local - 1
+                    }
+                }
+            }
+        };
+        let fresh = inst.graph.n() - usize::from(attach.is_some());
+        for _ in 0..fresh {
+            g.add_node();
+        }
+        for e in inst.graph.edges() {
+            let (a, b) = (to_global(e.u), to_global(e.v));
+            if !g.has_edge(a, b) {
+                g.add_edge(a, b);
+            }
+        }
+    }
+    let perm = random_permutation(g.n(), rng);
+    Treewidth2Instance { graph: relabel(&g, &perm) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series_parallel::{is_series_parallel, is_treewidth_at_most_2};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sp_instances_are_sp() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        for size in [1usize, 2, 3, 8, 40, 150] {
+            for _ in 0..5 {
+                let inst = random_series_parallel(size, &mut rng);
+                assert!(inst.graph.is_connected());
+                assert!(is_series_parallel(&inst.graph), "size = {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn tw2_instances_are_tw2() {
+        let mut rng = SmallRng::seed_from_u64(22);
+        for (blocks, bs) in [(1usize, 10usize), (3, 6), (8, 4), (5, 1)] {
+            for _ in 0..5 {
+                let inst = random_treewidth2(blocks, bs, &mut rng);
+                assert!(inst.graph.is_connected());
+                assert!(is_treewidth_at_most_2(&inst.graph), "{blocks} x {bs}");
+            }
+        }
+    }
+
+    #[test]
+    fn branching_tw2_often_not_ttsp() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        // With many blocks, at least one instance should not be TTSP.
+        let mut saw_non_ttsp = false;
+        for _ in 0..20 {
+            let inst = random_treewidth2(6, 4, &mut rng);
+            if !is_series_parallel(&inst.graph) {
+                saw_non_ttsp = true;
+            }
+        }
+        assert!(saw_non_ttsp);
+    }
+}

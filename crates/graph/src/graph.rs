@@ -1,0 +1,471 @@
+//! Core undirected graph representation.
+//!
+//! The distributed interactive proof (DIP) model operates on simple,
+//! connected, undirected graphs whose nodes are anonymous: a node only sees
+//! its incident edges through local *port numbers*. [`Graph`] stores a fixed
+//! edge list plus per-node adjacency in port order, so the port number of an
+//! incident edge is simply its index in the node's adjacency list.
+//!
+//! Node and edge identifiers are plain indices ([`NodeId`], [`EdgeId`]).
+//! They exist only on the "simulator side"; protocol verifiers never see
+//! them (see `pdip-core::NodeView`).
+
+use std::fmt;
+
+/// Index of a node in a [`Graph`] (simulator-side identifier).
+pub type NodeId = usize;
+
+/// Index of an edge in a [`Graph`] (simulator-side identifier).
+pub type EdgeId = usize;
+
+/// An undirected edge, stored as the ordered pair of its endpoints as given
+/// at insertion time. The insertion order of endpoints is meaningless for
+/// the graph structure but is preserved so directed overlays
+/// ([`crate::Orientation`]) can refer to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// First endpoint as inserted.
+    pub u: NodeId,
+    /// Second endpoint as inserted.
+    pub v: NodeId,
+}
+
+impl Edge {
+    /// The endpoint different from `x`.
+    ///
+    /// # Panics
+    /// Panics if `x` is not an endpoint of the edge.
+    pub fn other(&self, x: NodeId) -> NodeId {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("node {x} is not an endpoint of edge ({}, {})", self.u, self.v)
+        }
+    }
+
+    /// Whether `x` is one of the two endpoints.
+    pub fn is_incident(&self, x: NodeId) -> bool {
+        self.u == x || self.v == x
+    }
+
+    /// Endpoints normalized so the smaller id comes first.
+    pub fn normalized(&self) -> (NodeId, NodeId) {
+        (self.u.min(self.v), self.u.max(self.v))
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.u, self.v)
+    }
+}
+
+/// A simple undirected graph with port-ordered adjacency lists.
+///
+/// # Examples
+///
+/// ```
+/// use pdip_graph::Graph;
+///
+/// let mut g = Graph::new(4);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 2);
+/// g.add_edge(2, 3);
+/// assert_eq!(g.n(), 4);
+/// assert_eq!(g.m(), 3);
+/// assert_eq!(g.degree(1), 2);
+/// assert!(g.is_connected());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Graph {
+    edges: Vec<Edge>,
+    /// adjacency[v] = list of (neighbor, edge id) in port order.
+    adjacency: Vec<Vec<(NodeId, EdgeId)>>,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        Graph { edges: Vec::new(), adjacency: vec![Vec::new(); n] }
+    }
+
+    /// Builds a graph from an explicit edge list over nodes `0..n`.
+    ///
+    /// # Panics
+    /// Panics if an edge references a node `>= n`, is a self-loop, or
+    /// duplicates a previous edge.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (NodeId, NodeId)>) -> Self {
+        let mut g = Graph::new(n);
+        for (u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds an undirected edge and returns its id.
+    ///
+    /// # Panics
+    /// Panics on self-loops, out-of-range endpoints, or parallel edges:
+    /// DIP instances are simple graphs.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> EdgeId {
+        assert!(u < self.n() && v < self.n(), "edge ({u}, {v}) out of range (n = {})", self.n());
+        assert_ne!(u, v, "self-loops are not allowed");
+        assert!(!self.has_edge(u, v), "parallel edge ({u}, {v})");
+        let id = self.edges.len();
+        self.edges.push(Edge { u, v });
+        self.adjacency[u].push((v, id));
+        self.adjacency[v].push((u, id));
+        id
+    }
+
+    /// Adds a new isolated node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adjacency.push(Vec::new());
+        self.adjacency.len() - 1
+    }
+
+    /// The edge with id `e`.
+    ///
+    /// # Panics
+    /// Panics if `e >= self.m()`.
+    pub fn edge(&self, e: EdgeId) -> Edge {
+        self.edges[e]
+    }
+
+    /// All edges in insertion order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adjacency[v].len()
+    }
+
+    /// Maximum degree Δ of the graph (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.n()).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Neighbors of `v` with edge ids, in port order.
+    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.adjacency[v]
+    }
+
+    /// Iterator over the neighbor node ids of `v`, in port order.
+    pub fn neighbor_nodes(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adjacency[v].iter().map(|&(u, _)| u)
+    }
+
+    /// Iterator over the incident edge ids of `v`, in port order.
+    pub fn incident_edges(&self, v: NodeId) -> impl Iterator<Item = EdgeId> + '_ {
+        self.adjacency[v].iter().map(|&(_, e)| e)
+    }
+
+    /// Returns the id of the edge between `u` and `v`, if present.
+    pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.adjacency[a].iter().find(|&&(w, _)| w == b).map(|&(_, e)| e)
+    }
+
+    /// Whether `u` and `v` are adjacent.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_between(u, v).is_some()
+    }
+
+    /// Whether the graph is connected (the 0-node graph counts as connected).
+    pub fn is_connected(&self) -> bool {
+        if self.n() == 0 {
+            return true;
+        }
+        let order = crate::traversal::bfs_order(self, 0);
+        order.len() == self.n()
+    }
+
+    /// Subgraph induced by `nodes`.
+    ///
+    /// Returns the induced graph together with the map from new ids to old
+    /// ids (`new -> old`); nodes appear in the order given.
+    ///
+    /// # Panics
+    /// Panics if `nodes` contains duplicates or out-of-range ids.
+    pub fn induced_subgraph(&self, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
+        let mut old_to_new = vec![usize::MAX; self.n()];
+        for (new, &old) in nodes.iter().enumerate() {
+            assert!(old < self.n(), "node {old} out of range");
+            assert_eq!(old_to_new[old], usize::MAX, "duplicate node {old}");
+            old_to_new[old] = new;
+        }
+        let mut g = Graph::new(nodes.len());
+        for e in &self.edges {
+            let (nu, nv) = (old_to_new[e.u], old_to_new[e.v]);
+            if nu != usize::MAX && nv != usize::MAX {
+                g.add_edge(nu, nv);
+            }
+        }
+        (g, nodes.to_vec())
+    }
+
+    /// A copy of the graph with an extra apex node adjacent to every
+    /// original node. Used by the outerplanarity recognizer: `G` is
+    /// outerplanar iff `G + apex` is planar.
+    pub fn with_apex(&self) -> (Graph, NodeId) {
+        let mut g = self.clone();
+        let apex = g.add_node();
+        for v in 0..self.n() {
+            g.add_edge(v, apex);
+        }
+        (g, apex)
+    }
+
+    /// Checks the necessary planarity edge bound `m <= 3n - 6` (for `n >= 3`).
+    pub fn satisfies_planar_edge_bound(&self) -> bool {
+        self.n() < 3 || self.m() <= 3 * self.n() - 6
+    }
+}
+
+/// An edge orientation overlaid on a [`Graph`].
+///
+/// `forward[e] == true` means edge `e` is directed `edge.u -> edge.v`
+/// (in insertion order of endpoints), `false` means `edge.v -> edge.u`.
+///
+/// # Examples
+///
+/// ```
+/// use pdip_graph::{Graph, Orientation};
+///
+/// let g = Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+/// // Orient everything from the smaller to the larger endpoint.
+/// let o = Orientation::by(&g, |u, v| u < v);
+/// assert_eq!(o.head(&g, 0), 1);
+/// assert_eq!(o.tail(&g, 0), 0);
+/// assert!(o.is_acyclic(&g));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Orientation {
+    forward: Vec<bool>,
+}
+
+impl Orientation {
+    /// Orients every edge `(u, v)` in endpoint-insertion order
+    /// (i.e. all-forward).
+    pub fn all_forward(g: &Graph) -> Self {
+        Orientation { forward: vec![true; g.m()] }
+    }
+
+    /// Orients each edge `e = {u, v}` from `u` to `v` when
+    /// `decide(e.u, e.v)` is true, from `v` to `u` otherwise.
+    pub fn by(g: &Graph, decide: impl Fn(NodeId, NodeId) -> bool) -> Self {
+        Orientation { forward: g.edges().iter().map(|e| decide(e.u, e.v)).collect() }
+    }
+
+    /// Head (target) of directed edge `e`.
+    pub fn head(&self, g: &Graph, e: EdgeId) -> NodeId {
+        let edge = g.edge(e);
+        if self.forward[e] {
+            edge.v
+        } else {
+            edge.u
+        }
+    }
+
+    /// Tail (source) of directed edge `e`.
+    pub fn tail(&self, g: &Graph, e: EdgeId) -> NodeId {
+        let edge = g.edge(e);
+        if self.forward[e] {
+            edge.u
+        } else {
+            edge.v
+        }
+    }
+
+    /// Flips the direction of edge `e`.
+    pub fn flip(&mut self, e: EdgeId) {
+        self.forward[e] = !self.forward[e];
+    }
+
+    /// Whether the directed graph defined by this orientation is acyclic.
+    pub fn is_acyclic(&self, g: &Graph) -> bool {
+        // Kahn's algorithm on the oriented edges.
+        let mut indeg = vec![0usize; g.n()];
+        for e in 0..g.m() {
+            indeg[self.head(g, e)] += 1;
+        }
+        let mut queue: Vec<NodeId> = (0..g.n()).filter(|&v| indeg[v] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(v) = queue.pop() {
+            seen += 1;
+            for &(_, e) in g.neighbors(v) {
+                if self.tail(g, e) == v {
+                    let h = self.head(g, e);
+                    indeg[h] -= 1;
+                    if indeg[h] == 0 {
+                        queue.push(h);
+                    }
+                }
+            }
+        }
+        seen == g.n()
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, g: &Graph, v: NodeId) -> usize {
+        g.incident_edges(v).filter(|&e| self.tail(g, e) == v).count()
+    }
+
+    /// Out-edges of `v` in port order.
+    pub fn out_edges<'g>(&'g self, g: &'g Graph, v: NodeId) -> impl Iterator<Item = EdgeId> + 'g {
+        g.incident_edges(v).filter(move |&e| self.tail(g, e) == v)
+    }
+
+    /// In-edges of `v` in port order.
+    pub fn in_edges<'g>(&'g self, g: &'g Graph, v: NodeId) -> impl Iterator<Item = EdgeId> + 'g {
+        g.incident_edges(v).filter(move |&e| self.head(g, e) == v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0);
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert!(g.is_connected());
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn triangle_basics() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        for v in 0..3 {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 0));
+        assert!(g.is_connected());
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn ports_are_insertion_order() {
+        let g = Graph::from_edges(4, [(1, 0), (1, 2), (1, 3)]);
+        let nbrs: Vec<NodeId> = g.neighbor_nodes(1).collect();
+        assert_eq!(nbrs, vec![0, 2, 3]);
+        let edges: Vec<EdgeId> = g.incident_edges(1).collect();
+        assert_eq!(edges, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let e = Edge { u: 3, v: 7 };
+        assert_eq!(e.other(3), 7);
+        assert_eq!(e.other(7), 3);
+        assert!(e.is_incident(3));
+        assert!(!e.is_incident(4));
+        assert_eq!(e.normalized(), (3, 7));
+        assert_eq!(Edge { u: 7, v: 3 }.normalized(), (3, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn edge_other_panics() {
+        Edge { u: 0, v: 1 }.other(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn no_self_loops() {
+        let mut g = Graph::new(2);
+        g.add_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel edge")]
+    fn no_parallel_edges() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]);
+        let (h, map) = g.induced_subgraph(&[1, 2, 3]);
+        assert_eq!(h.n(), 3);
+        assert_eq!(h.m(), 3); // (1,2), (2,3), (1,3)
+        assert_eq!(map, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn apex_augmentation() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let (h, apex) = g.with_apex();
+        assert_eq!(apex, 3);
+        assert_eq!(h.n(), 4);
+        assert_eq!(h.m(), 2 + 3);
+        for v in 0..3 {
+            assert!(h.has_edge(v, apex));
+        }
+    }
+
+    #[test]
+    fn orientation_heads_tails() {
+        let g = Graph::from_edges(3, [(0, 1), (2, 1)]);
+        let o = Orientation::all_forward(&g);
+        assert_eq!(o.tail(&g, 0), 0);
+        assert_eq!(o.head(&g, 0), 1);
+        assert_eq!(o.tail(&g, 1), 2);
+        assert_eq!(o.head(&g, 1), 1);
+        let mut o2 = o.clone();
+        o2.flip(1);
+        assert_eq!(o2.tail(&g, 1), 1);
+        assert_eq!(o2.head(&g, 1), 2);
+    }
+
+    #[test]
+    fn orientation_acyclicity() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        // 0->1, 1->2, 2->0 is a directed cycle.
+        let cyc = Orientation::all_forward(&g);
+        assert!(!cyc.is_acyclic(&g));
+        // Orient by node id: 0->1, 1->2, 0->2 is acyclic.
+        let dag = Orientation::by(&g, |u, v| u < v);
+        assert!(dag.is_acyclic(&g));
+        assert_eq!(dag.out_degree(&g, 0), 2);
+        assert_eq!(dag.out_degree(&g, 2), 0);
+    }
+
+    #[test]
+    fn out_and_in_edges() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (3, 0)]);
+        let o = Orientation::by(&g, |u, v| u < v);
+        let outs: Vec<EdgeId> = o.out_edges(&g, 0).collect();
+        assert_eq!(outs, vec![0, 1, 2]); // 0->1, 0->2, 0->3
+        let ins: Vec<EdgeId> = o.in_edges(&g, 1).collect();
+        assert_eq!(ins, vec![0]);
+    }
+}

@@ -1,0 +1,507 @@
+//! Outerplanarity and path-outerplanarity recognition.
+//!
+//! * `G` is **outerplanar** iff the apex-augmented graph `G + v_all` is
+//!   planar (the classical reduction; uses [`crate::planarity::is_planar`]).
+//! * `G` is **path-outerplanar** (§2 of the paper) iff it has a Hamiltonian
+//!   path `P` such that no two edges `(u,v), (u',v')` interleave as
+//!   `u ≺ u' ≺ v ≺ v'`. [`is_properly_nested`] checks a witness path;
+//!   [`is_path_outerplanar`] recognizes the property from scratch using the
+//!   structure theorems behind §6: a biconnected outerplanar graph has a
+//!   unique Hamiltonian cycle (its outer face), and every witness path of a
+//!   biconnected block is that cycle minus one cycle edge.
+
+use crate::biconnected::BlockCutTree;
+use crate::graph::{Graph, NodeId};
+use crate::planarity::is_planar;
+
+/// Whether `g` is outerplanar (`g + apex` is planar).
+///
+/// # Examples
+///
+/// ```
+/// use pdip_graph::{Graph, is_outerplanar};
+///
+/// let c5 = Graph::from_edges(5, (0..5).map(|i| (i, (i + 1) % 5)));
+/// assert!(is_outerplanar(&c5));
+///
+/// // K4 is planar but not outerplanar.
+/// let k4 = Graph::from_edges(4, [(0,1),(0,2),(0,3),(1,2),(1,3),(2,3)]);
+/// assert!(!is_outerplanar(&k4));
+/// ```
+pub fn is_outerplanar(g: &Graph) -> bool {
+    if g.n() >= 2 && g.m() > 2 * g.n() - 3 {
+        return false; // outerplanar graphs have at most 2n - 3 edges
+    }
+    let (aug, _) = g.with_apex();
+    is_planar(&aug)
+}
+
+/// Whether every edge of `g` is properly nested with respect to the node
+/// order `path` (which must be a permutation of the nodes): no two edges
+/// strictly interleave. Does **not** check that `path` is a Hamiltonian
+/// path of `g`; combine with [`is_hamiltonian_path`].
+pub fn is_properly_nested(g: &Graph, path: &[NodeId]) -> bool {
+    assert_eq!(path.len(), g.n(), "path must order all nodes");
+    let mut pos = vec![usize::MAX; g.n()];
+    for (i, &v) in path.iter().enumerate() {
+        assert!(pos[v] == usize::MAX, "duplicate node {v} in path");
+        pos[v] = i;
+    }
+    let mut intervals: Vec<(usize, usize)> = g
+        .edges()
+        .iter()
+        .map(|e| {
+            let (a, b) = (pos[e.u], pos[e.v]);
+            (a.min(b), a.max(b))
+        })
+        .collect();
+    // Sort by left endpoint ascending, right endpoint descending, so an
+    // enclosing interval is seen before the intervals it encloses.
+    intervals.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for &(lo, hi) in &intervals {
+        while let Some(&(_, shi)) = stack.last() {
+            if shi <= lo {
+                stack.pop(); // disjoint (sharing an endpoint is fine)
+            } else {
+                break;
+            }
+        }
+        if let Some(&(slo, shi)) = stack.last() {
+            // Must be nested inside the top interval.
+            if !(lo >= slo && hi <= shi) {
+                return false;
+            }
+        }
+        stack.push((lo, hi));
+    }
+    true
+}
+
+/// Whether `path` is a Hamiltonian path of `g` (visits every node once,
+/// along edges of `g`).
+pub fn is_hamiltonian_path(g: &Graph, path: &[NodeId]) -> bool {
+    if path.len() != g.n() {
+        return false;
+    }
+    let mut seen = vec![false; g.n()];
+    for &v in path {
+        if v >= g.n() || seen[v] {
+            return false;
+        }
+        seen[v] = true;
+    }
+    path.windows(2).all(|w| g.has_edge(w[0], w[1]))
+}
+
+/// Whether `path` witnesses path-outerplanarity of `g`.
+pub fn is_path_outerplanar_with(g: &Graph, path: &[NodeId]) -> bool {
+    is_hamiltonian_path(g, path) && is_properly_nested(g, path)
+}
+
+/// The unique Hamiltonian cycle (outer face) of a biconnected outerplanar
+/// graph with at least 3 nodes, or `None` if `g` is not one.
+///
+/// Uses the degree-2 peeling argument: every biconnected outerplanar graph
+/// with ≥ 4 nodes has a degree-2 node `v`; `v` lies between its neighbors
+/// on the cycle, and contracting it preserves the class.
+pub fn outer_cycle(g: &Graph) -> Option<Vec<NodeId>> {
+    let n = g.n();
+    if n < 3 || !is_outerplanar(&g.clone()) {
+        return None;
+    }
+    // Work on a mutable adjacency-set copy.
+    let mut adj: Vec<std::collections::BTreeSet<NodeId>> = (0..n)
+        .map(|v| g.neighbor_nodes(v).collect())
+        .collect();
+    let mut alive = vec![true; n];
+    let mut alive_count = n;
+    // peeled: v removed with neighbors (x, y) — reinsert in reverse order.
+    let mut peeled: Vec<(NodeId, NodeId, NodeId)> = Vec::new();
+    while alive_count > 3 {
+        let v = (0..n).find(|&v| alive[v] && adj[v].len() == 2)?;
+        let mut it = adj[v].iter();
+        let x = *it.next().unwrap();
+        let y = *it.next().unwrap();
+        adj[x].remove(&v);
+        adj[y].remove(&v);
+        adj[x].insert(y);
+        adj[y].insert(x);
+        adj[v].clear();
+        alive[v] = false;
+        alive_count -= 1;
+        peeled.push((v, x, y));
+    }
+    // Base case: 3 alive nodes must form a triangle.
+    let base: Vec<NodeId> = (0..n).filter(|&v| alive[v]).collect();
+    if base.len() != 3 {
+        return None;
+    }
+    for &v in &base {
+        if adj[v].len() != 2 {
+            return None;
+        }
+    }
+    let mut cycle = base;
+    // Reinsert peeled nodes.
+    for &(v, x, y) in peeled.iter().rev() {
+        let px = cycle.iter().position(|&w| w == x)?;
+        let py = cycle.iter().position(|&w| w == y)?;
+        let k = cycle.len();
+        // x and y must be adjacent on the current cycle.
+        if (px + 1) % k == py {
+            cycle.insert(py, v);
+        } else if (py + 1) % k == px {
+            cycle.insert(px, v);
+        } else {
+            return None;
+        }
+    }
+    // Verify the cycle edges exist in g.
+    let k = cycle.len();
+    for i in 0..k {
+        if !g.has_edge(cycle[i], cycle[(i + 1) % k]) {
+            return None;
+        }
+    }
+    Some(cycle)
+}
+
+/// Whether `g` is biconnected (connected, ≥ 2 nodes, no cut node).
+pub fn is_biconnected(g: &Graph) -> bool {
+    if g.n() < 2 || !g.is_connected() {
+        return false;
+    }
+    if g.n() == 2 {
+        return g.m() == 1;
+    }
+    let bcc = crate::biconnected::BiconnectedComponents::compute(g);
+    bcc.count() == 1
+}
+
+/// Recognizes path-outerplanarity and returns a witness Hamiltonian path.
+///
+/// Structure used (see module docs): `g` is path-outerplanar iff it is
+/// outerplanar, its block–cut tree is a chain, and each middle block's two
+/// cut nodes are adjacent on the block's outer cycle (end blocks only need
+/// their single cut node, which always works). Within a block the witness
+/// is the outer cycle minus one cycle edge.
+pub fn path_outerplanar_witness(g: &Graph) -> Option<Vec<NodeId>> {
+    if g.n() == 0 {
+        return None;
+    }
+    if g.n() == 1 {
+        return Some(vec![0]);
+    }
+    if !g.is_connected() || !is_outerplanar(g) {
+        return None;
+    }
+    // Single block?
+    if is_biconnected(g) {
+        if g.n() == 2 {
+            return Some(vec![0, 1]);
+        }
+        let mut cycle = outer_cycle(g)?;
+        // Cut the cycle anywhere: path = cycle rotated.
+        cycle.rotate_left(0);
+        return Some(cycle);
+    }
+    // Chain of blocks: the block-cut tree must be a path.
+    let bct = BlockCutTree::rooted(g);
+    let k = bct.block_count();
+    // Count blocks at each cut node; also build block adjacency via cuts.
+    let bcc = &bct.bcc;
+    for v in 0..g.n() {
+        if bcc.is_cut_node[v] && bcc.components_of_node(g, v).len() > 2 {
+            return None; // branching at a cut node
+        }
+    }
+    // Build the chain: count cut nodes per block.
+    let mut cuts_of_block: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+    for v in 0..g.n() {
+        if bcc.is_cut_node[v] {
+            for c in bcc.components_of_node(g, v) {
+                cuts_of_block[c].push(v);
+            }
+        }
+    }
+    if cuts_of_block.iter().any(|c| c.len() > 2) {
+        return None; // block touches 3+ cut nodes: tree branches
+    }
+    let ends: Vec<usize> = (0..k).filter(|&c| cuts_of_block[c].len() == 1).collect();
+    if ends.len() != 2 && k > 1 {
+        return None;
+    }
+    // Walk the chain from one end.
+    let mut order = Vec::with_capacity(k);
+    let mut prev_cut: Option<NodeId> = None;
+    let mut cur = ends[0];
+    let mut visited = vec![false; k];
+    loop {
+        visited[cur] = true;
+        order.push((cur, prev_cut));
+        let next_cut = cuts_of_block[cur].iter().copied().find(|&c| Some(c) != prev_cut);
+        let Some(nc) = next_cut else { break };
+        let next_block = bcc
+            .components_of_node(g, nc)
+            .into_iter()
+            .find(|&c| !visited[c]);
+        let Some(nb) = next_block else { break };
+        prev_cut = Some(nc);
+        cur = nb;
+    }
+    if order.len() != k {
+        return None;
+    }
+    // Assemble the Hamiltonian path block by block.
+    let mut path: Vec<NodeId> = Vec::with_capacity(g.n());
+    for (idx, &(b, entry)) in order.iter().enumerate() {
+        let exit = if idx + 1 < k { order[idx + 1].1 } else { None };
+        let nodes = bcc.component_nodes(g, b);
+        let segment = block_path(g, &nodes, entry, exit)?;
+        // Splice, dropping the shared entry node (already at path's end).
+        if entry.is_some() {
+            debug_assert_eq!(path.last().copied(), segment.first().copied());
+            path.extend_from_slice(&segment[1..]);
+        } else {
+            path.extend_from_slice(&segment);
+        }
+    }
+    if is_path_outerplanar_with(g, &path) {
+        Some(path)
+    } else {
+        None
+    }
+}
+
+/// A Hamiltonian path of the block induced on `nodes`, starting at `entry`
+/// (if given) and ending at `exit` (if given).
+fn block_path(
+    g: &Graph,
+    nodes: &[NodeId],
+    entry: Option<NodeId>,
+    exit: Option<NodeId>,
+) -> Option<Vec<NodeId>> {
+    if nodes.len() == 1 {
+        return Some(nodes.to_vec());
+    }
+    if nodes.len() == 2 {
+        let (a, b) = (nodes[0], nodes[1]);
+        let (s, t) = match (entry, exit) {
+            (Some(e), Some(x)) => (e, x),
+            (Some(e), None) => (e, if e == a { b } else { a }),
+            (None, Some(x)) => (if x == a { b } else { a }, x),
+            (None, None) => (a, b),
+        };
+        if (s == a && t == b) || (s == b && t == a) {
+            return Some(vec![s, t]);
+        }
+        return None;
+    }
+    let (h, map) = g.induced_subgraph(nodes);
+    let cycle_local = outer_cycle(&h)?;
+    let cycle: Vec<NodeId> = cycle_local.iter().map(|&v| map[v]).collect();
+    let k = cycle.len();
+    // Find a cycle edge to cut so the path runs entry ... exit.
+    for i in 0..k {
+        // Candidate path: cycle[i+1], ..., cycle[i] (cutting edge (i, i+1)).
+        let candidate: Vec<NodeId> = (0..k).map(|j| cycle[(i + 1 + j) % k]).collect();
+        let first = candidate[0];
+        let last = candidate[k - 1];
+        let entry_ok = entry.is_none_or(|e| e == first || e == last);
+        let exit_ok = exit.is_none_or(|x| x == first || x == last);
+        // entry and exit must not claim the same endpoint.
+        if let (Some(e), Some(x)) = (entry, exit) {
+            if !((e == first && x == last) || (e == last && x == first)) {
+                continue;
+            }
+        } else if !(entry_ok && exit_ok) {
+            continue;
+        }
+        let mut path = candidate;
+        if entry.is_some_and(|e| e == *path.last().unwrap())
+            || exit.is_some_and(|x| x == path[0])
+        {
+            path.reverse();
+        }
+        return Some(path);
+    }
+    None
+}
+
+/// Whether `g` is path-outerplanar.
+pub fn is_path_outerplanar(g: &Graph) -> bool {
+    path_outerplanar_witness(g).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle_graph(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
+    }
+
+    #[test]
+    fn cycles_outerplanar() {
+        for n in 3..12 {
+            assert!(is_outerplanar(&cycle_graph(n)));
+        }
+    }
+
+    #[test]
+    fn k4_and_k23_not_outerplanar() {
+        let k4 = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert!(!is_outerplanar(&k4));
+        let k23 = Graph::from_edges(5, [(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)]);
+        assert!(!is_outerplanar(&k23));
+    }
+
+    #[test]
+    fn nesting_checker() {
+        // Path 0-1-2-3 plus nested arcs.
+        let mut g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        g.add_edge(0, 3);
+        g.add_edge(1, 3);
+        assert!(is_properly_nested(&g, &[0, 1, 2, 3]));
+        // Crossing arcs (0,2) and (1,3).
+        let mut h = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        h.add_edge(0, 2);
+        h.add_edge(1, 3);
+        assert!(!is_properly_nested(&h, &[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn shared_endpoints_do_not_cross() {
+        let mut g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        g.add_edge(0, 2);
+        g.add_edge(0, 3);
+        assert!(is_properly_nested(&g, &[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn hamiltonian_path_check() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]);
+        assert!(is_hamiltonian_path(&g, &[0, 1, 2, 3]));
+        assert!(!is_hamiltonian_path(&g, &[0, 2, 1, 3]));
+        assert!(!is_hamiltonian_path(&g, &[0, 1, 2]));
+    }
+
+    #[test]
+    fn outer_cycle_of_polygon_with_chords() {
+        let mut g = cycle_graph(6);
+        g.add_edge(0, 2);
+        g.add_edge(2, 5);
+        let c = outer_cycle(&g).unwrap();
+        assert_eq!(c.len(), 6);
+        // The cycle visits 0..5 in circular order (up to rotation/reflection).
+        let pos0 = c.iter().position(|&v| v == 0).unwrap();
+        let fwd: Vec<NodeId> = (0..6).map(|i| c[(pos0 + i) % 6]).collect();
+        let mut rev = fwd.clone();
+        rev[1..].reverse();
+        assert!(fwd == vec![0, 1, 2, 3, 4, 5] || rev == vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn outer_cycle_rejects_k4() {
+        let k4 = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert!(outer_cycle(&k4).is_none());
+    }
+
+    #[test]
+    fn biconnected_check() {
+        assert!(is_biconnected(&cycle_graph(5)));
+        let path = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        assert!(!is_biconnected(&path));
+        assert!(is_biconnected(&Graph::from_edges(2, [(0, 1)])));
+    }
+
+    #[test]
+    fn biconnected_outerplanar_is_path_outerplanar() {
+        let mut g = cycle_graph(8);
+        g.add_edge(0, 2);
+        g.add_edge(2, 7);
+        g.add_edge(3, 5);
+        let w = path_outerplanar_witness(&g).unwrap();
+        assert!(is_path_outerplanar_with(&g, &w));
+    }
+
+    #[test]
+    fn chain_of_blocks_path_outerplanar() {
+        // Triangle {0,1,2} - shared 2 - triangle {2,3,4}.
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        let w = path_outerplanar_witness(&g).unwrap();
+        assert!(is_path_outerplanar_with(&g, &w));
+    }
+
+    #[test]
+    fn star_not_path_outerplanar() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)]);
+        assert!(!is_path_outerplanar(&g));
+    }
+
+    #[test]
+    fn simple_path_is_path_outerplanar() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let w = path_outerplanar_witness(&g).unwrap();
+        assert!(is_path_outerplanar_with(&g, &w));
+    }
+
+    #[test]
+    fn branching_blocks_not_path_outerplanar() {
+        // Three triangles sharing node 6: Hamiltonian path impossible.
+        let g = Graph::from_edges(
+            7,
+            [(0, 1), (1, 6), (6, 0), (2, 3), (3, 6), (6, 2), (4, 5), (5, 6), (6, 4)],
+        );
+        assert!(!is_path_outerplanar(&g));
+    }
+
+    #[test]
+    fn exhaustive_small_cross_check() {
+        // For all graphs on 5 labelled nodes with up to 7 edges that are
+        // connected, compare the recognizer against brute force over all
+        // Hamiltonian orders. (Subsampled via a stride to stay fast.)
+        let all_pairs: Vec<(usize, usize)> =
+            (0..5).flat_map(|u| ((u + 1)..5).map(move |v| (u, v))).collect();
+        let mut tested = 0usize;
+        for (iter, mask) in (0u32..1 << all_pairs.len()).enumerate() {
+            if iter % 7 != 0 {
+                continue;
+            }
+            if mask.count_ones() > 7 || mask.count_ones() < 4 {
+                continue;
+            }
+            let edges: Vec<(usize, usize)> = all_pairs
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &e)| e)
+                .collect();
+            let g = Graph::from_edges(5, edges);
+            if !g.is_connected() {
+                continue;
+            }
+            let brute = permutations(5).into_iter().any(|p| is_path_outerplanar_with(&g, &p));
+            let fast = is_path_outerplanar(&g);
+            assert_eq!(brute, fast, "mismatch on mask {mask:b}");
+            tested += 1;
+        }
+        assert!(tested > 50);
+    }
+
+    fn permutations(n: usize) -> Vec<Vec<usize>> {
+        if n == 1 {
+            return vec![vec![0]];
+        }
+        let mut out = Vec::new();
+        for p in permutations(n - 1) {
+            for i in 0..=p.len() {
+                let mut q = p.clone();
+                q.insert(i, n - 1);
+                out.push(q);
+            }
+        }
+        out
+    }
+}

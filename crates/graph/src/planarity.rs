@@ -1,0 +1,672 @@
+//! Planarity testing via the left–right criterion.
+//!
+//! This is an iterative implementation of the left–right planarity test
+//! (de Fraysseix–Rosenstiehl criterion, in the formulation of Brandes'
+//! *"The left-right planarity test"*). It decides planarity in
+//! O((n + m) log n) time (the log from adjacency sorting) and never
+//! recurses, so it is safe on very deep DFS trees.
+//!
+//! The recognizers for the paper's graph families build on it:
+//! * `G` planar ⇔ this test accepts;
+//! * `G` outerplanar ⇔ `G + apex` planar (see [`crate::outerplanar`]).
+
+use crate::graph::{EdgeId, Graph, NodeId};
+
+const NONE: usize = usize::MAX;
+
+/// Whether `g` is planar.
+///
+/// # Examples
+///
+/// ```
+/// use pdip_graph::{Graph, is_planar};
+///
+/// let k4 = Graph::from_edges(4, [(0,1),(0,2),(0,3),(1,2),(1,3),(2,3)]);
+/// assert!(is_planar(&k4));
+///
+/// let mut k5 = Graph::new(5);
+/// for u in 0..5 { for v in (u+1)..5 { k5.add_edge(u, v); } }
+/// assert!(!is_planar(&k5));
+/// ```
+pub fn is_planar(g: &Graph) -> bool {
+    LeftRightTester::new(g).run()
+}
+
+/// Exact exponential-time planarity decision by exhausting rotation
+/// systems: a graph is planar iff *some* rotation system has Euler-genus
+/// defect 0. Only usable for small graphs (the search space is
+/// `∏_v (deg(v) − 1)!`); it exists to cross-validate [`is_planar`] in
+/// tests.
+///
+/// # Panics
+/// Panics if the search space exceeds ~10⁷ rotation systems.
+pub fn is_planar_bruteforce(g: &Graph) -> bool {
+    use crate::embedding::RotationSystem;
+    let n = g.n();
+    // Search-space estimate.
+    let mut space = 1f64;
+    for v in 0..n {
+        for k in 2..g.degree(v) {
+            space *= k as f64;
+        }
+    }
+    assert!(space <= 1e7, "brute-force planarity infeasible: ~{space:.0} rotations");
+    // Enumerate rotations per node: fix the first incident edge, permute
+    // the rest (cyclic orders).
+    fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+        if items.is_empty() {
+            return vec![Vec::new()];
+        }
+        let mut out = Vec::new();
+        for (i, &x) in items.iter().enumerate() {
+            let mut rest = items.to_vec();
+            rest.remove(i);
+            for mut p in permutations(&rest) {
+                p.insert(0, x);
+                out.push(p);
+            }
+        }
+        out
+    }
+    let choices: Vec<Vec<Vec<usize>>> = (0..n)
+        .map(|v| {
+            let inc: Vec<usize> = g.incident_edges(v).collect();
+            if inc.len() <= 2 {
+                return vec![inc];
+            }
+            permutations(&inc[1..])
+                .into_iter()
+                .map(|rest| {
+                    let mut o = vec![inc[0]];
+                    o.extend(rest);
+                    o
+                })
+                .collect()
+        })
+        .collect();
+    // Depth-first product over the per-node choices.
+    let mut pick = vec![0usize; n];
+    loop {
+        let order: Vec<Vec<usize>> = (0..n).map(|v| choices[v][pick[v]].clone()).collect();
+        let rho = RotationSystem::from_orders(g, order);
+        if rho.is_planar_embedding(g) {
+            return true;
+        }
+        // Increment the mixed-radix counter.
+        let mut i = 0;
+        loop {
+            if i == n {
+                return false;
+            }
+            pick[i] += 1;
+            if pick[i] < choices[i].len() {
+                break;
+            }
+            pick[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// An interval of back edges on the conflict-pair stack.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Interval {
+    low: usize,  // EdgeId or NONE
+    high: usize, // EdgeId or NONE
+}
+
+impl Interval {
+    const EMPTY: Interval = Interval { low: NONE, high: NONE };
+    fn is_empty(&self) -> bool {
+        self.low == NONE && self.high == NONE
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct ConflictPair {
+    l: Interval,
+    r: Interval,
+}
+
+struct LeftRightTester<'g> {
+    g: &'g Graph,
+    height: Vec<usize>,
+    /// parent_edge[v] = edge id of tree edge into v, or NONE.
+    parent_edge: Vec<usize>,
+    /// For each oriented edge: its tail (source).
+    source: Vec<usize>,
+    oriented: Vec<bool>,
+    lowpt: Vec<usize>,
+    lowpt2: Vec<usize>,
+    nesting_depth: Vec<usize>,
+    /// Ordered outgoing adjacency (set before phase 2).
+    ordered_adj: Vec<Vec<EdgeId>>,
+    // phase-2 state
+    s: Vec<ConflictPair>,
+    stack_bottom: Vec<usize>,
+    lowpt_edge: Vec<usize>,
+    reference: Vec<usize>,
+}
+
+impl<'g> LeftRightTester<'g> {
+    fn new(g: &'g Graph) -> Self {
+        let n = g.n();
+        let m = g.m();
+        LeftRightTester {
+            g,
+            height: vec![NONE; n],
+            parent_edge: vec![NONE; n],
+            source: vec![NONE; m],
+            oriented: vec![false; m],
+            lowpt: vec![0; m],
+            lowpt2: vec![0; m],
+            nesting_depth: vec![0; m],
+            ordered_adj: vec![Vec::new(); n],
+            s: Vec::new(),
+            stack_bottom: vec![0; m],
+            lowpt_edge: vec![NONE; m],
+            reference: vec![NONE; m],
+        }
+    }
+
+    fn target(&self, e: EdgeId) -> NodeId {
+        self.g.edge(e).other(self.source[e])
+    }
+
+    fn is_tree_edge(&self, e: EdgeId) -> bool {
+        let t = self.target(e);
+        self.parent_edge[t] == e
+    }
+
+    fn run(&mut self) -> bool {
+        let (n, m) = (self.g.n(), self.g.m());
+        if n <= 4 || m < 9 {
+            return true; // every graph with < 5 nodes or < 9 edges is planar
+        }
+        if !self.g.satisfies_planar_edge_bound() {
+            return false;
+        }
+        // Phase 1: orientation DFS from every root.
+        for root in 0..n {
+            if self.height[root] == NONE {
+                self.height[root] = 0;
+                self.dfs1(root);
+            }
+        }
+        // Sort outgoing adjacency by nesting depth.
+        for v in 0..n {
+            let mut out: Vec<EdgeId> =
+                self.g.incident_edges(v).filter(|&e| self.source[e] == v).collect();
+            out.sort_by_key(|&e| self.nesting_depth[e]);
+            self.ordered_adj[v] = out;
+        }
+        // Phase 2: testing DFS from every root.
+        for root in 0..n {
+            if self.parent_edge[root] == NONE && self.g.degree(root) > 0 && !self.dfs2(root) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Iterative orientation DFS (phase 1).
+    fn dfs1(&mut self, root: NodeId) {
+        // Frame: (v, port index, edge we entered v by).
+        let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+        while let Some(&(v, port)) = stack.last() {
+            if port < self.g.degree(v) {
+                stack.last_mut().unwrap().1 += 1;
+                let (w, e) = self.g.neighbors(v)[port];
+                if self.oriented[e] {
+                    continue;
+                }
+                self.oriented[e] = true;
+                self.source[e] = v;
+                self.lowpt[e] = self.height[v];
+                self.lowpt2[e] = self.height[v];
+                if self.height[w] == NONE {
+                    // Tree edge.
+                    self.parent_edge[w] = e;
+                    self.height[w] = self.height[v] + 1;
+                    stack.push((w, 0));
+                } else {
+                    // Back edge.
+                    self.lowpt[e] = self.height[w];
+                    self.finish_edge(v, e);
+                }
+            } else {
+                stack.pop();
+                // Finish the tree edge into v, updating its parent's lowpts.
+                let e = self.parent_edge[v];
+                if e != NONE {
+                    let u = self.source[e];
+                    self.finish_edge(u, e);
+                }
+            }
+        }
+    }
+
+    /// Sets the nesting depth of `e` (out-edge of `v`) and folds its
+    /// lowpoints into `v`'s parent edge.
+    fn finish_edge(&mut self, v: NodeId, e: EdgeId) {
+        self.nesting_depth[e] = 2 * self.lowpt[e];
+        if self.lowpt2[e] < self.height[v] {
+            self.nesting_depth[e] += 1; // chordal
+        }
+        let pe = self.parent_edge[v];
+        if pe != NONE {
+            if self.lowpt[e] < self.lowpt[pe] {
+                self.lowpt2[pe] = self.lowpt[pe].min(self.lowpt2[e]);
+                self.lowpt[pe] = self.lowpt[e];
+            } else if self.lowpt[e] > self.lowpt[pe] {
+                self.lowpt2[pe] = self.lowpt2[pe].min(self.lowpt[e]);
+            } else {
+                self.lowpt2[pe] = self.lowpt2[pe].min(self.lowpt2[e]);
+            }
+        }
+    }
+
+    fn lowest(&self, p: &ConflictPair) -> usize {
+        match (p.l.low, p.r.low) {
+            (NONE, NONE) => NONE,
+            (NONE, r) => self.lowpt[r],
+            (l, NONE) => self.lowpt[l],
+            (l, r) => self.lowpt[l].min(self.lowpt[r]),
+        }
+    }
+
+    fn conflicting(&self, i: &Interval, b: EdgeId) -> bool {
+        !i.is_empty() && self.lowpt[i.high] > self.lowpt[b]
+    }
+
+    /// Iterative testing DFS (phase 2). Returns false on a planarity
+    /// violation.
+    fn dfs2(&mut self, root: NodeId) -> bool {
+        // Frame: (v, next out-edge index, edge awaiting post-processing).
+        struct Frame {
+            v: NodeId,
+            idx: usize,
+            pending: usize, // out-edge whose subtree just finished, or NONE
+        }
+        let mut stack = vec![Frame { v: root, idx: 0, pending: NONE }];
+        while let Some(frame) = stack.last_mut() {
+            let v = frame.v;
+            if frame.pending != NONE {
+                let ei = frame.pending;
+                frame.pending = NONE;
+                if !self.integrate_out_edge(v, ei) {
+                    return false;
+                }
+            }
+            if frame.idx < self.ordered_adj[v].len() {
+                let ei = self.ordered_adj[v][frame.idx];
+                frame.idx += 1;
+                self.stack_bottom[ei] = self.s.len();
+                if self.is_tree_edge(ei) {
+                    let w = self.target(ei);
+                    stack.last_mut().unwrap().pending = ei;
+                    stack.push(Frame { v: w, idx: 0, pending: NONE });
+                } else {
+                    // Back edge.
+                    self.lowpt_edge[ei] = ei;
+                    self.s.push(ConflictPair { l: Interval::EMPTY, r: Interval { low: ei, high: ei } });
+                    if !self.integrate_out_edge(v, ei) {
+                        return false;
+                    }
+                }
+            } else {
+                // Leaving v.
+                let e = self.parent_edge[v];
+                stack.pop();
+                if e != NONE && !stack.is_empty() {
+                    let u = self.source[e];
+                    self.trim_back_edges(u);
+                    if self.lowpt[e] < self.height[u] {
+                        // e has a return edge: set its reference.
+                        let top = *self.s.last().expect("return edge requires a conflict pair");
+                        let hl = top.l.high;
+                        let hr = top.r.high;
+                        self.reference[e] = if hl != NONE && (hr == NONE || self.lowpt[hl] > self.lowpt[hr]) {
+                            hl
+                        } else {
+                            hr
+                        };
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// The post-processing of out-edge `ei` of `v`: propagate the lowpoint
+    /// edge or add the left/right constraints. Returns false on violation.
+    fn integrate_out_edge(&mut self, v: NodeId, ei: EdgeId) -> bool {
+        if self.lowpt[ei] < self.height[v] {
+            // ei has a return edge below v.
+            if ei == self.ordered_adj[v][0] {
+                let pe = self.parent_edge[v];
+                if pe != NONE {
+                    self.lowpt_edge[pe] = self.lowpt_edge[ei];
+                }
+            } else if !self.add_constraints(v, ei) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn add_constraints(&mut self, v: NodeId, ei: EdgeId) -> bool {
+        let e = self.parent_edge[v];
+        debug_assert_ne!(e, NONE);
+        let mut p = ConflictPair { l: Interval::EMPTY, r: Interval::EMPTY };
+        // Merge return edges of ei into p.r.
+        while self.s.len() > self.stack_bottom[ei] {
+            let mut q = self.s.pop().expect("stack bottom bookkeeping");
+            if !q.l.is_empty() {
+                std::mem::swap(&mut q.l, &mut q.r);
+            }
+            if !q.l.is_empty() {
+                return false; // not planar
+            }
+            debug_assert!(!q.r.is_empty());
+            if self.lowpt[q.r.low] > self.lowpt[e] {
+                // Merge intervals.
+                if p.r.is_empty() {
+                    p.r.high = q.r.high;
+                } else {
+                    self.reference[p.r.low] = q.r.high;
+                }
+                p.r.low = q.r.low;
+            } else {
+                // Align.
+                self.reference[q.r.low] = self.lowpt_edge[e];
+            }
+        }
+        // Merge conflicting return edges of earlier out-edges into p.l.
+        while let Some(top) = self.s.last() {
+            let conflict_l = self.conflicting(&top.l, ei);
+            let conflict_r = self.conflicting(&top.r, ei);
+            if !conflict_l && !conflict_r {
+                break;
+            }
+            let mut q = self.s.pop().unwrap();
+            if self.conflicting(&q.r, ei) {
+                std::mem::swap(&mut q.l, &mut q.r);
+            }
+            if self.conflicting(&q.r, ei) {
+                return false; // not planar
+            }
+            // Merge interval below lowpt(ei) into p.r.
+            if p.r.low != NONE {
+                self.reference[p.r.low] = q.r.high;
+            }
+            if q.r.low != NONE {
+                p.r.low = q.r.low;
+            }
+            // Merge q.l into p.l.
+            if p.l.is_empty() {
+                p.l.high = q.l.high;
+            } else {
+                self.reference[p.l.low] = q.l.high;
+            }
+            p.l.low = q.l.low;
+        }
+        if !(p.l.is_empty() && p.r.is_empty()) {
+            self.s.push(p);
+        }
+        true
+    }
+
+    /// Removes back edges ending at the parent `u` when leaving its child.
+    fn trim_back_edges(&mut self, u: NodeId) {
+        // Drop entire conflict pairs returning only to u.
+        while let Some(top) = self.s.last() {
+            if self.lowest(top) == self.height[u] {
+                self.s.pop();
+            } else {
+                break;
+            }
+        }
+        if let Some(mut p) = self.s.pop() {
+            // Trim left interval.
+            while p.l.high != NONE && self.target(p.l.high) == u {
+                p.l.high = self.reference[p.l.high];
+            }
+            if p.l.high == NONE && p.l.low != NONE {
+                // Just emptied.
+                self.reference[p.l.low] = p.r.low;
+                p.l.low = NONE;
+            }
+            // Trim right interval.
+            while p.r.high != NONE && self.target(p.r.high) == u {
+                p.r.high = self.reference[p.r.high];
+            }
+            if p.r.high == NONE && p.r.low != NONE {
+                self.reference[p.r.low] = p.l.low;
+                p.r.low = NONE;
+            }
+            self.s.push(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    fn complete_bipartite(a: usize, b: usize) -> Graph {
+        let mut g = Graph::new(a + b);
+        for u in 0..a {
+            for v in 0..b {
+                g.add_edge(u, a + v);
+            }
+        }
+        g
+    }
+
+    fn cycle(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
+    }
+
+    /// Subdivides every edge of `g` `k` times.
+    fn subdivide(g: &Graph, k: usize) -> Graph {
+        let mut h = Graph::new(g.n());
+        for e in g.edges() {
+            let mut prev = e.u;
+            for _ in 0..k {
+                let mid = h.add_node();
+                h.add_edge(prev, mid);
+                prev = mid;
+            }
+            h.add_edge(prev, e.v);
+        }
+        h
+    }
+
+    #[test]
+    fn small_graphs_planar() {
+        assert!(is_planar(&Graph::new(0)));
+        assert!(is_planar(&Graph::new(1)));
+        assert!(is_planar(&complete(4)));
+        assert!(is_planar(&cycle(10)));
+    }
+
+    #[test]
+    fn k5_not_planar() {
+        assert!(!is_planar(&complete(5)));
+    }
+
+    #[test]
+    fn k33_not_planar() {
+        assert!(!is_planar(&complete_bipartite(3, 3)));
+    }
+
+    #[test]
+    fn k6_k7_not_planar() {
+        assert!(!is_planar(&complete(6)));
+        assert!(!is_planar(&complete(7)));
+    }
+
+    #[test]
+    fn k5_subdivisions_not_planar() {
+        for k in 1..=4 {
+            assert!(!is_planar(&subdivide(&complete(5), k)), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn k33_subdivisions_not_planar() {
+        for k in 1..=4 {
+            assert!(!is_planar(&subdivide(&complete_bipartite(3, 3), k)), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn k24_planar_k34_not() {
+        assert!(is_planar(&complete_bipartite(2, 4)));
+        assert!(!is_planar(&complete_bipartite(3, 4)));
+    }
+
+    #[test]
+    fn petersen_graph_not_planar() {
+        // Outer 5-cycle 0..4, inner pentagram 5..9, spokes i -> i+5.
+        let mut g = Graph::new(10);
+        for i in 0..5 {
+            g.add_edge(i, (i + 1) % 5);
+            g.add_edge(5 + i, 5 + (i + 2) % 5);
+            g.add_edge(i, 5 + i);
+        }
+        assert!(!is_planar(&g));
+    }
+
+    #[test]
+    fn grid_graphs_planar() {
+        for (rows, cols) in [(3usize, 3usize), (4, 7), (10, 10)] {
+            let mut g = Graph::new(rows * cols);
+            for r in 0..rows {
+                for c in 0..cols {
+                    let v = r * cols + c;
+                    if c + 1 < cols {
+                        g.add_edge(v, v + 1);
+                    }
+                    if r + 1 < rows {
+                        g.add_edge(v, v + cols);
+                    }
+                }
+            }
+            assert!(is_planar(&g), "{rows}x{cols} grid");
+        }
+    }
+
+    #[test]
+    fn wheel_graphs_planar() {
+        for n in 4..20 {
+            let mut g = cycle(n);
+            let hub = g.add_node();
+            for v in 0..n {
+                g.add_edge(v, hub);
+            }
+            assert!(is_planar(&g), "wheel W{n}");
+        }
+    }
+
+    #[test]
+    fn maximal_planar_plus_edge_not_planar() {
+        // Octahedron K2,2,2 = maximal planar on 6 nodes (12 edges = 3n-6).
+        let mut g = Graph::new(6);
+        for u in 0..6 {
+            for v in (u + 1)..6 {
+                if v != u + 3 {
+                    // u and u+3 are the antipodal non-adjacent pairs
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        assert_eq!(g.m(), 12);
+        assert!(is_planar(&g));
+        // Adding any antipodal edge exceeds 3n-6 and must be non-planar.
+        let mut h = g.clone();
+        h.add_edge(0, 3);
+        assert!(!is_planar(&h));
+    }
+
+    #[test]
+    fn disconnected_planarity() {
+        // Two K4's and one K5: non-planar overall.
+        let mut g = Graph::new(13);
+        let add_clique = |g: &mut Graph, base: usize, k: usize| {
+            for u in 0..k {
+                for v in (u + 1)..k {
+                    g.add_edge(base + u, base + v);
+                }
+            }
+        };
+        add_clique(&mut g, 0, 4);
+        add_clique(&mut g, 4, 4);
+        assert!(is_planar(&g));
+        add_clique(&mut g, 8, 5);
+        assert!(!is_planar(&g));
+    }
+
+    #[test]
+    fn dense_planar_triangulation_strip() {
+        // A triangulated strip: nodes 0..n, edges (i, i+1), (i, i+2).
+        let n = 50;
+        let mut g = Graph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1);
+        }
+        for i in 0..n - 2 {
+            g.add_edge(i, i + 2);
+        }
+        assert!(is_planar(&g));
+    }
+
+    #[test]
+    fn bruteforce_oracle_agrees_on_small_graphs() {
+        // All graphs on 5 nodes (sampled), plus K5 and K3,3 directly.
+        assert!(!is_planar_bruteforce(&complete(5)));
+        assert!(is_planar_bruteforce(&complete(4)));
+        let all_pairs: Vec<(usize, usize)> =
+            (0..5).flat_map(|u| ((u + 1)..5).map(move |v| (u, v))).collect();
+        let mut checked = 0;
+        for mask in 0u32..(1 << all_pairs.len()) {
+            if mask % 13 != 0 {
+                continue; // subsample for speed
+            }
+            let edges: Vec<(usize, usize)> = all_pairs
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &e)| e)
+                .collect();
+            let g = Graph::from_edges(5, edges);
+            assert_eq!(is_planar(&g), is_planar_bruteforce(&g), "mask {mask:b}");
+            checked += 1;
+        }
+        assert!(checked > 50);
+    }
+
+    #[test]
+    fn k5_with_planar_padding_not_planar() {
+        // K5 on nodes 0..5 plus a long path attached: still non-planar.
+        let mut g = complete(5);
+        let mut prev = 0;
+        for _ in 0..30 {
+            let v = g.add_node();
+            g.add_edge(prev, v);
+            prev = v;
+        }
+        assert!(!is_planar(&g));
+    }
+}

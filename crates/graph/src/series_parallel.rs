@@ -1,0 +1,432 @@
+//! Series-parallel recognition and SP decomposition trees.
+//!
+//! The paper (§8) treats *series-parallel* graphs in the two-terminal sense
+//! of Eppstein's nested-ear-decomposition characterization: a connected
+//! graph is series-parallel iff it can be built from single edges by series
+//! and parallel compositions (for some choice of terminals), iff it admits a
+//! nested ear decomposition (Lemma 8.1), and a graph has treewidth ≤ 2 iff
+//! every biconnected component is series-parallel (Lemma 8.2).
+//!
+//! Recognition uses the classical confluent reduction system: repeatedly
+//! merge parallel edges and contract degree-2 vertices; the graph is
+//! series-parallel iff it reduces to a single edge. The reduction history is
+//! recorded as an [`SpTree`] whose leaves are the original edges — the
+//! honest prover derives its nested ear decomposition
+//! ([`crate::ear::EarDecomposition`]) from this tree.
+
+use crate::biconnected::BiconnectedComponents;
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// A node of an SP decomposition tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpNode {
+    /// An original edge of the graph.
+    Leaf {
+        /// The original edge id.
+        edge: EdgeId,
+    },
+    /// Series composition: `children.0` spans `s`–`mid`, `children.1` spans
+    /// `mid`–`t`.
+    Series {
+        /// The merged middle terminal.
+        mid: NodeId,
+        /// The two composed subtrees (indices into [`SpTree::nodes`]).
+        children: (usize, usize),
+    },
+    /// Parallel composition of two subtrees over the same terminal pair.
+    Parallel {
+        /// The two composed subtrees (indices into [`SpTree::nodes`]).
+        children: (usize, usize),
+    },
+}
+
+/// An SP decomposition tree of a connected series-parallel graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpTree {
+    /// All tree nodes; children indices point into this vector.
+    pub nodes: Vec<SpTreeEntry>,
+    /// Index of the root node.
+    pub root: usize,
+}
+
+/// A tree node together with its (unordered) terminals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpTreeEntry {
+    /// The composition kind and children.
+    pub node: SpNode,
+    /// One terminal.
+    pub s: NodeId,
+    /// The other terminal.
+    pub t: NodeId,
+}
+
+impl SpTree {
+    /// The terminals of node `i`.
+    pub fn terminals(&self, i: usize) -> (NodeId, NodeId) {
+        (self.nodes[i].s, self.nodes[i].t)
+    }
+
+    /// The spine of node `i` starting from terminal `from`: the unique
+    /// path from `from` to the other terminal that stays on the "first
+    /// branch" of every parallel composition. Returns the vertex sequence.
+    ///
+    /// # Panics
+    /// Panics if `from` is not a terminal of node `i`.
+    pub fn spine(&self, i: usize, from: NodeId) -> Vec<NodeId> {
+        let entry = &self.nodes[i];
+        assert!(from == entry.s || from == entry.t, "{from} is not a terminal of node {i}");
+        let to = if from == entry.s { entry.t } else { entry.s };
+        match entry.node {
+            SpNode::Leaf { .. } => vec![from, to],
+            SpNode::Parallel { children } => self.spine(children.0, from),
+            SpNode::Series { mid, children } => {
+                // Find which child contains `from` as a terminal.
+                let (c0s, c0t) = self.terminals(children.0);
+                let (first, second) = if c0s == from || c0t == from {
+                    (children.0, children.1)
+                } else {
+                    (children.1, children.0)
+                };
+                let mut path = self.spine(first, from);
+                debug_assert_eq!(*path.last().unwrap(), mid);
+                let rest = self.spine(second, mid);
+                path.extend_from_slice(&rest[1..]);
+                debug_assert_eq!(*path.last().unwrap(), to);
+                path
+            }
+        }
+    }
+
+    /// The set of original edge ids in the subtree of node `i`.
+    pub fn edges_in_subtree(&self, i: usize) -> Vec<EdgeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![i];
+        while let Some(j) = stack.pop() {
+            match self.nodes[j].node {
+                SpNode::Leaf { edge } => out.push(edge),
+                SpNode::Series { children, .. } | SpNode::Parallel { children } => {
+                    stack.push(children.0);
+                    stack.push(children.1);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Multigraph edge used during reduction.
+#[derive(Debug, Clone, Copy)]
+struct MEdge {
+    u: NodeId,
+    v: NodeId,
+    sp: usize, // SP tree node index
+    alive: bool,
+}
+
+/// Attempts to recognize connected `g` as a (two-terminal) series-parallel
+/// graph, returning its SP decomposition tree on success.
+///
+/// Returns `None` if `g` is empty, disconnected, or not series-parallel.
+///
+/// # Examples
+///
+/// ```
+/// use pdip_graph::{Graph, sp_tree};
+///
+/// let triangle = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+/// assert!(sp_tree(&triangle).is_some());
+///
+/// let k4 = Graph::from_edges(4, [(0,1),(0,2),(0,3),(1,2),(1,3),(2,3)]);
+/// assert!(sp_tree(&k4).is_none());
+/// ```
+pub fn sp_tree(g: &Graph) -> Option<SpTree> {
+    if g.m() == 0 || !g.is_connected() {
+        return None;
+    }
+    let n = g.n();
+    let mut nodes: Vec<SpTreeEntry> = Vec::with_capacity(2 * g.m());
+    let mut medges: Vec<MEdge> = Vec::with_capacity(2 * g.m());
+    // incidence[v] = medge ids (lazily cleaned).
+    let mut incidence: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (id, e) in g.edges().iter().enumerate() {
+        nodes.push(SpTreeEntry { node: SpNode::Leaf { edge: id }, s: e.u, t: e.v });
+        medges.push(MEdge { u: e.u, v: e.v, sp: id, alive: true });
+        incidence[e.u].push(id);
+        incidence[e.v].push(id);
+    }
+    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    let mut alive_edges = g.m();
+    let mut worklist: Vec<NodeId> = (0..n).collect();
+
+    let live = |incidence: &Vec<Vec<usize>>, medges: &Vec<MEdge>, v: NodeId| -> Vec<usize> {
+        incidence[v].iter().copied().filter(|&e| medges[e].alive).collect()
+    };
+
+    while let Some(v) = worklist.pop() {
+        // Compact the incidence list of v.
+        let inc = live(&incidence, &medges, v);
+        incidence[v] = inc.clone();
+        // Parallel reductions: group by the other endpoint (BTreeMap keeps
+        // the reduction order deterministic).
+        let mut by_other: std::collections::BTreeMap<NodeId, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for &e in &inc {
+            let other = if medges[e].u == v { medges[e].v } else { medges[e].u };
+            by_other.entry(other).or_default().push(e);
+        }
+        let mut did_parallel = false;
+        for (other, group) in by_other.iter() {
+            if group.len() >= 2 {
+                // Merge all edges of the group into one.
+                let mut acc = group[0];
+                for &e in &group[1..] {
+                    let sp = nodes.len();
+                    nodes.push(SpTreeEntry {
+                        node: SpNode::Parallel { children: (medges[acc].sp, medges[e].sp) },
+                        s: v,
+                        t: *other,
+                    });
+                    medges[acc].alive = false;
+                    medges[e].alive = false;
+                    let id = medges.len();
+                    medges.push(MEdge { u: v, v: *other, sp, alive: true });
+                    incidence[v].push(id);
+                    incidence[*other].push(id);
+                    degree[v] -= 1;
+                    degree[*other] -= 1;
+                    alive_edges -= 1;
+                    acc = id;
+                }
+                // The neighbor's degree dropped; it may now admit a series
+                // reduction of its own.
+                worklist.push(*other);
+                did_parallel = true;
+            }
+        }
+        if did_parallel {
+            worklist.push(v);
+            continue;
+        }
+        // Series reduction: v has exactly two live edges to distinct others.
+        if degree[v] == 2 {
+            let inc = live(&incidence, &medges, v);
+            debug_assert_eq!(inc.len(), 2);
+            let (e1, e2) = (inc[0], inc[1]);
+            let x = if medges[e1].u == v { medges[e1].v } else { medges[e1].u };
+            let y = if medges[e2].u == v { medges[e2].v } else { medges[e2].u };
+            if x != y {
+                let sp = nodes.len();
+                nodes.push(SpTreeEntry {
+                    node: SpNode::Series { mid: v, children: (medges[e1].sp, medges[e2].sp) },
+                    s: x,
+                    t: y,
+                });
+                medges[e1].alive = false;
+                medges[e2].alive = false;
+                let id = medges.len();
+                medges.push(MEdge { u: x, v: y, sp, alive: true });
+                incidence[x].push(id);
+                incidence[y].push(id);
+                degree[v] = 0;
+                alive_edges -= 1;
+                worklist.push(x);
+                worklist.push(y);
+            }
+            // x == y is impossible here: parallel edges to the same
+            // neighbor were merged above, leaving degree 1.
+        }
+    }
+    if alive_edges != 1 {
+        return None;
+    }
+    let last = medges.iter().rposition(|e| e.alive).expect("one live edge");
+    let root = medges[last].sp;
+    Some(SpTree { nodes, root })
+}
+
+/// Whether connected `g` is a (two-terminal) series-parallel graph.
+pub fn is_series_parallel(g: &Graph) -> bool {
+    sp_tree(g).is_some()
+}
+
+/// Whether `g` has treewidth at most 2, via Lemma 8.2 of the paper: every
+/// biconnected component must be series-parallel. Forests (treewidth ≤ 1)
+/// are accepted.
+pub fn is_treewidth_at_most_2(g: &Graph) -> bool {
+    if g.m() == 0 {
+        return true;
+    }
+    let bcc = BiconnectedComponents::compute(g);
+    for c in 0..bcc.count() {
+        let nodes = bcc.component_nodes(g, c);
+        if nodes.len() <= 2 {
+            continue; // a single edge is series-parallel
+        }
+        // Build the component graph from its edges.
+        let mut remap = std::collections::HashMap::new();
+        for (i, &v) in nodes.iter().enumerate() {
+            remap.insert(v, i);
+        }
+        let mut h = Graph::new(nodes.len());
+        for &e in &bcc.components[c] {
+            let edge = g.edge(e);
+            h.add_edge(remap[&edge.u], remap[&edge.v]);
+        }
+        if !is_series_parallel(&h) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k4() -> Graph {
+        Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn single_edge_is_sp() {
+        let g = Graph::from_edges(2, [(0, 1)]);
+        let t = sp_tree(&g).unwrap();
+        assert!(matches!(t.nodes[t.root].node, SpNode::Leaf { edge: 0 }));
+    }
+
+    #[test]
+    fn path_is_sp() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let t = sp_tree(&g).unwrap();
+        let (s, tt) = t.terminals(t.root);
+        let mut ends = [s, tt];
+        ends.sort_unstable();
+        assert_eq!(ends, [0, 4]);
+        assert_eq!(t.spine(t.root, 0), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cycle_is_sp() {
+        for n in 3..10 {
+            let g = Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)));
+            assert!(is_series_parallel(&g), "C{n}");
+        }
+    }
+
+    #[test]
+    fn theta_graph_is_sp() {
+        // Three internally disjoint paths between 0 and 1.
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (2, 1), (0, 3), (3, 4), (4, 1)]);
+        assert!(is_series_parallel(&g));
+    }
+
+    #[test]
+    fn k4_is_not_sp() {
+        assert!(!is_series_parallel(&k4()));
+    }
+
+    #[test]
+    fn k4_subdivision_is_not_sp() {
+        let base = k4();
+        let mut g = Graph::new(4);
+        for e in base.edges() {
+            let mid = g.add_node();
+            g.add_edge(e.u, mid);
+            g.add_edge(mid, e.v);
+        }
+        assert!(!is_series_parallel(&g));
+        assert!(!is_treewidth_at_most_2(&g));
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_node_is_sp() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        assert!(is_series_parallel(&g));
+    }
+
+    #[test]
+    fn three_triangles_at_one_node_not_ttsp_but_tw2() {
+        let g = Graph::from_edges(
+            7,
+            [(0, 1), (1, 6), (6, 0), (2, 3), (3, 6), (6, 2), (4, 5), (5, 6), (6, 4)],
+        );
+        assert!(!is_series_parallel(&g));
+        assert!(is_treewidth_at_most_2(&g));
+    }
+
+    #[test]
+    fn star_is_not_ttsp_but_tw2() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)]);
+        assert!(!is_series_parallel(&g));
+        assert!(is_treewidth_at_most_2(&g));
+    }
+
+    #[test]
+    fn k4_minus_edge_is_sp() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        assert!(is_series_parallel(&g));
+        assert!(is_treewidth_at_most_2(&g));
+    }
+
+    #[test]
+    fn disconnected_not_sp() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        assert!(sp_tree(&g).is_none());
+    }
+
+    #[test]
+    fn sp_tree_covers_all_edges() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (2, 1), (0, 3), (3, 4), (4, 1)]);
+        let t = sp_tree(&g).unwrap();
+        let mut leaves = t.edges_in_subtree(t.root);
+        leaves.sort_unstable();
+        assert_eq!(leaves, (0..g.m()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spine_is_a_real_path() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (0, 4), (4, 3), (0, 5), (5, 3)]);
+        let t = sp_tree(&g).unwrap();
+        let (s, _) = t.terminals(t.root);
+        let spine = t.spine(t.root, s);
+        for w in spine.windows(2) {
+            assert!(g.has_edge(w[0], w[1]), "spine step ({}, {})", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn wheel_not_tw2() {
+        // Wheel W5 contains K4 as a minor; treewidth 3.
+        let mut g = Graph::from_edges(5, (0..5).map(|i| (i, (i + 1) % 5)));
+        let hub = g.add_node();
+        for v in 0..5 {
+            g.add_edge(v, hub);
+        }
+        assert!(!is_treewidth_at_most_2(&g));
+    }
+
+    #[test]
+    fn big_nested_sp_graph() {
+        // Recursive theta construction: replace an edge by two parallel
+        // 2-paths, several times.
+        let mut g = Graph::new(2);
+        let mut frontier = vec![(0usize, 1usize)];
+        g.add_edge(0, 1);
+        for _ in 0..6 {
+            let mut next = Vec::new();
+            for (u, v) in frontier {
+                let a = g.add_node();
+                let b = g.add_node();
+                g.add_edge(u, a);
+                g.add_edge(a, v);
+                g.add_edge(u, b);
+                g.add_edge(b, v);
+                next.push((u, a));
+                next.push((b, v));
+            }
+            frontier = next;
+        }
+        assert!(is_series_parallel(&g));
+        assert!(is_treewidth_at_most_2(&g));
+    }
+}

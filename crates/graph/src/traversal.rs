@@ -1,0 +1,476 @@
+//! Traversals, rooted trees, spanning forests and Euler tours.
+//!
+//! Most protocols in the paper commit to a rooted spanning structure — a
+//! Hamiltonian path, a spanning tree of the graph, or a spanning forest of
+//! sub-ears — and then verify or aggregate along it. [`RootedForest`] is the
+//! shared representation: parent pointers plus derived children lists and
+//! depths.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// BFS visit order from `root` (only the reachable component).
+pub fn bfs_order(g: &Graph, root: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.n()];
+    let mut queue = std::collections::VecDeque::new();
+    let mut order = Vec::new();
+    seen[root] = true;
+    queue.push_back(root);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for u in g.neighbor_nodes(v) {
+            if !seen[u] {
+                seen[u] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    order
+}
+
+/// Iterative DFS preorder from `root` (only the reachable component),
+/// visiting neighbors in port order.
+pub fn dfs_order(g: &Graph, root: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.n()];
+    let mut stack = vec![root];
+    let mut order = Vec::new();
+    seen[root] = true;
+    while let Some(v) = stack.pop() {
+        order.push(v);
+        // Push in reverse port order so the first port is explored first.
+        for &(u, _) in g.neighbors(v).iter().rev() {
+            if !seen[u] {
+                seen[u] = true;
+                stack.push(u);
+            }
+        }
+    }
+    order
+}
+
+/// The connected components of `g`, each as a list of node ids.
+pub fn connected_components(g: &Graph) -> Vec<Vec<NodeId>> {
+    let mut comp = vec![usize::MAX; g.n()];
+    let mut comps = Vec::new();
+    for s in 0..g.n() {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        let idx = comps.len();
+        let nodes = bfs_order_masked(g, s, &mut comp, idx);
+        comps.push(nodes);
+    }
+    comps
+}
+
+fn bfs_order_masked(g: &Graph, root: NodeId, comp: &mut [usize], idx: usize) -> Vec<NodeId> {
+    let mut queue = std::collections::VecDeque::new();
+    let mut order = Vec::new();
+    comp[root] = idx;
+    queue.push_back(root);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for u in g.neighbor_nodes(v) {
+            if comp[u] == usize::MAX {
+                comp[u] = idx;
+                queue.push_back(u);
+            }
+        }
+    }
+    order
+}
+
+/// A rooted spanning forest of a graph: every node has an optional parent
+/// edge; parentless nodes are roots.
+///
+/// Invariants (checked by [`RootedForest::from_parents`]):
+/// the parent pointers are acyclic and every parent edge is a real edge of
+/// the underlying graph.
+///
+/// # Examples
+///
+/// ```
+/// use pdip_graph::{Graph, RootedForest};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+/// let t = RootedForest::bfs_spanning_tree(&g, 0);
+/// assert_eq!(t.roots(), vec![0]);
+/// assert_eq!(t.depth(2), 2);
+/// assert!(t.is_spanning_tree(&g));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootedForest {
+    /// parent[v] = Some((parent node, edge id)) or None for roots.
+    parent: Vec<Option<(NodeId, EdgeId)>>,
+    children: Vec<Vec<NodeId>>,
+    depth: Vec<usize>,
+}
+
+impl RootedForest {
+    /// Builds a forest from parent pointers, validating acyclicity and that
+    /// each pointer follows a real edge of `g`.
+    ///
+    /// # Panics
+    /// Panics if a pointer does not correspond to an edge of `g` or if the
+    /// pointers contain a cycle.
+    pub fn from_parents(g: &Graph, parent: Vec<Option<(NodeId, EdgeId)>>) -> Self {
+        assert_eq!(parent.len(), g.n());
+        for (v, p) in parent.iter().enumerate() {
+            if let Some((u, e)) = *p {
+                let edge = g.edge(e);
+                assert!(
+                    edge.is_incident(v) && edge.other(v) == u,
+                    "parent pointer of {v} does not match edge {e}"
+                );
+            }
+        }
+        let mut children = vec![Vec::new(); g.n()];
+        for (v, p) in parent.iter().enumerate() {
+            if let Some((u, _)) = *p {
+                children[u].push(v);
+            }
+        }
+        // Compute depths, detecting cycles.
+        let mut depth = vec![usize::MAX; g.n()];
+        for v in 0..g.n() {
+            if depth[v] != usize::MAX {
+                continue;
+            }
+            let mut path = Vec::new();
+            let mut cur = v;
+            while depth[cur] == usize::MAX {
+                // Mark as on-stack with a sentinel to detect cycles.
+                depth[cur] = usize::MAX - 1;
+                path.push(cur);
+                match parent[cur] {
+                    None => break,
+                    Some((p, _)) => {
+                        assert!(depth[p] != usize::MAX - 1, "cycle in parent pointers at {p}");
+                        cur = p;
+                    }
+                }
+            }
+            let base = match parent[*path.last().unwrap()] {
+                None => 0,
+                Some((p, _)) => depth[p] + 1,
+            };
+            for (i, &w) in path.iter().enumerate() {
+                // path[0] is deepest? No: we walked *up*, so path[last] is
+                // highest; its depth is `base`.
+                depth[w] = base + (path.len() - 1 - i);
+            }
+        }
+        RootedForest { parent, children, depth }
+    }
+
+    /// BFS spanning tree of the connected component of `root`.
+    pub fn bfs_spanning_tree(g: &Graph, root: NodeId) -> Self {
+        let mut parent = vec![None; g.n()];
+        let mut seen = vec![false; g.n()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[root] = true;
+        queue.push_back(root);
+        while let Some(v) = queue.pop_front() {
+            for &(u, e) in g.neighbors(v) {
+                if !seen[u] {
+                    seen[u] = true;
+                    parent[u] = Some((v, e));
+                    queue.push_back(u);
+                }
+            }
+        }
+        Self::from_parents(g, parent)
+    }
+
+    /// DFS spanning tree of the connected component of `root`.
+    pub fn dfs_spanning_tree(g: &Graph, root: NodeId) -> Self {
+        let mut parent = vec![None; g.n()];
+        let mut seen = vec![false; g.n()];
+        let mut stack = vec![root];
+        seen[root] = true;
+        while let Some(v) = stack.pop() {
+            for &(u, e) in g.neighbors(v).iter().rev() {
+                if !seen[u] {
+                    seen[u] = true;
+                    parent[u] = Some((v, e));
+                    stack.push(u);
+                }
+            }
+        }
+        Self::from_parents(g, parent)
+    }
+
+    /// A forest representing a rooted path `nodes[0] -> nodes[1] -> ...`
+    /// where `nodes[0]` is the root and each node's parent is its
+    /// predecessor in the list.
+    ///
+    /// # Panics
+    /// Panics if consecutive nodes are not adjacent in `g`.
+    pub fn from_path(g: &Graph, nodes: &[NodeId]) -> Self {
+        let mut parent = vec![None; g.n()];
+        for w in nodes.windows(2) {
+            let e = g
+                .edge_between(w[0], w[1])
+                .unwrap_or_else(|| panic!("path edge ({}, {}) missing from graph", w[0], w[1]));
+            parent[w[1]] = Some((w[0], e));
+        }
+        Self::from_parents(g, parent)
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Parent node of `v`, if any.
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v].map(|(p, _)| p)
+    }
+
+    /// Parent edge of `v`, if any.
+    pub fn parent_edge(&self, v: NodeId) -> Option<EdgeId> {
+        self.parent[v].map(|(_, e)| e)
+    }
+
+    /// Children of `v` (in discovery/insertion order).
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.children[v]
+    }
+
+    /// Depth of `v` (roots have depth 0).
+    pub fn depth(&self, v: NodeId) -> usize {
+        self.depth[v]
+    }
+
+    /// All roots in increasing id order.
+    pub fn roots(&self) -> Vec<NodeId> {
+        (0..self.n()).filter(|&v| self.parent[v].is_none()).collect()
+    }
+
+    /// Whether `e` is a forest edge.
+    pub fn contains_edge(&self, e: EdgeId) -> bool {
+        self.parent.iter().any(|p| matches!(p, Some((_, pe)) if *pe == e))
+    }
+
+    /// The set of forest edge ids.
+    pub fn edge_set(&self) -> Vec<EdgeId> {
+        self.parent.iter().filter_map(|p| p.map(|(_, e)| e)).collect()
+    }
+
+    /// Whether the forest is a spanning tree of `g`: exactly one root and
+    /// `n - 1` parent edges (acyclicity is a construction invariant).
+    pub fn is_spanning_tree(&self, g: &Graph) -> bool {
+        g.n() > 0 && self.roots().len() == 1 && self.edge_set().len() == g.n() - 1
+    }
+
+    /// Nodes in order of nonincreasing depth (children before parents) —
+    /// convenient for "aggregate up the tree" computations.
+    pub fn bottom_up_order(&self) -> Vec<NodeId> {
+        let mut order: Vec<NodeId> = (0..self.n()).collect();
+        order.sort_by(|&a, &b| self.depth[b].cmp(&self.depth[a]));
+        order
+    }
+
+    /// The path from `v` up to its root, inclusive.
+    pub fn path_to_root(&self, v: NodeId) -> Vec<NodeId> {
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path
+    }
+}
+
+/// An Euler tour of a rooted tree: the closed walk that traverses every tree
+/// edge twice, visiting the children of each node in a caller-specified
+/// order. Used by the planar-embedding reduction of §7 of the paper.
+///
+/// `tour` lists node visits; a node `v` with `c` children appears `c + 1`
+/// times (its "copies" x_0(v), ..., x_c(v) in the paper's notation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EulerTour {
+    /// Visit sequence of node ids, starting and ending at the root.
+    pub tour: Vec<NodeId>,
+    /// `visits[v]` = indices into `tour` where `v` appears, increasing.
+    pub visits: Vec<Vec<usize>>,
+}
+
+impl EulerTour {
+    /// Computes the Euler tour of the tree rooted at `root`, visiting each
+    /// node's children in the order given by `child_order(v)`.
+    ///
+    /// # Panics
+    /// Panics if `forest` is not a tree spanning its component containing
+    /// `root` with consistent child orders (every child must appear exactly
+    /// once in `child_order(parent)`).
+    pub fn new(
+        forest: &RootedForest,
+        root: NodeId,
+        child_order: impl Fn(NodeId) -> Vec<NodeId>,
+    ) -> Self {
+        let n = forest.n();
+        let mut tour = Vec::new();
+        let mut visits = vec![Vec::new(); n];
+        // Explicit stack: (node, ordered children, next child index).
+        let mut stack: Vec<(NodeId, Vec<NodeId>, usize)> = Vec::new();
+        let root_children = child_order(root);
+        assert_eq!(
+            sorted(&root_children),
+            sorted(forest.children(root)),
+            "child_order({root}) must be a permutation of the children"
+        );
+        stack.push((root, root_children, 0));
+        visits[root].push(tour.len());
+        tour.push(root);
+        while let Some((v, children, idx)) = stack.last_mut() {
+            if *idx < children.len() {
+                let c = children[*idx];
+                *idx += 1;
+                let c_children = child_order(c);
+                assert_eq!(
+                    sorted(&c_children),
+                    sorted(forest.children(c)),
+                    "child_order({c}) must be a permutation of the children"
+                );
+                visits[c].push(tour.len());
+                tour.push(c);
+                stack.push((c, c_children, 0));
+            } else {
+                let v = *v;
+                stack.pop();
+                if let Some((_p, _, _)) = stack.last() {
+                    let p = stack.last().unwrap().0;
+                    visits[p].push(tour.len());
+                    tour.push(p);
+                    let _ = v;
+                }
+            }
+        }
+        EulerTour { tour, visits }
+    }
+}
+
+fn sorted(xs: &[NodeId]) -> Vec<NodeId> {
+    let mut v = xs.to_vec();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1)))
+    }
+
+    #[test]
+    fn bfs_visits_all_reachable() {
+        let g = path_graph(5);
+        assert_eq!(bfs_order(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_order(&g, 2), vec![2, 1, 3, 0, 4]);
+    }
+
+    #[test]
+    fn dfs_follows_port_order() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(dfs_order(&g, 0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn components() {
+        let g = Graph::from_edges(5, [(0, 1), (2, 3)]);
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![0, 1]);
+        assert_eq!(comps[1], vec![2, 3]);
+        assert_eq!(comps[2], vec![4]);
+    }
+
+    #[test]
+    fn bfs_tree_depths() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (1, 3), (2, 4), (3, 4)]);
+        let t = RootedForest::bfs_spanning_tree(&g, 0);
+        assert!(t.is_spanning_tree(&g));
+        assert_eq!(t.depth(0), 0);
+        assert_eq!(t.depth(3), 2);
+        assert_eq!(t.parent(3), Some(1));
+        assert_eq!(t.roots(), vec![0]);
+        assert_eq!(t.path_to_root(4), vec![4, 2, 0]);
+    }
+
+    #[test]
+    fn dfs_tree_is_spanning() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)]);
+        let t = RootedForest::dfs_spanning_tree(&g, 0);
+        assert!(t.is_spanning_tree(&g));
+        assert_eq!(t.edge_set().len(), 5);
+    }
+
+    #[test]
+    fn path_forest() {
+        let g = path_graph(4);
+        let t = RootedForest::from_path(&g, &[0, 1, 2, 3]);
+        assert!(t.is_spanning_tree(&g));
+        assert_eq!(t.children(1), &[2]);
+        assert_eq!(t.depth(3), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle in parent pointers")]
+    fn cyclic_parents_rejected() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let parent = vec![
+            Some((1, 0)), // 0 -> 1
+            Some((2, 1)), // 1 -> 2
+            Some((0, 2)), // 2 -> 0
+        ];
+        RootedForest::from_parents(&g, parent);
+    }
+
+    #[test]
+    fn bottom_up_order_children_first() {
+        let g = path_graph(4);
+        let t = RootedForest::from_path(&g, &[0, 1, 2, 3]);
+        let order = t.bottom_up_order();
+        let pos = |v: NodeId| order.iter().position(|&x| x == v).unwrap();
+        for v in 1..4 {
+            assert!(pos(v) < pos(t.parent(v).unwrap()));
+        }
+    }
+
+    #[test]
+    fn euler_tour_star() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)]);
+        let t = RootedForest::bfs_spanning_tree(&g, 0);
+        let tour = EulerTour::new(&t, 0, |v| t.children(v).to_vec());
+        assert_eq!(tour.tour, vec![0, 1, 0, 2, 0, 3, 0]);
+        assert_eq!(tour.visits[0], vec![0, 2, 4, 6]);
+        assert_eq!(tour.visits[2], vec![3]);
+    }
+
+    #[test]
+    fn euler_tour_respects_child_order() {
+        let g = Graph::from_edges(3, [(0, 1), (0, 2)]);
+        let t = RootedForest::bfs_spanning_tree(&g, 0);
+        let tour = EulerTour::new(&t, 0, |v| {
+            let mut c = t.children(v).to_vec();
+            c.reverse();
+            c
+        });
+        assert_eq!(tour.tour, vec![0, 2, 0, 1, 0]);
+    }
+
+    #[test]
+    fn euler_tour_length_invariant() {
+        // |tour| = 2 * (#nodes) - 1 for a tree.
+        let g = Graph::from_edges(7, [(0, 1), (1, 2), (1, 3), (0, 4), (4, 5), (4, 6)]);
+        let t = RootedForest::bfs_spanning_tree(&g, 0);
+        let tour = EulerTour::new(&t, 0, |v| t.children(v).to_vec());
+        assert_eq!(tour.tour.len(), 2 * 7 - 1);
+        for v in 0..7 {
+            assert_eq!(tour.visits[v].len(), t.children(v).len() + 1);
+        }
+    }
+}

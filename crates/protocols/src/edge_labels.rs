@@ -1,0 +1,153 @@
+//! Edge-label simulation in bounded-degeneracy graphs (Lemma 2.4).
+//!
+//! Several protocols are stated with the prover writing labels on *edges*
+//! (both endpoints can read them). The paper simulates this with node
+//! labels only: partition the edge set into O(1) rooted forests (planar
+//! graphs: ≤ 5 here, outerplanar: ≤ 2 — DESIGN.md §3.2), communicate each
+//! forest with the Lemma 2.3 encoding, and write the label of the edge
+//! `(v, parent_i(v))` into a designated per-forest slot of `v`'s label.
+//! The child endpoint is the edge's *accountable endpoint*; both endpoints
+//! locate the slot from the forest codes alone.
+
+use crate::forest_code::{decode_parent, ForestCode, ForestCodeLabel};
+use pdip_graph::degeneracy::ForestDecomposition;
+use pdip_graph::{EdgeId, Graph, NodeId, RootedForest};
+
+/// A carrier distributing one edge-label of type `T` per edge through
+/// node labels.
+#[derive(Debug, Clone)]
+pub struct EdgeLabelCarrier<T> {
+    /// Forest-code labels, one per forest: `codes[f].labels[v]`.
+    pub codes: Vec<ForestCode>,
+    /// `slots[v][f]`: the label of the edge from `v` to its parent in
+    /// forest `f`, if any.
+    pub slots: Vec<Vec<Option<T>>>,
+}
+
+impl<T: Clone> EdgeLabelCarrier<T> {
+    /// Honest prover: computes a degeneracy forest decomposition of `g`
+    /// and stores `values[e]` at `e`'s accountable endpoint.
+    pub fn assign(g: &Graph, values: &[T]) -> Self {
+        assert_eq!(values.len(), g.m());
+        let fd = ForestDecomposition::compute(g);
+        let k = fd.count();
+        let mut codes = Vec::with_capacity(k);
+        for f in 0..k {
+            let forest = RootedForest::from_parents(g, fd.parents[f].clone());
+            codes.push(ForestCode::encode(g, &forest));
+        }
+        let mut slots: Vec<Vec<Option<T>>> = vec![vec![None; k]; g.n()];
+        for e in 0..g.m() {
+            let f = fd.forest_of_edge[e];
+            let v = fd.accountable_endpoint(g, e);
+            debug_assert!(slots[v][f].is_none(), "two edges in one slot");
+            slots[v][f] = Some(values[e].clone());
+        }
+        EdgeLabelCarrier { codes, slots }
+    }
+
+    /// Number of forests.
+    pub fn forest_count(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Locally reads the label of incident edge `e` from node `v`'s
+    /// perspective: both endpoints' forest codes determine the accountable
+    /// endpoint; the value sits in that endpoint's slot. Returns `None`
+    /// if the carrier is malformed for this edge.
+    pub fn read(&self, g: &Graph, v: NodeId, e: EdgeId) -> Option<&T> {
+        let u = g.edge(e).other(v);
+        for f in 0..self.forest_count() {
+            let labels: &[ForestCodeLabel] = &self.codes[f].labels;
+            if decode_parent(g, labels, v) == Some(u) {
+                return self.slots[v][f].as_ref();
+            }
+            if decode_parent(g, labels, u) == Some(v) {
+                return self.slots[u][f].as_ref();
+            }
+        }
+        None
+    }
+
+    /// Label width at node `v` in bits, given the per-value width.
+    pub fn node_bits(&self, v: NodeId, value_bits: impl Fn(&T) -> usize) -> usize {
+        let code_bits: usize = self.codes.iter().map(|c| c.label_bits()).sum();
+        let slot_bits: usize = self.slots[v]
+            .iter()
+            .map(|s| 1 + s.as_ref().map_or(0, &value_bits))
+            .sum();
+        code_bits + slot_bits
+    }
+
+    /// The maximum node-label width in bits.
+    pub fn max_bits(&self, g: &Graph, value_bits: impl Fn(&T) -> usize) -> usize {
+        (0..g.n()).map(|v| self.node_bits(v, &value_bits)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdip_graph::gen::outerplanar::random_path_outerplanar;
+    use pdip_graph::gen::planar::random_planar;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_edge_readable_from_both_endpoints() {
+        let mut rng = SmallRng::seed_from_u64(61);
+        for n in [4usize, 10, 60] {
+            let inst = random_planar(n, 0.6, &mut rng);
+            let g = &inst.graph;
+            let values: Vec<u64> = (0..g.m() as u64).collect();
+            let carrier = EdgeLabelCarrier::assign(g, &values);
+            for e in 0..g.m() {
+                let edge = g.edge(e);
+                assert_eq!(carrier.read(g, edge.u, e), Some(&(e as u64)), "u side of {e}");
+                assert_eq!(carrier.read(g, edge.v, e), Some(&(e as u64)), "v side of {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn outerplanar_uses_two_forests() {
+        let mut rng = SmallRng::seed_from_u64(62);
+        let inst = random_path_outerplanar(100, 0.8, &mut rng);
+        let values = vec![(); inst.graph.m()];
+        let carrier = EdgeLabelCarrier::assign(&inst.graph, &values);
+        assert!(carrier.forest_count() <= 2, "forests = {}", carrier.forest_count());
+    }
+
+    #[test]
+    fn planar_label_overhead_is_constant_plus_values() {
+        let mut rng = SmallRng::seed_from_u64(63);
+        let inst = random_planar(200, 0.9, &mut rng);
+        let values: Vec<u8> = vec![0; inst.graph.m()];
+        let carrier = EdgeLabelCarrier::assign(&inst.graph, &values);
+        assert!(carrier.forest_count() <= 5);
+        // Each node carries <= 5 forest codes (<= 8 bits each) + <= 5 slots
+        // of (1 + 4) bits.
+        let max = carrier.max_bits(&inst.graph, |_| 4);
+        assert!(max <= 5 * 8 + 5 * 5, "max = {max}");
+    }
+
+    #[test]
+    fn read_fails_gracefully_on_tampered_codes() {
+        let mut rng = SmallRng::seed_from_u64(64);
+        let inst = random_planar(20, 0.5, &mut rng);
+        let g = &inst.graph;
+        let values: Vec<u32> = (0..g.m() as u32).collect();
+        let mut carrier = EdgeLabelCarrier::assign(g, &values);
+        // Make every node claim to be a root in every forest: no edge is
+        // decodable any more, but nothing panics.
+        for code in &mut carrier.codes {
+            for l in &mut code.labels {
+                l.root = true;
+            }
+        }
+        for e in 0..g.m() {
+            let edge = g.edge(e);
+            assert_eq!(carrier.read(g, edge.u, e), None);
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! The planar-embedding protocol (Theorem 1.4, §7 of the paper) and the
+//! reduction `h(G, T, ρ)` to path-outerplanarity.
+//!
+//! Every node holds a clockwise rotation `ρ_v` of its incident edges; the
+//! task is to decide whether `ρ` induces a genus-0 embedding. The prover
+//! commits a rooted spanning tree `T` (Lemma 2.3 + Lemma 2.5); the Euler
+//! tour of `T` in rotation order defines a path `P(G,T,ρ)` over node
+//! *copies* `x_0(v), ..., x_χ(v)`, and every non-tree edge maps to an arc
+//! between the copies determined by the first counterclockwise tree edges
+//! at its endpoints. Lemma 7.3: `ρ` is a planar embedding iff
+//! `h(G,T,ρ)` is path-outerplanar w.r.t. `P` — so the Theorem 1.2 protocol
+//! runs on `h`, with each original node simulating its ≤ 5 visible copies
+//! (`x_i(v)` is handled by child `c_i(v)`).
+
+use crate::lr_sorting::Transport;
+use crate::path_outerplanar::{PathOuterplanarity, PopCheat, PopInstance, PopParams};
+use crate::spanning_tree::{SpanningTreeVerification, StParams};
+use pdip_core::{DipProtocol, Rejections, RunResult, SizeStats};
+use pdip_graph::{EdgeId, EulerTour, Graph, NodeId, RootedForest, RotationSystem};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A planar-embedding instance: graph plus per-node rotations.
+#[derive(Debug, Clone)]
+pub struct EmbInstance {
+    /// The instance graph (connected).
+    pub graph: Graph,
+    /// The given clockwise rotations ρ(G).
+    pub rho: RotationSystem,
+    /// Ground truth: does ρ induce a planar embedding?
+    pub is_yes: bool,
+}
+
+/// The reduction output: the graph `h(G, T, ρ)` with bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Reduction {
+    /// The reduced graph: nodes are Euler-tour visits, `P` plus the arcs `Q`.
+    pub h: Graph,
+    /// The Hamiltonian path of `h` (tour order: node `i` is the i-th visit).
+    pub path: Vec<NodeId>,
+    /// Which original node each copy belongs to.
+    pub copy_of: Vec<NodeId>,
+    /// For each non-tree edge of `G`, the corresponding arc in `h`.
+    pub arc_of_edge: Vec<Option<EdgeId>>,
+}
+
+/// Builds `h(G, T, ρ)`: the cut-along-the-tree disk boundary.
+///
+/// The announcement sketches `h` with `χ(v) + 1` copies per node (one per
+/// Euler-tour visit). That granularity determines only which *corner* each
+/// non-tree edge-end lies in — but the rotation also fixes the order of
+/// edge-ends *within* a corner, and swapping two same-corner ends can
+/// change the genus without changing corners. This implementation
+/// therefore uses the exact dart-level construction underlying FFM+21's
+/// proof: the path `P` walks the boundary of the fattened tree, emitting
+/// one anchor node per Euler-tour visit and one node per non-tree
+/// edge-end, in clockwise order within each corner; every non-tree edge
+/// becomes an arc between its two end nodes. Then ρ is a planar embedding
+/// iff the arcs are properly nested (Lemma 7.3). Edge-end labels ride on
+/// the edges (Lemma 2.4), so the per-node label burden stays O(ℓ). See
+/// DESIGN.md §3.
+///
+/// # Panics
+/// Panics if `tree` is not a spanning tree of `g` rooted at `root`.
+pub fn build_reduction(
+    g: &Graph,
+    rho: &RotationSystem,
+    tree: &RootedForest,
+    root: NodeId,
+) -> Reduction {
+    assert!(tree.is_spanning_tree(g), "reduction needs a spanning tree");
+    // Children order c_1(v), ..., c_χ(v): clockwise from the parent edge
+    // (for the root: by increasing ρ_r position).
+    let is_tree_edge = |e: EdgeId| {
+        let edge = g.edge(e);
+        tree.parent_edge(edge.u) == Some(e) || tree.parent_edge(edge.v) == Some(e)
+    };
+    let child_order = |v: NodeId| -> Vec<NodeId> {
+        let order = rho.order_at(v);
+        let is_tree_child = |e: EdgeId| {
+            let u = g.edge(e).other(v);
+            tree.parent(u) == Some(v) && tree.parent_edge(u) == Some(e)
+        };
+        match tree.parent_edge(v) {
+            Some(pe) => {
+                let pos = rho.position(v, pe);
+                let d = order.len();
+                (1..d)
+                    .map(|k| order[(pos + k) % d])
+                    .filter(|&e| is_tree_child(e))
+                    .map(|e| g.edge(e).other(v))
+                    .collect()
+            }
+            None => order
+                .iter()
+                .copied()
+                .filter(|&e| is_tree_child(e))
+                .map(|e| g.edge(e).other(v))
+                .collect(),
+        }
+    };
+    let tour = EulerTour::new(tree, root, child_order);
+    // The non-tree edge-ends in corner i of node v, in clockwise order
+    // starting just after the corner's opening tree edge. Corner 0 opens
+    // with the parent edge (the root's corner 0 is empty — its last sector
+    // belongs to corner χ per the first-counterclockwise-tree-edge rule).
+    let corner_ends = |v: NodeId, i: usize| -> Vec<EdgeId> {
+        let order = rho.order_at(v);
+        let d = order.len();
+        let kids = child_order(v);
+        let opening: Option<EdgeId> = if i == 0 {
+            tree.parent_edge(v)
+        } else {
+            g.edge_between(v, kids[i - 1])
+        };
+        let Some(open) = opening else {
+            return Vec::new(); // the root's corner 0
+        };
+        let pos = rho.position(v, open);
+        let mut out = Vec::new();
+        for k in 1..d {
+            let e = order[(pos + k) % d];
+            if is_tree_edge(e) {
+                break;
+            }
+            out.push(e);
+        }
+        out
+    };
+    // Emit the boundary walk.
+    let mut h = Graph::new(0);
+    let mut copy_of: Vec<NodeId> = Vec::new();
+    let mut end_node: std::collections::HashMap<(EdgeId, NodeId), NodeId> = Default::default();
+    let mut visit_count = vec![0usize; g.n()];
+    for &v in &tour.tour {
+        let i = visit_count[v];
+        visit_count[v] += 1;
+        // Anchor for the visit itself.
+        let anchor = h.add_node();
+        copy_of.push(v);
+        let _ = anchor;
+        for e in corner_ends(v, i) {
+            let node = h.add_node();
+            copy_of.push(v);
+            end_node.insert((e, v), node);
+        }
+    }
+    let hn = h.n();
+    let path: Vec<NodeId> = (0..hn).collect();
+    for i in 0..hn - 1 {
+        h.add_edge(i, i + 1);
+    }
+    let mut arc_of_edge = vec![None; g.m()];
+    for e in 0..g.m() {
+        if is_tree_edge(e) {
+            continue;
+        }
+        let edge = g.edge(e);
+        let xu = end_node[&(e, edge.u)];
+        let xv = end_node[&(e, edge.v)];
+        debug_assert_ne!(xu, xv);
+        if xu.abs_diff(xv) > 1 {
+            arc_of_edge[e] = Some(h.add_edge(xu, xv));
+        }
+        // Adjacent end nodes: the arc is parallel to the path and can
+        // never cross; leave it implicit.
+    }
+    Reduction { h, path, copy_of, arc_of_edge }
+}
+
+/// Cheat strategies for invalid embeddings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmbCheat {
+    /// Honest reduction + honest sweep labels on the crossing `h`.
+    HonestSweep,
+    /// Honest reduction + force-marked violating arc.
+    ForceMark,
+    /// Commit a fake (non-spanning) tree.
+    FakeTree,
+}
+
+/// All cheats in interface order.
+pub const EMB_CHEATS: [EmbCheat; 3] = [EmbCheat::HonestSweep, EmbCheat::ForceMark, EmbCheat::FakeTree];
+
+/// The planar-embedding DIP bound to an instance.
+#[derive(Debug)]
+pub struct EmbeddedPlanarity<'a> {
+    inst: &'a EmbInstance,
+    params: PopParams,
+    transport: Transport,
+}
+
+impl<'a> EmbeddedPlanarity<'a> {
+    /// Binds the protocol to an instance.
+    pub fn new(inst: &'a EmbInstance, params: PopParams, transport: Transport) -> Self {
+        EmbeddedPlanarity { inst, params, transport }
+    }
+
+    fn g(&self) -> &Graph {
+        &self.inst.graph
+    }
+
+    /// One full run.
+    pub fn run(&self, cheat: Option<EmbCheat>, seed: u64) -> RunResult {
+        let g = self.g();
+        let n = g.n();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rej = Rejections::new();
+        let mut stats = SizeStats { rounds: 5, ..Default::default() };
+        if n <= 2 {
+            return rej.into_result(stats);
+        }
+
+        // ---- Spanning-tree commitment + verification ----
+        let root = 0;
+        let tree = if cheat == Some(EmbCheat::FakeTree) {
+            // A non-spanning "tree": BFS stopped halfway, rest are roots.
+            let full = RootedForest::bfs_spanning_tree(g, root);
+            let mut parent: Vec<Option<(NodeId, usize)>> = vec![None; n];
+            for v in 0..n / 2 {
+                if let (Some(p), Some(e)) = (full.parent(v), full.parent_edge(v)) {
+                    parent[v] = Some((p, e));
+                }
+            }
+            RootedForest::from_parents(g, parent)
+        } else {
+            RootedForest::bfs_spanning_tree(g, root)
+        };
+        let st = SpanningTreeVerification::new(StParams::for_n(
+            n,
+            self.params.c,
+            self.params.st_repetitions,
+        ));
+        let st_coins = st.draw_coins(n, &mut rng);
+        let st_msgs = st.honest_response(&tree, &st_coins);
+        for v in 0..n {
+            st.check(g, v, tree.parent(v), tree.parent(v).is_none(), &st_coins, &st_msgs, &mut rej);
+        }
+        if !tree.is_spanning_tree(g) {
+            stats.per_round_max_bits = vec![8, st.msg_bits(), 0];
+            stats.coin_bits = n * st.coin_bits();
+            return rej.into_result(stats);
+        }
+
+        // ---- The reduction + simulated path-outerplanarity on h ----
+        let red = build_reduction(g, &self.inst.rho, &tree, root);
+        let pop_inst = PopInstance {
+            witness: Some(red.path.clone()),
+            is_yes: self.inst.is_yes,
+            graph: red.h.clone(),
+        };
+        let sub = PathOuterplanarity::new(&pop_inst, self.params, self.transport);
+        let sub_cheat = match cheat {
+            Some(EmbCheat::HonestSweep) => Some(PopCheat::NestingHonestSweep),
+            Some(EmbCheat::ForceMark) => Some(PopCheat::NestingForceMark),
+            _ => None,
+        };
+        let res = sub.run(sub_cheat, rng.gen());
+        // Each original node simulates at most 5 copies of h — multiply the
+        // per-round bounds accordingly (§7 simulation argument).
+        let mut sub_stats = res.stats.clone();
+        for b in sub_stats.per_round_max_bits.iter_mut() {
+            *b *= 5;
+        }
+        stats.merge_parallel(&sub_stats);
+        let own = SizeStats {
+            per_round_max_bits: vec![8, st.msg_bits(), 0],
+            per_round_total_bits: vec![],
+            coin_bits: n * st.coin_bits(),
+            rounds: 5,
+        };
+        stats.merge_parallel(&own);
+        for (copy, reason) in res.rejections {
+            let orig = red.copy_of.get(copy).copied().unwrap_or(0);
+            rej.reject(orig, format!("emb/h: {reason}"));
+        }
+        rej.into_result(stats)
+    }
+}
+
+impl DipProtocol for EmbeddedPlanarity<'_> {
+    fn name(&self) -> String {
+        "embedded-planarity".into()
+    }
+
+    fn rounds(&self) -> usize {
+        5
+    }
+
+    fn instance_size(&self) -> usize {
+        self.g().n()
+    }
+
+    fn is_yes_instance(&self) -> bool {
+        self.inst.is_yes
+    }
+
+    fn run_honest(&self, seed: u64) -> RunResult {
+        self.run(None, seed)
+    }
+
+    fn cheat_names(&self) -> Vec<String> {
+        vec!["honest-sweep".into(), "force-mark".into(), "fake-tree".into()]
+    }
+
+    fn run_cheat(&self, strategy: usize, seed: u64) -> RunResult {
+        self.run(Some(EMB_CHEATS[strategy]), seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdip_graph::gen::planar::{random_planar, random_triangulation, scrambled_embedding};
+    use pdip_graph::outerplanar::is_path_outerplanar_with;
+
+    #[test]
+    fn lemma_7_3_forward() {
+        // Valid embeddings reduce to path-outerplanar graphs.
+        let mut rng = SmallRng::seed_from_u64(91);
+        for n in [4usize, 8, 20, 60] {
+            for keep in [0.3, 0.9] {
+                let inst = random_planar(n, keep, &mut rng);
+                let tree = RootedForest::bfs_spanning_tree(&inst.graph, 0);
+                let red = build_reduction(&inst.graph, &inst.rho, &tree, 0);
+                assert!(
+                    is_path_outerplanar_with(&red.h, &red.path),
+                    "n={n} keep={keep}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_7_3_reverse() {
+        // Invalid embeddings reduce to crossing (non-nested) instances.
+        let mut rng = SmallRng::seed_from_u64(92);
+        let mut crossing = 0;
+        let trials = 20;
+        for _ in 0..trials {
+            let inst = scrambled_embedding(30, &mut rng);
+            let tree = RootedForest::bfs_spanning_tree(&inst.graph, 0);
+            let red = build_reduction(&inst.graph, &inst.rho, &tree, 0);
+            if !is_path_outerplanar_with(&red.h, &red.path) {
+                crossing += 1;
+            }
+        }
+        assert!(crossing >= trials - 2, "only {crossing}/{trials} reduced to crossings");
+    }
+
+    #[test]
+    fn reduction_shape() {
+        let mut rng = SmallRng::seed_from_u64(93);
+        let inst = random_triangulation(12, &mut rng);
+        let tree = RootedForest::bfs_spanning_tree(&inst.graph, 0);
+        let red = build_reduction(&inst.graph, &inst.rho, &tree, 0);
+        assert_eq!(red.h.n(), (2 * 12 - 1) + 2 * (inst.graph.m() - 11));
+        assert_eq!(red.path.len(), red.h.n());
+    }
+
+    #[test]
+    fn perfect_completeness() {
+        let mut rng = SmallRng::seed_from_u64(94);
+        for n in [4usize, 10, 40, 120] {
+            let gen = random_planar(n, 0.6, &mut rng);
+            let inst = EmbInstance { graph: gen.graph, rho: gen.rho, is_yes: true };
+            let p = EmbeddedPlanarity::new(&inst, PopParams::default(), Transport::Native);
+            for seed in 0..3 {
+                let res = p.run_honest(seed);
+                assert!(res.accepted(), "n={n}: {:?}", res.rejections.first());
+            }
+        }
+    }
+
+    #[test]
+    fn scrambled_embeddings_rejected() {
+        let mut rng = SmallRng::seed_from_u64(95);
+        for cheat in [EmbCheat::HonestSweep, EmbCheat::ForceMark] {
+            let mut accepted = 0;
+            for seed in 0..60 {
+                let gen = scrambled_embedding(25, &mut rng);
+                let inst = EmbInstance { graph: gen.graph, rho: gen.rho, is_yes: false };
+                let p = EmbeddedPlanarity::new(&inst, PopParams::default(), Transport::Native);
+                if p.run(Some(cheat), seed).accepted() {
+                    accepted += 1;
+                }
+            }
+            assert!(accepted <= 6, "{cheat:?}: accepted {accepted}/60");
+        }
+    }
+
+    #[test]
+    fn fake_tree_rejected() {
+        let mut rng = SmallRng::seed_from_u64(96);
+        let gen = random_planar(30, 0.5, &mut rng);
+        let inst = EmbInstance { graph: gen.graph, rho: gen.rho, is_yes: true };
+        let p = EmbeddedPlanarity::new(&inst, PopParams::default(), Transport::Native);
+        let mut accepted = 0;
+        for seed in 0..100 {
+            if p.run(Some(EmbCheat::FakeTree), seed).accepted() {
+                accepted += 1;
+            }
+        }
+        assert!(accepted <= 10, "fake tree accepted {accepted}/100");
+    }
+}

@@ -1,0 +1,228 @@
+//! Spanning-forest encoding with constant-size labels (Lemma 2.3).
+//!
+//! The prover communicates a rooted spanning forest `F` of a planar graph
+//! to the verifier using O(1)-bit labels: contract the tree edges leaving
+//! odd-depth nodes to get `G_odd`, those leaving even-depth nodes to get
+//! `G_even`, properly color both (contractions of planar graphs are planar,
+//! hence O(1)-colorable — we use a degeneracy-greedy coloring, see
+//! DESIGN.md §3.1), and label each node with its two colors and its depth
+//! parity. A node finds its parent as the unique neighbor of opposite
+//! parity sharing the appropriate color, and its children symmetrically.
+//!
+//! The encoding is *communication only*: it does not certify that `F` is a
+//! spanning forest (that is Lemma 2.5, [`crate::spanning_tree`]).
+
+use pdip_core::bits_for_domain;
+use pdip_graph::degeneracy::greedy_coloring;
+use pdip_graph::{Graph, NodeId, RootedForest};
+
+/// The Lemma 2.3 label of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForestCodeLabel {
+    /// Color of the node's class in `G_odd`.
+    pub c1: u32,
+    /// Color of the node's class in `G_even`.
+    pub c2: u32,
+    /// Depth parity in the forest (`depth mod 2 == 1`).
+    pub odd: bool,
+    /// Whether the node is a root of its tree (depth 0, no parent).
+    pub root: bool,
+}
+
+/// An encoded rooted spanning forest.
+#[derive(Debug, Clone)]
+pub struct ForestCode {
+    /// Per-node labels.
+    pub labels: Vec<ForestCodeLabel>,
+    /// Number of colors used (determines the label width).
+    pub colors: usize,
+}
+
+impl ForestCode {
+    /// Encodes `forest` over `g`.
+    pub fn encode(g: &Graph, forest: &RootedForest) -> Self {
+        let n = g.n();
+        // Union-find for the two contractions.
+        let mut uf_odd: Vec<NodeId> = (0..n).collect();
+        let mut uf_even: Vec<NodeId> = (0..n).collect();
+        fn find(uf: &mut [NodeId], mut x: NodeId) -> NodeId {
+            while uf[x] != x {
+                uf[x] = uf[uf[x]];
+                x = uf[x];
+            }
+            x
+        }
+        for v in 0..n {
+            if let Some(p) = forest.parent(v) {
+                let uf = if forest.depth(v) % 2 == 1 { &mut uf_odd } else { &mut uf_even };
+                let (rv, rp) = (find(uf, v), find(uf, p));
+                if rv != rp {
+                    uf[rv] = rp;
+                }
+            }
+        }
+        // Quotient graphs and their colorings.
+        let color_quotient = |uf: &mut Vec<NodeId>| -> (Vec<u32>, usize) {
+            let mut rep_index = vec![usize::MAX; n];
+            let mut reps = Vec::new();
+            for v in 0..n {
+                let r = find(uf, v);
+                if rep_index[r] == usize::MAX {
+                    rep_index[r] = reps.len();
+                    reps.push(r);
+                }
+            }
+            let mut q = Graph::new(reps.len());
+            let mut seen = std::collections::HashSet::new();
+            for e in g.edges() {
+                let (a, b) = (rep_index[find(uf, e.u)], rep_index[find(uf, e.v)]);
+                if a != b && seen.insert((a.min(b), a.max(b))) {
+                    q.add_edge(a, b);
+                }
+            }
+            let (colors, count) = greedy_coloring(&q);
+            let per_node: Vec<u32> =
+                (0..n).map(|v| colors[rep_index[find(uf, v)]] as u32).collect();
+            (per_node, count)
+        };
+        let (c1, k1) = color_quotient(&mut uf_odd);
+        let (c2, k2) = color_quotient(&mut uf_even);
+        let labels = (0..n)
+            .map(|v| ForestCodeLabel {
+                c1: c1[v],
+                c2: c2[v],
+                odd: forest.depth(v) % 2 == 1,
+                root: forest.parent(v).is_none(),
+            })
+            .collect();
+        ForestCode { labels, colors: k1.max(k2).max(1) }
+    }
+
+    /// Label width in bits: two colors, the parity bit and the root bit.
+    pub fn label_bits(&self) -> usize {
+        2 * bits_for_domain(self.colors) + 2
+    }
+}
+
+/// Locally decodes the parent of `v` from the labels of `v` and its
+/// neighbors: the unique opposite-parity neighbor sharing the color of the
+/// contraction in which the edge `(v, parent)` was contracted. Returns
+/// `None` for roots or malformed labelings (zero or multiple candidates).
+pub fn decode_parent(g: &Graph, labels: &[ForestCodeLabel], v: NodeId) -> Option<NodeId> {
+    let me = labels[v];
+    if me.root {
+        return None;
+    }
+    let mut found = None;
+    for u in g.neighbor_nodes(v) {
+        let nb = labels[u];
+        if nb.odd == me.odd {
+            continue;
+        }
+        // Edge (v, parent) is contracted in G_odd when v has odd depth,
+        // in G_even when v has even depth.
+        let matches = if me.odd { nb.c1 == me.c1 } else { nb.c2 == me.c2 };
+        if matches {
+            if found.is_some() {
+                return None; // ambiguous: malformed encoding
+            }
+            found = Some(u);
+        }
+    }
+    found
+}
+
+/// Locally decodes the children of `v`: the opposite-parity neighbors `u`
+/// whose contracted color (in the contraction merging `u` into `v`)
+/// matches. Symmetric to [`decode_parent`], so a consistent labeling makes
+/// `u ∈ children(v) ⇔ parent(u) = v` whenever `u`'s decode is unambiguous.
+pub fn decode_children(g: &Graph, labels: &[ForestCodeLabel], v: NodeId) -> Vec<NodeId> {
+    let me = labels[v];
+    g.neighbor_nodes(v)
+        .filter(|&u| {
+            let nb = labels[u];
+            if nb.odd == me.odd || nb.root {
+                return false;
+            }
+            // Child u of odd depth contracts into v via G_odd (c1); child of
+            // even depth via G_even (c2).
+            let matches = if nb.odd { nb.c1 == me.c1 } else { nb.c2 == me.c2 };
+            // Require the child's own decode to be unambiguous and equal v.
+            matches && decode_parent(g, labels, u) == Some(v)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdip_graph::gen::planar::random_planar;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn roundtrip(g: &Graph, f: &RootedForest) {
+        let code = ForestCode::encode(g, f);
+        for v in 0..g.n() {
+            assert_eq!(decode_parent(g, &code.labels, v), f.parent(v), "parent of {v}");
+            let mut dec = decode_children(g, &code.labels, v);
+            let mut want = f.children(v).to_vec();
+            dec.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(dec, want, "children of {v}");
+        }
+    }
+
+    #[test]
+    fn path_roundtrip() {
+        let g = Graph::from_edges(6, (0..5).map(|i| (i, i + 1)));
+        let f = RootedForest::from_path(&g, &[0, 1, 2, 3, 4, 5]);
+        roundtrip(&g, &f);
+    }
+
+    #[test]
+    fn bfs_tree_roundtrip_on_random_planar() {
+        let mut rng = SmallRng::seed_from_u64(51);
+        for n in [5usize, 20, 100] {
+            for keep in [0.2, 0.7] {
+                let inst = random_planar(n, keep, &mut rng);
+                let f = RootedForest::bfs_spanning_tree(&inst.graph, 0);
+                roundtrip(&inst.graph, &f);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_tree_forest_roundtrip() {
+        // Forest with two roots on a cycle graph.
+        let g = Graph::from_edges(6, (0..6).map(|i| (i, (i + 1) % 6)));
+        let mut parent: Vec<Option<(usize, usize)>> = vec![None; 6];
+        // Tree A: 0 <- 1 <- 2; tree B: 3 <- 4 <- 5.
+        parent[1] = Some((0, g.edge_between(0, 1).unwrap()));
+        parent[2] = Some((1, g.edge_between(1, 2).unwrap()));
+        parent[4] = Some((3, g.edge_between(3, 4).unwrap()));
+        parent[5] = Some((4, g.edge_between(4, 5).unwrap()));
+        let f = RootedForest::from_parents(&g, parent);
+        roundtrip(&g, &f);
+    }
+
+    #[test]
+    fn labels_are_constant_size_on_planar() {
+        let mut rng = SmallRng::seed_from_u64(52);
+        let inst = random_planar(300, 0.8, &mut rng);
+        let f = RootedForest::bfs_spanning_tree(&inst.graph, 0);
+        let code = ForestCode::encode(&inst.graph, &f);
+        // Contracted planar graphs are planar, hence <= 6 greedy colors:
+        // 2 * 3 + 2 = 8 bits.
+        assert!(code.colors <= 6, "colors = {}", code.colors);
+        assert!(code.label_bits() <= 8);
+    }
+
+    #[test]
+    fn star_roundtrip() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let f = RootedForest::bfs_spanning_tree(&g, 0);
+        roundtrip(&g, &f);
+        let f2 = RootedForest::bfs_spanning_tree(&g, 3);
+        roundtrip(&g, &f2);
+    }
+}

@@ -1,0 +1,237 @@
+//! The Ω(log n) one-round lower bound (Theorem 1.8) — experimental
+//! machinery.
+//!
+//! Theorem 1.8 says no one-round scheme with o(log n)-bit proofs can
+//! certify path-outerplanarity (or any of the paper's families), even with
+//! randomized verifiers and shared randomness. This module reproduces the
+//! *mechanism* behind the bound as a concrete forgery:
+//!
+//! Consider the one-round nesting scheme of [`crate::pls_baseline`] with
+//! its position names compressed to `b` bits. Take the **crossing**
+//! instance `Z` = path + arcs `A = (x, c)`, `B = (x + 2^b, c + 2^b)` and
+//! the **nested** instance `P` = path + arcs `(x, c + 2^b)`,
+//! `(x + 2^b, c)` on the same node set. Every `b`-bit name collides
+//! between the two pairings (`t_x ≡ t_{x+2^b}`, `t_c ≡ t_{c+2^b}`), so the
+//! honest accepting labels of `P`, transplanted arc-for-arc onto `Z`, pass
+//! every local check — a forged proof of a no-instance. The forgery needs
+//! `2^b` to fit inside the instance, so it exists iff `b ≲ log₂ n − 2`:
+//! the experiment measures the forgery threshold `b*(n) = Θ(log n)`,
+//! while the interactive 5-round protocol achieves O(log log n) bits —
+//! randomized per-run names cannot be precomputed against.
+
+use crate::nesting::{self, NestingLabels};
+use pdip_core::{Rejections, Tag};
+use pdip_graph::{Graph, NodeId};
+
+/// The geometry of one forgery attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct ForgeryGeometry {
+    /// Total path length.
+    pub n: usize,
+    /// Left endpoint of the first arc.
+    pub x: usize,
+    /// Right endpoint of the first arc.
+    pub c: usize,
+    /// The collision stride `2^b`.
+    pub stride: usize,
+}
+
+impl ForgeryGeometry {
+    /// A valid geometry for path length `n` and name width `b`, if the
+    /// stride fits.
+    pub fn new(n: usize, b: usize) -> Option<Self> {
+        if b >= usize::BITS as usize - 2 {
+            return None;
+        }
+        let stride = 1usize << b;
+        let x = 1;
+        let c = x + stride + 2; // x < x+stride < c required
+        let top = c + stride; // c + stride <= n-2
+        if top + 2 > n {
+            return None;
+        }
+        Some(ForgeryGeometry { n, x, c, stride })
+    }
+
+    /// The crossing no-instance `Z` (returns graph + the arc edge ids).
+    pub fn crossing_instance(&self) -> (Graph, usize, usize) {
+        let mut g = path_graph(self.n);
+        let a = g.add_edge(self.x, self.c);
+        let b = g.add_edge(self.x + self.stride, self.c + self.stride);
+        (g, a, b)
+    }
+
+    /// The nested yes-instance `P` on the same nodes.
+    pub fn nested_instance(&self) -> (Graph, usize, usize) {
+        let mut g = path_graph(self.n);
+        let a = g.add_edge(self.x, self.c + self.stride);
+        let b = g.add_edge(self.x + self.stride, self.c);
+        (g, a, b)
+    }
+}
+
+fn path_graph(n: usize) -> Graph {
+    Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1)))
+}
+
+/// Runs the `b`-bit one-round nesting verifier on `(g, labels)` with
+/// truncated position tags. Returns whether every node accepts.
+pub fn truncated_check(g: &Graph, labels: &NestingLabels, b: usize) -> bool {
+    let n = g.n();
+    let tags: Vec<Tag> = (0..n).map(|v| truncated_tag(v, b)).collect();
+    let mut is_path_edge = vec![false; g.m()];
+    for v in 0..n - 1 {
+        is_path_edge[g.edge_between(v, v + 1).expect("path edge")] = true;
+    }
+    let mut rej = Rejections::new();
+    for v in 0..n {
+        let left_nb = if v > 0 { Some(v - 1) } else { None };
+        let right_nb = if v + 1 < n { Some(v + 1) } else { None };
+        let is_left = |e: usize| g.edge(e).other(v) < v;
+        nesting::check_node(
+            g,
+            v,
+            left_nb,
+            right_nb,
+            &is_path_edge,
+            &is_left,
+            &tags,
+            labels,
+            &mut rej,
+        );
+    }
+    !rej.any()
+}
+
+fn truncated_tag(pos: usize, b: usize) -> Tag {
+    let bits = b.min(60);
+    Tag { value: (pos as u64) & ((1u64 << bits) - 1), bits }
+}
+
+/// Honest truncated labels for a path instance.
+pub fn truncated_labels(g: &Graph, b: usize) -> NestingLabels {
+    let n = g.n();
+    let positions: Vec<usize> = (0..n).collect();
+    let path: Vec<NodeId> = (0..n).collect();
+    let mut is_path_edge = vec![false; g.m()];
+    for v in 0..n - 1 {
+        is_path_edge[g.edge_between(v, v + 1).unwrap()] = true;
+    }
+    let tags: Vec<Tag> = (0..n).map(|v| truncated_tag(v, b)).collect();
+    nesting::sweep_assign(g, &positions, &path, &is_path_edge, &tags)
+}
+
+/// Attempts the collision forgery for path length `n` and name width `b`
+/// bits. The two crossing arcs of `Z` are congruent mod `2^b` at *both*
+/// endpoints, so they share one truncated name σ; the adversary labels
+/// both arcs (and every `succ`/`above`/`gap` field) with σ — the verifier
+/// cannot tell which arc covers which stretch, and every equality check
+/// passes. Returns `Some(accepted)` when the geometry fits, `None` when
+/// `2^b` does not fit in the instance (no collision available).
+pub fn attempt_forgery(n: usize, b: usize) -> Option<bool> {
+    let geo = ForgeryGeometry::new(n, b)?;
+    let (z, z_a, z_b) = geo.crossing_instance();
+    debug_assert!(!pdip_graph::is_properly_nested(&z, &(0..n).collect::<Vec<_>>()));
+    let sigma = (truncated_tag(geo.x, b), truncated_tag(geo.c, b));
+    debug_assert_eq!(sigma.0, truncated_tag(geo.x + geo.stride, b));
+    debug_assert_eq!(sigma.1, truncated_tag(geo.c + geo.stride, b));
+    let mut arcs = vec![None; z.m()];
+    for e in [z_a, z_b] {
+        arcs[e] = Some(nesting::ArcLabel {
+            longest_right_of_tail: true,
+            longest_left_of_head: true,
+            name: sigma,
+            succ: Some(sigma),
+        });
+    }
+    let mut gaps = vec![None; z.m()];
+    for v in 0..n - 1 {
+        gaps[z.edge_between(v, v + 1).unwrap()] = Some(Some(sigma));
+    }
+    let forged = NestingLabels {
+        arcs,
+        above: vec![nesting::AboveLabel { above: Some(sigma) }; n],
+        gaps,
+    };
+    Some(truncated_check(&z, &forged, b))
+}
+
+/// The forgery threshold: the largest `b` for which the transplant forgery
+/// is accepted on a path of length `n` (0 when none succeeds).
+pub fn forgery_threshold(n: usize) -> usize {
+    let mut best = 0;
+    for b in 1..=usize::BITS as usize - 3 {
+        match attempt_forgery(n, b) {
+            Some(true) => best = b,
+            Some(false) => {}
+            None => break,
+        }
+    }
+    best
+}
+
+/// Sanity counterpart: with full-width names (`b ≥ log₂ n`) the honest
+/// labeling of a crossing instance is rejected.
+pub fn full_width_rejects_crossing(n: usize) -> bool {
+    let b = (usize::BITS - (n - 1).leading_zeros()) as usize;
+    let Some(geo) = ForgeryGeometry::new(n, b.min(10)) else {
+        // Use a small stride but full-width names: build the crossing
+        // instance by hand.
+        let mut g = path_graph(n);
+        g.add_edge(1, n / 2);
+        g.add_edge(2, n / 2 + 1);
+        let labels = truncated_labels(&g, b);
+        return !truncated_check(&g, &labels, b);
+    };
+    let (z, _, _) = geo.crossing_instance();
+    let labels = truncated_labels(&z, b);
+    !truncated_check(&z, &labels, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forgery_succeeds_for_small_b() {
+        // n = 1024: strides up to 2^7 fit comfortably.
+        for b in 2..=7 {
+            assert_eq!(attempt_forgery(1024, b), Some(true), "b = {b}");
+        }
+    }
+
+    #[test]
+    fn forgery_impossible_when_stride_does_not_fit() {
+        assert_eq!(attempt_forgery(64, 8), None);
+        assert_eq!(attempt_forgery(100, 10), None);
+    }
+
+    #[test]
+    fn threshold_grows_logarithmically() {
+        let t256 = forgery_threshold(256);
+        let t4096 = forgery_threshold(4096);
+        let t65536 = forgery_threshold(65536);
+        assert!(t256 >= 4, "t(256) = {t256}");
+        // Each 16x in n buys ~4 more bits of threshold.
+        assert!(t4096 >= t256 + 3, "t(4096) = {t4096} vs t(256) = {t256}");
+        assert!(t65536 >= t4096 + 3, "t(65536) = {t65536} vs t(4096) = {t4096}");
+        assert!(t65536 <= 17, "threshold cannot exceed log2(n)");
+    }
+
+    #[test]
+    fn full_width_names_catch_the_crossing() {
+        for n in [64usize, 256, 1024] {
+            assert!(full_width_rejects_crossing(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn nested_instances_accepted_at_any_width() {
+        for b in [4usize, 8, 16] {
+            let Some(geo) = ForgeryGeometry::new(1 << 12, b) else { continue };
+            let (p, _, _) = geo.nested_instance();
+            let labels = truncated_labels(&p, b);
+            assert!(truncated_check(&p, &labels, b), "b = {b}");
+        }
+    }
+}

@@ -1,0 +1,1034 @@
+//! The LR-sorting protocol (§4 of the paper, Lemmas 4.1 and 4.2).
+//!
+//! Instance: a directed graph `G` with a directed Hamiltonian path `P`
+//! known to the nodes; yes-instances direct every edge left→right along
+//! `P`. The protocol runs in 5 interaction rounds with O(log log n)-bit
+//! labels:
+//!
+//! * **P1** — block construction: the prover splits `P` into blocks of
+//!   `L = ⌈log₂ n⌉` consecutive nodes, distributes each block's position
+//!   `pos(b)` and `pos(b)+1` bitwise (node `i` of the block holds the i-th
+//!   most significant bits of both), marks the increment pivot `v_b` (the
+//!   least significant 0 of `pos(b)`), classifies every non-path edge as
+//!   inner- or outer-block, writes the claimed distinguishing index
+//!   `I(pos(b_u), pos(b_v))` on every outer edge, and pre-assigns the
+//!   verification-scheme multiplicities.
+//! * **V1** — the path head samples `r, r'` ∈ 𝔽_p; each block head samples
+//!   an inner-block challenge `r_b` ∈ 𝔽_p.
+//! * **P2** — the prover distributes `r, r', r_b`, the cumulative
+//!   evaluations `A2 = φ_{x₂(b)}(r)` (left→right), `B1 = φ_{x₁(b)}(r)`
+//!   (right→left) for the adjacent-block equality `x₂(b) = x₁(b')`, the
+//!   prefix evaluations `PH_i = φ^b_i(r')` of the commitment scheme, and
+//!   the committed prefix value `j_e = φ_{I_e−1}(r')` on every outer edge.
+//! * **V2** — each block head samples `z₀, z₁` ∈ 𝔽_{p'}.
+//! * **P3** — per block, two multiset-equality runs compare `C₁(b)` vs the
+//!   multiplicity-expanded `D₁(b)` and `C₀(b)` vs `D₀(b)` (§4.2).
+//!
+//! Edge labels are carried natively (Lemma 4.1) or simulated through
+//! [`crate::edge_labels::EdgeLabelCarrier`] on planar instances
+//! (Lemma 4.2).
+
+use crate::edge_labels::EdgeLabelCarrier;
+use crate::multiset_eq::{MsMsg, MultisetEq};
+use pdip_core::{bits_for_max, Rejections, RunResult, SizeStats};
+use pdip_field::{prefix_poly_evals, smallest_prime_above, Fp};
+use pdip_graph::gen::lr::LrInstance;
+use pdip_graph::{EdgeId, Graph, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Protocol parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LrParams {
+    /// Soundness exponent: fields have size ≥ log^c n.
+    pub c: u32,
+    /// Override for the block length (`None` = the paper's ⌈log₂ n⌉;
+    /// used by the E8 block-size ablation).
+    pub block_len: Option<usize>,
+}
+
+impl Default for LrParams {
+    fn default() -> Self {
+        LrParams { c: 3, block_len: None }
+    }
+}
+
+/// How edge labels reach the endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Labels are written on edges directly (Lemma 4.1).
+    Native,
+    /// Labels are folded into node labels via forest decompositions
+    /// (Lemma 4.2; requires bounded degeneracy, e.g. planar instances).
+    Simulated,
+}
+
+/// Cheating-prover strategies for no-instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LrCheat {
+    /// Label every reversed edge as inner-block (hopes for an `r_b`
+    /// collision across blocks; deterministically caught inside a block).
+    ClaimInner,
+    /// Label reversed edges as outer with the *true* distinguishing index
+    /// (whose bits point the wrong way).
+    OuterTrueIndex,
+    /// Label reversed edges as outer with a forged index whose bits point
+    /// the right way but whose prefixes differ (falls back to the true
+    /// index if none exists); commits the tail block's prefix value.
+    OuterForgedIndex,
+    /// Renumber the two affected blocks' positions so the reversed edge
+    /// looks fine, breaking block-adjacency consecutiveness instead.
+    SwapBlockPositions,
+}
+
+/// All cheat strategies (order matches [`LrSorting::cheat_names`]).
+pub const LR_CHEATS: [LrCheat; 4] = [
+    LrCheat::ClaimInner,
+    LrCheat::OuterTrueIndex,
+    LrCheat::OuterForgedIndex,
+    LrCheat::SwapBlockPositions,
+];
+
+/// Consecutiveness mark relative to the pivot `v_b` (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsecMark {
+    /// Strictly left of the pivot: bits of `pos(b)` and `pos(b)+1` agree.
+    Left,
+    /// The pivot: bit flips 0 → 1.
+    Pivot,
+    /// Strictly right: bit flips 1 → 0 (trailing ones).
+    Right,
+}
+
+/// Per-node round-1 label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct R1Node {
+    /// 1-based index within the block (1 starts a new block).
+    pub idx: usize,
+    /// The `idx`-th most significant bit of `pos(b)` (meaningful for `idx <= L`).
+    pub x1_bit: bool,
+    /// The `idx`-th most significant bit of `pos(b) + 1`.
+    pub x2_bit: bool,
+    /// Position relative to the increment pivot.
+    pub mark: ConsecMark,
+    /// Verification-scheme multiplicity for `C0` (if `x1_bit == 0`).
+    pub m0: u64,
+    /// Verification-scheme multiplicity for `C1` (if `x1_bit == 1`).
+    pub m1: u64,
+}
+
+/// Per-edge round-1 label (non-path edges only; `None` on path edges).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum R1Edge {
+    /// Endpoints in the same block.
+    Inner,
+    /// Endpoints in different blocks; carries the claimed distinguishing
+    /// index (1-based, MSB first).
+    Outer {
+        /// The claimed distinguishing index `I(pos(b_u), pos(b_v))`.
+        index: usize,
+    },
+}
+
+/// Per-node round-2 (P2) label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct R2Node {
+    /// Echo of the global challenge `r`.
+    pub r: u64,
+    /// Echo of the global challenge `r'`.
+    pub rp: u64,
+    /// Echo of this block's inner-edge challenge `r_b`.
+    pub rb: u64,
+    /// Left→right cumulative `φ` over the `x₂` bits at `r`.
+    pub a2: u64,
+    /// Right→left cumulative `φ` over the `x₁` bits at `r`.
+    pub b1: u64,
+    /// Prefix evaluation `φ^b_idx(r')` over the `x₁` bits.
+    pub ph: u64,
+}
+
+/// Per-edge round-2 label: the committed common-prefix value on outer edges.
+pub type R2Edge = u64;
+
+/// Per-node round-3 (P3) label: the two in-block multiset-equality runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct R3Node {
+    /// `C1(b)` vs multiplicity-expanded `D1(b)`.
+    pub eq1: MsMsg,
+    /// `C0(b)` vs multiplicity-expanded `D0(b)`.
+    pub eq0: MsMsg,
+}
+
+/// Verifier coins of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LrCoins {
+    /// V1: global challenge (used only by the path head).
+    pub r: u64,
+    /// V1: global prefix challenge (path head).
+    pub rp: u64,
+    /// V1: inner-block challenge (block heads).
+    pub rb: u64,
+    /// V2: verification challenge for the `C1` equality (block heads).
+    pub z1: u64,
+    /// V2: verification challenge for the `C0` equality (block heads).
+    pub z0: u64,
+}
+
+/// The full prover transcript of one run.
+#[derive(Debug, Clone)]
+pub struct LrTranscript {
+    /// Round-1 node labels.
+    pub r1_node: Vec<R1Node>,
+    /// Round-1 edge labels (`None` on path edges).
+    pub r1_edge: Vec<Option<R1Edge>>,
+    /// Round-2 node labels.
+    pub r2_node: Vec<R2Node>,
+    /// Round-2 edge labels (`None` on path/inner edges).
+    pub r2_edge: Vec<Option<R2Edge>>,
+    /// Round-3 node labels.
+    pub r3_node: Vec<R3Node>,
+}
+
+/// The LR-sorting protocol bound to an instance.
+#[derive(Debug)]
+pub struct LrSorting<'a> {
+    inst: &'a LrInstance,
+    transport: Transport,
+    /// Block length L.
+    pub block_len: usize,
+    /// The base field 𝔽_p, `p > log^c n`.
+    pub field_p: Fp,
+    /// The verification field 𝔽_{p'}, `p' > p * L`.
+    pub field_pp: Fp,
+    // Node-local path inputs (part of the LR-sorting task input).
+    left_path: Vec<Option<NodeId>>,
+    right_path: Vec<Option<NodeId>>,
+    is_path_edge: Vec<bool>,
+}
+
+impl<'a> LrSorting<'a> {
+    /// Binds the protocol to an instance.
+    pub fn new(inst: &'a LrInstance, params: LrParams, transport: Transport) -> Self {
+        let n = inst.graph.n();
+        let ln = (n.max(2) as f64).log2();
+        let mut block_len = params.block_len.unwrap_or_else(|| (ln.ceil() as usize).max(1));
+        // A block of length L must be able to hold pos(b) + 1 in L bits:
+        // bump L until ⌊n/L⌋ + 1 ≤ 2^L (only matters for tiny n or
+        // deliberately small ablation block lengths).
+        while n / block_len.max(1) + 1 > 1usize << block_len.min(60) {
+            block_len += 1;
+        }
+        let p = smallest_prime_above((ln.powi(params.c as i32) as u64).max(17));
+        let pp = smallest_prime_above(p * block_len as u64 + 1);
+        let mut left_path = vec![None; n];
+        let mut right_path = vec![None; n];
+        for w in inst.path.windows(2) {
+            right_path[w[0]] = Some(w[1]);
+            left_path[w[1]] = Some(w[0]);
+        }
+        let mut is_path_edge = vec![false; inst.graph.m()];
+        for &e in &inst.path_edges {
+            is_path_edge[e] = true;
+        }
+        LrSorting {
+            inst,
+            transport,
+            block_len,
+            field_p: Fp::new(p),
+            field_pp: Fp::new(pp),
+            left_path,
+            right_path,
+            is_path_edge,
+        }
+    }
+
+    /// Number of interaction rounds.
+    pub fn rounds(&self) -> usize {
+        5
+    }
+
+    fn g(&self) -> &Graph {
+        &self.inst.graph
+    }
+
+    /// Block id of each node under the honest block construction:
+    /// consecutive runs of `L` path nodes, the remainder merged into the
+    /// last block.
+    fn honest_blocks(&self) -> (Vec<usize>, usize) {
+        let n = self.g().n();
+        let l = self.block_len;
+        let nblocks = (n / l).max(1);
+        let mut block = vec![0usize; n];
+        for (posn, &v) in self.inst.path.iter().enumerate() {
+            block[v] = (posn / l).min(nblocks - 1);
+        }
+        (block, nblocks)
+    }
+
+    /// The L-bit MSB-first representation of `x` (truncated to the block's
+    /// bit capacity `cap`; leading positions beyond the word width are 0).
+    fn bits_of(&self, x: usize, cap: usize) -> Vec<bool> {
+        (0..cap)
+            .map(|i| {
+                let shift = cap - 1 - i;
+                shift < usize::BITS as usize && (x >> shift) & 1 == 1
+            })
+            .collect()
+    }
+
+    /// Honest round-1 labels, optionally applying a cheat.
+    fn round1(&self, cheat: Option<LrCheat>) -> (Vec<R1Node>, Vec<Option<R1Edge>>) {
+        let g = self.g();
+        let n = g.n();
+        let l = self.block_len;
+        let (block_of, nblocks) = self.honest_blocks();
+        // Block positions, possibly tampered by SwapBlockPositions.
+        let mut pos_of_block: Vec<usize> = (0..nblocks).collect();
+        if cheat == Some(LrCheat::SwapBlockPositions) {
+            if let Some(e) = self.first_reversed_edge() {
+                let (t, h) = (self.tail(e), self.head(e));
+                let (bt, bh) = (block_of[t], block_of[h]);
+                if bt != bh {
+                    pos_of_block.swap(bt, bh);
+                }
+            }
+        }
+        let pos = self.inst.positions();
+        let mut nodes = Vec::with_capacity(n);
+        for v in 0..n {
+            let b = block_of[v];
+            let idx = pos[v] - self.block_start(b) + 1;
+            let cap = self.block_cap(b);
+            let x1 = self.bits_of(pos_of_block[b], cap);
+            let x2 = self.bits_of(pos_of_block[b] + 1, cap);
+            // Pivot: least significant 0 of x1 = largest index with bit 0.
+            let jb = (1..=cap).rev().find(|&i| !x1[i - 1]).unwrap_or(1);
+            let (x1b, x2b) = if idx <= cap { (x1[idx - 1], x2[idx - 1]) } else { (false, false) };
+            let mark = if idx < jb || idx > cap {
+                ConsecMark::Left
+            } else if idx == jb {
+                ConsecMark::Pivot
+            } else {
+                ConsecMark::Right
+            };
+            nodes.push(R1Node { idx, x1_bit: x1b, x2_bit: x2b, mark, m0: 0, m1: 0 });
+        }
+        // Edge classification.
+        let mut edges: Vec<Option<R1Edge>> = vec![None; g.m()];
+        for e in 0..g.m() {
+            if self.is_path_edge[e] {
+                continue;
+            }
+            let (t, h) = (self.tail(e), self.head(e));
+            let (bt, bh) = (block_of[t], block_of[h]);
+            let reversed = pos[t] > pos[h];
+            #[allow(clippy::if_same_then_else)] // distinct honest/cheat cases
+            let label = if bt == bh && !(reversed && cheat.is_some()) {
+                R1Edge::Inner
+            } else if reversed && cheat == Some(LrCheat::ClaimInner) {
+                R1Edge::Inner
+            } else {
+                // Outer: distinguishing index of the two block positions.
+                let (pt, ph_) = (pos_of_block[bt], pos_of_block[bh]);
+                let cap = self.block_cap(bt).min(self.block_cap(bh));
+                let bits_t = self.bits_of(pt, cap);
+                let bits_h = self.bits_of(ph_, cap);
+                let index = match cheat {
+                    Some(LrCheat::OuterForgedIndex) if reversed => {
+                        // An index where tail-bit = 0, head-bit = 1.
+                        (1..=cap)
+                            .find(|&i| !bits_t[i - 1] && bits_h[i - 1])
+                            .or_else(|| (1..=cap).find(|&i| bits_t[i - 1] != bits_h[i - 1]))
+                            .unwrap_or(1)
+                    }
+                    _ => {
+                        // True distinguishing index (first differing bit).
+                        (1..=cap).find(|&i| bits_t[i - 1] != bits_h[i - 1]).unwrap_or(1)
+                    }
+                };
+                R1Edge::Outer { index }
+            };
+            edges[e] = Some(label);
+        }
+        // Multiplicities: count C-side pairs per (block, index, side). The
+        // pair value j is determined later (depends on r'), but the honest
+        // multiset multiplicity only depends on (index, side) because all
+        // honest pairs with the same index share the same j. We count the
+        // *distinct-per-node* pairs, i.e. per node per index per side at
+        // most one.
+        let mut m1 = vec![vec![0u64; l * 2 + 2]; nblocks];
+        let mut m0 = vec![vec![0u64; l * 2 + 2]; nblocks];
+        for v in 0..n {
+            let mut seen_head = std::collections::HashSet::new();
+            let mut seen_tail = std::collections::HashSet::new();
+            for e in g.incident_edges(v) {
+                if let Some(R1Edge::Outer { index }) = edges[e] {
+                    if self.head(e) == v {
+                        if seen_head.insert(index) {
+                            m1[block_of[v]][index] += 1;
+                        }
+                    } else if seen_tail.insert(index) {
+                        m0[block_of[v]][index] += 1;
+                    }
+                }
+            }
+        }
+        for v in 0..n {
+            let b = block_of[v];
+            let idx = nodes[v].idx;
+            if idx <= self.block_cap(b) {
+                if nodes[v].x1_bit {
+                    nodes[v].m1 = m1[b][idx];
+                } else {
+                    nodes[v].m0 = m0[b][idx];
+                }
+            }
+        }
+        (nodes, edges)
+    }
+
+    /// Capacity (number of position bits) of block `b`: `min(L, |b|)`.
+    fn block_cap(&self, b: usize) -> usize {
+        self.block_len.min(self.block_size(b))
+    }
+
+    fn block_size(&self, b: usize) -> usize {
+        let n = self.g().n();
+        let l = self.block_len;
+        let nblocks = (n / l).max(1);
+        if b + 1 < nblocks {
+            l
+        } else {
+            n - (nblocks - 1) * l
+        }
+    }
+
+    fn block_start(&self, b: usize) -> usize {
+        b * self.block_len
+    }
+
+    fn tail(&self, e: EdgeId) -> NodeId {
+        self.inst.orientation.tail(self.g(), e)
+    }
+
+    fn head(&self, e: EdgeId) -> NodeId {
+        self.inst.orientation.head(self.g(), e)
+    }
+
+    fn first_reversed_edge(&self) -> Option<EdgeId> {
+        let pos = self.inst.positions();
+        (0..self.g().m()).find(|&e| pos[self.tail(e)] > pos[self.head(e)])
+    }
+
+    /// Honest round-2 labels given round-1 labels and coins.
+    fn round2(
+        &self,
+        r1n: &[R1Node],
+        r1e: &[Option<R1Edge>],
+        coins: &[LrCoins],
+        cheat: Option<LrCheat>,
+    ) -> (Vec<R2Node>, Vec<Option<R2Edge>>) {
+        let g = self.g();
+        let n = g.n();
+        let fp = self.field_p;
+        let head_node = self.inst.path[0];
+        let (r, rp) = (coins[head_node].r, coins[head_node].rp);
+        let (block_of, nblocks) = self.honest_blocks();
+        // r_b per block from each block head's coins.
+        let mut rb_of_block = vec![0u64; nblocks];
+        for v in 0..n {
+            if r1n[v].idx == 1 {
+                rb_of_block[block_of[v]] = coins[v].rb;
+            }
+        }
+        // Per-block bit vectors (by idx) reconstructed from R1 labels so
+        // that tampered R1 stays consistent with R2.
+        let mut x1_bits: Vec<Vec<bool>> = (0..nblocks).map(|b| vec![false; self.block_cap(b)]).collect();
+        let mut x2_bits = x1_bits.clone();
+        for v in 0..n {
+            let b = block_of[v];
+            let idx = r1n[v].idx;
+            if idx <= self.block_cap(b) {
+                x1_bits[b][idx - 1] = r1n[v].x1_bit;
+                x2_bits[b][idx - 1] = r1n[v].x2_bit;
+            }
+        }
+        // Cumulatives per block.
+        let mut a2 = vec![0u64; n];
+        let mut b1 = vec![0u64; n];
+        let mut ph = vec![0u64; n];
+        for b in 0..nblocks {
+            let cap = self.block_cap(b);
+            let size = self.block_size(b);
+            // Nodes of the block in idx order.
+            let start = self.block_start(b);
+            let members: Vec<NodeId> =
+                (0..size).map(|i| self.inst.path[start + i]).collect();
+            let pref2 = prefix_poly_evals(&fp, &x2_bits[b], r);
+            let prefp = prefix_poly_evals(&fp, &x1_bits[b], rp);
+            // Right-to-left suffix products over the x1 bits at r:
+            // suff[i] = prod over { j >= i+1 : x1[j-1] } of (j - r).
+            let mut suff1 = vec![1u64; cap + 1];
+            for i in (0..cap).rev() {
+                let fac = if x1_bits[b][i] { fp.sub((i + 1) as u64, r) } else { 1 };
+                suff1[i] = fp.mul(suff1[i + 1], fac);
+            }
+            for (i, &v) in members.iter().enumerate() {
+                let idx = i + 1;
+                let j = idx.min(cap);
+                a2[v] = pref2[j];
+                ph[v] = prefp[j];
+                // Right-to-left cumulative of x1: product over bits >= idx.
+                b1[v] = if idx > cap { 1 } else { suff1[idx - 1] };
+            }
+        }
+        let r2n: Vec<R2Node> = (0..n)
+            .map(|v| R2Node {
+                r,
+                rp,
+                rb: rb_of_block[block_of[v]],
+                a2: a2[v],
+                b1: b1[v],
+                ph: ph[v],
+            })
+            .collect();
+        // Outer-edge commitments.
+        let mut r2e: Vec<Option<R2Edge>> = vec![None; g.m()];
+        for e in 0..g.m() {
+            if let Some(R1Edge::Outer { index }) = r1e[e] {
+                let (t, h) = (self.tail(e), self.head(e));
+                let (bt, bh) = (block_of[t], block_of[h]);
+                let prefp_t = prefix_poly_evals(&fp, &x1_bits[bt], rp);
+                let prefp_h = prefix_poly_evals(&fp, &x1_bits[bh], rp);
+                let it = (index - 1).min(self.block_cap(bt));
+                let ih = (index - 1).min(self.block_cap(bh));
+                let jt = prefp_t[it];
+                let jh = prefp_h[ih];
+                // Honest: jt == jh (common prefix). Cheats commit the value
+                // that passes the tail block's check.
+                let j = match cheat {
+                    Some(LrCheat::OuterForgedIndex) | Some(LrCheat::OuterTrueIndex) => jt,
+                    _ => jh,
+                };
+                r2e[e] = Some(j);
+            }
+        }
+        (r2n, r2e)
+    }
+
+    /// Honest round-3 labels: two multiset equalities per block.
+    fn round3(
+        &self,
+        r1n: &[R1Node],
+        r1e: &[Option<R1Edge>],
+        r2n: &[R2Node],
+        r2e: &[Option<R2Edge>],
+        coins: &[LrCoins],
+    ) -> Vec<R3Node> {
+        let g = self.g();
+        let n = g.n();
+        let ms = MultisetEq::new(self.field_pp);
+        let (_block_of, nblocks) = self.honest_blocks();
+        let mut out = vec![
+            R3Node {
+                eq1: MsMsg { z: 0, a1: 0, a2: 0 },
+                eq0: MsMsg { z: 0, a1: 0, a2: 0 },
+            };
+            n
+        ];
+        for b in 0..nblocks {
+            let size = self.block_size(b);
+            let start = self.block_start(b);
+            let members: Vec<NodeId> = (0..size).map(|i| self.inst.path[start + i]).collect();
+            let headv = members[0];
+            let (z1, z0) = (coins[headv].z1, coins[headv].z0);
+            let parent: Vec<Option<usize>> =
+                (0..size).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+            let c1: Vec<Vec<u64>> =
+                members.iter().map(|&v| self.c_side(v, true, r1e, r2e)).collect();
+            let c0: Vec<Vec<u64>> =
+                members.iter().map(|&v| self.c_side(v, false, r1e, r2e)).collect();
+            let d1: Vec<Vec<u64>> = members
+                .iter()
+                .map(|&v| self.d_side(v, true, r1n, r2n))
+                .collect();
+            let d0: Vec<Vec<u64>> = members
+                .iter()
+                .map(|&v| self.d_side(v, false, r1n, r2n))
+                .collect();
+            let msgs1 = ms.honest_response(&parent, &|i| c1[i].clone(), &|i| d1[i].clone(), z1);
+            let msgs0 = ms.honest_response(&parent, &|i| c0[i].clone(), &|i| d0[i].clone(), z0);
+            for (i, &v) in members.iter().enumerate() {
+                out[v] = R3Node { eq1: msgs1[i], eq0: msgs0[i] };
+            }
+        }
+        out
+    }
+
+    /// Encodes a pair `(index, j)` as a field element of 𝔽_{p'}.
+    fn encode_pair(&self, index: usize, j: u64) -> u64 {
+        (index as u64 - 1) * self.field_p.modulus() + j
+    }
+
+    /// The C-side multiset of node `v`: the *set* of pairs on its incident
+    /// outer edges where `v` is the head (`head_side = true`) or the tail.
+    /// Node-local: reads only `v`'s incident edge labels.
+    fn c_side(
+        &self,
+        v: NodeId,
+        head_side: bool,
+        r1e: &[Option<R1Edge>],
+        r2e: &[Option<R2Edge>],
+    ) -> Vec<u64> {
+        let g = self.g();
+        let mut pairs = std::collections::BTreeSet::new();
+        for e in g.incident_edges(v) {
+            if let Some(R1Edge::Outer { index }) = r1e[e] {
+                let mine = (self.head(e) == v) == head_side;
+                if mine {
+                    if let Some(j) = r2e[e] {
+                        pairs.insert(self.encode_pair(index.max(1), j));
+                    }
+                }
+            }
+        }
+        pairs.into_iter().collect()
+    }
+
+    /// The D-side multiset of node `v`: `m1` (or `m0`) copies of
+    /// `(idx, φ_{idx−1}(r'))`, where the prefix value is read from the left
+    /// block-neighbor's round-2 label. Node-local.
+    fn d_side(&self, v: NodeId, one_side: bool, r1n: &[R1Node], r2n: &[R2Node]) -> Vec<u64> {
+        let me = r1n[v];
+        // Bit capacity is min(L, block size); it is below the index only
+        // when idx > L (blocks smaller than L exist only in the single-
+        // block case, where every index fits).
+        if me.idx > self.block_len {
+            return Vec::new();
+        }
+        if one_side != me.x1_bit {
+            return Vec::new();
+        }
+        let mult = if one_side { me.m1 } else { me.m0 };
+        if mult == 0 {
+            return Vec::new();
+        }
+        let prev_ph = if me.idx == 1 {
+            1
+        } else {
+            match self.left_path[v] {
+                Some(u) => r2n[u].ph,
+                None => 1,
+            }
+        };
+        let enc = self.encode_pair(me.idx, prev_ph);
+        vec![enc; mult as usize]
+    }
+
+    /// Runs the whole protocol and decides.
+    pub fn run(&self, cheat: Option<LrCheat>, seed: u64) -> RunResult {
+        let g = self.g();
+        let n = g.n();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // V-rounds: all nodes draw all coins (public coin model).
+        let coins: Vec<LrCoins> = (0..n)
+            .map(|_| LrCoins {
+                r: rng.gen_range(0..self.field_p.modulus()),
+                rp: rng.gen_range(0..self.field_p.modulus()),
+                rb: rng.gen_range(0..self.field_p.modulus()),
+                z1: rng.gen_range(0..self.field_pp.modulus()),
+                z0: rng.gen_range(0..self.field_pp.modulus()),
+            })
+            .collect();
+        let (r1n, r1e) = self.round1(cheat);
+        let (r2n, r2e) = self.round2(&r1n, &r1e, &coins, cheat);
+        let r3n = self.round3(&r1n, &r1e, &r2n, &r2e, &coins);
+        let t = LrTranscript { r1_node: r1n, r1_edge: r1e, r2_node: r2n, r2_edge: r2e, r3_node: r3n };
+        let stats = self.stats(&t);
+        let mut rej = Rejections::new();
+        for v in 0..n {
+            self.decide(v, &t, &coins, &mut rej);
+        }
+        rej.into_result(stats)
+    }
+
+    /// Size accounting for the honest transcript.
+    fn stats(&self, t: &LrTranscript) -> SizeStats {
+        let g = self.g();
+        let l = self.block_len;
+        let pb = self.field_p.element_bits();
+        let ppb = self.field_pp.element_bits();
+        let r1_node_bits = bits_for_max(2 * l) + 2 + 2 + 2 * bits_for_max(2 * l);
+        let r1_edge_bits = 1 + bits_for_max(l);
+        let r2_node_bits = 6 * pb;
+        let r2_edge_bits = pb;
+        let r3_node_bits = 6 * ppb;
+        let (max1, max2) = match self.transport {
+            Transport::Native => (
+                r1_node_bits.max(r1_edge_bits),
+                r2_node_bits.max(r2_edge_bits),
+            ),
+            Transport::Simulated => {
+                // Edge labels fold into the accountable endpoints' labels:
+                // count the real per-node burden through the carrier.
+                let values1: Vec<Option<R1Edge>> = t.r1_edge.clone();
+                let carrier = EdgeLabelCarrier::assign(g, &values1);
+                let per_edge1 = 1 + r1_edge_bits;
+                let per_edge2 = 1 + r2_edge_bits;
+                let code_and_slots =
+                    carrier.max_bits(g, |v| if v.is_some() { per_edge1 + per_edge2 } else { 2 });
+                (r1_node_bits + code_and_slots, r2_node_bits)
+            }
+        };
+        SizeStats {
+            per_round_max_bits: vec![max1, max2, r3_node_bits],
+            per_round_total_bits: vec![
+                max1 * g.n(),
+                max2 * g.n(),
+                r3_node_bits * g.n(),
+            ],
+            coin_bits: g.n() * (3 * pb + 2 * ppb),
+            rounds: 5,
+        }
+    }
+
+    /// The verifier decision at node `v` (node-local information only).
+    fn decide(&self, v: NodeId, t: &LrTranscript, coins: &[LrCoins], rej: &mut Rejections) {
+        let g = self.g();
+        let l = self.block_len;
+        let fp = self.field_p;
+        let me1 = t.r1_node[v];
+        let me2 = t.r2_node[v];
+        let left = self.left_path[v];
+        let right = self.right_path[v];
+        // --- S: structural checks on the block construction ---
+        if me1.idx == 0 || me1.idx > 2 * l.max(1) {
+            rej.reject(v, "lr: index out of range");
+            return;
+        }
+        if left.is_none() && me1.idx != 1 {
+            rej.reject(v, "lr: path head must start block 1");
+            return;
+        }
+        if let Some(u) = right {
+            let next = t.r1_node[u].idx;
+            let ok = next == me1.idx + 1 || (me1.idx >= l && next == 1);
+            rej.check(v, ok, || "lr: successor index breaks block structure".into());
+        }
+        // Consecutiveness marks (only bit-holding nodes).
+        let in_cap = me1.idx <= l && me1.idx <= self.block_len; // idx <= L
+        if in_cap {
+            let same_block_right = right.filter(|&u| t.r1_node[u].idx != 1);
+            let same_block_left = left.filter(|_| me1.idx != 1);
+            match me1.mark {
+                ConsecMark::Right => {
+                    rej.check(v, me1.x1_bit && !me1.x2_bit, || {
+                        "lr: right-of-pivot bits must be 1/0".into()
+                    });
+                    if let Some(u) = same_block_right {
+                        if t.r1_node[u].idx <= l {
+                            rej.check(v, t.r1_node[u].mark == ConsecMark::Right, || {
+                                "lr: right-of-pivot must extend right".into()
+                            });
+                        }
+                    }
+                }
+                ConsecMark::Pivot => {
+                    rej.check(v, !me1.x1_bit && me1.x2_bit, || {
+                        "lr: pivot bits must be 0/1".into()
+                    });
+                    if let Some(u) = same_block_right {
+                        if t.r1_node[u].idx <= l {
+                            rej.check(v, t.r1_node[u].mark == ConsecMark::Right, || {
+                                "lr: right of pivot must be marked right".into()
+                            });
+                        }
+                    }
+                    if let Some(u) = same_block_left {
+                        rej.check(v, t.r1_node[u].mark == ConsecMark::Left, || {
+                            "lr: left of pivot must be marked left".into()
+                        });
+                    }
+                }
+                ConsecMark::Left => {
+                    rej.check(v, me1.x1_bit == me1.x2_bit, || {
+                        "lr: left-of-pivot bits must agree".into()
+                    });
+                    if let Some(u) = same_block_left {
+                        rej.check(v, t.r1_node[u].mark == ConsecMark::Left, || {
+                            "lr: left-of-pivot must extend left".into()
+                        });
+                    }
+                }
+            }
+        }
+        // --- R2 echoes and cumulatives ---
+        if me2.r >= fp.modulus() || me2.rp >= fp.modulus() || me2.rb >= fp.modulus() {
+            rej.reject(v, "lr: r2 values not reduced");
+            return;
+        }
+        if left.is_none() {
+            rej.check(v, me2.r == coins[v].r && me2.rp == coins[v].rp, || {
+                "lr: path head challenge ignored".into()
+            });
+        }
+        if let Some(u) = left {
+            rej.check(v, t.r2_node[u].r == me2.r && t.r2_node[u].rp == me2.rp, || {
+                "lr: global challenge echo differs along path".into()
+            });
+        }
+        if me1.idx == 1 {
+            rej.check(v, me2.rb == coins[v].rb, || "lr: block head r_b ignored".into());
+        } else if let Some(u) = left {
+            rej.check(v, t.r2_node[u].rb == me2.rb, || "lr: r_b differs within block".into());
+        }
+        // Cumulative A2 (left-to-right over x2 bits).
+        let fac2 = if in_cap && me1.x2_bit { fp.sub(me1.idx as u64, me2.r) } else { 1 };
+        let a2_prev = if me1.idx == 1 {
+            1
+        } else {
+            left.map(|u| t.r2_node[u].a2).unwrap_or(1)
+        };
+        rej.check(v, me2.a2 == fp.mul(a2_prev, fac2), || "lr: A2 cumulative broken".into());
+        // Cumulative PH (left-to-right over x1 bits at r').
+        let facp = if in_cap && me1.x1_bit { fp.sub(me1.idx as u64, me2.rp) } else { 1 };
+        let ph_prev = if me1.idx == 1 {
+            1
+        } else {
+            left.map(|u| t.r2_node[u].ph).unwrap_or(1)
+        };
+        rej.check(v, me2.ph == fp.mul(ph_prev, facp), || "lr: PH cumulative broken".into());
+        // Cumulative B1 (right-to-left over x1 bits at r).
+        let fac1 = if in_cap && me1.x1_bit { fp.sub(me1.idx as u64, me2.r) } else { 1 };
+        let block_rightmost = match right {
+            None => true,
+            Some(u) => t.r1_node[u].idx == 1,
+        };
+        let b1_next = if block_rightmost {
+            1
+        } else {
+            right.map(|u| t.r2_node[u].b1).unwrap_or(1)
+        };
+        rej.check(v, me2.b1 == fp.mul(b1_next, fac1), || "lr: B1 cumulative broken".into());
+        // Block-adjacency equality: x2(b) == x1(b') at the boundary.
+        if let Some(u) = right {
+            if t.r1_node[u].idx == 1 {
+                rej.check(v, me2.a2 == t.r2_node[u].b1, || {
+                    "lr: adjacent blocks are not consecutive".into()
+                });
+            }
+        }
+        // --- E: per-edge checks ---
+        let mut head_pairs: std::collections::BTreeMap<usize, u64> = Default::default();
+        let mut tail_pairs: std::collections::BTreeMap<usize, u64> = Default::default();
+        for e in g.incident_edges(v) {
+            if self.is_path_edge[e] {
+                continue;
+            }
+            let Some(lbl) = t.r1_edge[e] else {
+                rej.reject(v, "lr: unlabeled non-path edge");
+                return;
+            };
+            let u = g.edge(e).other(v);
+            let i_am_head = self.head(e) == v;
+            match lbl {
+                R1Edge::Inner => {
+                    // Same r_b and index order.
+                    rej.check(v, t.r2_node[u].rb == me2.rb, || {
+                        "lr: inner edge spans blocks (r_b mismatch)".into()
+                    });
+                    let (ti, hi) = if i_am_head {
+                        (t.r1_node[u].idx, me1.idx)
+                    } else {
+                        (me1.idx, t.r1_node[u].idx)
+                    };
+                    rej.check(v, ti < hi, || "lr: inner edge directed right-to-left".into());
+                }
+                R1Edge::Outer { index } => {
+                    rej.check(v, index >= 1 && index <= l, || "lr: index out of range".into());
+                    let Some(j) = t.r2_edge[e] else {
+                        rej.reject(v, "lr: outer edge without commitment");
+                        return;
+                    };
+                    rej.check(v, j < fp.modulus(), || "lr: commitment not reduced".into());
+                    let side = if i_am_head { &mut head_pairs } else { &mut tail_pairs };
+                    match side.entry(index) {
+                        std::collections::btree_map::Entry::Vacant(slot) => {
+                            slot.insert(j);
+                        }
+                        std::collections::btree_map::Entry::Occupied(slot) => {
+                            rej.check(v, *slot.get() == j, || {
+                                "lr: same index committed to two prefixes".into()
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        for i in head_pairs.keys() {
+            rej.check(v, !tail_pairs.contains_key(i), || {
+                "lr: index claims bit 1 and bit 0 simultaneously".into()
+            });
+        }
+        // --- V: verification-scheme multiset equalities within the block ---
+        let ms = MultisetEq::new(self.field_pp);
+        let parent_local = if me1.idx == 1 { None } else { left };
+        let child_local = right.filter(|&u| t.r1_node[u].idx != 1);
+        // Build segment-local message views: we reuse MultisetEq::check by
+        // passing messages indexed 0 = me, 1 = parent, 2 = child.
+        let mut msgs1 = vec![t.r3_node[v].eq1];
+        let mut msgs0 = vec![t.r3_node[v].eq0];
+        let parent_idx = parent_local.map(|u| {
+            msgs1.push(t.r3_node[u].eq1);
+            msgs0.push(t.r3_node[u].eq0);
+            msgs1.len() - 1
+        });
+        let child_idx = child_local.map(|u| {
+            msgs1.push(t.r3_node[u].eq1);
+            msgs0.push(t.r3_node[u].eq0);
+            msgs1.len() - 1
+        });
+        let children: Vec<usize> = child_idx.into_iter().collect();
+        let s1_head = self.c_side(v, true, &t.r1_edge, &t.r2_edge);
+        let s1_tail = self.c_side(v, false, &t.r1_edge, &t.r2_edge);
+        let d_head = self.d_side_checked(v, true, t);
+        let d_tail = self.d_side_checked(v, false, t);
+        let root_z1 = if me1.idx == 1 { Some(coins[v].z1) } else { None };
+        let root_z0 = if me1.idx == 1 { Some(coins[v].z0) } else { None };
+        ms.check(v, 0, parent_idx, &children, &s1_head, &d_head, &msgs1, root_z1, rej);
+        ms.check(v, 0, parent_idx, &children, &s1_tail, &d_tail, &msgs0, root_z0, rej);
+    }
+
+    /// D-side multiset as the verifier reconstructs it locally: uses the
+    /// node's own idx / bit / multiplicity and the left neighbor's `ph`.
+    fn d_side_checked(&self, v: NodeId, one_side: bool, t: &LrTranscript) -> Vec<u64> {
+        let me = t.r1_node[v];
+        if me.idx > self.block_len {
+            return Vec::new();
+        }
+        if one_side != me.x1_bit {
+            return Vec::new();
+        }
+        let mult = if one_side { me.m1 } else { me.m0 };
+        if mult == 0 || mult as usize > 2 * self.block_len + 1 {
+            return Vec::new();
+        }
+        let prev_ph = if me.idx == 1 {
+            1
+        } else {
+            match self.left_path[v] {
+                Some(u) => t.r2_node[u].ph,
+                None => 1,
+            }
+        };
+        if prev_ph >= self.field_p.modulus() {
+            return Vec::new();
+        }
+        vec![self.encode_pair(me.idx, prev_ph); mult as usize]
+    }
+
+    /// Names of the cheat strategies in [`LR_CHEATS`] order.
+    pub fn cheat_names() -> Vec<String> {
+        vec![
+            "claim-inner".into(),
+            "outer-true-index".into(),
+            "outer-forged-index".into(),
+            "swap-block-positions".into(),
+        ]
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdip_graph::gen::lr::{random_lr_no, random_lr_yes};
+
+    fn yes_accepts(n: usize, extra: usize, planar: bool, transport: Transport, seed: u64) -> RunResult {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let inst = random_lr_yes(n, extra, planar, &mut rng);
+        let lr = LrSorting::new(&inst, LrParams::default(), transport);
+        lr.run(None, seed.wrapping_mul(31).wrapping_add(7))
+    }
+
+    #[test]
+    fn perfect_completeness_native() {
+        for n in [2usize, 3, 7, 16, 33, 100, 257] {
+            for seed in 0..5 {
+                let res = yes_accepts(n, n / 2, false, Transport::Native, seed);
+                assert!(
+                    res.accepted(),
+                    "n={n} seed={seed}: {:?}",
+                    res.rejections.first()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_completeness_planar() {
+        for n in [2usize, 5, 20, 64, 150] {
+            for seed in 0..5 {
+                let res = yes_accepts(n, n / 2, true, Transport::Simulated, seed);
+                assert!(
+                    res.accepted(),
+                    "n={n} seed={seed}: {:?}",
+                    res.rejections.first()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn proof_size_is_loglog() {
+        for n in [1usize << 8, 1 << 12, 1 << 14] {
+            let res = yes_accepts(n, n / 4, true, Transport::Native, 42);
+            let loglog = ((n as f64).log2()).log2();
+            let size = res.stats.proof_size() as f64;
+            assert!(size <= 40.0 * loglog, "n={n}: proof size {size} vs loglog {loglog}");
+        }
+    }
+
+    #[test]
+    fn all_cheats_mostly_rejected() {
+        let trials = 60;
+        for (ci, cheat) in LR_CHEATS.iter().enumerate() {
+            let mut accepted = 0;
+            let mut ran = 0;
+            for seed in 0..trials {
+                let mut rng = SmallRng::seed_from_u64(1000 + seed);
+                let Some(inst) = random_lr_no(60, 30, true, 1, &mut rng) else { continue };
+                let lr = LrSorting::new(&inst, LrParams::default(), Transport::Native);
+                ran += 1;
+                if lr.run(Some(*cheat), seed).accepted() {
+                    accepted += 1;
+                }
+            }
+            assert!(ran > trials / 2);
+            assert!(
+                (accepted as f64) < 0.2 * ran as f64,
+                "cheat {ci}: accepted {accepted}/{ran}"
+            );
+        }
+    }
+
+    #[test]
+    fn rounds_are_five() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let inst = random_lr_yes(20, 5, true, &mut rng);
+        let lr = LrSorting::new(&inst, LrParams::default(), Transport::Native);
+        assert_eq!(lr.rounds(), 5);
+        let res = lr.run(None, 3);
+        assert_eq!(res.stats.rounds, 5);
+        assert_eq!(res.stats.per_round_max_bits.len(), 3); // three prover rounds
+    }
+
+    #[test]
+    fn single_block_instances_work() {
+        // n smaller than the block length: a single short block.
+        for seed in 0..10 {
+            let res = yes_accepts(3, 1, true, Transport::Native, seed);
+            assert!(res.accepted(), "seed {seed}: {:?}", res.rejections.first());
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Multiset equality by polynomial identity testing (Lemma 2.6).
+//!
+//! Each node of a rooted aggregation segment (a block path or a spanning
+//! tree) holds two local multisets `S1(v)`, `S2(v)`; the task is to decide
+//! whether the global multiset unions agree. The segment root samples a
+//! point `z`, the prover assigns every node `z` plus the subtree
+//! evaluations `φ_{S1^v}(z)`, `φ_{S2^v}(z)` over 𝔽_p, and each node checks
+//! its value against its children's ("aggregation up the tree", KKP10
+//! Lemma 4.4). The root compares the two totals. Soundness `deg/p`.
+//!
+//! This module works on *segment-local* indices `0..k`; callers embed the
+//! segment into the graph (a block of the LR-sorting path, the committed
+//! Hamiltonian path, a sub-ear, ...).
+
+use pdip_core::Rejections;
+use pdip_field::{multiset_poly_eval, Fp};
+
+/// The prover's message to one segment node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsMsg {
+    /// Echo of the root's challenge.
+    pub z: u64,
+    /// `φ_{S1^v}(z)`: evaluation over the multiset union of `v`'s subtree.
+    pub a1: u64,
+    /// `φ_{S2^v}(z)` likewise.
+    pub a2: u64,
+}
+
+/// The multiset-equality sub-protocol over a fixed field.
+#[derive(Debug, Clone, Copy)]
+pub struct MultisetEq {
+    field: Fp,
+}
+
+impl MultisetEq {
+    /// Creates the sub-protocol over 𝔽_p.
+    pub fn new(field: Fp) -> Self {
+        MultisetEq { field }
+    }
+
+    /// The field in use.
+    pub fn field(&self) -> Fp {
+        self.field
+    }
+
+    /// Message size in bits (three field elements).
+    pub fn msg_bits(&self) -> usize {
+        3 * self.field.element_bits()
+    }
+
+    /// Honest prover: computes all subtree evaluations for a segment of
+    /// size `k` with parent pointers `parent[i]` (local indices; exactly
+    /// one root) and per-node multisets `s1`, `s2`.
+    ///
+    /// # Panics
+    /// Panics if the parent pointers are cyclic.
+    pub fn honest_response(
+        &self,
+        parent: &[Option<usize>],
+        s1: &dyn Fn(usize) -> Vec<u64>,
+        s2: &dyn Fn(usize) -> Vec<u64>,
+        z: u64,
+    ) -> Vec<MsMsg> {
+        let k = parent.len();
+        let f = &self.field;
+        let mut a1: Vec<u64> = (0..k).map(|i| multiset_poly_eval(f, s1(i), z)).collect();
+        let mut a2: Vec<u64> = (0..k).map(|i| multiset_poly_eval(f, s2(i), z)).collect();
+        // Bottom-up accumulation: order nodes by decreasing depth.
+        let mut depth = vec![usize::MAX; k];
+        for i in 0..k {
+            let mut cur = i;
+            let mut chain = Vec::new();
+            while depth[cur] == usize::MAX {
+                chain.push(cur);
+                match parent[cur] {
+                    None => break,
+                    Some(p) => {
+                        assert!(!chain.contains(&p), "cyclic parents");
+                        cur = p;
+                    }
+                }
+            }
+            let base = match parent[*chain.last().unwrap()] {
+                None => 0,
+                Some(p) => depth[p] + 1,
+            };
+            for (j, &w) in chain.iter().enumerate() {
+                depth[w] = base + (chain.len() - 1 - j);
+            }
+        }
+        let mut order: Vec<usize> = (0..k).collect();
+        order.sort_by(|&a, &b| depth[b].cmp(&depth[a]));
+        for &i in &order {
+            if let Some(p) = parent[i] {
+                a1[p] = f.mul(a1[p], a1[i]);
+                a2[p] = f.mul(a2[p], a2[i]);
+            }
+        }
+        (0..k).map(|i| MsMsg { z, a1: a1[i], a2: a2[i] }).collect()
+    }
+
+    /// The verifier check at segment node `i`.
+    ///
+    /// * `node` — the graph-level node id (for rejection reporting only);
+    /// * `root_coin` — `Some(z)` iff `i` is the segment root that sampled `z`;
+    /// * `children` — `i`'s children (local indices);
+    /// * `own_s1` / `own_s2` — `i`'s local multisets (its *input*).
+    #[allow(clippy::too_many_arguments)]
+    pub fn check(
+        &self,
+        node: usize,
+        i: usize,
+        parent: Option<usize>,
+        children: &[usize],
+        own_s1: &[u64],
+        own_s2: &[u64],
+        msgs: &[MsMsg],
+        root_coin: Option<u64>,
+        rej: &mut Rejections,
+    ) {
+        let f = &self.field;
+        let me = msgs[i];
+        if me.z >= f.modulus() || me.a1 >= f.modulus() || me.a2 >= f.modulus() {
+            rej.reject(node, "mseq: message not reduced mod p");
+            return;
+        }
+        if let Some(z) = root_coin {
+            if me.z != z {
+                rej.reject(node, "mseq: root challenge ignored");
+                return;
+            }
+        }
+        if let Some(p) = parent {
+            if msgs[p].z != me.z {
+                rej.reject(node, "mseq: challenge differs from parent");
+                return;
+            }
+        }
+        // Recompute own contribution and fold in children's claims.
+        let mut e1 = multiset_poly_eval(f, own_s1.iter().copied(), me.z);
+        let mut e2 = multiset_poly_eval(f, own_s2.iter().copied(), me.z);
+        for &c in children {
+            if msgs[c].z != me.z {
+                rej.reject(node, "mseq: challenge differs from a child");
+                return;
+            }
+            e1 = f.mul(e1, msgs[c].a1);
+            e2 = f.mul(e2, msgs[c].a2);
+        }
+        if me.a1 != e1 || me.a2 != e2 {
+            rej.reject(node, "mseq: subtree aggregation mismatch");
+            return;
+        }
+        if parent.is_none() && me.a1 != me.a2 {
+            rej.reject(node, "mseq: root totals differ (S1 != S2)");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdip_field::smallest_prime_above;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Runs the sub-protocol end to end on a path segment rooted at 0.
+    fn run_path(
+        s1: Vec<Vec<u64>>,
+        s2: Vec<Vec<u64>>,
+        tamper: impl Fn(&mut Vec<MsMsg>),
+        seed: u64,
+    ) -> bool {
+        let k = s1.len();
+        let f = Fp::new(smallest_prime_above(1 << 16));
+        let ms = MultisetEq::new(f);
+        let parent: Vec<Option<usize>> = (0..k).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let z = rng.gen_range(0..f.modulus());
+        let s1f = s1.clone();
+        let s2f = s2.clone();
+        let mut msgs = ms.honest_response(
+            &parent,
+            &|i| s1f[i].clone(),
+            &|i| s2f[i].clone(),
+            z,
+        );
+        tamper(&mut msgs);
+        let mut rej = Rejections::new();
+        for i in 0..k {
+            let children: Vec<usize> = if i + 1 < k { vec![i + 1] } else { vec![] };
+            ms.check(
+                i,
+                i,
+                parent[i],
+                &children,
+                &s1[i],
+                &s2[i],
+                &msgs,
+                if i == 0 { Some(z) } else { None },
+                &mut rej,
+            );
+        }
+        !rej.any()
+    }
+
+    #[test]
+    fn equal_multisets_accepted() {
+        let s1 = vec![vec![3, 5], vec![], vec![7, 7], vec![9]];
+        let s2 = vec![vec![7], vec![9, 3], vec![5], vec![7]];
+        for seed in 0..30 {
+            assert!(run_path(s1.clone(), s2.clone(), |_| {}, seed));
+        }
+    }
+
+    #[test]
+    fn unequal_multisets_rejected_whp() {
+        let s1 = vec![vec![3, 5], vec![], vec![7, 7], vec![9]];
+        let s2 = vec![vec![7], vec![9, 3], vec![5], vec![8]]; // 8 instead of 7
+        let mut accepted = 0;
+        for seed in 0..300 {
+            if run_path(s1.clone(), s2.clone(), |_| {}, seed) {
+                accepted += 1;
+            }
+        }
+        // Degree <= 5 difference over a 2^16 field: acceptance ~ 5/65536.
+        assert!(accepted <= 2, "accepted {accepted}/300");
+    }
+
+    #[test]
+    fn multiplicity_difference_rejected() {
+        let s1 = vec![vec![4, 4], vec![4]];
+        let s2 = vec![vec![4], vec![4]];
+        let mut accepted = 0;
+        for seed in 0..200 {
+            if run_path(s1.clone(), s2.clone(), |_| {}, seed) {
+                accepted += 1;
+            }
+        }
+        assert!(accepted <= 2);
+    }
+
+    #[test]
+    fn tampered_aggregate_rejected() {
+        let s1 = vec![vec![1], vec![2], vec![3]];
+        let s2 = vec![vec![3], vec![1], vec![2]];
+        // Flip one aggregate value: the parent's recomputation catches it,
+        // or the node's own check does.
+        for seed in 0..20 {
+            let ok = run_path(
+                s1.clone(),
+                s2.clone(),
+                |msgs| {
+                    msgs[1].a1 = msgs[1].a1.wrapping_add(1) % (1 << 16);
+                },
+                seed,
+            );
+            assert!(!ok);
+        }
+    }
+
+    #[test]
+    fn forged_challenge_rejected() {
+        let s1 = vec![vec![1], vec![2]];
+        let s2 = vec![vec![2], vec![1]];
+        for seed in 0..20 {
+            let ok = run_path(
+                s1.clone(),
+                s2.clone(),
+                |msgs| {
+                    let z2 = (msgs[0].z + 1) % 65537;
+                    for m in msgs.iter_mut() {
+                        m.z = z2;
+                    }
+                },
+                seed,
+            );
+            assert!(!ok, "root must catch a replaced challenge");
+        }
+    }
+
+    #[test]
+    fn works_on_star_trees() {
+        // Root 0 with 5 leaf children.
+        let f = Fp::new(smallest_prime_above(1 << 16));
+        let ms = MultisetEq::new(f);
+        let parent: Vec<Option<usize>> =
+            std::iter::once(None).chain((1..6).map(|_| Some(0))).collect();
+        let s1: Vec<Vec<u64>> = vec![vec![10], vec![1], vec![2], vec![3], vec![4], vec![5]];
+        let s2: Vec<Vec<u64>> = vec![vec![5], vec![10], vec![4], vec![3], vec![2], vec![1]];
+        let z = 12345;
+        let s1c = s1.clone();
+        let s2c = s2.clone();
+        let msgs =
+            ms.honest_response(&parent, &|i| s1c[i].clone(), &|i| s2c[i].clone(), z);
+        let mut rej = Rejections::new();
+        let children: Vec<usize> = (1..6).collect();
+        ms.check(0, 0, None, &children, &s1[0], &s2[0], &msgs, Some(z), &mut rej);
+        for i in 1..6 {
+            ms.check(i, i, Some(0), &[], &s1[i], &s2[i], &msgs, None, &mut rej);
+        }
+        assert!(!rej.any());
+    }
+}

@@ -1,0 +1,568 @@
+//! The nesting-verification stage of the path-outerplanarity protocol
+//! (§5 of the paper).
+//!
+//! Given a committed Hamiltonian path and a (verified) left/right
+//! orientation of every non-path edge, the prover proves that the arcs are
+//! properly nested. Every node samples a random tag `s_v`; the *name* of
+//! arc `(u, v)` (with `u ≺ v`) is the pair `(s_u, s_v)`. The prover marks
+//! the longest left/right arc at each node (Observation 2.1), and assigns
+//! each arc its successor's name (`succ`) and each node the name of the
+//! first arc drawn entirely above it (`above`, with ⊥ for none). The
+//! verifier's local conditions (1)–(5) tie these together so that any
+//! crossing forces a chain of equalities that ends in a tag collision —
+//! probability `2^{-Θ(ℓ)}`.
+//!
+//! The condition-(2) check ("there exists an ordering of my arcs") is
+//! existential. With distinct names it reduces to following unique `succ`
+//! pointers; under adversarial tag collisions it is solved exactly by a
+//! grouped DP (the model does not bound verifier computation), with a
+//! state cap that rejects pathological blow-ups.
+
+use pdip_core::{Rejections, Tag};
+use pdip_graph::{EdgeId, Graph, NodeId};
+
+/// The name of a (possibly virtual) arc: `None` is the paper's ⊥ (the
+/// virtual edge covering everything).
+pub type ArcName = Option<(Tag, Tag)>;
+
+/// Per-arc prover labels of the nesting stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArcLabel {
+    /// Marked as the longest right arc of its left endpoint.
+    pub longest_right_of_tail: bool,
+    /// Marked as the longest left arc of its right endpoint.
+    pub longest_left_of_head: bool,
+    /// The arc's own name (round 3; must match the sampled tags).
+    pub name: (Tag, Tag),
+    /// The successor's name (⊥ when the successor is virtual).
+    pub succ: ArcName,
+}
+
+/// Per-node prover label of the nesting stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AboveLabel {
+    /// Name of the first arc drawn entirely above this node (⊥ for none).
+    pub above: ArcName,
+}
+
+/// The complete nesting-stage assignment.
+///
+/// Besides the paper's `name` / `succ` / `above` labels this carries one
+/// extra name-sized label per *path edge*: `gap(v, u)` — the name of the
+/// innermost arc strictly covering the gap between consecutive path nodes.
+/// The announcement's conditions (4)/(5), read literally, fail on honest
+/// fan instances (`above` of adjacent nodes legitimately differ when an
+/// arc ends between them); the gap label restores a sound *and* complete
+/// local condition: each side of a path edge must derive the same covering
+/// arc — `name(e₁)` of its innermost arc on that side, or its own `above`
+/// when it has none. See DESIGN.md §3.
+#[derive(Debug, Clone)]
+pub struct NestingLabels {
+    /// Arc labels indexed by edge id (`None` on path edges).
+    pub arcs: Vec<Option<ArcLabel>>,
+    /// Node labels.
+    pub above: Vec<AboveLabel>,
+    /// Per-path-edge gap labels (`None` on non-path edges).
+    pub gaps: Vec<Option<ArcName>>,
+}
+
+impl NestingLabels {
+    /// Size in bits of the per-arc label (2 mark bits + name + succ).
+    pub fn arc_bits(tag_bits: usize) -> usize {
+        2 + 2 * tag_bits + (1 + 2 * tag_bits)
+    }
+
+    /// Size in bits of the per-node label.
+    pub fn node_bits(tag_bits: usize) -> usize {
+        1 + 2 * tag_bits
+    }
+
+    /// Size in bits of the per-path-edge gap label.
+    pub fn gap_bits(tag_bits: usize) -> usize {
+        1 + 2 * tag_bits
+    }
+}
+
+/// The prover-side sweep. `positions[v]` is the claimed path position of
+/// node `v` (a permutation); `arcs` lists the non-path edges. On properly
+/// nested instances the output satisfies all verifier conditions; on
+/// crossing instances it is the natural best-effort assignment (arcs
+/// buried in the stack are extracted out of order).
+pub fn sweep_assign(
+    g: &Graph,
+    positions: &[usize],
+    path_order: &[NodeId],
+    is_path_edge: &[bool],
+    tags: &[Tag],
+) -> NestingLabels {
+    let n = g.n();
+    let name_of = |e: EdgeId| -> (Tag, Tag) {
+        let edge = g.edge(e);
+        let (a, b) = if positions[edge.u] < positions[edge.v] {
+            (edge.u, edge.v)
+        } else {
+            (edge.v, edge.u)
+        };
+        (tags[a], tags[b])
+    };
+    // Longest arcs per node and side.
+    let mut longest_right: Vec<Option<EdgeId>> = vec![None; n];
+    let mut longest_left: Vec<Option<EdgeId>> = vec![None; n];
+    for e in 0..g.m() {
+        if is_path_edge[e] {
+            continue;
+        }
+        let edge = g.edge(e);
+        let (a, b) = if positions[edge.u] < positions[edge.v] {
+            (edge.u, edge.v)
+        } else {
+            (edge.v, edge.u)
+        };
+        let better_r = longest_right[a].is_none_or(|f| {
+            let fe = g.edge(f);
+            let fb = if positions[fe.u] > positions[fe.v] { fe.u } else { fe.v };
+            positions[b] > positions[fb]
+        });
+        if better_r {
+            longest_right[a] = Some(e);
+        }
+        let better_l = longest_left[b].is_none_or(|f| {
+            let fe = g.edge(f);
+            let fa = if positions[fe.u] < positions[fe.v] { fe.u } else { fe.v };
+            positions[a] < positions[fa]
+        });
+        if better_l {
+            longest_left[b] = Some(e);
+        }
+    }
+    // Sweep left to right with an arc stack.
+    let mut arcs: Vec<Option<ArcLabel>> = vec![None; g.m()];
+    let mut above: Vec<AboveLabel> = vec![AboveLabel { above: None }; n];
+    let mut gaps: Vec<Option<ArcName>> = vec![None; g.m()];
+    let mut stack: Vec<EdgeId> = Vec::new();
+    for &w in path_order {
+        // Pop (extract) arcs ending at w.
+        stack.retain(|&e| {
+            let edge = g.edge(e);
+            let right = if positions[edge.u] > positions[edge.v] { edge.u } else { edge.v };
+            right != w
+        });
+        // `above(w)`: the innermost arc strictly covering w at this point.
+        above[w] = AboveLabel { above: stack.last().map(|&e| name_of(e)) };
+        // Push arcs starting at w, longest first.
+        let mut starting: Vec<EdgeId> = g
+            .incident_edges(w)
+            .filter(|&e| {
+                if is_path_edge[e] {
+                    return false;
+                }
+                let edge = g.edge(e);
+                let left =
+                    if positions[edge.u] < positions[edge.v] { edge.u } else { edge.v };
+                left == w
+            })
+            .collect();
+        starting.sort_by_key(|&e| {
+            let edge = g.edge(e);
+            let right = if positions[edge.u] > positions[edge.v] { edge.u } else { edge.v };
+            std::cmp::Reverse(positions[right])
+        });
+        for e in starting {
+            let succ = stack.last().map(|&f| name_of(f));
+            let edge = g.edge(e);
+            let (a, b) = if positions[edge.u] < positions[edge.v] {
+                (edge.u, edge.v)
+            } else {
+                (edge.v, edge.u)
+            };
+            arcs[e] = Some(ArcLabel {
+                longest_right_of_tail: longest_right[a] == Some(e),
+                longest_left_of_head: longest_left[b] == Some(e),
+                name: name_of(e),
+                succ,
+            });
+            stack.push(e);
+        }
+        // The gap between w and its right path neighbor: innermost arc on
+        // the stack after w's pushes.
+        if positions[w] + 1 < n {
+            let next = path_order[positions[w] + 1];
+            if let Some(pe) = g.edge_between(w, next) {
+                gaps[pe] = Some(stack.last().map(|&e| name_of(e)));
+            }
+        }
+    }
+    NestingLabels { arcs, above, gaps }
+}
+
+/// Tamper: forcibly mark `edge` as the longest left arc of its head and
+/// clear the mark from the currently marked arc (a minimal cheating move
+/// for arcs that violate Observation 2.1).
+pub fn force_longest_left(labels: &mut NestingLabels, g: &Graph, positions: &[usize], edge: EdgeId) {
+    let e = g.edge(edge);
+    let head = if positions[e.u] > positions[e.v] { e.u } else { e.v };
+    for f in g.incident_edges(head) {
+        if let Some(l) = labels.arcs[f].as_mut() {
+            let fe = g.edge(f);
+            let fhead = if positions[fe.u] > positions[fe.v] { fe.u } else { fe.v };
+            if fhead == head {
+                l.longest_left_of_head = f == edge;
+            }
+        }
+    }
+}
+
+/// One arc as seen from a node during the decision: its name, successor
+/// name, and whether it is marked longest on this node's side.
+#[derive(Debug, Clone, Copy)]
+struct SideArc {
+    name: (Tag, Tag),
+    succ: ArcName,
+    longest_here: bool,
+    longest_other: bool,
+}
+
+/// The verifier's nesting checks at node `v` (conditions of §5).
+///
+/// * `left_nb` / `right_nb` — path neighbors (from the committed path);
+/// * `is_left_arc(e)` — the verified orientation: `e`'s other endpoint
+///   precedes `v`;
+/// * `tags` — the sampled round-2 coins (only `v`'s own and neighbors'
+///   entries are read);
+/// * `labels` — the prover's round-3 assignment.
+#[allow(clippy::too_many_arguments)]
+pub fn check_node(
+    g: &Graph,
+    v: NodeId,
+    left_nb: Option<NodeId>,
+    right_nb: Option<NodeId>,
+    is_path_edge: &[bool],
+    is_left_arc: &dyn Fn(EdgeId) -> bool,
+    tags: &[Tag],
+    labels: &NestingLabels,
+    rej: &mut Rejections,
+) {
+    let mut lefts: Vec<SideArc> = Vec::new();
+    let mut rights: Vec<SideArc> = Vec::new();
+    for e in g.incident_edges(v) {
+        if is_path_edge[e] {
+            continue;
+        }
+        let Some(l) = labels.arcs[e] else {
+            rej.reject(v, "nest: unlabeled arc");
+            return;
+        };
+        let u = g.edge(e).other(v);
+        let left = is_left_arc(e);
+        // Name must match the sampled tags (own tag and the neighbor's tag,
+        // both visible to v).
+        let want = if left { (tags[u], tags[v]) } else { (tags[v], tags[u]) };
+        if l.name != want {
+            rej.reject(v, "nest: arc name does not match sampled tags");
+            return;
+        }
+        let sa = SideArc {
+            name: l.name,
+            succ: l.succ,
+            longest_here: if left { l.longest_left_of_head } else { l.longest_right_of_tail },
+            longest_other: if left { l.longest_right_of_tail } else { l.longest_left_of_head },
+        };
+        if left {
+            lefts.push(sa);
+        } else {
+            rights.push(sa);
+        }
+    }
+    // Initial marking checks: exactly one longest per nonempty side; every
+    // non-longest arc here must be longest at its other endpoint.
+    for (side, arcs) in [("left", &lefts), ("right", &rights)] {
+        if arcs.is_empty() {
+            continue;
+        }
+        let marked = arcs.iter().filter(|a| a.longest_here).count();
+        if marked != 1 {
+            rej.reject(v, format!("nest: {marked} longest-{side} marks"));
+            return;
+        }
+        for a in arcs.iter() {
+            if !a.longest_here && !a.longest_other {
+                rej.reject(v, "nest: non-longest arc unmarked at both ends");
+                return;
+            }
+        }
+    }
+    let my_above = labels.above[v].above;
+    // Conditions (3): the longest arcs on both sides share succ == above(v).
+    for arcs in [&lefts, &rights] {
+        if let Some(a) = arcs.iter().find(|a| a.longest_here) {
+            if a.succ != my_above {
+                rej.reject(v, "nest: longest arc succ != above(v)");
+                return;
+            }
+        }
+    }
+    // Conditions (4)/(5), gap form: each side of a path edge derives the
+    // arc covering the gap — the innermost arc on that side (its chain's
+    // first element) or, with no arcs on that side, the node's `above`.
+    if let Some(u) = right_nb {
+        let Some(pe) = g.edge_between(v, u) else {
+            rej.reject(v, "nest: committed path uses a non-edge");
+            return;
+        };
+        let Some(gap) = labels.gaps[pe] else {
+            rej.reject(v, "nest: path edge without gap label");
+            return;
+        };
+        if rights.is_empty() {
+            if my_above != gap {
+                rej.reject(v, "nest: above differs from right gap");
+                return;
+            }
+        } else if !exists_chain(&rights, Some(gap), rej, v, "right") {
+            return;
+        }
+    } else if !rights.is_empty() && !exists_chain(&rights, None, rej, v, "right") {
+        return;
+    }
+    if let Some(u) = left_nb {
+        let Some(pe) = g.edge_between(v, u) else {
+            rej.reject(v, "nest: committed path uses a non-edge");
+            return;
+        };
+        let Some(gap) = labels.gaps[pe] else {
+            rej.reject(v, "nest: path edge without gap label");
+            return;
+        };
+        if lefts.is_empty() {
+            if my_above != gap {
+                rej.reject(v, "nest: above differs from left gap");
+            }
+        } else if !exists_chain(&lefts, Some(gap), rej, v, "left") {
+        }
+    } else if !lefts.is_empty() && !exists_chain(&lefts, None, rej, v, "left") {
+    }
+}
+
+/// Condition (1)+(2): does an ordering `e_1, ..., e_k` of `arcs` exist with
+/// `succ(e_i) = name(e_{i+1})`, ending at the longest-marked arc, and (if
+/// `first` is given) starting at an arc whose name equals `first`?
+///
+/// Exact under distinct names; under name collisions a grouped DP searches
+/// all orderings, with a visited-state cap (reject beyond — adversarial
+/// blow-up only, see module docs).
+fn exists_chain(
+    arcs: &[SideArc],
+    first: Option<ArcName>,
+    rej: &mut Rejections,
+    v: NodeId,
+    side: &str,
+) -> bool {
+    let longest_idx = arcs.iter().position(|a| a.longest_here).expect("checked above");
+    if arcs.len() == 1 {
+        // The chain is just the longest arc: condition (4)/(5) pins its name.
+        let ok = first.is_none_or(|f| f == Some(arcs[0].name));
+        if !ok {
+            rej.reject(v, format!("nest: single {side} arc name mismatch with neighbor above"));
+        }
+        return ok;
+    }
+    // Group the non-longest arcs by (name, succ): chain feasibility only
+    // depends on group counts.
+    let mut groups: Vec<((Tag, Tag), ArcName, usize)> = Vec::new();
+    for (i, a) in arcs.iter().enumerate() {
+        if i == longest_idx {
+            continue;
+        }
+        if let Some(gr) = groups.iter_mut().find(|g| g.0 == a.name && g.1 == a.succ) {
+            gr.2 += 1;
+        } else {
+            groups.push((a.name, a.succ, 1));
+        }
+    }
+    // Search backwards from the end: the arc before the longest must have
+    // succ == Some(name(longest)); each further backwards step places an
+    // arc whose succ equals Some(name of the arc placed after it). The
+    // final backwards placement is e_1, whose *name* must match `first`.
+    let mut visited: std::collections::HashSet<((Tag, Tag), Vec<usize>)> = Default::default();
+    let init_remaining: Vec<usize> = groups.iter().map(|g| g.2).collect();
+    let mut stack: Vec<((Tag, Tag), Vec<usize>)> =
+        vec![(arcs[longest_idx].name, init_remaining)];
+    let cap = 200_000usize;
+    let mut steps = 0usize;
+    while let Some((need, remaining)) = stack.pop() {
+        steps += 1;
+        if steps > cap {
+            rej.reject(v, format!("nest: {side} ordering search exceeded cap"));
+            return false;
+        }
+        if !visited.insert((need, remaining.clone())) {
+            continue;
+        }
+        let left: usize = remaining.iter().sum();
+        for (gi, gr) in groups.iter().enumerate() {
+            if remaining[gi] == 0 {
+                continue;
+            }
+            if gr.1 != Some(need) {
+                continue; // the arc's succ must name the arc placed after it
+            }
+            if left == 1 {
+                // Placing e_1: enforce the `first` constraint.
+                if first.is_none_or(|f| f == Some(gr.0)) {
+                    return true;
+                }
+                continue;
+            }
+            let mut rem2 = remaining.clone();
+            rem2[gi] -= 1;
+            stack.push((gr.0, rem2));
+        }
+    }
+    rej.reject(v, format!("nest: no valid {side} arc ordering"));
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdip_graph::gen::outerplanar::random_path_outerplanar;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn run_nesting(
+        g: &Graph,
+        path: &[NodeId],
+        tamper: impl Fn(&mut NestingLabels),
+        seed: u64,
+    ) -> bool {
+        let n = g.n();
+        let mut positions = vec![0usize; n];
+        for (i, &v) in path.iter().enumerate() {
+            positions[v] = i;
+        }
+        let mut is_path_edge = vec![false; g.m()];
+        for w in path.windows(2) {
+            is_path_edge[g.edge_between(w[0], w[1]).unwrap()] = true;
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let tag_bits = 24;
+        let tags: Vec<Tag> = (0..n).map(|_| Tag::random(tag_bits, &mut rng)).collect();
+        let mut labels = sweep_assign(g, &positions, path, &is_path_edge, &tags);
+        tamper(&mut labels);
+        let mut rej = Rejections::new();
+        for v in 0..n {
+            let pos = positions[v];
+            let left_nb = if pos > 0 { Some(path[pos - 1]) } else { None };
+            let right_nb = if pos + 1 < n { Some(path[pos + 1]) } else { None };
+            let is_left = |e: EdgeId| positions[g.edge(e).other(v)] < pos;
+            check_node(
+                g,
+                v,
+                left_nb,
+                right_nb,
+                &is_path_edge,
+                &is_left,
+                &tags,
+                &labels,
+                &mut rej,
+            );
+        }
+        !rej.any()
+    }
+
+    #[test]
+    fn honest_nested_instances_accepted() {
+        let mut rng = SmallRng::seed_from_u64(71);
+        for n in [2usize, 3, 5, 12, 40, 120] {
+            for _ in 0..4 {
+                let inst = random_path_outerplanar(n, 0.7, &mut rng);
+                let seed = rng.gen();
+                assert!(
+                    run_nesting(&inst.graph, &inst.path, |_| {}, seed),
+                    "n = {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fan_instance_accepted() {
+        let mut rng = SmallRng::seed_from_u64(72);
+        let inst = pdip_graph::gen::outerplanar::fan_path_outerplanar(30, &mut rng);
+        for seed in 0..10 {
+            assert!(run_nesting(&inst.graph, &inst.path, |_| {}, seed));
+        }
+    }
+
+    #[test]
+    fn crossing_arcs_rejected() {
+        // Path 0-1-2-3-4 with crossing arcs (0,2) and (1,4): with the path
+        // *fixed as input*, the nesting stage must reject (whp).
+        let mut g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        g.add_edge(0, 2);
+        g.add_edge(1, 4);
+        let path = vec![0, 1, 2, 3, 4];
+        let mut accepted = 0;
+        for seed in 0..200 {
+            if run_nesting(&g, &path, |_| {}, seed) {
+                accepted += 1;
+            }
+        }
+        assert!(accepted <= 4, "crossing accepted {accepted}/200");
+    }
+
+    #[test]
+    fn crossing_with_forced_marks_rejected() {
+        let mut g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let cross1 = g.add_edge(0, 3);
+        g.add_edge(2, 5);
+        let path = vec![0, 1, 2, 3, 4, 5];
+        let mut positions = vec![0usize; 6];
+        for (i, &v) in path.iter().enumerate() {
+            positions[v] = i;
+        }
+        let mut accepted = 0;
+        for seed in 0..200 {
+            if run_nesting(
+                &g,
+                &path,
+                |labels| force_longest_left(labels, &g, &positions, cross1),
+                seed,
+            ) {
+                accepted += 1;
+            }
+        }
+        assert!(accepted <= 4, "forced-mark cheat accepted {accepted}/200");
+    }
+
+    #[test]
+    fn tampered_succ_rejected() {
+        let mut rng = SmallRng::seed_from_u64(73);
+        let inst = random_path_outerplanar(30, 0.8, &mut rng);
+        let arc = (0..inst.graph.m()).find(|&e| {
+            // a non-path edge
+            let edge = inst.graph.edge(e);
+            let pu = inst.path.iter().position(|&x| x == edge.u).unwrap();
+            let pv = inst.path.iter().position(|&x| x == edge.v).unwrap();
+            pu.abs_diff(pv) > 1
+        });
+        let Some(arc) = arc else { return };
+        let mut rejected = 0;
+        for seed in 0..50 {
+            let ok = run_nesting(
+                &inst.graph,
+                &inst.path,
+                |labels| {
+                    if let Some(l) = labels.arcs[arc].as_mut() {
+                        l.succ = Some((Tag::zero(24), Tag::zero(24)));
+                    }
+                },
+                seed,
+            );
+            if !ok {
+                rejected += 1;
+            }
+        }
+        assert!(rejected >= 45, "tampered succ rejected only {rejected}/50");
+    }
+}

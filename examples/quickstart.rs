@@ -1,0 +1,65 @@
+//! Quickstart: generate an instance of every graph family of the paper,
+//! run the corresponding 5-round distributed interactive proof with the
+//! honest prover, and print the verdict, round count and proof size.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use planarity_dip::dip::DipProtocol;
+use planarity_dip::graph::gen;
+use planarity_dip::protocols::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn report(p: &dyn DipProtocol, seed: u64) {
+    let res = p.run_honest(seed);
+    println!(
+        "{:<24} n = {:>5}   rounds = {}   proof size = {:>4} bits   verdict = {}",
+        p.name(),
+        p.instance_size(),
+        p.rounds(),
+        res.stats.proof_size(),
+        if res.accepted() { "accept" } else { "REJECT" },
+    );
+    assert!(res.accepted(), "honest runs must accept: {:?}", res.rejections.first());
+}
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(42);
+    let n = 512;
+    println!("planarity-dip quickstart — honest runs on n = {n} instances\n");
+
+    let g = gen::outerplanar::random_path_outerplanar(n, 0.6, &mut rng);
+    let inst = PopInstance { graph: g.graph, witness: Some(g.path), is_yes: true };
+    report(&PathOuterplanarity::new(&inst, PopParams::default(), Transport::Native), 1);
+
+    let g = gen::outerplanar::random_outerplanar(n, 8, 0.5, &mut rng);
+    let inst = OpInstance { graph: g.graph, is_yes: true };
+    report(&Outerplanarity::new(&inst, PopParams::default(), Transport::Native), 2);
+
+    let g = gen::planar::random_planar(n, 0.5, &mut rng);
+    let inst = EmbInstance { graph: g.graph, rho: g.rho, is_yes: true };
+    report(&EmbeddedPlanarity::new(&inst, PopParams::default(), Transport::Native), 3);
+
+    let g = gen::planar::random_planar(n, 0.5, &mut rng);
+    let inst = PlInstance { graph: g.graph, witness_rho: Some(g.rho), is_yes: true };
+    report(&Planarity::new(&inst, PopParams::default(), Transport::Native), 4);
+
+    let g = gen::sp::random_series_parallel(n / 2, &mut rng);
+    let inst = SpaInstance { graph: g.graph, is_yes: true };
+    report(&SeriesParallel::new(&inst, PopParams::default(), Transport::Native), 5);
+
+    let g = gen::sp::random_treewidth2(8, n / 16, &mut rng);
+    let inst = Tw2Instance { graph: g.graph, is_yes: true };
+    report(&Treewidth2::new(&inst, PopParams::default(), Transport::Native), 6);
+
+    println!("\nAnd the Θ(log n) one-round baseline for comparison:");
+    let g = gen::outerplanar::random_path_outerplanar(n, 0.6, &mut rng);
+    let pls = pls_baseline::PlsPathOuterplanar {
+        graph: &g.graph,
+        witness: Some(&g.path),
+        is_yes: true,
+    };
+    report(&pls, 7);
+}

@@ -1,0 +1,190 @@
+//! `pdip` — command-line driver for the planarity DIPs.
+//!
+//! ```text
+//! pdip families
+//! pdip run <family> [--n N] [--seed S] [--no-instance] [--cheat IDX]
+//!                   [--simulated] [--repeat K]
+//! pdip size <family> [--from K] [--to K]
+//! pdip soundness <family> [--n N] [--trials T]
+//! ```
+
+use pdip_bench::{no_instance, Family, YesInstance, FAMILIES};
+use planarity_dip::dip::DipProtocol;
+use planarity_dip::protocols::{Amplified, PopParams, Transport};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  pdip families\n  pdip run <family> [--n N] [--seed S] [--no-instance] \
+         [--cheat IDX] [--simulated] [--repeat K]\n  pdip size <family> [--from K] [--to K]\n  \
+         pdip soundness <family> [--n N] [--trials T]\n\nfamilies: {}",
+        FAMILIES.iter().map(|f| f.name()).collect::<Vec<_>>().join(", ")
+    );
+    std::process::exit(2)
+}
+
+fn parse_family(s: &str) -> Family {
+    FAMILIES
+        .iter()
+        .copied()
+        .find(|f| f.name() == s)
+        .unwrap_or_else(|| {
+            eprintln!("unknown family '{s}'");
+            usage()
+        })
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag_num(args: &[String], name: &str, default: usize) -> usize {
+    flag_value(args, name).map(|v| v.parse().expect("numeric flag")).unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    match cmd.as_str() {
+        "families" => {
+            for f in FAMILIES {
+                let inst = YesInstance::generate(f, 64, 1);
+                inst.with_protocol(PopParams::default(), Transport::Native, |p| {
+                    println!(
+                        "{:<22} rounds = {}   cheats = [{}]",
+                        f.name(),
+                        p.rounds(),
+                        p.cheat_names().join(", ")
+                    );
+                });
+            }
+        }
+        "run" => {
+            let fam = parse_family(args.get(1).map(String::as_str).unwrap_or_else(|| usage()));
+            let n = flag_num(&args, "--n", 1024);
+            let seed = flag_num(&args, "--seed", 7) as u64;
+            let repeat = flag_num(&args, "--repeat", 1);
+            let transport = if args.iter().any(|a| a == "--simulated") {
+                Transport::Simulated
+            } else {
+                Transport::Native
+            };
+            let cheat = flag_value(&args, "--cheat").map(|v| v.parse::<usize>().expect("index"));
+            let inst = if args.iter().any(|a| a == "--no-instance") || cheat.is_some() {
+                no_instance(fam, n, seed)
+            } else {
+                YesInstance::generate(fam, n, seed)
+            };
+            inst.with_protocol(PopParams::default(), transport, |p| {
+                let run = |p: &dyn DipProtocol| match cheat {
+                    Some(s) => p.run_cheat(s, seed),
+                    None => p.run_honest(seed),
+                };
+                // Amplification needs ownership; emulate by repeated runs.
+                let res = if repeat <= 1 {
+                    run(p)
+                } else {
+                    let wrapper = RepeatRef { inner: p, k: repeat };
+                    run(&Amplified::new(wrapper, 1))
+                };
+                println!("protocol   : {}", p.name());
+                println!("instance   : n = {}, yes = {}", p.instance_size(), p.is_yes_instance());
+                println!("rounds     : {}", res.stats.rounds);
+                println!("proof size : {} bits (per prover round: {:?})",
+                         res.stats.proof_size(), res.stats.per_round_max_bits);
+                println!("coins      : {} bits total", res.stats.coin_bits);
+                println!("verdict    : {}", if res.accepted() { "ACCEPT" } else { "REJECT" });
+                for (v, r) in res.rejections.iter().take(5) {
+                    println!("  node {v}: {r}");
+                }
+            });
+        }
+        "size" => {
+            let fam = parse_family(args.get(1).map(String::as_str).unwrap_or_else(|| usage()));
+            let from = flag_num(&args, "--from", 8);
+            let to = flag_num(&args, "--to", 14);
+            println!("{:>10}  {:>10}", "n", "proof bits");
+            for k in from..=to {
+                let n = 1usize << k;
+                let inst = YesInstance::generate(fam, n, 3);
+                let size = inst.with_protocol(PopParams::default(), Transport::Native, |p| {
+                    p.run_honest(1).stats.proof_size()
+                });
+                println!("{n:>10}  {size:>10}");
+            }
+        }
+        "soundness" => {
+            let fam = parse_family(args.get(1).map(String::as_str).unwrap_or_else(|| usage()));
+            let n = flag_num(&args, "--n", 300);
+            let trials = flag_num(&args, "--trials", 60) as u64;
+            let probe = no_instance(fam, n, 0);
+            let cheats =
+                probe.with_protocol(PopParams::default(), Transport::Native, |p| p.cheat_names());
+            for (s, name) in cheats.iter().enumerate() {
+                let mut accepted = 0u64;
+                for t in 0..trials {
+                    let inst = no_instance(fam, n, t * 101 + 1);
+                    inst.with_protocol(PopParams::default(), Transport::Native, |p| {
+                        if p.run_cheat(s, t).accepted() {
+                            accepted += 1;
+                        }
+                    });
+                }
+                println!(
+                    "{:<28} accepted {accepted}/{trials} ({:.1}%)",
+                    name,
+                    100.0 * accepted as f64 / trials as f64
+                );
+            }
+        }
+        _ => usage(),
+    }
+}
+
+/// A by-reference repetition shim so `--repeat` can reuse [`Amplified`]
+/// over a borrowed protocol.
+struct RepeatRef<'a> {
+    inner: &'a dyn DipProtocol,
+    k: usize,
+}
+
+impl DipProtocol for RepeatRef<'_> {
+    fn name(&self) -> String {
+        format!("{} x{}", self.inner.name(), self.k)
+    }
+    fn rounds(&self) -> usize {
+        self.inner.rounds()
+    }
+    fn instance_size(&self) -> usize {
+        self.inner.instance_size()
+    }
+    fn is_yes_instance(&self) -> bool {
+        self.inner.is_yes_instance()
+    }
+    fn run_honest(&self, seed: u64) -> planarity_dip::dip::RunResult {
+        let mut res = self.inner.run_honest(seed);
+        for i in 1..self.k {
+            let r = self.inner.run_honest(seed.wrapping_add(i as u64 * 7919));
+            res.stats.merge_parallel(&r.stats);
+            if !r.accepted() {
+                res.verdict = planarity_dip::dip::Verdict::Reject;
+                res.rejections.extend(r.rejections);
+            }
+        }
+        res
+    }
+    fn cheat_names(&self) -> Vec<String> {
+        self.inner.cheat_names()
+    }
+    fn run_cheat(&self, strategy: usize, seed: u64) -> planarity_dip::dip::RunResult {
+        let mut res = self.inner.run_cheat(strategy, seed);
+        for i in 1..self.k {
+            let r = self.inner.run_cheat(strategy, seed.wrapping_add(i as u64 * 7919));
+            res.stats.merge_parallel(&r.stats);
+            if !r.accepted() {
+                res.verdict = planarity_dip::dip::Verdict::Reject;
+                res.rejections.extend(r.rejections);
+            }
+        }
+        res
+    }
+}

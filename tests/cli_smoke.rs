@@ -1,0 +1,59 @@
+//! Smoke tests for the `pdip` command-line driver.
+
+use std::process::Command;
+
+fn pdip() -> Command {
+    // Use the binary cargo built for this test profile.
+    Command::new(env!("CARGO_BIN_EXE_pdip"))
+}
+
+#[test]
+fn families_lists_all_six() {
+    let out = pdip().arg("families").output().expect("run pdip");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in [
+        "path-outerplanarity",
+        "outerplanarity",
+        "embedded-planarity",
+        "planarity",
+        "series-parallel",
+        "treewidth-2",
+    ] {
+        assert!(text.contains(name), "missing {name} in: {text}");
+    }
+}
+
+#[test]
+fn run_accepts_honest_instance() {
+    let out = pdip()
+        .args(["run", "path-outerplanarity", "--n", "128", "--seed", "3"])
+        .output()
+        .expect("run pdip");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("verdict    : ACCEPT"), "{text}");
+    assert!(text.contains("rounds     : 5"));
+}
+
+#[test]
+fn run_rejects_cheating_prover() {
+    let out = pdip()
+        .args(["run", "series-parallel", "--n", "64", "--cheat", "0", "--seed", "5"])
+        .output()
+        .expect("run pdip");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("verdict    : REJECT"), "{text}");
+}
+
+#[test]
+fn size_sweep_prints_rows() {
+    let out = pdip()
+        .args(["size", "treewidth-2", "--from", "6", "--to", "8"])
+        .output()
+        .expect("run pdip");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.lines().count() >= 4, "{text}");
+}

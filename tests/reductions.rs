@@ -1,0 +1,128 @@
+//! Integration tests for the reduction pipeline of Figure 2 of the paper:
+//! LR-sorting → path-outerplanarity → { outerplanarity,
+//! embedded planarity → planarity } and series-parallel → treewidth ≤ 2.
+//! Each arrow is exercised on instances that traverse the full chain.
+
+use planarity_dip::graph::gen;
+use planarity_dip::graph::{
+    is_outerplanar, is_path_outerplanar_with, is_planar, is_series_parallel,
+    is_treewidth_at_most_2, nested_ear_decomposition, RootedForest,
+};
+use planarity_dip::protocols::build_reduction;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn lemma_7_3_equivalence_over_many_instances() {
+    // ρ planar ⟺ h(G, T, ρ) path-outerplanar, both directions, across
+    // trees rooted at different nodes.
+    let mut rng = SmallRng::seed_from_u64(301);
+    for n in [5usize, 12, 40] {
+        for keep in [0.2, 0.6, 1.0] {
+            let inst = gen::planar::random_planar(n, keep, &mut rng);
+            for root in [0, n / 2] {
+                let tree = RootedForest::bfs_spanning_tree(&inst.graph, root);
+                let red = build_reduction(&inst.graph, &inst.rho, &tree, root);
+                assert!(
+                    is_path_outerplanar_with(&red.h, &red.path),
+                    "valid embedding must reduce to nested arcs (n={n}, keep={keep})"
+                );
+            }
+        }
+    }
+    for _ in 0..10 {
+        let inst = gen::planar::scrambled_embedding(25, &mut rng);
+        let tree = RootedForest::bfs_spanning_tree(&inst.graph, 0);
+        let red = build_reduction(&inst.graph, &inst.rho, &tree, 0);
+        assert!(
+            !is_path_outerplanar_with(&red.h, &red.path),
+            "invalid embedding must reduce to a crossing"
+        );
+    }
+}
+
+#[test]
+fn reduction_preserves_arc_count() {
+    let mut rng = SmallRng::seed_from_u64(302);
+    let inst = gen::planar::random_triangulation(20, &mut rng);
+    let tree = RootedForest::bfs_spanning_tree(&inst.graph, 0);
+    let red = build_reduction(&inst.graph, &inst.rho, &tree, 0);
+    let non_tree = inst.graph.m() - (inst.graph.n() - 1);
+    let arcs = red.arc_of_edge.iter().filter(|a| a.is_some()).count();
+    // Arcs with path-adjacent endpoints stay implicit; everything else maps.
+    assert!(arcs <= non_tree);
+    assert!(arcs + 6 >= non_tree, "too many arcs dropped: {arcs}/{non_tree}");
+    // Every copy belongs to a real node.
+    assert!(red.copy_of.iter().all(|&v| v < inst.graph.n()));
+}
+
+#[test]
+fn ear_decomposition_validates_on_sp_instances() {
+    let mut rng = SmallRng::seed_from_u64(303);
+    for size in [1usize, 5, 25, 100] {
+        for _ in 0..5 {
+            let g = gen::sp::random_series_parallel(size, &mut rng);
+            let d = nested_ear_decomposition(&g.graph).expect("generated SP instance");
+            d.validate(&g.graph).unwrap();
+        }
+    }
+}
+
+#[test]
+fn family_inclusions_hold_on_generated_instances() {
+    // Path-outerplanar ⊂ outerplanar ⊂ planar; outerplanar ⇒ tw ≤ 2;
+    // series-parallel ⇒ tw ≤ 2 and planar.
+    let mut rng = SmallRng::seed_from_u64(304);
+    for _ in 0..5 {
+        let p = gen::outerplanar::random_path_outerplanar(40, 0.6, &mut rng);
+        assert!(is_outerplanar(&p.graph));
+        assert!(is_planar(&p.graph));
+        assert!(is_treewidth_at_most_2(&p.graph));
+
+        let o = gen::outerplanar::random_outerplanar(40, 5, 0.5, &mut rng);
+        assert!(is_planar(&o.graph));
+        assert!(is_treewidth_at_most_2(&o.graph));
+
+        let s = gen::sp::random_series_parallel(30, &mut rng);
+        assert!(is_series_parallel(&s.graph));
+        assert!(is_planar(&s.graph));
+        assert!(is_treewidth_at_most_2(&s.graph));
+    }
+}
+
+#[test]
+fn no_instance_families_fail_exactly_their_property() {
+    let mut rng = SmallRng::seed_from_u64(305);
+    // Planar but not outerplanar.
+    let g = gen::no_instances::planar_not_outerplanar(16, &mut rng);
+    assert!(is_planar(&g) && !is_outerplanar(&g));
+    // Outerplanar but no Hamiltonian path.
+    let g = gen::no_instances::outerplanar_no_hamiltonian_path(5, &mut rng);
+    assert!(is_outerplanar(&g));
+    assert!(!planarity_dip::graph::is_path_outerplanar(&g));
+    // Treewidth-2 host + K4 gadget: connected, planar or not, but tw > 2.
+    let g = gen::no_instances::tw2_violator(3, 1, &mut rng);
+    assert!(!is_treewidth_at_most_2(&g) && !is_series_parallel(&g));
+    // Non-planar gadget.
+    let g = gen::no_instances::nonplanar_with_gadget(25, 1, false, &mut rng);
+    assert!(!is_planar(&g));
+}
+
+#[test]
+fn lr_instances_feed_path_outerplanarity() {
+    // The LR-sorting sub-instance constructed by the path-outerplanarity
+    // protocol matches the instance the generator would produce.
+    let mut rng = SmallRng::seed_from_u64(306);
+    let g = gen::outerplanar::random_path_outerplanar(50, 0.7, &mut rng);
+    let mut pos = vec![0usize; 50];
+    for (i, &v) in g.path.iter().enumerate() {
+        pos[v] = i;
+    }
+    // Orienting all edges by position yields a yes LR instance.
+    let orientation =
+        planarity_dip::graph::Orientation::by(&g.graph, |u, v| pos[u] < pos[v]);
+    assert!(orientation.is_acyclic(&g.graph));
+    for e in 0..g.graph.m() {
+        assert!(pos[orientation.tail(&g.graph, e)] < pos[orientation.head(&g.graph, e)]);
+    }
+}
