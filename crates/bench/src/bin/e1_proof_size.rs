@@ -4,15 +4,48 @@
 //! O(log Δ) for planarity), against the Θ(log n)-bit one-round PLS state
 //! of the art (FFM+21). This binary measures the honest prover's longest
 //! label across all six families and the PLS baselines over a sweep of n.
+//!
+//! The family sweep executes on the `pdip-engine` worker pool
+//! (`--threads N`; deterministic at any worker count). The legacy seed
+//! formulas are kept, so the table matches the historical serial output.
 
-use pdip_bench::{print_table, Family, YesInstance, FAMILIES};
-use pdip_protocols::{pls_baseline, PopParams, Transport};
+use pdip_bench::{print_table, threads_flag, FAMILIES};
+use pdip_engine::{Engine, JobCoords, ProverSpec, SeedMode, SweepSpec};
+use pdip_protocols::pls_baseline;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+/// The historical E1 seeds: instances from `11 + n`, runs from `5`.
+fn e1_seeds(c: &JobCoords) -> (u64, u64) {
+    (11 + c.n as u64, 5)
+}
 
 fn main() {
     let sizes: Vec<usize> = (8..=16).step_by(2).map(|k| 1usize << k).collect();
     println!("E1 — proof size (bits of the longest honest label) vs n\n");
+
+    let spec = SweepSpec {
+        families: FAMILIES.to_vec(),
+        sizes: sizes.clone(),
+        provers: vec![ProverSpec::Honest],
+        trials: 1,
+        seeds: SeedMode::Explicit(e1_seeds),
+        ..SweepSpec::default()
+    };
+    let outcome = Engine::with_threads(threads_flag()).run(&spec);
+    assert!(outcome.failures.is_empty(), "E1 jobs must not panic: {:?}", outcome.failures);
+    for r in &outcome.records {
+        assert!(r.accepted, "{} n={} rejected an honest run", r.family.name(), r.n);
+    }
+    let proof_size = |fam, n| {
+        outcome
+            .records
+            .iter()
+            .find(|r| r.family == fam && r.n == n)
+            .expect("record for every grid cell")
+            .proof_size_bits
+    };
+
     let mut headers = vec!["n", "log2 n", "loglog n"];
     for f in FAMILIES {
         headers.push(f.name());
@@ -27,15 +60,9 @@ fn main() {
             format!("{:.2}", (n as f64).log2().log2()),
         ];
         for fam in FAMILIES {
-            let inst = YesInstance::generate(fam, n, 11 + n as u64);
-            let size = inst.with_protocol(PopParams::default(), Transport::Native, |p| {
-                let res = p.run_honest(5);
-                assert!(res.accepted(), "{} n={n}", p.name());
-                res.stats.proof_size()
-            });
-            row.push(size.to_string());
+            row.push(proof_size(fam, n).to_string());
         }
-        // Baselines.
+        // Baselines (cheap one-shot runs; kept off the engine grid).
         let mut rng = SmallRng::seed_from_u64(n as u64);
         let g = pdip_graph::gen::outerplanar::random_path_outerplanar(n, 0.6, &mut rng);
         let pls = pls_baseline::PlsPathOuterplanar {
@@ -45,11 +72,8 @@ fn main() {
         };
         row.push(pls.run().stats.proof_size().to_string());
         let pg = pdip_graph::gen::planar::random_planar(n.min(1 << 13), 0.5, &mut rng);
-        let plse = pls_baseline::PlsEmbeddedPlanarity {
-            graph: &pg.graph,
-            rho: &pg.rho,
-            is_yes: true,
-        };
+        let plse =
+            pls_baseline::PlsEmbeddedPlanarity { graph: &pg.graph, rho: &pg.rho, is_yes: true };
         row.push(plse.run().stats.proof_size().to_string());
         rows.push(row);
     }
@@ -62,5 +86,5 @@ fn main() {
          The embedded-planarity/planarity columns ride the h(G,T,ρ) simulation\n\
          (x5 per-node copies), and planarity adds its O(log Δ) rotation term."
     );
-    let _ = Family::PathOuterplanar;
+    println!("\n{}", outcome.metrics.summary_line());
 }

@@ -4,30 +4,48 @@
 //! This binary runs every protocol on a suite of yes-instances across
 //! sizes and seeds and reports acceptance counts (must be 100%) and round
 //! counts (must be 5; the PLS baseline is 1).
+//!
+//! The grid executes on the `pdip-engine` worker pool (`--threads N`);
+//! the legacy per-cell seed formulas are reproduced via
+//! [`SeedMode::Explicit`], so the table matches the historical serial
+//! output byte for byte.
 
-use pdip_bench::{print_table, YesInstance, FAMILIES};
-use pdip_protocols::{PopParams, Transport};
+use pdip_bench::{print_table, threads_flag, FAMILIES};
+use pdip_engine::{Engine, JobCoords, ProverSpec, SeedMode, SweepSpec};
+
+/// The historical E2 seeds: instances from `seed * 7919 + n`, runs from
+/// the per-size seed index (here the engine trial number).
+fn e2_seeds(c: &JobCoords) -> (u64, u64) {
+    (c.trial * 7919 + c.n as u64, c.trial)
+}
 
 fn main() {
     let sizes = [32usize, 128, 512, 2048];
     let seeds_per_size = 8u64;
     println!("E2 — rounds and perfect completeness (honest prover)\n");
+
+    let spec = SweepSpec {
+        families: FAMILIES.to_vec(),
+        sizes: sizes.to_vec(),
+        provers: vec![ProverSpec::Honest],
+        trials: seeds_per_size,
+        seeds: SeedMode::Explicit(e2_seeds),
+        ..SweepSpec::default()
+    };
+    let outcome = Engine::with_threads(threads_flag()).run(&spec);
+    assert!(outcome.failures.is_empty(), "E2 jobs must not panic: {:?}", outcome.failures);
+
     let headers = ["protocol", "rounds", "runs", "accepted", "rate"];
     let mut rows = Vec::new();
     for fam in FAMILIES {
         let mut runs = 0u64;
         let mut accepted = 0u64;
         let mut rounds = 0usize;
-        for &n in &sizes {
-            for seed in 0..seeds_per_size {
-                let inst = YesInstance::generate(fam, n, seed * 7919 + n as u64);
-                inst.with_protocol(PopParams::default(), Transport::Native, |p| {
-                    rounds = p.rounds();
-                    runs += 1;
-                    if p.run_honest(seed).accepted() {
-                        accepted += 1;
-                    }
-                });
+        for r in outcome.records.iter().filter(|r| r.family == fam) {
+            rounds = r.rounds;
+            runs += 1;
+            if r.accepted {
+                accepted += 1;
             }
         }
         rows.push(vec![
@@ -41,4 +59,5 @@ fn main() {
     }
     print_table(&headers, &rows);
     println!("\nEvery rate must read 100.0% — the theorems claim perfect completeness.");
+    println!("\n{}", outcome.metrics.summary_line());
 }

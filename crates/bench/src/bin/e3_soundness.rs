@@ -5,85 +5,100 @@
 //! strategy many times, and report acceptance rates at two instance
 //! sizes — the rates should be small and *shrink* as n grows (larger
 //! fields and longer tags).
+//!
+//! The two big grids (E3 and E3b: families × cheats × sizes × 80 trials)
+//! execute on the `pdip-engine` worker pool (`--threads N`); the legacy
+//! per-trial seed formulas are reproduced via [`SeedMode::Explicit`], so
+//! the tables match the historical serial output byte for byte. E3c/E3d
+//! isolate single probabilistic events and stay serial.
 
-use pdip_bench::{no_instance, print_table, FAMILIES};
+use pdip_bench::{print_table, threads_flag, FAMILIES};
+use pdip_engine::{Engine, JobCoords, Prover, ProverSpec, SeedMode, SweepOutcome, SweepSpec};
 use pdip_protocols::{PopParams, Transport};
 
-fn main() {
-    let trials = 80u64;
-    println!("E3 — cheating-prover acceptance rates ({trials} trials per cell)\n");
-    let headers = ["protocol", "cheat", "rate @ n~60", "rate @ n~300"];
+/// The historical E3 seeds: instances from `t * 31 + n`, runs from `t`.
+fn e3_seeds(c: &JobCoords) -> (u64, u64) {
+    (c.trial * 31 + c.n as u64, c.trial)
+}
+
+/// The historical E3b seeds: instances from `t * 37 + n`, runs from `t`.
+fn e3b_seeds(c: &JobCoords) -> (u64, u64) {
+    (c.trial * 37 + c.n as u64, c.trial)
+}
+
+/// Renders one `(family, cheat, per-size acceptance rates)` table from
+/// the sweep records: rows in family × cheat-index order, one rate cell
+/// per instance size.
+fn cheat_rate_rows(outcome: &SweepOutcome, sizes: &[usize], trials: u64) -> Vec<Vec<String>> {
     let mut rows = Vec::new();
     for fam in FAMILIES {
-        let cheat_count = no_instance(fam, 60, 0)
-            .with_protocol(PopParams::default(), Transport::Native, |p| p.cheat_names().len());
-        for s in 0..cheat_count {
-            let mut cells = Vec::new();
-            let mut cheat_name = String::new();
-            for n in [60usize, 300] {
-                let mut accepted = 0u64;
-                for t in 0..trials {
-                    let inst = no_instance(fam, n, t * 31 + n as u64);
-                    inst.with_protocol(PopParams::default(), Transport::Native, |p| {
-                        cheat_name = p.cheat_names()[s].clone();
-                        if p.run_cheat(s, t).accepted() {
-                            accepted += 1;
-                        }
-                    });
-                }
-                cells.push(format!("{:.1}%", 100.0 * accepted as f64 / trials as f64));
+        for (s, cheat_name) in fam.cheat_names().into_iter().enumerate() {
+            let mut row = vec![fam.name().to_string(), cheat_name];
+            for &n in sizes {
+                let accepted = outcome
+                    .records
+                    .iter()
+                    .filter(|r| {
+                        r.family == fam && r.n == n && r.prover == Prover::Cheat(s) && r.accepted
+                    })
+                    .count() as u64;
+                row.push(format!("{:.1}%", 100.0 * accepted as f64 / trials as f64));
             }
-            rows.push(vec![fam.name().to_string(), cheat_name, cells[0].clone(), cells[1].clone()]);
+            rows.push(row);
         }
     }
-    print_table(&headers, &rows);
+    rows
+}
+
+fn main() {
+    let threads = threads_flag();
+    let trials = 80u64;
+    println!("E3 — cheating-prover acceptance rates ({trials} trials per cell)\n");
+    let sizes = [60usize, 300];
+    let spec = SweepSpec {
+        families: FAMILIES.to_vec(),
+        sizes: sizes.to_vec(),
+        provers: vec![ProverSpec::AllCheats],
+        trials,
+        seeds: SeedMode::Explicit(e3_seeds),
+        ..SweepSpec::default()
+    };
+    let outcome = Engine::with_threads(threads).run(&spec);
+    assert!(outcome.failures.is_empty(), "E3 jobs must not panic: {:?}", outcome.failures);
+    let headers = ["protocol", "cheat", "rate @ n~60", "rate @ n~300"];
+    print_table(&headers, &cheat_rate_rows(&outcome, &sizes, trials));
     println!(
         "\nShape check: every rate is far below 50% and the n~300 column is at most\n\
          the n~60 column (up to sampling noise) — the 1/polylog n soundness error\n\
          shrinks with n. Deterministically-caught cheats read 0.0%.\n"
     );
+    println!("{}\n", outcome.metrics.summary_line());
 
     // At the paper's default parameters (c = 3) the error is ~log^-3 n —
     // invisible at this trial count. Weakening the fields to c = 1 and a
     // single spanning-tree repetition makes the 1/polylog n decay visible.
     println!("E3b — weakened parameters (c = 1, 1 ST repetition), {trials} trials\n");
     let weak = PopParams { c: 1, st_repetitions: 1 };
+    let sizes_b = [60usize, 300, 1200];
+    let spec_b = SweepSpec {
+        families: FAMILIES.to_vec(),
+        sizes: sizes_b.to_vec(),
+        provers: vec![ProverSpec::AllCheats],
+        trials,
+        seeds: SeedMode::Explicit(e3b_seeds),
+        params: weak,
+        ..SweepSpec::default()
+    };
+    let outcome_b = Engine::with_threads(threads).run(&spec_b);
+    assert!(outcome_b.failures.is_empty(), "E3b jobs must not panic: {:?}", outcome_b.failures);
     let headers = ["protocol", "cheat", "rate @ n~60", "rate @ n~300", "rate @ n~1200"];
-    let mut rows = Vec::new();
-    for fam in FAMILIES {
-        let cheat_count = no_instance(fam, 60, 0)
-            .with_protocol(weak, Transport::Native, |p| p.cheat_names().len());
-        for s in 0..cheat_count {
-            let mut cells = Vec::new();
-            let mut cheat_name = String::new();
-            for n in [60usize, 300, 1200] {
-                let mut accepted = 0u64;
-                for t in 0..trials {
-                    let inst = no_instance(fam, n, t * 37 + n as u64);
-                    inst.with_protocol(weak, Transport::Native, |p| {
-                        cheat_name = p.cheat_names()[s].clone();
-                        if p.run_cheat(s, t).accepted() {
-                            accepted += 1;
-                        }
-                    });
-                }
-                cells.push(format!("{:.1}%", 100.0 * accepted as f64 / trials as f64));
-            }
-            rows.push(vec![
-                fam.name().to_string(),
-                cheat_name,
-                cells[0].clone(),
-                cells[1].clone(),
-                cells[2].clone(),
-            ]);
-        }
-    }
-    print_table(&headers, &rows);
+    print_table(&headers, &cheat_rate_rows(&outcome_b, &sizes_b, trials));
     println!(
         "\nMost composite cheats trip several independent checks at once, so even\n\
          weakened parameters leave them near 0%. The remaining sections isolate\n\
          single probabilistic events to expose the raw 1/polylog n error.\n"
     );
+    println!("{}\n", outcome_b.metrics.summary_line());
 
     // --- E3c: LR-sorting, the pure field-collision events ---
     println!("E3c — LR-sorting cheats at c = 1 (single collision events), 300 trials\n");
@@ -103,8 +118,7 @@ fn main() {
                     continue;
                 };
                 ran += 1;
-                let lr =
-                    LrSorting::new(&no, LrParams { c: 1, block_len: None }, Transport::Native);
+                let lr = LrSorting::new(&no, LrParams { c: 1, block_len: None }, Transport::Native);
                 if lr.run(Some(cheat), t).accepted() {
                     accepted += 1;
                 }
@@ -141,9 +155,8 @@ fn main() {
                 accepted += 1;
             }
         }
-        let st = pdip_protocols::SpanningTreeVerification::new(
-            pdip_protocols::StParams::for_n(n, 2, 1),
-        );
+        let st =
+            pdip_protocols::SpanningTreeVerification::new(pdip_protocols::StParams::for_n(n, 2, 1));
         let primes = st.primes().len();
         rows.push(vec![
             n.to_string(),

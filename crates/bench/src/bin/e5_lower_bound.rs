@@ -8,7 +8,9 @@
 //! (O(log log n)) stay far below it.
 
 use pdip_bench::print_table;
-use pdip_protocols::lower_bound::{attempt_forgery, forgery_threshold, full_width_rejects_crossing};
+use pdip_protocols::lower_bound::{
+    attempt_forgery, forgery_threshold, full_width_rejects_crossing,
+};
 
 fn main() {
     println!("E5 — forgery threshold of one-round schemes vs n (Theorem 1.8)\n");

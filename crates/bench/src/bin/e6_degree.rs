@@ -17,8 +17,13 @@ use rand::SeedableRng;
 fn main() {
     println!("E6 — planarity proof size vs maximum degree Δ (n = 2048)\n");
     let n = 2048;
-    let headers =
-        ["Δ (planted)", "Δ (actual)", "planarity round-1 bits", "planarity proof bits", "embedded round-1 bits"];
+    let headers = [
+        "Δ (planted)",
+        "Δ (actual)",
+        "planarity round-1 bits",
+        "planarity proof bits",
+        "embedded round-1 bits",
+    ];
     let mut rows = Vec::new();
     for target in [6usize, 16, 64, 256, 1024] {
         let mut rng = SmallRng::seed_from_u64(target as u64);

@@ -14,8 +14,16 @@ use rand::SeedableRng;
 fn main() {
     println!("E7 — LR-sorting per-round breakdown (honest prover)\n");
     let headers = [
-        "n", "transport", "block L", "|F_p| bits", "|F_p'| bits", "P1 bits", "P2 bits",
-        "P3 bits", "proof size", "coin bits/node",
+        "n",
+        "transport",
+        "block L",
+        "|F_p| bits",
+        "|F_p'| bits",
+        "P1 bits",
+        "P2 bits",
+        "P3 bits",
+        "proof size",
+        "coin bits/node",
     ];
     let mut rows = Vec::new();
     for k in [8usize, 10, 12, 14, 16] {

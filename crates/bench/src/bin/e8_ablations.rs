@@ -27,11 +27,7 @@ fn main() {
     let headers = ["requested L", "effective L", "proof size", "accepted"];
     let mut rows = Vec::new();
     for req in [2usize, 4, 8, 12, 24, 64, 256] {
-        let lr = LrSorting::new(
-            &inst,
-            LrParams { c: 3, block_len: Some(req) },
-            Transport::Native,
-        );
+        let lr = LrSorting::new(&inst, LrParams { c: 3, block_len: Some(req) }, Transport::Native);
         let res = lr.run(None, 1);
         rows.push(vec![
             req.to_string(),
@@ -66,11 +62,7 @@ fn main() {
             let lr_yes = LrSorting::new(&yes, LrParams { c, block_len: None }, Transport::Native);
             size = lr_yes.run(None, t as u64).stats.proof_size();
         }
-        rows.push(vec![
-            c.to_string(),
-            size.to_string(),
-            format!("{accepted}/{trials}"),
-        ]);
+        rows.push(vec![c.to_string(), size.to_string(), format!("{accepted}/{trials}")]);
     }
     print_table(&headers, &rows);
     println!(

@@ -2,185 +2,30 @@
 //! benches. Every binary regenerates one evaluation artifact of
 //! EXPERIMENTS.md; run them with `cargo run --release -p pdip-bench --bin
 //! <name>`.
+//!
+//! The family/instance machinery and the table printer moved into
+//! [`pdip_engine`] (so the batch-verification engine can expand sweep
+//! grids without depending on this harness); this crate re-exports them
+//! under their historical paths, and E1–E3 now execute their grids on the
+//! engine's worker pool.
 
-use pdip_core::DipProtocol;
-use pdip_graph::gen;
-use pdip_protocols::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+pub use pdip_engine::{no_instance, print_table, Family, YesInstance, FAMILIES};
 
-/// The six graph families of the paper (plus the LR-sorting sub-task).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Family {
-    /// Path-outerplanar graphs (Theorem 1.2).
-    PathOuterplanar,
-    /// Outerplanar graphs (Theorem 1.3).
-    Outerplanar,
-    /// Embedded planarity (Theorem 1.4).
-    EmbeddedPlanarity,
-    /// Planarity (Theorem 1.5).
-    Planarity,
-    /// Series-parallel graphs (Theorem 1.6).
-    SeriesParallel,
-    /// Treewidth ≤ 2 (Theorem 1.7).
-    Treewidth2,
-}
-
-/// All families in theorem order.
-pub const FAMILIES: [Family; 6] = [
-    Family::PathOuterplanar,
-    Family::Outerplanar,
-    Family::EmbeddedPlanarity,
-    Family::Planarity,
-    Family::SeriesParallel,
-    Family::Treewidth2,
-];
-
-impl Family {
-    /// Display name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Family::PathOuterplanar => "path-outerplanarity",
-            Family::Outerplanar => "outerplanarity",
-            Family::EmbeddedPlanarity => "embedded-planarity",
-            Family::Planarity => "planarity",
-            Family::SeriesParallel => "series-parallel",
-            Family::Treewidth2 => "treewidth-2",
-        }
-    }
-}
-
-/// A self-contained yes-instance of a family (owns its data so the
-/// protocol can be constructed on demand).
-pub enum YesInstance {
-    /// Theorem 1.2 instance.
-    Pop(PopInstance),
-    /// Theorem 1.3 instance.
-    Op(OpInstance),
-    /// Theorem 1.4 instance.
-    Emb(EmbInstance),
-    /// Theorem 1.5 instance.
-    Pl(PlInstance),
-    /// Theorem 1.6 instance.
-    Spa(SpaInstance),
-    /// Theorem 1.7 instance.
-    Tw2(Tw2Instance),
-}
-
-impl YesInstance {
-    /// Generates a yes-instance with roughly `n` nodes.
-    pub fn generate(family: Family, n: usize, seed: u64) -> YesInstance {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        match family {
-            Family::PathOuterplanar => {
-                let g = gen::outerplanar::random_path_outerplanar(n, 0.6, &mut rng);
-                YesInstance::Pop(PopInstance {
-                    graph: g.graph,
-                    witness: Some(g.path),
-                    is_yes: true,
-                })
-            }
-            Family::Outerplanar => {
-                let g = gen::outerplanar::random_outerplanar(n.max(6), (n / 24).max(1), 0.5, &mut rng);
-                YesInstance::Op(OpInstance { graph: g.graph, is_yes: true })
-            }
-            Family::EmbeddedPlanarity => {
-                let g = gen::planar::random_planar(n.max(4), 0.5, &mut rng);
-                YesInstance::Emb(EmbInstance { graph: g.graph, rho: g.rho, is_yes: true })
-            }
-            Family::Planarity => {
-                let g = gen::planar::random_planar(n.max(4), 0.5, &mut rng);
-                YesInstance::Pl(PlInstance {
-                    graph: g.graph,
-                    witness_rho: Some(g.rho),
-                    is_yes: true,
-                })
-            }
-            Family::SeriesParallel => {
-                let g = gen::sp::random_series_parallel((n / 2).max(1), &mut rng);
-                YesInstance::Spa(SpaInstance { graph: g.graph, is_yes: true })
-            }
-            Family::Treewidth2 => {
-                let g = gen::sp::random_treewidth2((n / 16).max(1), 8, &mut rng);
-                YesInstance::Tw2(Tw2Instance { graph: g.graph, is_yes: true })
-            }
-        }
-    }
-
-    /// Runs `f` with the protocol bound to this instance.
-    pub fn with_protocol<R>(
-        &self,
-        params: PopParams,
-        transport: Transport,
-        f: impl FnOnce(&dyn DipProtocol) -> R,
-    ) -> R {
-        match self {
-            YesInstance::Pop(i) => f(&PathOuterplanarity::new(i, params, transport)),
-            YesInstance::Op(i) => f(&Outerplanarity::new(i, params, transport)),
-            YesInstance::Emb(i) => f(&EmbeddedPlanarity::new(i, params, transport)),
-            YesInstance::Pl(i) => f(&Planarity::new(i, params, transport)),
-            YesInstance::Spa(i) => f(&SeriesParallel::new(i, params, transport)),
-            YesInstance::Tw2(i) => f(&Treewidth2::new(i, params, transport)),
-        }
-    }
-}
-
-/// A self-contained no-instance of a family.
-pub fn no_instance(family: Family, n: usize, seed: u64) -> YesInstance {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    match family {
-        Family::PathOuterplanar => {
-            let g = gen::no_instances::outerplanar_no_hamiltonian_path((n / 3).max(3), &mut rng);
-            YesInstance::Pop(PopInstance { graph: g, witness: None, is_yes: false })
-        }
-        Family::Outerplanar => {
-            let g = gen::no_instances::planar_not_outerplanar(n.max(6), &mut rng);
-            YesInstance::Op(OpInstance { graph: g, is_yes: false })
-        }
-        Family::EmbeddedPlanarity => {
-            let g = gen::planar::scrambled_embedding(n.max(6), &mut rng);
-            YesInstance::Emb(EmbInstance { graph: g.graph, rho: g.rho, is_yes: false })
-        }
-        Family::Planarity => {
-            let g = gen::no_instances::nonplanar_with_gadget(n.max(8), 1, seed.is_multiple_of(2), &mut rng);
-            YesInstance::Pl(PlInstance { graph: g, witness_rho: None, is_yes: false })
-        }
-        Family::SeriesParallel => {
-            let g = gen::no_instances::tw2_violator((n / 8).max(1), 1, &mut rng);
-            YesInstance::Spa(SpaInstance { graph: g, is_yes: false })
-        }
-        Family::Treewidth2 => {
-            let g = gen::no_instances::tw2_violator((n / 8).max(2), 1, &mut rng);
-            YesInstance::Tw2(Tw2Instance { graph: g, is_yes: false })
-        }
-    }
-}
-
-/// Prints a simple aligned table.
-pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
-    for row in rows {
-        for (i, cell) in row.iter().enumerate() {
-            widths[i] = widths[i].max(cell.len());
-        }
-    }
-    let line = |cells: &[String]| {
-        let mut s = String::new();
-        for (i, c) in cells.iter().enumerate() {
-            s.push_str(&format!("{:>w$}  ", c, w = widths[i]));
-        }
-        s
-    };
-    println!("{}", line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
-    for row in rows {
-        println!("{}", line(row));
-    }
+/// Parses a `--threads N` flag from the binary's argv, defaulting to the
+/// machine's available parallelism. Shared by the E1–E3 binaries.
+pub fn threads_flag() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--threads takes a number"))
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pdip_protocols::{PopParams, Transport};
 
     #[test]
     fn yes_instances_exist_for_every_family() {
@@ -205,14 +50,5 @@ mod tests {
                 assert!(!p.cheat_names().is_empty());
             });
         }
-    }
-
-    #[test]
-    fn table_printer_aligns() {
-        // Smoke: must not panic on ragged content.
-        print_table(
-            &["a", "bb"],
-            &[vec!["1".into(), "22222".into()], vec!["333".into(), "4".into()]],
-        );
     }
 }

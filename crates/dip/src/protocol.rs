@@ -36,11 +36,14 @@ pub trait DipProtocol {
 }
 
 /// Empirical acceptance rate over `trials` runs with distinct seeds.
-pub fn acceptance_rate(
-    run: impl Fn(u64) -> RunResult,
-    base_seed: u64,
-    trials: usize,
-) -> f64 {
+///
+/// Zero trials means zero observed acceptances: the rate is defined as
+/// `0.0` rather than the `0/0` NaN, so downstream aggregation and
+/// formatting never see a non-number.
+pub fn acceptance_rate(run: impl Fn(u64) -> RunResult, base_seed: u64, trials: usize) -> f64 {
+    if trials == 0 {
+        return 0.0;
+    }
     let mut accepted = 0usize;
     for t in 0..trials {
         if run(base_seed.wrapping_add(t as u64)).accepted() {
@@ -71,5 +74,11 @@ mod tests {
             10,
         );
         assert!((rate - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn acceptance_rate_zero_trials_is_zero_not_nan() {
+        let rate = acceptance_rate(|_| panic!("must not run any trial when trials == 0"), 42, 0);
+        assert_eq!(rate, 0.0);
     }
 }

@@ -1,0 +1,203 @@
+//! The six graph families of the paper and their instance factories.
+//!
+//! This used to live in `pdip-bench`; it moved here so the engine can
+//! expand sweep grids without depending on the benchmark harness
+//! (`pdip-bench` re-exports everything for backward compatibility).
+
+use pdip_core::DipProtocol;
+use pdip_graph::gen;
+use pdip_protocols::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The six graph families of the paper (plus the LR-sorting sub-task).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Family {
+    /// Path-outerplanar graphs (Theorem 1.2).
+    PathOuterplanar,
+    /// Outerplanar graphs (Theorem 1.3).
+    Outerplanar,
+    /// Embedded planarity (Theorem 1.4).
+    EmbeddedPlanarity,
+    /// Planarity (Theorem 1.5).
+    Planarity,
+    /// Series-parallel graphs (Theorem 1.6).
+    SeriesParallel,
+    /// Treewidth ≤ 2 (Theorem 1.7).
+    Treewidth2,
+}
+
+/// All families in theorem order.
+pub const FAMILIES: [Family; 6] = [
+    Family::PathOuterplanar,
+    Family::Outerplanar,
+    Family::EmbeddedPlanarity,
+    Family::Planarity,
+    Family::SeriesParallel,
+    Family::Treewidth2,
+];
+
+impl Family {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::PathOuterplanar => "path-outerplanarity",
+            Family::Outerplanar => "outerplanarity",
+            Family::EmbeddedPlanarity => "embedded-planarity",
+            Family::Planarity => "planarity",
+            Family::SeriesParallel => "series-parallel",
+            Family::Treewidth2 => "treewidth-2",
+        }
+    }
+
+    /// Inverse of [`Family::name`].
+    pub fn from_name(s: &str) -> Option<Family> {
+        FAMILIES.iter().copied().find(|f| f.name() == s)
+    }
+
+    /// Number of implemented cheating-prover strategies (static per
+    /// family; probed once from a small no-instance).
+    pub fn cheat_count(&self) -> usize {
+        no_instance(*self, 24, 0)
+            .with_protocol(PopParams::default(), Transport::Native, |p| p.cheat_names().len())
+    }
+
+    /// Names of the cheating-prover strategies.
+    pub fn cheat_names(&self) -> Vec<String> {
+        no_instance(*self, 24, 0)
+            .with_protocol(PopParams::default(), Transport::Native, |p| p.cheat_names())
+    }
+}
+
+/// A self-contained yes-instance of a family (owns its data so the
+/// protocol can be constructed on demand).
+pub enum YesInstance {
+    /// Theorem 1.2 instance.
+    Pop(PopInstance),
+    /// Theorem 1.3 instance.
+    Op(OpInstance),
+    /// Theorem 1.4 instance.
+    Emb(EmbInstance),
+    /// Theorem 1.5 instance.
+    Pl(PlInstance),
+    /// Theorem 1.6 instance.
+    Spa(SpaInstance),
+    /// Theorem 1.7 instance.
+    Tw2(Tw2Instance),
+}
+
+impl YesInstance {
+    /// Generates a yes-instance with roughly `n` nodes.
+    pub fn generate(family: Family, n: usize, seed: u64) -> YesInstance {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        match family {
+            Family::PathOuterplanar => {
+                let g = gen::outerplanar::random_path_outerplanar(n, 0.6, &mut rng);
+                YesInstance::Pop(PopInstance {
+                    graph: g.graph,
+                    witness: Some(g.path),
+                    is_yes: true,
+                })
+            }
+            Family::Outerplanar => {
+                let g =
+                    gen::outerplanar::random_outerplanar(n.max(6), (n / 24).max(1), 0.5, &mut rng);
+                YesInstance::Op(OpInstance { graph: g.graph, is_yes: true })
+            }
+            Family::EmbeddedPlanarity => {
+                let g = gen::planar::random_planar(n.max(4), 0.5, &mut rng);
+                YesInstance::Emb(EmbInstance { graph: g.graph, rho: g.rho, is_yes: true })
+            }
+            Family::Planarity => {
+                let g = gen::planar::random_planar(n.max(4), 0.5, &mut rng);
+                YesInstance::Pl(PlInstance {
+                    graph: g.graph,
+                    witness_rho: Some(g.rho),
+                    is_yes: true,
+                })
+            }
+            Family::SeriesParallel => {
+                let g = gen::sp::random_series_parallel((n / 2).max(1), &mut rng);
+                YesInstance::Spa(SpaInstance { graph: g.graph, is_yes: true })
+            }
+            Family::Treewidth2 => {
+                let g = gen::sp::random_treewidth2((n / 16).max(1), 8, &mut rng);
+                YesInstance::Tw2(Tw2Instance { graph: g.graph, is_yes: true })
+            }
+        }
+    }
+
+    /// Runs `f` with the protocol bound to this instance.
+    pub fn with_protocol<R>(
+        &self,
+        params: PopParams,
+        transport: Transport,
+        f: impl FnOnce(&dyn DipProtocol) -> R,
+    ) -> R {
+        match self {
+            YesInstance::Pop(i) => f(&PathOuterplanarity::new(i, params, transport)),
+            YesInstance::Op(i) => f(&Outerplanarity::new(i, params, transport)),
+            YesInstance::Emb(i) => f(&EmbeddedPlanarity::new(i, params, transport)),
+            YesInstance::Pl(i) => f(&Planarity::new(i, params, transport)),
+            YesInstance::Spa(i) => f(&SeriesParallel::new(i, params, transport)),
+            YesInstance::Tw2(i) => f(&Treewidth2::new(i, params, transport)),
+        }
+    }
+}
+
+/// A self-contained no-instance of a family.
+pub fn no_instance(family: Family, n: usize, seed: u64) -> YesInstance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    match family {
+        Family::PathOuterplanar => {
+            let g = gen::no_instances::outerplanar_no_hamiltonian_path((n / 3).max(3), &mut rng);
+            YesInstance::Pop(PopInstance { graph: g, witness: None, is_yes: false })
+        }
+        Family::Outerplanar => {
+            let g = gen::no_instances::planar_not_outerplanar(n.max(6), &mut rng);
+            YesInstance::Op(OpInstance { graph: g, is_yes: false })
+        }
+        Family::EmbeddedPlanarity => {
+            let g = gen::planar::scrambled_embedding(n.max(6), &mut rng);
+            YesInstance::Emb(EmbInstance { graph: g.graph, rho: g.rho, is_yes: false })
+        }
+        Family::Planarity => {
+            let g = gen::no_instances::nonplanar_with_gadget(
+                n.max(8),
+                1,
+                seed.is_multiple_of(2),
+                &mut rng,
+            );
+            YesInstance::Pl(PlInstance { graph: g, witness_rho: None, is_yes: false })
+        }
+        Family::SeriesParallel => {
+            let g = gen::no_instances::tw2_violator((n / 8).max(1), 1, &mut rng);
+            YesInstance::Spa(SpaInstance { graph: g, is_yes: false })
+        }
+        Family::Treewidth2 => {
+            let g = gen::no_instances::tw2_violator((n / 8).max(2), 1, &mut rng);
+            YesInstance::Tw2(Tw2Instance { graph: g, is_yes: false })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_names_roundtrip() {
+        for fam in FAMILIES {
+            assert_eq!(Family::from_name(fam.name()), Some(fam));
+        }
+        assert_eq!(Family::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn every_family_has_cheats() {
+        for fam in FAMILIES {
+            assert!(fam.cheat_count() > 0, "{}", fam.name());
+            assert_eq!(fam.cheat_count(), fam.cheat_names().len());
+        }
+    }
+}

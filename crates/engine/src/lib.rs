@@ -1,0 +1,57 @@
+//! `pdip-engine` — the parallel batch-verification engine.
+//!
+//! Every paper-claim table in this repository is a sweep: protocol runs
+//! over families × instance sizes × prover behaviours × trials. This
+//! crate executes such sweeps on a fixed worker pool (std threads +
+//! channels; no external dependencies) with three guarantees:
+//!
+//! 1. **Determinism.** Per-job seeds derive from `(base_seed, job index)`
+//!    through a SplitMix64 stream ([`seed`]), never from scheduling, and
+//!    results are re-sorted into grid order — so a sweep at 16 workers
+//!    produces byte-identical records and aggregate tables to the same
+//!    sweep at 1 worker.
+//! 2. **Panic isolation.** Each job runs behind `catch_unwind` with a
+//!    bounded retry budget; a panicking protocol run is quarantined as a
+//!    [`JobFailure`] carrying its payload, and the sweep continues.
+//! 3. **Structured output.** Every run yields a [`RunRecord`] (verdict,
+//!    proof-size bits, per-round bits, coins, rejections, wall time); a
+//!    collector folds records into deterministic aggregate tables and
+//!    machine-readable JSON/CSV sinks ([`sink`]), plus throughput
+//!    metrics ([`SweepMetrics`]).
+//!
+//! The experiment binaries E1–E3 (`pdip-bench`) and the `pdip sweep` CLI
+//! subcommand drive their grids through this engine.
+//!
+//! ```
+//! use pdip_engine::{Engine, Family, ProverSpec, SweepSpec};
+//!
+//! let spec = SweepSpec {
+//!     families: vec![Family::PathOuterplanar],
+//!     sizes: vec![48],
+//!     provers: vec![ProverSpec::Honest, ProverSpec::AllCheats],
+//!     trials: 2,
+//!     base_seed: 7,
+//!     ..SweepSpec::default()
+//! };
+//! let outcome = Engine::with_threads(4).run(&spec);
+//! assert!(outcome.failures.is_empty());
+//! assert_eq!(outcome.records.len() as u64, spec.job_count());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod family;
+pub mod pool;
+pub mod record;
+pub mod report;
+pub mod seed;
+pub mod sink;
+pub mod spec;
+
+pub use family::{no_instance, Family, YesInstance, FAMILIES};
+pub use pool::{execute_job, Engine};
+pub use record::{CellAgg, CellKey, JobFailure, RunRecord, SweepMetrics, SweepOutcome};
+pub use report::print_table;
+pub use seed::{job_seed, splitmix_finalize, sub_seed};
+pub use sink::{aggregate_json, records_csv, write_outputs};
+pub use spec::{JobCoords, JobSpec, Prover, ProverSpec, SeedMode, SweepSpec};

@@ -1,0 +1,268 @@
+//! The fixed worker pool: std threads + channels, deterministic results,
+//! panic isolation with retry-then-quarantine.
+//!
+//! Workers pull jobs from a shared atomic cursor and send outcomes to a
+//! collector thread; after the pool drains, records are sorted back into
+//! grid order. Because per-job seeds are derived from `(base_seed, index)`
+//! alone (see [`crate::seed`]), the sorted records — and everything folded
+//! from them — are byte-identical for any worker count.
+
+use crate::family::{no_instance, YesInstance};
+use crate::record::{JobFailure, RunRecord, SweepMetrics, SweepOutcome};
+use crate::seed::{labels, sub_seed};
+use crate::spec::{JobSpec, Prover, SweepSpec};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::thread;
+use std::time::Instant;
+
+/// The batch-verification engine: a sweep executor with a fixed worker
+/// count.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    /// Worker threads (1 = serial; results are identical either way).
+    pub threads: usize,
+    /// Suppress the default panic hook's stderr spew while jobs run
+    /// (quarantined panics are reported as [`JobFailure`]s instead).
+    pub quiet_panics: bool,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine {
+            threads: thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            quiet_panics: true,
+        }
+    }
+}
+
+impl Engine {
+    /// An engine with `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        Engine { threads, ..Engine::default() }
+    }
+
+    /// Expands `spec` and executes every job, returning records and
+    /// quarantined failures in grid order.
+    pub fn run(&self, spec: &SweepSpec) -> SweepOutcome {
+        let jobs = spec.expand();
+        self.run_jobs(spec, &jobs)
+    }
+
+    /// Executes an explicit job list (already expanded from `spec`).
+    pub fn run_jobs(&self, spec: &SweepSpec, jobs: &[JobSpec]) -> SweepOutcome {
+        let threads = self.threads.max(1);
+        let _silencer = self.quiet_panics.then(PanicSilencer::engage);
+        let start = Instant::now();
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<Result<RunRecord, JobFailure>>();
+
+        let (mut records, mut failures) = thread::scope(|s| {
+            // Collector: drains the channel while workers run, so job
+            // outputs never pile up in channel buffers of blocked senders.
+            let collector = s.spawn(move || {
+                let mut records = Vec::new();
+                let mut failures = Vec::new();
+                for out in rx {
+                    match out {
+                        Ok(r) => records.push(r),
+                        Err(f) => failures.push(f),
+                    }
+                }
+                (records, failures)
+            });
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                s.spawn(move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    if tx.send(execute_job(spec, job)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            collector.join().expect("collector thread panicked")
+        });
+
+        records.sort_by_key(|r| r.index);
+        failures.sort_by_key(|f| f.index);
+        let metrics = SweepMetrics {
+            jobs: (records.len() + failures.len()) as u64,
+            failures: failures.len() as u64,
+            threads,
+            wall: start.elapsed(),
+        };
+        SweepOutcome { records, failures, metrics }
+    }
+}
+
+/// Runs one job behind panic isolation with the spec's retry budget.
+///
+/// Retry `k` re-runs the protocol with a seed derived from the job's run
+/// seed and `k`, so a panic caused by an unlucky coin draw can clear
+/// while a deterministic panic exhausts its attempts and is quarantined.
+/// The attempt sequence depends only on the job, never on scheduling.
+pub fn execute_job(spec: &SweepSpec, job: &JobSpec) -> Result<RunRecord, JobFailure> {
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let run_seed = if attempt == 1 {
+            job.run_seed
+        } else {
+            sub_seed(sub_seed(job.run_seed, labels::RETRY), attempt as u64)
+        };
+        match catch_unwind(AssertUnwindSafe(|| run_once(spec, job, run_seed))) {
+            Ok(record) => return Ok(record),
+            Err(payload) => {
+                if attempt > spec.max_retries {
+                    let c = &job.coords;
+                    return Err(JobFailure {
+                        index: c.index,
+                        family: c.family,
+                        n: c.n,
+                        prover: c.prover,
+                        trial: c.trial,
+                        attempts: attempt,
+                        payload: payload_string(payload),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn run_once(spec: &SweepSpec, job: &JobSpec, run_seed: u64) -> RunRecord {
+    let c = &job.coords;
+    let start = Instant::now();
+    let (res, actual_n, rounds) = match c.prover {
+        Prover::Honest => {
+            let inst = YesInstance::generate(c.family, c.n, job.gen_seed);
+            inst.with_protocol(spec.params, spec.transport, |p| {
+                (p.run_honest(run_seed), p.instance_size(), p.rounds())
+            })
+        }
+        Prover::Cheat(s) => {
+            let inst = no_instance(c.family, c.n, job.gen_seed);
+            inst.with_protocol(spec.params, spec.transport, |p| {
+                (p.run_cheat(s, run_seed), p.instance_size(), p.rounds())
+            })
+        }
+        Prover::PanicInjection => panic!(
+            "injected panic: {} n={} trial={} (fault injection)",
+            c.family.name(),
+            c.n,
+            c.trial
+        ),
+    };
+    let mut record = RunRecord::from_result(job, actual_n, rounds, &res, start.elapsed());
+    record.run_seed = run_seed;
+    record
+}
+
+fn payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Depth-counted suppression of the global panic hook, so quarantined
+/// panics don't spray backtrace noise over sweep output. Re-entrant
+/// across concurrently running engines; the previous hook is restored
+/// when the last engine finishes.
+struct PanicSilencer;
+
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Send + Sync>;
+
+struct SilenceState {
+    depth: usize,
+    saved: Option<PanicHook>,
+}
+
+static SILENCE: Mutex<SilenceState> = Mutex::new(SilenceState { depth: 0, saved: None });
+
+impl PanicSilencer {
+    fn engage() -> PanicSilencer {
+        let mut st = SILENCE.lock().expect("panic-hook state poisoned");
+        if st.depth == 0 {
+            st.saved = Some(std::panic::take_hook());
+            std::panic::set_hook(Box::new(|_| {}));
+        }
+        st.depth += 1;
+        PanicSilencer
+    }
+}
+
+impl Drop for PanicSilencer {
+    fn drop(&mut self) {
+        let mut st = SILENCE.lock().expect("panic-hook state poisoned");
+        st.depth -= 1;
+        if st.depth == 0 {
+            if let Some(hook) = st.saved.take() {
+                std::panic::set_hook(hook);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::Family;
+    use crate::spec::ProverSpec;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            families: vec![Family::PathOuterplanar],
+            sizes: vec![40],
+            provers: vec![ProverSpec::Honest],
+            trials: 4,
+            base_seed: 99,
+            ..SweepSpec::default()
+        }
+    }
+
+    #[test]
+    fn honest_jobs_complete_and_accept() {
+        let outcome = Engine::with_threads(2).run(&tiny_spec());
+        assert_eq!(outcome.records.len(), 4);
+        assert!(outcome.failures.is_empty());
+        assert!(outcome.records.iter().all(|r| r.accepted));
+        assert!(outcome.records.iter().all(|r| r.rounds == 5));
+        assert_eq!(outcome.metrics.jobs, 4);
+    }
+
+    #[test]
+    fn panic_injection_is_quarantined_not_fatal() {
+        let spec = SweepSpec {
+            provers: vec![ProverSpec::Honest, ProverSpec::PanicInjection],
+            trials: 2,
+            max_retries: 1,
+            ..tiny_spec()
+        };
+        let outcome = Engine::with_threads(3).run(&spec);
+        // Honest jobs complete; every injected panic is quarantined.
+        assert_eq!(outcome.records.len(), 2);
+        assert_eq!(outcome.failures.len(), 2);
+        for f in &outcome.failures {
+            assert_eq!(f.attempts, 2, "one attempt + one retry");
+            assert!(f.payload.contains("injected panic"), "{}", f.payload);
+            assert_eq!(f.prover, Prover::PanicInjection);
+        }
+        assert_eq!(outcome.metrics.failures, 2);
+    }
+
+    #[test]
+    fn records_come_back_in_grid_order() {
+        let spec = SweepSpec { trials: 12, ..tiny_spec() };
+        let outcome = Engine::with_threads(4).run(&spec);
+        let indices: Vec<u64> = outcome.records.iter().map(|r| r.index).collect();
+        assert_eq!(indices, (0..12).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,38 @@
+//! Plain-text table rendering (moved here from `pdip-bench` so the
+//! engine can print aggregate tables without a dependency cycle).
+
+/// Prints a simple aligned table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+        }
+        s
+    };
+    println!("{}", line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", line(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_printer_aligns() {
+        // Smoke: must not panic on ragged content.
+        print_table(
+            &["a", "bb"],
+            &[vec!["1".into(), "22222".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,267 @@
+//! Declarative sweep specifications and their expansion into jobs.
+
+use crate::family::Family;
+use crate::seed::{job_seed, labels, sub_seed};
+use pdip_protocols::{PopParams, Transport};
+
+/// A prover behaviour *requested* in a spec (may expand to several
+/// concrete [`Prover`]s per family).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProverSpec {
+    /// The honest prover on yes-instances.
+    Honest,
+    /// One cheating strategy (index into the family's cheat list) on
+    /// no-instances.
+    Cheat(usize),
+    /// Every cheating strategy the family implements.
+    AllCheats,
+    /// A fault-injection prover that panics inside the job — exists to
+    /// exercise the pool's panic isolation; always quarantined.
+    PanicInjection,
+}
+
+/// A concrete prover behaviour bound to one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Prover {
+    /// Honest prover, yes-instance.
+    Honest,
+    /// Cheating strategy `usize`, no-instance.
+    Cheat(usize),
+    /// Deliberate panic (fault injection).
+    PanicInjection,
+}
+
+impl Prover {
+    /// Short machine-readable name ("honest", "cheat-3", "panic").
+    pub fn tag(&self) -> String {
+        match self {
+            Prover::Honest => "honest".into(),
+            Prover::Cheat(s) => format!("cheat-{s}"),
+            Prover::PanicInjection => "panic".into(),
+        }
+    }
+}
+
+/// How job seeds are derived from the grid.
+#[derive(Clone, Copy)]
+pub enum SeedMode {
+    /// SplitMix64 stream over `(base_seed, job_index)` — the default;
+    /// collision-free across the whole grid.
+    Stream,
+    /// Explicit per-coordinate seeds, for reproducing the historical
+    /// serial experiments (E1–E3) byte-for-byte: the function maps job
+    /// coordinates to `(gen_seed, run_seed)`.
+    Explicit(fn(&JobCoords) -> (u64, u64)),
+}
+
+impl std::fmt::Debug for SeedMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SeedMode::Stream => f.write_str("Stream"),
+            SeedMode::Explicit(_) => f.write_str("Explicit(..)"),
+        }
+    }
+}
+
+/// The grid coordinates of one job (without derived seeds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobCoords {
+    /// Position in the expanded grid (row-major over
+    /// families × sizes × provers × trials).
+    pub index: u64,
+    /// Graph family.
+    pub family: Family,
+    /// Requested instance size.
+    pub n: usize,
+    /// Concrete prover behaviour.
+    pub prover: Prover,
+    /// Trial number within the cell.
+    pub trial: u64,
+}
+
+/// One fully-resolved unit of work.
+#[derive(Debug, Clone, Copy)]
+pub struct JobSpec {
+    /// Grid coordinates.
+    pub coords: JobCoords,
+    /// Seed for instance generation.
+    pub gen_seed: u64,
+    /// Seed for the protocol run.
+    pub run_seed: u64,
+}
+
+/// A declarative sweep: families × sizes × provers × trials, plus the
+/// protocol parameters shared by every job.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Families to sweep (in order).
+    pub families: Vec<Family>,
+    /// Instance sizes to sweep (in order).
+    pub sizes: Vec<usize>,
+    /// Requested prover behaviours (in order; `AllCheats` expands
+    /// per family).
+    pub provers: Vec<ProverSpec>,
+    /// Trials per (family, size, prover) cell.
+    pub trials: u64,
+    /// Base seed of the job-seed stream.
+    pub base_seed: u64,
+    /// Seed-derivation mode.
+    pub seeds: SeedMode,
+    /// Protocol parameters.
+    pub params: PopParams,
+    /// Edge-label transport.
+    pub transport: Transport,
+    /// Panic retries per job before it is quarantined as a failure.
+    pub max_retries: u32,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        SweepSpec {
+            families: crate::family::FAMILIES.to_vec(),
+            sizes: vec![64, 256],
+            provers: vec![ProverSpec::Honest],
+            trials: 1,
+            base_seed: 0,
+            seeds: SeedMode::Stream,
+            params: PopParams::default(),
+            transport: Transport::Native,
+            max_retries: 1,
+        }
+    }
+}
+
+impl SweepSpec {
+    /// Expands the grid into concrete jobs, resolving `AllCheats` per
+    /// family and deriving per-job seeds. Expansion order (and hence the
+    /// index → coordinates map) is deterministic: row-major over
+    /// families, sizes, provers, trials.
+    pub fn expand(&self) -> Vec<JobSpec> {
+        let mut jobs = Vec::new();
+        let mut index = 0u64;
+        for &family in &self.families {
+            // Resolve the requested behaviours for this family.
+            let mut provers: Vec<Prover> = Vec::new();
+            for &p in &self.provers {
+                match p {
+                    ProverSpec::Honest => provers.push(Prover::Honest),
+                    ProverSpec::Cheat(s) => provers.push(Prover::Cheat(s)),
+                    ProverSpec::AllCheats => {
+                        provers.extend((0..family.cheat_count()).map(Prover::Cheat))
+                    }
+                    ProverSpec::PanicInjection => provers.push(Prover::PanicInjection),
+                }
+            }
+            for &n in &self.sizes {
+                for &prover in &provers {
+                    for trial in 0..self.trials {
+                        let coords = JobCoords { index, family, n, prover, trial };
+                        let (gen_seed, run_seed) = match self.seeds {
+                            SeedMode::Stream => {
+                                let s = job_seed(self.base_seed, index);
+                                (sub_seed(s, labels::GEN), sub_seed(s, labels::RUN))
+                            }
+                            SeedMode::Explicit(f) => f(&coords),
+                        };
+                        jobs.push(JobSpec { coords, gen_seed, run_seed });
+                        index += 1;
+                    }
+                }
+            }
+        }
+        jobs
+    }
+
+    /// Number of jobs the spec expands to, without materializing them.
+    pub fn job_count(&self) -> u64 {
+        self.families
+            .iter()
+            .map(|f| {
+                let per_family: u64 = self
+                    .provers
+                    .iter()
+                    .map(|p| match p {
+                        ProverSpec::AllCheats => f.cheat_count() as u64,
+                        _ => 1,
+                    })
+                    .sum();
+                per_family * self.sizes.len() as u64 * self.trials
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_is_row_major_and_indexed() {
+        let spec = SweepSpec {
+            families: vec![Family::PathOuterplanar, Family::SeriesParallel],
+            sizes: vec![32, 64],
+            provers: vec![ProverSpec::Honest],
+            trials: 3,
+            ..SweepSpec::default()
+        };
+        let jobs = spec.expand();
+        assert_eq!(jobs.len() as u64, spec.job_count());
+        assert_eq!(jobs.len(), 2 * 2 * 3);
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.coords.index, i as u64);
+        }
+        assert_eq!(jobs[0].coords.family, Family::PathOuterplanar);
+        assert_eq!(jobs[0].coords.n, 32);
+        assert_eq!(jobs[11].coords.family, Family::SeriesParallel);
+        assert_eq!(jobs[11].coords.n, 64);
+        assert_eq!(jobs[11].coords.trial, 2);
+    }
+
+    #[test]
+    fn all_cheats_expands_per_family() {
+        let spec = SweepSpec {
+            families: vec![Family::PathOuterplanar],
+            sizes: vec![60],
+            provers: vec![ProverSpec::AllCheats],
+            trials: 2,
+            ..SweepSpec::default()
+        };
+        let jobs = spec.expand();
+        let cheats = Family::PathOuterplanar.cheat_count();
+        assert_eq!(jobs.len(), cheats * 2);
+        assert!(jobs.iter().all(|j| matches!(j.coords.prover, Prover::Cheat(_))));
+    }
+
+    #[test]
+    fn explicit_seed_mode_controls_seeds() {
+        fn seeds(c: &JobCoords) -> (u64, u64) {
+            (c.trial * 31 + c.n as u64, c.trial)
+        }
+        let spec = SweepSpec {
+            families: vec![Family::PathOuterplanar],
+            sizes: vec![60],
+            provers: vec![ProverSpec::Honest],
+            trials: 2,
+            seeds: SeedMode::Explicit(seeds),
+            ..SweepSpec::default()
+        };
+        let jobs = spec.expand();
+        assert_eq!(jobs[1].gen_seed, 31 + 60);
+        assert_eq!(jobs[1].run_seed, 1);
+    }
+
+    #[test]
+    fn stream_seeds_are_unique_across_grid() {
+        let spec = SweepSpec {
+            provers: vec![ProverSpec::Honest, ProverSpec::AllCheats],
+            trials: 4,
+            ..SweepSpec::default()
+        };
+        let jobs = spec.expand();
+        let mut seen = std::collections::HashSet::new();
+        for j in &jobs {
+            assert!(seen.insert(j.gen_seed), "gen seed collision");
+            assert!(seen.insert(j.run_seed), "run seed collision");
+        }
+    }
+}

@@ -76,10 +76,7 @@ mod tests {
         let prefs = prefix_poly_evals(&f, &bits, z);
         assert_eq!(prefs.len(), bits.len() + 1);
         for i in 0..=bits.len() {
-            let subset: Vec<u64> = (1..=i)
-                .filter(|&j| bits[j - 1])
-                .map(|j| j as u64)
-                .collect();
+            let subset: Vec<u64> = (1..=i).filter(|&j| bits[j - 1]).map(|j| j as u64).collect();
             assert_eq!(prefs[i], multiset_poly_eval(&f, subset, z), "prefix {i}");
         }
     }

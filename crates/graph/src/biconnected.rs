@@ -83,7 +83,8 @@ impl BiconnectedComponents {
                             while let Some(&top) = edge_stack.last() {
                                 let te = g.edge(top);
                                 // Pop until (and including) the tree edge (p, v).
-                                let is_boundary = (te.u == p && te.v == v) || (te.u == v && te.v == p);
+                                let is_boundary =
+                                    (te.u == p && te.v == v) || (te.u == v && te.v == p);
                                 edge_stack.pop();
                                 component_of_edge[top] = idx;
                                 comp.push(top);
@@ -244,10 +245,7 @@ mod tests {
     #[test]
     fn bridge_plus_cycles() {
         // cycle {0,1,2} - bridge (2,3) - cycle {3,4,5}
-        let g = Graph::from_edges(
-            6,
-            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)],
-        );
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]);
         let bcc = BiconnectedComponents::compute(&g);
         assert_eq!(bcc.count(), 3);
         assert!(bcc.is_cut_node[2] && bcc.is_cut_node[3]);
@@ -258,23 +256,16 @@ mod tests {
     #[test]
     fn block_cut_tree_depths() {
         // blocks: B0={0,1,2} (root contains edge 0), bridge {2,3}, B2={3,4,5}
-        let g = Graph::from_edges(
-            6,
-            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)],
-        );
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]);
         let t = BlockCutTree::rooted(&g);
         assert_eq!(t.block_count(), 3);
         assert_eq!(t.block_depth[t.root_block], 0);
         assert_eq!(t.separating_node[t.root_block], None);
         // The bridge's separating node is 2; the far cycle's is 3.
-        let bridge = (0..3)
-            .find(|&c| t.bcc.components[c].len() == 1)
-            .unwrap();
+        let bridge = (0..3).find(|&c| t.bcc.components[c].len() == 1).unwrap();
         assert_eq!(t.separating_node[bridge], Some(2));
         assert_eq!(t.block_depth[bridge], 1);
-        let far = (0..3)
-            .find(|&c| c != t.root_block && t.bcc.components[c].len() == 3)
-            .unwrap();
+        let far = (0..3).find(|&c| c != t.root_block && t.bcc.components[c].len() == 3).unwrap();
         assert_eq!(t.separating_node[far], Some(3));
         assert_eq!(t.block_depth[far], 2);
     }
@@ -300,18 +291,7 @@ mod tests {
     fn all_edges_assigned_components() {
         let g = Graph::from_edges(
             8,
-            [
-                (0, 1),
-                (1, 2),
-                (2, 0),
-                (2, 3),
-                (3, 4),
-                (4, 2),
-                (4, 5),
-                (5, 6),
-                (6, 7),
-                (7, 5),
-            ],
+            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2), (4, 5), (5, 6), (6, 7), (7, 5)],
         );
         let bcc = BiconnectedComponents::compute(&g);
         assert!(bcc.component_of_edge.iter().all(|&c| c != usize::MAX));

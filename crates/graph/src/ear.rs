@@ -301,8 +301,7 @@ mod tests {
     #[test]
     fn validate_rejects_missing_edges() {
         let g = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
-        let partial =
-            EarDecomposition { ears: vec![Ear { path: vec![0, 1, 2], host: None }] };
+        let partial = EarDecomposition { ears: vec![Ear { path: vec![0, 1, 2], host: None }] };
         assert!(partial.validate(&g).is_err());
     }
 

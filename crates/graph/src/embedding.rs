@@ -173,10 +173,7 @@ impl RotationSystem {
         let comps = crate::traversal::connected_components(g);
         let c = comps.len();
         // Edgeless components have one face each but no darts to trace.
-        let edgeless = comps
-            .iter()
-            .filter(|nodes| nodes.iter().all(|&v| g.degree(v) == 0))
-            .count();
+        let edgeless = comps.iter().filter(|nodes| nodes.iter().all(|&v| g.degree(v) == 0)).count();
         let f = self.face_count(g) + edgeless;
         let lhs = 2 * c + g.m();
         let rhs = g.n() + f;

@@ -100,9 +100,8 @@ pub fn random_lr_no(
     rng: &mut impl Rng,
 ) -> Option<LrInstance> {
     let mut inst = random_lr_yes(n, extra, planar, rng);
-    let non_path: Vec<EdgeId> = (0..inst.graph.m())
-        .filter(|e| !inst.path_edges.contains(e))
-        .collect();
+    let non_path: Vec<EdgeId> =
+        (0..inst.graph.m()).filter(|e| !inst.path_edges.contains(e)).collect();
     if non_path.is_empty() {
         return None;
     }

@@ -18,12 +18,7 @@ use rand::Rng;
 /// host: the branch nodes are fresh, each branch path has `sub ≥ 0` inner
 /// subdivision nodes, and the gadget is connected to the host by one edge.
 /// The result is connected and non-planar.
-pub fn nonplanar_with_gadget(
-    host_n: usize,
-    sub: usize,
-    use_k5: bool,
-    rng: &mut impl Rng,
-) -> Graph {
+pub fn nonplanar_with_gadget(host_n: usize, sub: usize, use_k5: bool, rng: &mut impl Rng) -> Graph {
     let host = super::planar::random_planar(host_n.max(4), 0.4, rng).graph;
     let mut g = host.clone();
     let branch: Vec<NodeId> = (0..if use_k5 { 5 } else { 6 }).map(|_| g.add_node()).collect();
@@ -83,8 +78,7 @@ pub fn outerplanar_no_hamiltonian_path(block: usize, rng: &mut impl Rng) -> Grap
             g.add_node();
         }
         // Cycle: 0, base, base+1, ..., base+block-2.
-        let cyc: Vec<NodeId> =
-            std::iter::once(0).chain(base..base + block - 1).collect();
+        let cyc: Vec<NodeId> = std::iter::once(0).chain(base..base + block - 1).collect();
         for i in 0..cyc.len() {
             g.add_edge(cyc[i], cyc[(i + 1) % cyc.len()]);
         }

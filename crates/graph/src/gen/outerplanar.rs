@@ -166,10 +166,7 @@ mod tests {
         for n in [1usize, 2, 3, 5, 17, 64, 200] {
             for _ in 0..5 {
                 let inst = random_path_outerplanar(n, 0.7, &mut rng);
-                assert!(
-                    is_path_outerplanar_with(&inst.graph, &inst.path),
-                    "n = {n}"
-                );
+                assert!(is_path_outerplanar_with(&inst.graph, &inst.path), "n = {n}");
             }
         }
     }

@@ -171,13 +171,7 @@ pub fn restrict_embedding(
         }
     }
     let order: Vec<Vec<EdgeId>> = (0..g.n())
-        .map(|v| {
-            rho.order_at(v)
-                .iter()
-                .filter(|&&e| keep_edge[e])
-                .map(|&e| new_id[e])
-                .collect()
-        })
+        .map(|v| rho.order_at(v).iter().filter(|&&e| keep_edge[e]).map(|&e| new_id[e]).collect())
         .collect();
     let rho2 = RotationSystem::from_orders(&h, order);
     (h, rho2)

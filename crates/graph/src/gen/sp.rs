@@ -73,7 +73,11 @@ pub struct Treewidth2Instance {
 /// A random connected treewidth ≤ 2 graph: a *tree* of series-parallel
 /// blocks glued at cut nodes (branching allowed, so the result is usually
 /// not two-terminal series-parallel itself). Labels shuffled.
-pub fn random_treewidth2(blocks: usize, block_size: usize, rng: &mut impl Rng) -> Treewidth2Instance {
+pub fn random_treewidth2(
+    blocks: usize,
+    block_size: usize,
+    rng: &mut impl Rng,
+) -> Treewidth2Instance {
     assert!(blocks >= 1 && block_size >= 1);
     let mut g = Graph::new(0);
     for b in 0..blocks {

@@ -6,21 +6,29 @@
 
 pub mod biconnected;
 pub mod degeneracy;
-pub mod embedding;
-pub mod graph;
 pub mod ear;
+pub mod embedding;
 pub mod gen;
+pub mod graph;
 pub mod outerplanar;
 pub mod planarity;
 pub mod series_parallel;
 pub mod traversal;
 
 pub use biconnected::{BiconnectedComponents, BlockCutTree};
-pub use degeneracy::{degeneracy_ordering, degeneracy_orientation, greedy_coloring, is_proper_coloring, ForestDecomposition};
-pub use embedding::{Dart, RotationSystem};
+pub use degeneracy::{
+    degeneracy_ordering, degeneracy_orientation, greedy_coloring, is_proper_coloring,
+    ForestDecomposition,
+};
 pub use ear::{nested_ear_decomposition, Ear, EarDecomposition};
-pub use outerplanar::{is_biconnected, is_hamiltonian_path, is_outerplanar, is_path_outerplanar, is_path_outerplanar_with, is_properly_nested, outer_cycle, path_outerplanar_witness};
-pub use planarity::{is_planar, is_planar_bruteforce};
-pub use series_parallel::{is_series_parallel, is_treewidth_at_most_2, sp_tree, SpNode, SpTree, SpTreeEntry};
+pub use embedding::{Dart, RotationSystem};
 pub use graph::{Edge, EdgeId, Graph, NodeId, Orientation};
+pub use outerplanar::{
+    is_biconnected, is_hamiltonian_path, is_outerplanar, is_path_outerplanar,
+    is_path_outerplanar_with, is_properly_nested, outer_cycle, path_outerplanar_witness,
+};
+pub use planarity::{is_planar, is_planar_bruteforce};
+pub use series_parallel::{
+    is_series_parallel, is_treewidth_at_most_2, sp_tree, SpNode, SpTree, SpTreeEntry,
+};
 pub use traversal::{bfs_order, connected_components, dfs_order, EulerTour, RootedForest};

@@ -111,9 +111,8 @@ pub fn outer_cycle(g: &Graph) -> Option<Vec<NodeId>> {
         return None;
     }
     // Work on a mutable adjacency-set copy.
-    let mut adj: Vec<std::collections::BTreeSet<NodeId>> = (0..n)
-        .map(|v| g.neighbor_nodes(v).collect())
-        .collect();
+    let mut adj: Vec<std::collections::BTreeSet<NodeId>> =
+        (0..n).map(|v| g.neighbor_nodes(v).collect()).collect();
     let mut alive = vec![true; n];
     let mut alive_count = n;
     // peeled: v removed with neighbors (x, y) — reinsert in reverse order.
@@ -242,10 +241,7 @@ pub fn path_outerplanar_witness(g: &Graph) -> Option<Vec<NodeId>> {
         order.push((cur, prev_cut));
         let next_cut = cuts_of_block[cur].iter().copied().find(|&c| Some(c) != prev_cut);
         let Some(nc) = next_cut else { break };
-        let next_block = bcc
-            .components_of_node(g, nc)
-            .into_iter()
-            .find(|&c| !visited[c]);
+        let next_block = bcc.components_of_node(g, nc).into_iter().find(|&c| !visited[c]);
         let Some(nb) = next_block else { break };
         prev_cut = Some(nc);
         cur = nb;
@@ -319,9 +315,7 @@ fn block_path(
             continue;
         }
         let mut path = candidate;
-        if entry.is_some_and(|e| e == *path.last().unwrap())
-            || exit.is_some_and(|x| x == path[0])
-        {
+        if entry.is_some_and(|e| e == *path.last().unwrap()) || exit.is_some_and(|x| x == path[0]) {
             path.reverse();
         }
         return Some(path);

@@ -309,7 +309,10 @@ impl<'g> LeftRightTester<'g> {
                 } else {
                     // Back edge.
                     self.lowpt_edge[ei] = ei;
-                    self.s.push(ConflictPair { l: Interval::EMPTY, r: Interval { low: ei, high: ei } });
+                    self.s.push(ConflictPair {
+                        l: Interval::EMPTY,
+                        r: Interval { low: ei, high: ei },
+                    });
                     if !self.integrate_out_edge(v, ei) {
                         return false;
                     }
@@ -326,11 +329,12 @@ impl<'g> LeftRightTester<'g> {
                         let top = *self.s.last().expect("return edge requires a conflict pair");
                         let hl = top.l.high;
                         let hr = top.r.high;
-                        self.reference[e] = if hl != NONE && (hr == NONE || self.lowpt[hl] > self.lowpt[hr]) {
-                            hl
-                        } else {
-                            hr
-                        };
+                        self.reference[e] =
+                            if hl != NONE && (hr == NONE || self.lowpt[hl] > self.lowpt[hr]) {
+                                hl
+                            } else {
+                                hr
+                            };
                     }
                 }
             }

@@ -72,10 +72,8 @@ impl<T: Clone> EdgeLabelCarrier<T> {
     /// Label width at node `v` in bits, given the per-value width.
     pub fn node_bits(&self, v: NodeId, value_bits: impl Fn(&T) -> usize) -> usize {
         let code_bits: usize = self.codes.iter().map(|c| c.label_bits()).sum();
-        let slot_bits: usize = self.slots[v]
-            .iter()
-            .map(|s| 1 + s.as_ref().map_or(0, &value_bits))
-            .sum();
+        let slot_bits: usize =
+            self.slots[v].iter().map(|s| 1 + s.as_ref().map_or(0, &value_bits)).sum();
         code_bits + slot_bits
     }
 

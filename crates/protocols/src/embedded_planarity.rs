@@ -108,11 +108,8 @@ pub fn build_reduction(
         let order = rho.order_at(v);
         let d = order.len();
         let kids = child_order(v);
-        let opening: Option<EdgeId> = if i == 0 {
-            tree.parent_edge(v)
-        } else {
-            g.edge_between(v, kids[i - 1])
-        };
+        let opening: Option<EdgeId> =
+            if i == 0 { tree.parent_edge(v) } else { g.edge_between(v, kids[i - 1]) };
         let Some(open) = opening else {
             return Vec::new(); // the root's corner 0
         };
@@ -180,7 +177,8 @@ pub enum EmbCheat {
 }
 
 /// All cheats in interface order.
-pub const EMB_CHEATS: [EmbCheat; 3] = [EmbCheat::HonestSweep, EmbCheat::ForceMark, EmbCheat::FakeTree];
+pub const EMB_CHEATS: [EmbCheat; 3] =
+    [EmbCheat::HonestSweep, EmbCheat::ForceMark, EmbCheat::FakeTree];
 
 /// The planar-embedding DIP bound to an instance.
 #[derive(Debug)]
@@ -323,10 +321,7 @@ mod tests {
                 let inst = random_planar(n, keep, &mut rng);
                 let tree = RootedForest::bfs_spanning_tree(&inst.graph, 0);
                 let red = build_reduction(&inst.graph, &inst.rho, &tree, 0);
-                assert!(
-                    is_path_outerplanar_with(&red.h, &red.path),
-                    "n={n} keep={keep}"
-                );
+                assert!(is_path_outerplanar_with(&red.h, &red.path), "n={n} keep={keep}");
             }
         }
     }

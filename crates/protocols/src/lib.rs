@@ -16,8 +16,8 @@ pub mod amplify;
 pub mod edge_labels;
 pub mod embedded_planarity;
 pub mod forest_code;
-pub mod lr_sorting;
 pub mod lower_bound;
+pub mod lr_sorting;
 pub mod multiset_eq;
 pub mod nesting;
 pub mod outerplanar;
@@ -30,6 +30,9 @@ pub mod treewidth2;
 
 pub use amplify::Amplified;
 pub use edge_labels::EdgeLabelCarrier;
+pub use embedded_planarity::{
+    build_reduction, EmbCheat, EmbInstance, EmbeddedPlanarity, Reduction, EMB_CHEATS,
+};
 pub use forest_code::{decode_children, decode_parent, ForestCode, ForestCodeLabel};
 pub use lr_sorting::{LrCheat, LrParams, LrSorting, Transport, LR_CHEATS};
 pub use multiset_eq::{MsMsg, MultisetEq};
@@ -37,6 +40,5 @@ pub use outerplanar::{OpCheat, OpInstance, Outerplanarity, OP_CHEATS};
 pub use path_outerplanar::{PathOuterplanarity, PopCheat, PopInstance, PopParams, POP_CHEATS};
 pub use planarity::{PlCheat, PlInstance, Planarity, PL_CHEATS};
 pub use series_parallel::{SeriesParallel, SpaCheat, SpaInstance, SPA_CHEATS};
-pub use treewidth2::{Treewidth2, Tw2Cheat, Tw2Instance, TW2_CHEATS};
-pub use embedded_planarity::{build_reduction, EmbCheat, EmbInstance, EmbeddedPlanarity, Reduction, EMB_CHEATS};
 pub use spanning_tree::{SpanningTreeVerification, StCoin, StMsg, StParams};
+pub use treewidth2::{Treewidth2, Tw2Cheat, Tw2Instance, TW2_CHEATS};

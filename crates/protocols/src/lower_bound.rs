@@ -148,11 +148,8 @@ pub fn attempt_forgery(n: usize, b: usize) -> Option<bool> {
     for v in 0..n - 1 {
         gaps[z.edge_between(v, v + 1).unwrap()] = Some(Some(sigma));
     }
-    let forged = NestingLabels {
-        arcs,
-        above: vec![nesting::AboveLabel { above: Some(sigma) }; n],
-        gaps,
-    };
+    let forged =
+        NestingLabels { arcs, above: vec![nesting::AboveLabel { above: Some(sigma) }; n], gaps };
     Some(truncated_check(&z, &forged, b))
 }
 

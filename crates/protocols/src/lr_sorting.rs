@@ -443,7 +443,8 @@ impl<'a> LrSorting<'a> {
         }
         // Per-block bit vectors (by idx) reconstructed from R1 labels so
         // that tampered R1 stays consistent with R2.
-        let mut x1_bits: Vec<Vec<bool>> = (0..nblocks).map(|b| vec![false; self.block_cap(b)]).collect();
+        let mut x1_bits: Vec<Vec<bool>> =
+            (0..nblocks).map(|b| vec![false; self.block_cap(b)]).collect();
         let mut x2_bits = x1_bits.clone();
         for v in 0..n {
             let b = block_of[v];
@@ -462,8 +463,7 @@ impl<'a> LrSorting<'a> {
             let size = self.block_size(b);
             // Nodes of the block in idx order.
             let start = self.block_start(b);
-            let members: Vec<NodeId> =
-                (0..size).map(|i| self.inst.path[start + i]).collect();
+            let members: Vec<NodeId> = (0..size).map(|i| self.inst.path[start + i]).collect();
             let pref2 = prefix_poly_evals(&fp, &x2_bits[b], r);
             let prefp = prefix_poly_evals(&fp, &x1_bits[b], rp);
             // Right-to-left suffix products over the x1 bits at r:
@@ -529,13 +529,11 @@ impl<'a> LrSorting<'a> {
         let n = g.n();
         let ms = MultisetEq::new(self.field_pp);
         let (_block_of, nblocks) = self.honest_blocks();
-        let mut out = vec![
-            R3Node {
-                eq1: MsMsg { z: 0, a1: 0, a2: 0 },
-                eq0: MsMsg { z: 0, a1: 0, a2: 0 },
-            };
-            n
-        ];
+        let mut out =
+            vec![
+                R3Node { eq1: MsMsg { z: 0, a1: 0, a2: 0 }, eq0: MsMsg { z: 0, a1: 0, a2: 0 } };
+                n
+            ];
         for b in 0..nblocks {
             let size = self.block_size(b);
             let start = self.block_start(b);
@@ -548,14 +546,10 @@ impl<'a> LrSorting<'a> {
                 members.iter().map(|&v| self.c_side(v, true, r1e, r2e)).collect();
             let c0: Vec<Vec<u64>> =
                 members.iter().map(|&v| self.c_side(v, false, r1e, r2e)).collect();
-            let d1: Vec<Vec<u64>> = members
-                .iter()
-                .map(|&v| self.d_side(v, true, r1n, r2n))
-                .collect();
-            let d0: Vec<Vec<u64>> = members
-                .iter()
-                .map(|&v| self.d_side(v, false, r1n, r2n))
-                .collect();
+            let d1: Vec<Vec<u64>> =
+                members.iter().map(|&v| self.d_side(v, true, r1n, r2n)).collect();
+            let d0: Vec<Vec<u64>> =
+                members.iter().map(|&v| self.d_side(v, false, r1n, r2n)).collect();
             let msgs1 = ms.honest_response(&parent, &|i| c1[i].clone(), &|i| d1[i].clone(), z1);
             let msgs0 = ms.honest_response(&parent, &|i| c0[i].clone(), &|i| d0[i].clone(), z0);
             for (i, &v) in members.iter().enumerate() {
@@ -643,7 +637,8 @@ impl<'a> LrSorting<'a> {
         let (r1n, r1e) = self.round1(cheat);
         let (r2n, r2e) = self.round2(&r1n, &r1e, &coins, cheat);
         let r3n = self.round3(&r1n, &r1e, &r2n, &r2e, &coins);
-        let t = LrTranscript { r1_node: r1n, r1_edge: r1e, r2_node: r2n, r2_edge: r2e, r3_node: r3n };
+        let t =
+            LrTranscript { r1_node: r1n, r1_edge: r1e, r2_node: r2n, r2_edge: r2e, r3_node: r3n };
         let stats = self.stats(&t);
         let mut rej = Rejections::new();
         for v in 0..n {
@@ -664,10 +659,7 @@ impl<'a> LrSorting<'a> {
         let r2_edge_bits = pb;
         let r3_node_bits = 6 * ppb;
         let (max1, max2) = match self.transport {
-            Transport::Native => (
-                r1_node_bits.max(r1_edge_bits),
-                r2_node_bits.max(r2_edge_bits),
-            ),
+            Transport::Native => (r1_node_bits.max(r1_edge_bits), r2_node_bits.max(r2_edge_bits)),
             Transport::Simulated => {
                 // Edge labels fold into the accountable endpoints' labels:
                 // count the real per-node burden through the carrier.
@@ -682,11 +674,7 @@ impl<'a> LrSorting<'a> {
         };
         SizeStats {
             per_round_max_bits: vec![max1, max2, r3_node_bits],
-            per_round_total_bits: vec![
-                max1 * g.n(),
-                max2 * g.n(),
-                r3_node_bits * g.n(),
-            ],
+            per_round_total_bits: vec![max1 * g.n(), max2 * g.n(), r3_node_bits * g.n()],
             coin_bits: g.n() * (3 * pb + 2 * ppb),
             rounds: 5,
         }
@@ -734,9 +722,7 @@ impl<'a> LrSorting<'a> {
                     }
                 }
                 ConsecMark::Pivot => {
-                    rej.check(v, !me1.x1_bit && me1.x2_bit, || {
-                        "lr: pivot bits must be 0/1".into()
-                    });
+                    rej.check(v, !me1.x1_bit && me1.x2_bit, || "lr: pivot bits must be 0/1".into());
                     if let Some(u) = same_block_right {
                         if t.r1_node[u].idx <= l {
                             rej.check(v, t.r1_node[u].mark == ConsecMark::Right, || {
@@ -784,19 +770,11 @@ impl<'a> LrSorting<'a> {
         }
         // Cumulative A2 (left-to-right over x2 bits).
         let fac2 = if in_cap && me1.x2_bit { fp.sub(me1.idx as u64, me2.r) } else { 1 };
-        let a2_prev = if me1.idx == 1 {
-            1
-        } else {
-            left.map(|u| t.r2_node[u].a2).unwrap_or(1)
-        };
+        let a2_prev = if me1.idx == 1 { 1 } else { left.map(|u| t.r2_node[u].a2).unwrap_or(1) };
         rej.check(v, me2.a2 == fp.mul(a2_prev, fac2), || "lr: A2 cumulative broken".into());
         // Cumulative PH (left-to-right over x1 bits at r').
         let facp = if in_cap && me1.x1_bit { fp.sub(me1.idx as u64, me2.rp) } else { 1 };
-        let ph_prev = if me1.idx == 1 {
-            1
-        } else {
-            left.map(|u| t.r2_node[u].ph).unwrap_or(1)
-        };
+        let ph_prev = if me1.idx == 1 { 1 } else { left.map(|u| t.r2_node[u].ph).unwrap_or(1) };
         rej.check(v, me2.ph == fp.mul(ph_prev, facp), || "lr: PH cumulative broken".into());
         // Cumulative B1 (right-to-left over x1 bits at r).
         let fac1 = if in_cap && me1.x1_bit { fp.sub(me1.idx as u64, me2.r) } else { 1 };
@@ -804,11 +782,7 @@ impl<'a> LrSorting<'a> {
             None => true,
             Some(u) => t.r1_node[u].idx == 1,
         };
-        let b1_next = if block_rightmost {
-            1
-        } else {
-            right.map(|u| t.r2_node[u].b1).unwrap_or(1)
-        };
+        let b1_next = if block_rightmost { 1 } else { right.map(|u| t.r2_node[u].b1).unwrap_or(1) };
         rej.check(v, me2.b1 == fp.mul(b1_next, fac1), || "lr: B1 cumulative broken".into());
         // Block-adjacency equality: x2(b) == x1(b') at the boundary.
         if let Some(u) = right {
@@ -938,13 +912,18 @@ impl<'a> LrSorting<'a> {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use pdip_graph::gen::lr::{random_lr_no, random_lr_yes};
 
-    fn yes_accepts(n: usize, extra: usize, planar: bool, transport: Transport, seed: u64) -> RunResult {
+    fn yes_accepts(
+        n: usize,
+        extra: usize,
+        planar: bool,
+        transport: Transport,
+        seed: u64,
+    ) -> RunResult {
         let mut rng = SmallRng::seed_from_u64(seed);
         let inst = random_lr_yes(n, extra, planar, &mut rng);
         let lr = LrSorting::new(&inst, LrParams::default(), transport);
@@ -956,11 +935,7 @@ mod tests {
         for n in [2usize, 3, 7, 16, 33, 100, 257] {
             for seed in 0..5 {
                 let res = yes_accepts(n, n / 2, false, Transport::Native, seed);
-                assert!(
-                    res.accepted(),
-                    "n={n} seed={seed}: {:?}",
-                    res.rejections.first()
-                );
+                assert!(res.accepted(), "n={n} seed={seed}: {:?}", res.rejections.first());
             }
         }
     }
@@ -970,11 +945,7 @@ mod tests {
         for n in [2usize, 5, 20, 64, 150] {
             for seed in 0..5 {
                 let res = yes_accepts(n, n / 2, true, Transport::Simulated, seed);
-                assert!(
-                    res.accepted(),
-                    "n={n} seed={seed}: {:?}",
-                    res.rejections.first()
-                );
+                assert!(res.accepted(), "n={n} seed={seed}: {:?}", res.rejections.first());
             }
         }
     }
@@ -1005,10 +976,7 @@ mod tests {
                 }
             }
             assert!(ran > trials / 2);
-            assert!(
-                (accepted as f64) < 0.2 * ran as f64,
-                "cheat {ci}: accepted {accepted}/{ran}"
-            );
+            assert!((accepted as f64) < 0.2 * ran as f64, "cheat {ci}: accepted {accepted}/{ran}");
         }
     }
 

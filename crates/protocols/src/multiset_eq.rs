@@ -174,17 +174,13 @@ mod tests {
         let k = s1.len();
         let f = Fp::new(smallest_prime_above(1 << 16));
         let ms = MultisetEq::new(f);
-        let parent: Vec<Option<usize>> = (0..k).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        let parent: Vec<Option<usize>> =
+            (0..k).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
         let mut rng = SmallRng::seed_from_u64(seed);
         let z = rng.gen_range(0..f.modulus());
         let s1f = s1.clone();
         let s2f = s2.clone();
-        let mut msgs = ms.honest_response(
-            &parent,
-            &|i| s1f[i].clone(),
-            &|i| s2f[i].clone(),
-            z,
-        );
+        let mut msgs = ms.honest_response(&parent, &|i| s1f[i].clone(), &|i| s2f[i].clone(), z);
         tamper(&mut msgs);
         let mut rej = Rejections::new();
         for i in 0..k {
@@ -291,8 +287,7 @@ mod tests {
         let z = 12345;
         let s1c = s1.clone();
         let s2c = s2.clone();
-        let msgs =
-            ms.honest_response(&parent, &|i| s1c[i].clone(), &|i| s2c[i].clone(), z);
+        let msgs = ms.honest_response(&parent, &|i| s1c[i].clone(), &|i| s2c[i].clone(), z);
         let mut rej = Rejections::new();
         let children: Vec<usize> = (1..6).collect();
         ms.check(0, 0, None, &children, &s1[0], &s2[0], &msgs, Some(z), &mut rej);

@@ -98,11 +98,8 @@ pub fn sweep_assign(
     let n = g.n();
     let name_of = |e: EdgeId| -> (Tag, Tag) {
         let edge = g.edge(e);
-        let (a, b) = if positions[edge.u] < positions[edge.v] {
-            (edge.u, edge.v)
-        } else {
-            (edge.v, edge.u)
-        };
+        let (a, b) =
+            if positions[edge.u] < positions[edge.v] { (edge.u, edge.v) } else { (edge.v, edge.u) };
         (tags[a], tags[b])
     };
     // Longest arcs per node and side.
@@ -113,11 +110,8 @@ pub fn sweep_assign(
             continue;
         }
         let edge = g.edge(e);
-        let (a, b) = if positions[edge.u] < positions[edge.v] {
-            (edge.u, edge.v)
-        } else {
-            (edge.v, edge.u)
-        };
+        let (a, b) =
+            if positions[edge.u] < positions[edge.v] { (edge.u, edge.v) } else { (edge.v, edge.u) };
         let better_r = longest_right[a].is_none_or(|f| {
             let fe = g.edge(f);
             let fb = if positions[fe.u] > positions[fe.v] { fe.u } else { fe.v };
@@ -157,8 +151,7 @@ pub fn sweep_assign(
                     return false;
                 }
                 let edge = g.edge(e);
-                let left =
-                    if positions[edge.u] < positions[edge.v] { edge.u } else { edge.v };
+                let left = if positions[edge.u] < positions[edge.v] { edge.u } else { edge.v };
                 left == w
             })
             .collect();
@@ -198,7 +191,12 @@ pub fn sweep_assign(
 /// Tamper: forcibly mark `edge` as the longest left arc of its head and
 /// clear the mark from the currently marked arc (a minimal cheating move
 /// for arcs that violate Observation 2.1).
-pub fn force_longest_left(labels: &mut NestingLabels, g: &Graph, positions: &[usize], edge: EdgeId) {
+pub fn force_longest_left(
+    labels: &mut NestingLabels,
+    g: &Graph,
+    positions: &[usize],
+    edge: EdgeId,
+) {
     let e = g.edge(edge);
     let head = if positions[e.u] > positions[e.v] { e.u } else { e.v };
     for f in g.incident_edges(head) {
@@ -385,8 +383,7 @@ fn exists_chain(
     // final backwards placement is e_1, whose *name* must match `first`.
     let mut visited: std::collections::HashSet<((Tag, Tag), Vec<usize>)> = Default::default();
     let init_remaining: Vec<usize> = groups.iter().map(|g| g.2).collect();
-    let mut stack: Vec<((Tag, Tag), Vec<usize>)> =
-        vec![(arcs[longest_idx].name, init_remaining)];
+    let mut stack: Vec<((Tag, Tag), Vec<usize>)> = vec![(arcs[longest_idx].name, init_remaining)];
     let cap = 200_000usize;
     let mut steps = 0usize;
     while let Some((need, remaining)) = stack.pop() {
@@ -455,17 +452,7 @@ mod tests {
             let left_nb = if pos > 0 { Some(path[pos - 1]) } else { None };
             let right_nb = if pos + 1 < n { Some(path[pos + 1]) } else { None };
             let is_left = |e: EdgeId| positions[g.edge(e).other(v)] < pos;
-            check_node(
-                g,
-                v,
-                left_nb,
-                right_nb,
-                &is_path_edge,
-                &is_left,
-                &tags,
-                &labels,
-                &mut rej,
-            );
+            check_node(g, v, left_nb, right_nb, &is_path_edge, &is_left, &tags, &labels, &mut rej);
         }
         !rej.any()
     }
@@ -477,10 +464,7 @@ mod tests {
             for _ in 0..4 {
                 let inst = random_path_outerplanar(n, 0.7, &mut rng);
                 let seed = rng.gen();
-                assert!(
-                    run_nesting(&inst.graph, &inst.path, |_| {}, seed),
-                    "n = {n}"
-                );
+                assert!(run_nesting(&inst.graph, &inst.path, |_| {}, seed), "n = {n}");
             }
         }
     }

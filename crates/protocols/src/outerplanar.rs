@@ -98,11 +98,7 @@ impl<'a> Outerplanarity<'a> {
                     // Non-outerplanar block: the cheat decides what the
                     // prover commits (a greedy non-spanning path).
                     block_ok[c] = false;
-                    block_paths.push(greedy_block_path(
-                        g,
-                        &nodes,
-                        bct.separating_node[c],
-                    ));
+                    block_paths.push(greedy_block_path(g, &nodes, bct.separating_node[c]));
                 }
             }
         }
@@ -128,10 +124,10 @@ impl<'a> Outerplanarity<'a> {
             }
         }
         // Labels sep(v) / lead(v) for v's home block.
-        let sep_tag: Vec<Option<Tag>> = (0..n)
-            .map(|v| bct.separating_node[home_block[v]].map(|s| tags[s]))
-            .collect();
-        let lead_tag: Vec<Tag> = (0..n).map(|v| tags[leader_of_block[home_block[v]].unwrap()]).collect();
+        let sep_tag: Vec<Option<Tag>> =
+            (0..n).map(|v| bct.separating_node[home_block[v]].map(|s| tags[s])).collect();
+        let lead_tag: Vec<Tag> =
+            (0..n).map(|v| tags[leader_of_block[home_block[v]].unwrap()]).collect();
         // d(C) mod 3 per node (home block), cut nodes implicitly also hold
         // home depth - 1 for their child blocks.
         let d_mod3: Vec<u8> = (0..n).map(|v| (bct.block_depth[home_block[v]] % 3) as u8).collect();
@@ -144,9 +140,7 @@ impl<'a> Outerplanarity<'a> {
                     // Every neighbor is in my block: either same home tags,
                     // or u is a cut node separating my block (sep == s_u),
                     // or u is *my* separating... u cut with my sep tag.
-                    let ok = (same_block
-                        && sep_tag[u] == sep_tag[v]
-                        && lead_tag[u] == lead_tag[v])
+                    let ok = (same_block && sep_tag[u] == sep_tag[v] && lead_tag[u] == lead_tag[v])
                         || (is_cut[u] && sep_tag[v] == Some(tags[u]));
                     rej.check(v, ok, || "op: neighbor outside my block".into());
                 }
@@ -163,11 +157,10 @@ impl<'a> Outerplanarity<'a> {
                 }
             }
             // Leaders verify their connecting edge reaches the separating node.
-            if Some(v) == leader_of_block[my_home].filter(|_| bct.separating_node[my_home].is_some())
+            if Some(v)
+                == leader_of_block[my_home].filter(|_| bct.separating_node[my_home].is_some())
             {
-                let ok = g
-                    .neighbor_nodes(v)
-                    .any(|u| Some(tags[u]) == sep_tag[v] && is_cut[u]);
+                let ok = g.neighbor_nodes(v).any(|u| Some(tags[u]) == sep_tag[v] && is_cut[u]);
                 rej.check(v, ok, || "op: leader lacks edge to separating node".into());
             }
         }
@@ -263,7 +256,10 @@ impl<'a> Outerplanarity<'a> {
                 per_round_max[i] = per_round_max[i].max(*b);
             }
             for (lv, reason) in res.rejections {
-                rej.reject(nodes.get(lv).copied().unwrap_or(nodes[0]), format!("op/block {c}: {reason}"));
+                rej.reject(
+                    nodes.get(lv).copied().unwrap_or(nodes[0]),
+                    format!("op/block {c}: {reason}"),
+                );
             }
         }
 
@@ -325,9 +321,7 @@ fn greedy_block_path(g: &Graph, nodes: &[NodeId], start: Option<NodeId>) -> Vec<
     used.insert(s);
     loop {
         let last = *path.last().unwrap();
-        let next = g
-            .neighbor_nodes(last)
-            .find(|u| inside.contains(u) && !used.contains(u));
+        let next = g.neighbor_nodes(last).find(|u| inside.contains(u) && !used.contains(u));
         match next {
             Some(u) => {
                 used.insert(u);
@@ -386,11 +380,7 @@ mod tests {
                 let inst = OpInstance { graph: gen.graph, is_yes: true };
                 let op = Outerplanarity::new(&inst, PopParams::default(), Transport::Native);
                 let res = op.run_honest(rng.gen());
-                assert!(
-                    res.accepted(),
-                    "n={n} blocks={blocks}: {:?}",
-                    res.rejections.first()
-                );
+                assert!(res.accepted(), "n={n} blocks={blocks}: {:?}", res.rejections.first());
             }
         }
     }

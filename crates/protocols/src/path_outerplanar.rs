@@ -176,10 +176,8 @@ impl<'a> PathOuterplanarity<'a> {
                 lr_cheat = Some(LrCheat::OuterForgedIndex);
             }
         }
-        let path_edges: Vec<usize> = path
-            .windows(2)
-            .map(|w| g.edge_between(w[0], w[1]).expect("path edge"))
-            .collect();
+        let path_edges: Vec<usize> =
+            path.windows(2).map(|w| g.edge_between(w[0], w[1]).expect("path edge")).collect();
         let lr_inst = LrInstance {
             graph: g.clone(),
             orientation: orientation.clone(),
@@ -187,7 +185,11 @@ impl<'a> PathOuterplanarity<'a> {
             path_edges,
             is_yes: true,
         };
-        let lr = LrSorting::new(&lr_inst, LrParams { c: self.params.c, block_len: None }, self.transport);
+        let lr = LrSorting::new(
+            &lr_inst,
+            LrParams { c: self.params.c, block_len: None },
+            self.transport,
+        );
         let lr_res = lr.run(lr_cheat, rng.gen());
         stats.merge_parallel(&lr_res.stats);
         for (v, reason) in lr_res.rejections {
@@ -236,10 +238,7 @@ impl<'a> PathOuterplanarity<'a> {
             Transport::Native => (edge_p1_bits, edge_p2_bits),
             Transport::Simulated => {
                 let max_deg_burden = 5; // forests carried per node (planar)
-                (
-                    max_deg_burden * (edge_p1_bits + 1) + 5 * 8,
-                    max_deg_burden * (edge_p2_bits + 1),
-                )
+                (max_deg_burden * (edge_p1_bits + 1) + 5 * 8, max_deg_burden * (edge_p2_bits + 1))
             }
         };
         let own = SizeStats {
@@ -274,13 +273,10 @@ fn greedy_longest_path(g: &Graph) -> Vec<NodeId> {
         // Warnsdorff with dead-end avoidance: prefer the unvisited
         // neighbor with the fewest *positive* number of onward options;
         // enter a dead end only when nothing else remains.
-        let next = g
-            .neighbor_nodes(last)
-            .filter(|&u| !used[u])
-            .min_by_key(|&u| {
-                let onward = g.neighbor_nodes(u).filter(|&w| !used[w]).count();
-                (onward == 0, onward)
-            });
+        let next = g.neighbor_nodes(last).filter(|&u| !used[u]).min_by_key(|&u| {
+            let onward = g.neighbor_nodes(u).filter(|&w| !used[w]).count();
+            (onward == 0, onward)
+        });
         match next {
             Some(u) => {
                 used[u] = true;

@@ -76,11 +76,7 @@ impl<'a> Planarity<'a> {
                 "pl: rotation is not a permutation of incident edges".into()
             });
         }
-        let emb_inst = EmbInstance {
-            graph: g.clone(),
-            is_yes: rho.is_planar_embedding(g),
-            rho,
-        };
+        let emb_inst = EmbInstance { graph: g.clone(), is_yes: rho.is_planar_embedding(g), rho };
         let emb = EmbeddedPlanarity::new(&emb_inst, self.params, self.transport);
         let sub_cheat = match cheat {
             Some(PlCheat::PortOrderHonestSweep) => Some(EmbCheat::HonestSweep),
@@ -153,8 +149,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(101);
         for n in [4usize, 12, 50, 150] {
             let gen = random_planar(n, 0.7, &mut rng);
-            let inst =
-                PlInstance { graph: gen.graph, witness_rho: Some(gen.rho), is_yes: true };
+            let inst = PlInstance { graph: gen.graph, witness_rho: Some(gen.rho), is_yes: true };
             let p = Planarity::new(&inst, PopParams::default(), Transport::Native);
             for seed in 0..3 {
                 let res = p.run_honest(seed);
@@ -189,8 +184,7 @@ mod tests {
         let mut sizes = Vec::new();
         for delta in [6usize, 30, 120] {
             let gen = triangulation_with_degree(200, delta, &mut rng);
-            let inst =
-                PlInstance { graph: gen.graph, witness_rho: Some(gen.rho), is_yes: true };
+            let inst = PlInstance { graph: gen.graph, witness_rho: Some(gen.rho), is_yes: true };
             let p = Planarity::new(&inst, PopParams::default(), Transport::Native);
             let res = p.run_honest(5);
             assert!(res.accepted());

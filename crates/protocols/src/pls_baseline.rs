@@ -107,7 +107,9 @@ pub fn pls_check(g: &Graph, labels: &PlsLabels, rej: &mut Rejections) {
 /// Size statistics of a PLS labeling (one prover round, no coins).
 pub fn pls_stats(labels: &PlsLabels) -> SizeStats {
     let tb = labels.pos_bits;
-    let bits = tb + NestingLabels::node_bits(tb) + NestingLabels::arc_bits(tb)
+    let bits = tb
+        + NestingLabels::node_bits(tb)
+        + NestingLabels::arc_bits(tb)
         + NestingLabels::gap_bits(tb);
     SizeStats {
         per_round_max_bits: vec![bits],
@@ -193,10 +195,7 @@ impl PlsLrSorting<'_> {
         for v in 0..g.n() {
             for e in g.incident_edges(v) {
                 let u = g.edge(e).other(v);
-                let (t, h) = (
-                    self.inst.orientation.tail(g, e),
-                    self.inst.orientation.head(g, e),
-                );
+                let (t, h) = (self.inst.orientation.tail(g, e), self.inst.orientation.head(g, e));
                 if t == v && pos[t] >= pos[h] {
                     rej.reject(v, "pls-lr: outgoing edge to a smaller position");
                 }
@@ -258,11 +257,8 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(131);
         for n in [2usize, 5, 30, 200] {
             let gen = random_path_outerplanar(n, 0.7, &mut rng);
-            let pls = PlsPathOuterplanar {
-                graph: &gen.graph,
-                witness: Some(&gen.path),
-                is_yes: true,
-            };
+            let pls =
+                PlsPathOuterplanar { graph: &gen.graph, witness: Some(&gen.path), is_yes: true };
             let res = pls.run();
             assert!(res.accepted(), "n={n}: {:?}", res.rejections.first());
             assert_eq!(res.stats.rounds, 1);
@@ -275,11 +271,8 @@ mod tests {
         let mut sizes = Vec::new();
         for n in [1usize << 6, 1 << 10, 1 << 14] {
             let gen = random_path_outerplanar(n, 0.5, &mut rng);
-            let pls = PlsPathOuterplanar {
-                graph: &gen.graph,
-                witness: Some(&gen.path),
-                is_yes: true,
-            };
+            let pls =
+                PlsPathOuterplanar { graph: &gen.graph, witness: Some(&gen.path), is_yes: true };
             let res = pls.run();
             sizes.push(res.stats.proof_size());
         }

@@ -212,7 +212,8 @@ impl<'a> SeriesParallel<'a> {
         // interior to it (ear(u) = r_j) or an endpoint of it — witnessed
         // by an incident connecting edge whose guest tag is r_j with u on
         // the host side.
-        let ear_tag: Vec<Tag> = (0..ears.len()).map(|_| Tag::random(self.tag_bits, &mut rng)).collect();
+        let ear_tag: Vec<Tag> =
+            (0..ears.len()).map(|_| Tag::random(self.tag_bits, &mut rng)).collect();
         let node_ear: Vec<Tag> = (0..n).map(|v| ear_tag[home[v]]).collect();
         let node_pred: Vec<Option<Tag>> =
             (0..n).map(|v| ears[home[v]].1.map(|h| ear_tag[h])).collect();
@@ -296,9 +297,7 @@ impl<'a> SeriesParallel<'a> {
                             rej.check(v, i_am_subear_end, || {
                                 "spa: connecting edge at a non-endpoint".into()
                             });
-                            rej.check(v, node_ear[v] == guest, || {
-                                "spa: guest tag mismatch".into()
-                            });
+                            rej.check(v, node_ear[v] == guest, || "spa: guest tag mismatch".into());
                             rej.check(v, node_pred[v] == Some(host), || {
                                 "spa: pred_ear does not match connecting host".into()
                             });
@@ -476,11 +475,7 @@ mod tests {
                 let inst = SpaInstance { graph: gen.graph, is_yes: true };
                 let p = SeriesParallel::new(&inst, PopParams::default(), Transport::Native);
                 let res = p.run_honest(rng.gen());
-                assert!(
-                    res.accepted(),
-                    "size={size}: {:?}",
-                    res.rejections.first()
-                );
+                assert!(res.accepted(), "size={size}: {:?}", res.rejections.first());
             }
         }
     }

@@ -125,7 +125,8 @@ impl SpanningTreeVerification {
     pub fn msg_bits(&self) -> usize {
         // Prime index + a residue below 2 * window, per repetition.
         self.params.repetitions
-            * (bits_for_domain(self.primes.len()) + bits_for_domain(2 * self.params.window as usize))
+            * (bits_for_domain(self.primes.len())
+                + bits_for_domain(2 * self.params.window as usize))
     }
 
     /// The verifier check at node `v`.
@@ -259,10 +260,7 @@ mod tests {
                     let pi = 0;
                     let p = st.primes()[pi];
                     (0..6u64)
-                        .map(|v| StMsg {
-                            prime_indices: vec![pi],
-                            depth_mod_p: vec![(6 - v) % p],
-                        })
+                        .map(|v| StMsg { prime_indices: vec![pi], depth_mod_p: vec![(6 - v) % p] })
                         .collect()
                 },
                 seed,

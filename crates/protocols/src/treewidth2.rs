@@ -111,7 +111,15 @@ impl<'a> Treewidth2<'a> {
         let st_coins = st.draw_coins(n, &mut rng);
         let st_msgs = st.honest_response(&forest, &st_coins);
         for v in 0..n {
-            st.check(g, v, forest.parent(v), forest.parent(v).is_none(), &st_coins, &st_msgs, &mut rej);
+            st.check(
+                g,
+                v,
+                forest.parent(v),
+                forest.parent(v).is_none(),
+                &st_coins,
+                &st_msgs,
+                &mut rej,
+            );
         }
 
         // ---- Per-block series-parallel runs ----
@@ -146,7 +154,10 @@ impl<'a> Treewidth2<'a> {
                 per_round_max[i] = per_round_max[i].max(*b);
             }
             for (lv, reason) in res.rejections {
-                rej.reject(nodes.get(lv).copied().unwrap_or(nodes[0]), format!("tw2/block {c}: {reason}"));
+                rej.reject(
+                    nodes.get(lv).copied().unwrap_or(nodes[0]),
+                    format!("tw2/block {c}: {reason}"),
+                );
             }
         }
 
@@ -210,11 +221,7 @@ mod tests {
                 let inst = Tw2Instance { graph: gen.graph, is_yes: true };
                 let p = Treewidth2::new(&inst, PopParams::default(), Transport::Native);
                 let res = p.run_honest(rng.gen());
-                assert!(
-                    res.accepted(),
-                    "blocks={blocks} bs={bs}: {:?}",
-                    res.rejections.first()
-                );
+                assert!(res.accepted(), "blocks={blocks} bs={bs}: {:?}", res.rejections.first());
             }
         }
     }

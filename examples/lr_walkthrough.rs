@@ -59,10 +59,7 @@ fn main() {
     let mut rejected = 0;
     let trials = 50;
     for seed in 0..trials {
-        if !lr_bad
-            .run(Some(planarity_dip::protocols::LrCheat::OuterForgedIndex), seed)
-            .accepted()
-        {
+        if !lr_bad.run(Some(planarity_dip::protocols::LrCheat::OuterForgedIndex), seed).accepted() {
             rejected += 1;
         }
     }

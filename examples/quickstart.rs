@@ -56,10 +56,7 @@ fn main() {
 
     println!("\nAnd the Θ(log n) one-round baseline for comparison:");
     let g = gen::outerplanar::random_path_outerplanar(n, 0.6, &mut rng);
-    let pls = pls_baseline::PlsPathOuterplanar {
-        graph: &g.graph,
-        witness: Some(&g.path),
-        is_yes: true,
-    };
+    let pls =
+        pls_baseline::PlsPathOuterplanar { graph: &g.graph, witness: Some(&g.path), is_yes: true };
     report(&pls, 7);
 }

@@ -6,9 +6,12 @@
 //!                   [--simulated] [--repeat K]
 //! pdip size <family> [--from K] [--to K]
 //! pdip soundness <family> [--n N] [--trials T]
+//! pdip sweep [--families a,b,..] [--n-from N] [--n-to N] [--trials T]
+//!            [--threads K] [--seed S] [--honest-only] [--out PATH]
 //! ```
 
 use pdip_bench::{no_instance, Family, YesInstance, FAMILIES};
+use pdip_engine::{print_table, Engine, ProverSpec, SweepSpec};
 use planarity_dip::dip::DipProtocol;
 use planarity_dip::protocols::{Amplified, PopParams, Transport};
 
@@ -16,21 +19,19 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  pdip families\n  pdip run <family> [--n N] [--seed S] [--no-instance] \
          [--cheat IDX] [--simulated] [--repeat K]\n  pdip size <family> [--from K] [--to K]\n  \
-         pdip soundness <family> [--n N] [--trials T]\n\nfamilies: {}",
+         pdip soundness <family> [--n N] [--trials T]\n  \
+         pdip sweep [--families a,b,..] [--n-from N] [--n-to N] [--trials T] [--threads K] \
+         [--seed S] [--honest-only] [--out PATH]\n\nfamilies: {}",
         FAMILIES.iter().map(|f| f.name()).collect::<Vec<_>>().join(", ")
     );
     std::process::exit(2)
 }
 
 fn parse_family(s: &str) -> Family {
-    FAMILIES
-        .iter()
-        .copied()
-        .find(|f| f.name() == s)
-        .unwrap_or_else(|| {
-            eprintln!("unknown family '{s}'");
-            usage()
-        })
+    FAMILIES.iter().copied().find(|f| f.name() == s).unwrap_or_else(|| {
+        eprintln!("unknown family '{s}'");
+        usage()
+    })
 }
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
@@ -89,8 +90,11 @@ fn main() {
                 println!("protocol   : {}", p.name());
                 println!("instance   : n = {}, yes = {}", p.instance_size(), p.is_yes_instance());
                 println!("rounds     : {}", res.stats.rounds);
-                println!("proof size : {} bits (per prover round: {:?})",
-                         res.stats.proof_size(), res.stats.per_round_max_bits);
+                println!(
+                    "proof size : {} bits (per prover round: {:?})",
+                    res.stats.proof_size(),
+                    res.stats.per_round_max_bits
+                );
                 println!("coins      : {} bits total", res.stats.coin_bits);
                 println!("verdict    : {}", if res.accepted() { "ACCEPT" } else { "REJECT" });
                 for (v, r) in res.rejections.iter().take(5) {
@@ -135,6 +139,72 @@ fn main() {
                     100.0 * accepted as f64 / trials as f64
                 );
             }
+        }
+        "sweep" => {
+            let families: Vec<Family> = match flag_value(&args, "--families") {
+                Some(list) => list.split(',').map(parse_family).collect(),
+                None => FAMILIES.to_vec(),
+            };
+            let n_from = flag_num(&args, "--n-from", 64);
+            let n_to = flag_num(&args, "--n-to", 256);
+            if n_from == 0 || n_to < n_from {
+                eprintln!("--n-from must be positive and at most --n-to");
+                usage()
+            }
+            // Doubling grid from n-from up to (and including) n-to.
+            let mut sizes = Vec::new();
+            let mut n = n_from;
+            while n < n_to {
+                sizes.push(n);
+                n *= 2;
+            }
+            sizes.push(n_to);
+            let threads = flag_num(&args, "--threads", {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            });
+            let provers = if args.iter().any(|a| a == "--honest-only") {
+                vec![ProverSpec::Honest]
+            } else {
+                vec![ProverSpec::Honest, ProverSpec::AllCheats]
+            };
+            let spec = SweepSpec {
+                families,
+                sizes,
+                provers,
+                trials: flag_num(&args, "--trials", 10) as u64,
+                base_seed: flag_num(&args, "--seed", 0xd1b) as u64,
+                ..SweepSpec::default()
+            };
+            println!(
+                "sweep: {} jobs over {} families x {} sizes, {} threads\n",
+                spec.job_count(),
+                spec.families.len(),
+                spec.sizes.len(),
+                threads
+            );
+            let outcome = Engine::with_threads(threads).run(&spec);
+            print_table(&pdip_engine::SweepOutcome::aggregate_headers(), &outcome.aggregate_rows());
+            if !outcome.failures.is_empty() {
+                println!("\nquarantined jobs:");
+                for f in &outcome.failures {
+                    println!(
+                        "  #{} {} n={} {} trial={} after {} attempts: {}",
+                        f.index,
+                        f.family.name(),
+                        f.n,
+                        f.prover.tag(),
+                        f.trial,
+                        f.attempts,
+                        f.payload
+                    );
+                }
+            }
+            let out = flag_value(&args, "--out").unwrap_or_else(|| "results/sweep".to_string());
+            let (json, csv) =
+                pdip_engine::sink::write_outputs(std::path::Path::new(&out), &spec, &outcome)
+                    .expect("writing sweep outputs");
+            println!("\nwrote {} and {}", json.display(), csv.display());
+            println!("{}", outcome.metrics.summary_line());
         }
         _ => usage(),
     }

@@ -48,6 +48,32 @@ fn run_rejects_cheating_prover() {
 }
 
 #[test]
+fn sweep_writes_deterministic_outputs() {
+    let dir = std::env::temp_dir().join("pdip_sweep_smoke");
+    let base = dir.join("sweep");
+    let run = |threads: &str, out: &std::path::Path| {
+        let st = pdip()
+            .args(["sweep", "--families", "series-parallel", "--n-from", "32", "--n-to", "32"])
+            .args(["--trials", "2", "--seed", "11", "--threads", threads])
+            .arg("--out")
+            .arg(out)
+            .output()
+            .expect("run pdip sweep");
+        assert!(st.status.success(), "{}", String::from_utf8_lossy(&st.stderr));
+        String::from_utf8_lossy(&st.stdout).to_string()
+    };
+    let serial_out = base.with_file_name("serial");
+    let parallel_out = base.with_file_name("parallel");
+    let text = run("1", &serial_out);
+    assert!(text.contains("[engine]"), "{text}");
+    run("3", &parallel_out);
+    let a = std::fs::read(serial_out.with_extension("json")).expect("serial json");
+    let b = std::fs::read(parallel_out.with_extension("json")).expect("parallel json");
+    assert_eq!(a, b, "sweep JSON must be byte-identical across thread counts");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
 fn size_sweep_prints_rows() {
     let out = pdip()
         .args(["size", "treewidth-2", "--from", "6", "--to", "8"])

@@ -90,8 +90,17 @@ fn multiset_equality_tampering_detected() {
         let mut rej = Rejections::new();
         for i in 0..4 {
             let children: Vec<usize> = if i + 1 < 4 { vec![i + 1] } else { vec![] };
-            ms.check(i, i, parent[i], &children, &s[i], &s2[i], msgs,
-                     if i == 0 { Some(z) } else { None }, &mut rej);
+            ms.check(
+                i,
+                i,
+                parent[i],
+                &children,
+                &s[i],
+                &s2[i],
+                msgs,
+                if i == 0 { Some(z) } else { None },
+                &mut rej,
+            );
         }
         rej.any()
     };
@@ -132,7 +141,17 @@ fn nesting_label_omissions_detected() {
             let left = (p > 0).then(|| inst.path[p - 1]);
             let right = (p + 1 < n).then(|| inst.path[p + 1]);
             let is_left = |e: usize| positions[g.edge(e).other(v)] < p;
-            nesting::check_node(g, v, left, right, &is_path_edge, &is_left, &tags, labels, &mut rej);
+            nesting::check_node(
+                g,
+                v,
+                left,
+                right,
+                &is_path_edge,
+                &is_left,
+                &tags,
+                labels,
+                &mut rej,
+            );
         }
         rej.any()
     };
@@ -195,8 +214,7 @@ fn full_protocol_rejects_random_orientation_flips() {
     let mut rejected = 0;
     let trials = 30;
     for t in 0..trials {
-        let Some(no) = gen::lr::random_lr_no(60, 30, true, 1 + (t % 3) as usize, &mut rng)
-        else {
+        let Some(no) = gen::lr::random_lr_no(60, 30, true, 1 + (t % 3) as usize, &mut rng) else {
             rejected += 1; // flips cancelled: nothing to test
             continue;
         };

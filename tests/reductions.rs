@@ -119,8 +119,7 @@ fn lr_instances_feed_path_outerplanarity() {
         pos[v] = i;
     }
     // Orienting all edges by position yields a yes LR instance.
-    let orientation =
-        planarity_dip::graph::Orientation::by(&g.graph, |u, v| pos[u] < pos[v]);
+    let orientation = planarity_dip::graph::Orientation::by(&g.graph, |u, v| pos[u] < pos[v]);
     assert!(orientation.is_acyclic(&g.graph));
     for e in 0..g.graph.m() {
         assert!(pos[orientation.tail(&g.graph, e)] < pos[orientation.head(&g.graph, e)]);

@@ -1,0 +1,332 @@
+//! Offline drop-in subset of the [`proptest`] API.
+//!
+//! The build container has no network access, so the workspace vendors the
+//! slice of proptest its test suites use: the [`proptest!`] macro with an
+//! optional `#![proptest_config(..)]` header, range/collection/sample
+//! strategies, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * Inputs are sampled from a deterministic per-test RNG (seeded from the
+//!   test's name), not from a persisted failure file. Re-running a test
+//!   replays the identical case sequence.
+//! * There is **no shrinking**: a failing case reports the exact inputs
+//!   that failed (they replay deterministically), rather than a minimized
+//!   counterexample.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+pub mod prelude;
+
+/// How many cases a property runs, mirror of `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property case (what `prop_assert!` returns early with).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    /// Human-readable failure reason.
+    pub reason: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError { reason: reason.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.reason)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// A value generator. Unlike real proptest there is no value tree /
+/// shrinking; a strategy just samples.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for core::ops::Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut SmallRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut SmallRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i32, i64, f64);
+
+/// A strategy producing one constant value, mirror of `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Sub-strategies under the `prop::` path.
+pub mod prop {
+    /// Collection strategies (`prop::collection::vec`).
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::SmallRng;
+        use rand::Rng;
+
+        /// Strategy for `Vec`s with sampled length and elements.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            len: core::ops::Range<usize>,
+        }
+
+        /// Generates vectors whose lengths lie in `len` and whose
+        /// elements come from `element`.
+        pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+                let n = rng.gen_range(self.len.clone());
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling strategies (`prop::sample::select`).
+    pub mod sample {
+        use super::super::Strategy;
+        use rand::rngs::SmallRng;
+        use rand::Rng;
+
+        /// Strategy choosing uniformly from a fixed list.
+        #[derive(Debug, Clone)]
+        pub struct Select<T: Clone>(Vec<T>);
+
+        /// Uniform choice among `options` (must be non-empty).
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select requires at least one option");
+            Select(options)
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn sample(&self, rng: &mut SmallRng) -> T {
+                self.0[rng.gen_range(0..self.0.len())].clone()
+            }
+        }
+    }
+}
+
+/// Deterministic per-test RNG: FNV-1a over the test path, fed to the same
+/// SmallRng the rest of the workspace uses.
+pub fn rng_for_test(name: &str) -> SmallRng {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    SmallRng::seed_from_u64(h)
+}
+
+/// Re-seeds per case so a failing case is replayable in isolation.
+pub fn rng_for_case(test_rng: &mut SmallRng) -> SmallRng {
+    SmallRng::seed_from_u64(test_rng.next_u64())
+}
+
+/// Mirror of `proptest::proptest!`: takes an optional
+/// `#![proptest_config(expr)]` header followed by `#[test]` functions whose
+/// arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $( $(#[$attr:meta])* fn $name:ident(
+        $($pname:ident in $pstrat:expr),+ $(,)?
+    ) $body:block )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut test_rng =
+                    $crate::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let mut rng = $crate::rng_for_case(&mut test_rng);
+                    $(let $pname = $crate::Strategy::sample(&($pstrat), &mut rng);)+
+                    let inputs = format!(
+                        concat!($(stringify!($pname), " = {:?}, "),+),
+                        $(&$pname),+
+                    );
+                    let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n  inputs: {}",
+                            case + 1, config.cases, e, inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Mirror of `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Mirror of `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        match (&$a, &$b) {
+            (left, right) => {
+                if !(left == right) {
+                    return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                        stringify!($a),
+                        stringify!($b),
+                        left,
+                        right
+                    )));
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        match (&$a, &$b) {
+            (left, right) => {
+                if !(left == right) {
+                    return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                        $($fmt)*
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Mirror of `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        match (&$a, &$b) {
+            (left, right) => {
+                if left == right {
+                    return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: {} != {}\n  both: {:?}",
+                        stringify!($a),
+                        stringify!($b),
+                        left
+                    )));
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..10, y in 0usize..=4, f in 0.25f64..0.75) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+            prop_assert!((0.25..0.75).contains(&f), "f out of range: {f}");
+        }
+
+        #[test]
+        fn select_and_vec_strategies(
+            pick in prop::sample::select(vec!["a", "b", "c"]),
+            v in prop::collection::vec(0u32..100, 1..8),
+        ) {
+            prop_assert!(["a", "b", "c"].contains(&pick));
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&e| e < 100));
+        }
+
+        #[test]
+        fn question_mark_propagates(n in 1usize..50) {
+            let helper = || -> Result<usize, TestCaseError> { Ok(n * 2) };
+            let doubled = helper()?;
+            prop_assert_eq!(doubled, n * 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let mut a = crate::rng_for_test("some::test");
+        let mut b = crate::rng_for_test("some::test");
+        let ra = (0u64..1000).sample(&mut a);
+        let rb = (0u64..1000).sample(&mut b);
+        assert_eq!(ra, rb);
+    }
+}

@@ -1,0 +1,4 @@
+//! The glob-import surface, mirror of `proptest::prelude`.
+
+pub use crate::{prop, Just, ProptestConfig, Strategy, TestCaseError};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};

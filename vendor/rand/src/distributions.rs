@@ -1,0 +1,228 @@
+//! The `Standard` distribution and uniform range sampling, matching the
+//! algorithms (and therefore the output streams) of rand 0.8.
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: full-range uniform for integers,
+/// `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u16> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u16 {
+        rng.next_u32() as u16
+    }
+}
+
+impl Distribution<u8> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u8 {
+        rng.next_u32() as u8
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        // 64-bit targets draw a full u64, as rand does.
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<i32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i32 {
+        rng.next_u32() as i32
+    }
+}
+
+impl Distribution<i64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // rand: sign bit of a u32.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53-bit mantissa in [0, 1), the "multiply-based" conversion.
+        const SCALE: f64 = 1.0 / ((1u64 << 53) as f64);
+        (rng.next_u64() >> 11) as f64 * SCALE
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        const SCALE: f32 = 1.0 / ((1u32 << 24) as f32);
+        (rng.next_u32() >> 8) as f32 * SCALE
+    }
+}
+
+/// Uniform range sampling, mirror of `rand::distributions::uniform`.
+pub mod uniform {
+    use crate::RngCore;
+    use core::ops::{Range, RangeInclusive};
+
+    /// Types with a uniform range sampler.
+    pub trait SampleUniform: Sized + PartialOrd + Copy {
+        /// Uniform sample from `[low, high]`.
+        fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+
+        /// Uniform sample from `[low, high)`; `low < high` already checked.
+        /// Integer impls reduce to `sample_inclusive(low, high - 1)`,
+        /// exactly as rand's `sample_single` does.
+        fn sample_exclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    }
+
+    /// Range arguments accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draws one sample; panics on an empty range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            T::sample_exclusive(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            assert!(low <= high, "cannot sample empty range");
+            T::sample_inclusive(low, high, rng)
+        }
+    }
+
+    // rand 0.8's `uniform_int_impl!`: widening-multiply rejection sampling
+    // (Lemire). `$large` is the unsigned working width, `$wide` the
+    // double-width type used for the multiply.
+    macro_rules! uniform_int_impl {
+        ($ty:ty, $unsigned:ty, $large:ty, $wide:ty) => {
+            impl SampleUniform for $ty {
+                fn sample_exclusive<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    Self::sample_inclusive(low, high - 1, rng)
+                }
+
+                fn sample_inclusive<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    let range = (high as $unsigned).wrapping_sub(low as $unsigned).wrapping_add(1)
+                        as $large;
+                    if range == 0 {
+                        // Full domain: every bit pattern is valid.
+                        return draw::<$large, _>(rng) as $ty;
+                    }
+                    // rand keys this branch on the sample type's own
+                    // width (modulo zone for i8/i16/u8/u16).
+                    let zone = if (<$unsigned>::MAX as u128) <= u16::MAX as u128 {
+                        let ints_to_reject = (<$large>::MAX - range + 1) % range;
+                        <$large>::MAX - ints_to_reject
+                    } else {
+                        (range << range.leading_zeros()).wrapping_sub(1)
+                    };
+                    loop {
+                        let v: $large = draw::<$large, _>(rng);
+                        let m = (v as $wide) * (range as $wide);
+                        let lo = m as $large;
+                        let hi = (m >> <$large>::BITS) as $large;
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    /// Draws one full word of the working width from the generator,
+    /// through the same `Standard` paths rand uses.
+    fn draw<T, R: RngCore + ?Sized>(rng: &mut R) -> T
+    where
+        super::Standard: super::Distribution<T>,
+    {
+        use super::Distribution as _;
+        super::Standard.sample(rng)
+    }
+
+    uniform_int_impl! { u8, u8, u32, u64 }
+    uniform_int_impl! { u16, u16, u32, u64 }
+    uniform_int_impl! { u32, u32, u32, u64 }
+    uniform_int_impl! { u64, u64, u64, u128 }
+    uniform_int_impl! { usize, usize, usize, u128 }
+    uniform_int_impl! { i32, u32, u32, u64 }
+    uniform_int_impl! { i64, u64, u64, u128 }
+
+    impl SampleUniform for f64 {
+        fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+            // Simple scale-and-shift (rand's UniformFloat modulo the
+            // open/closed edge subtleties, which no caller here relies on).
+            use super::Distribution as _;
+            let u: f64 = super::Standard.sample(rng);
+            low + u * (high - low)
+        }
+
+        fn sample_exclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+            Self::sample_inclusive(low, high, rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::uniform::SampleRange;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn usize_draw_consumes_u64() {
+        // usize sampling must consume exactly one u64 per accepted draw on
+        // the happy path, matching the 64-bit rand build.
+        let mut a = SmallRng::seed_from_u64(3);
+        let mut b = SmallRng::seed_from_u64(3);
+        let x: usize = (0usize..1024).sample_single(&mut a);
+        assert!(x < 1024);
+        use crate::RngCore as _;
+        let _ = b.next_u64();
+        // Power-of-two range never rejects, so the streams realign.
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn small_ranges_cover_all_values() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[(0usize..3).sample_single(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
