@@ -1,0 +1,69 @@
+//! Criterion benches for the arithmetic hot paths: Montgomery vs naive
+//! field multiplication, the batched fingerprint `φ_S(z)`, and a full
+//! multiset-equality prover round. The paired `pdip bench-hotpath`
+//! subcommand measures the same jobs and writes the committed
+//! `results/bench_hotpath.json` snapshot.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pdip_bench::hotpath::elements;
+use pdip_field::{multiset_poly_eval, multiset_poly_eval_naive, smallest_prime_above, Fp};
+use pdip_protocols::multiset_eq::MultisetEq;
+
+fn bench_field_mul(c: &mut Criterion) {
+    let f = Fp::new(smallest_prime_above(1 << 20));
+    let xs = elements(4096, f.modulus(), 11);
+    let ys = elements(4096, f.modulus(), 12);
+    let mut g = c.benchmark_group("field_mul");
+    g.bench_function("montgomery", |b| {
+        b.iter(|| {
+            xs.iter()
+                .zip(&ys)
+                .fold(0u64, |acc, (&x, &y)| acc.wrapping_add(f.mul(black_box(x), black_box(y))))
+        })
+    });
+    g.bench_function("naive", |b| {
+        b.iter(|| {
+            xs.iter().zip(&ys).fold(0u64, |acc, (&x, &y)| {
+                acc.wrapping_add(f.mul_naive(black_box(x), black_box(y)))
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_multiset_poly_eval(c: &mut Criterion) {
+    let f = Fp::new(smallest_prime_above(1 << 20));
+    let s = elements(100_000, f.modulus(), 13);
+    let z = 987_654u64 % f.modulus();
+    let mut g = c.benchmark_group("multiset_poly_eval_1e5");
+    g.sample_size(20);
+    g.bench_function("batched", |b| {
+        b.iter(|| multiset_poly_eval(&f, s.iter().copied(), black_box(z)))
+    });
+    g.bench_function("naive", |b| {
+        b.iter(|| multiset_poly_eval_naive(&f, s.iter().copied(), black_box(z)))
+    });
+    g.finish();
+}
+
+fn bench_multiset_eq_round(c: &mut Criterion) {
+    let f = Fp::new(smallest_prime_above(1 << 20));
+    let ms = MultisetEq::new(f);
+    let k = 512usize;
+    let parent: Vec<Option<usize>> =
+        (0..k).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+    let s1: Vec<Vec<u64>> = (0..k).map(|i| elements(32, f.modulus(), 1000 + i as u64)).collect();
+    let s2: Vec<Vec<u64>> = (0..k).map(|i| elements(32, f.modulus(), 5000 + i as u64)).collect();
+    let z = 424_242u64 % f.modulus();
+    let mut g = c.benchmark_group("multiset_eq_tree_round");
+    g.sample_size(20);
+    g.bench_function("one_pass", |b| {
+        b.iter(|| {
+            ms.honest_response(&parent, |i| s1[i].as_slice(), |i| s2[i].as_slice(), black_box(z))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_field_mul, bench_multiset_poly_eval, bench_multiset_eq_round);
+criterion_main!(benches);

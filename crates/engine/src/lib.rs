@@ -49,7 +49,7 @@ pub mod sink;
 pub mod spec;
 
 pub use family::{no_instance, Family, YesInstance, FAMILIES};
-pub use pool::{execute_job, Engine};
+pub use pool::{execute_job, execute_job_with, Engine, WorkerScratch};
 pub use record::{CellAgg, CellKey, JobFailure, RunRecord, SweepMetrics, SweepOutcome};
 pub use report::print_table;
 pub use seed::{job_seed, splitmix_finalize, sub_seed};

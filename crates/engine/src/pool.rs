@@ -7,15 +7,79 @@
 //! alone (see [`crate::seed`]), the sorted records — and everything folded
 //! from them — are byte-identical for any worker count.
 
-use crate::family::{no_instance, YesInstance};
+use crate::family::{no_instance, Family, YesInstance};
 use crate::record::{JobFailure, RunRecord, SweepMetrics, SweepOutcome};
 use crate::seed::{labels, sub_seed};
 use crate::spec::{JobSpec, Prover, SweepSpec};
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::thread;
 use std::time::Instant;
+
+/// Cache capacity per worker; on overflow the cache is cleared wholesale
+/// (generation is pure in the key, so eviction can never change results).
+const SCRATCH_CAP: usize = 256;
+
+/// Per-worker reusable scratch: an instance cache keyed by the full
+/// generation input `(family, n, yes/no, gen_seed)`.
+///
+/// Sweep grids with explicit seed functions (E3-style soundness grids)
+/// re-generate the *same* instance for every cheat strategy and every
+/// retry; caching it per worker removes that regeneration from the hot
+/// path. Because [`YesInstance::generate`] / [`no_instance`] are pure
+/// functions of the key, a cache hit returns a byte-identical instance
+/// and the engine's determinism guarantee is untouched — records are
+/// the same whether the scratch is cold, warm, or shared with other
+/// jobs. Each worker thread owns one arena for its whole drain of the
+/// job queue.
+#[derive(Default)]
+pub struct WorkerScratch {
+    cache: HashMap<(Family, usize, bool, u64), YesInstance>,
+    hits: u64,
+    misses: u64,
+}
+
+impl WorkerScratch {
+    /// A fresh (cold) scratch arena.
+    pub fn new() -> WorkerScratch {
+        WorkerScratch::default()
+    }
+
+    /// Cache hits since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (instance generations) since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// The instance for `(family, n, yes, gen_seed)`, generated on first
+    /// use and reused on every later request with the same key.
+    pub fn instance(&mut self, family: Family, n: usize, yes: bool, gen_seed: u64) -> &YesInstance {
+        let key = (family, n, yes, gen_seed);
+        if self.cache.len() >= SCRATCH_CAP && !self.cache.contains_key(&key) {
+            self.cache.clear();
+        }
+        match self.cache.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.hits += 1;
+                e.into_mut()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.misses += 1;
+                e.insert(if yes {
+                    YesInstance::generate(family, n, gen_seed)
+                } else {
+                    no_instance(family, n, gen_seed)
+                })
+            }
+        }
+    }
+}
 
 /// The batch-verification engine: a sweep executor with a fixed worker
 /// count.
@@ -75,11 +139,16 @@ impl Engine {
             for _ in 0..threads {
                 let tx = tx.clone();
                 let cursor = &cursor;
-                s.spawn(move || loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(i) else { break };
-                    if tx.send(execute_job(spec, job)).is_err() {
-                        break;
+                s.spawn(move || {
+                    // One scratch arena per worker, reused across every
+                    // job this worker drains from the queue.
+                    let mut scratch = WorkerScratch::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(i) else { break };
+                        if tx.send(execute_job_with(spec, job, &mut scratch)).is_err() {
+                            break;
+                        }
                     }
                 });
             }
@@ -99,13 +168,27 @@ impl Engine {
     }
 }
 
-/// Runs one job behind panic isolation with the spec's retry budget.
+/// Runs one job behind panic isolation with a cold scratch arena.
+///
+/// Equivalent to [`execute_job_with`] on a fresh [`WorkerScratch`]; the
+/// worker pool threads a persistent per-worker arena instead.
+pub fn execute_job(spec: &SweepSpec, job: &JobSpec) -> Result<RunRecord, JobFailure> {
+    execute_job_with(spec, job, &mut WorkerScratch::new())
+}
+
+/// Runs one job behind panic isolation with the spec's retry budget,
+/// reusing `scratch` for instance generation.
 ///
 /// Retry `k` re-runs the protocol with a seed derived from the job's run
 /// seed and `k`, so a panic caused by an unlucky coin draw can clear
 /// while a deterministic panic exhausts its attempts and is quarantined.
-/// The attempt sequence depends only on the job, never on scheduling.
-pub fn execute_job(spec: &SweepSpec, job: &JobSpec) -> Result<RunRecord, JobFailure> {
+/// The attempt sequence depends only on the job, never on scheduling or
+/// on the scratch contents.
+pub fn execute_job_with(
+    spec: &SweepSpec,
+    job: &JobSpec,
+    scratch: &mut WorkerScratch,
+) -> Result<RunRecord, JobFailure> {
     let mut attempt = 0u32;
     loop {
         attempt += 1;
@@ -114,7 +197,7 @@ pub fn execute_job(spec: &SweepSpec, job: &JobSpec) -> Result<RunRecord, JobFail
         } else {
             sub_seed(sub_seed(job.run_seed, labels::RETRY), attempt as u64)
         };
-        match catch_unwind(AssertUnwindSafe(|| run_once(spec, job, run_seed))) {
+        match catch_unwind(AssertUnwindSafe(|| run_once(spec, job, run_seed, scratch))) {
             Ok(record) => return Ok(record),
             Err(payload) => {
                 if attempt > spec.max_retries {
@@ -134,18 +217,23 @@ pub fn execute_job(spec: &SweepSpec, job: &JobSpec) -> Result<RunRecord, JobFail
     }
 }
 
-fn run_once(spec: &SweepSpec, job: &JobSpec, run_seed: u64) -> RunRecord {
+fn run_once(
+    spec: &SweepSpec,
+    job: &JobSpec,
+    run_seed: u64,
+    scratch: &mut WorkerScratch,
+) -> RunRecord {
     let c = &job.coords;
     let start = Instant::now();
     let (res, actual_n, rounds) = match c.prover {
         Prover::Honest => {
-            let inst = YesInstance::generate(c.family, c.n, job.gen_seed);
+            let inst = scratch.instance(c.family, c.n, true, job.gen_seed);
             inst.with_protocol(spec.params, spec.transport, |p| {
                 (p.run_honest(run_seed), p.instance_size(), p.rounds())
             })
         }
         Prover::Cheat(s) => {
-            let inst = no_instance(c.family, c.n, job.gen_seed);
+            let inst = scratch.instance(c.family, c.n, false, job.gen_seed);
             inst.with_protocol(spec.params, spec.transport, |p| {
                 (p.run_cheat(s, run_seed), p.instance_size(), p.rounds())
             })
@@ -264,5 +352,55 @@ mod tests {
         let outcome = Engine::with_threads(4).run(&spec);
         let indices: Vec<u64> = outcome.records.iter().map(|r| r.index).collect();
         assert_eq!(indices, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn warm_scratch_produces_identical_records() {
+        use crate::spec::SeedMode;
+        // An E3-style grid where every cheat strategy at a cell shares
+        // the generation seed, so a warm scratch actually gets hits.
+        let spec = SweepSpec {
+            families: vec![Family::PathOuterplanar],
+            sizes: vec![40],
+            provers: vec![ProverSpec::Honest, ProverSpec::AllCheats],
+            trials: 3,
+            base_seed: 7,
+            seeds: SeedMode::Explicit(|c| (c.trial * 31 + c.n as u64, c.trial)),
+            ..SweepSpec::default()
+        };
+        let timeless = |r: &RunRecord| {
+            format!(
+                "{} {} {} {} {} {} {} {:?}",
+                r.index,
+                r.gen_seed,
+                r.run_seed,
+                r.accepted,
+                r.rounds,
+                r.proof_size_bits,
+                r.coin_bits,
+                r.rejections,
+            )
+        };
+        let jobs = spec.expand();
+        let mut scratch = WorkerScratch::new();
+        let warm: Vec<String> = jobs
+            .iter()
+            .map(|j| timeless(&execute_job_with(&spec, j, &mut scratch).unwrap()))
+            .collect();
+        let cold: Vec<String> =
+            jobs.iter().map(|j| timeless(&execute_job(&spec, j).unwrap())).collect();
+        assert_eq!(warm, cold, "scratch reuse must not change any record");
+        assert!(scratch.hits() > 0, "shared gen seeds must hit the cache");
+        assert!(scratch.misses() > 0);
+    }
+
+    #[test]
+    fn scratch_cache_stays_bounded() {
+        let mut scratch = WorkerScratch::new();
+        for seed in 0..(2 * super::SCRATCH_CAP as u64 + 10) {
+            scratch.instance(Family::PathOuterplanar, 24, true, seed);
+        }
+        assert!(scratch.cache.len() <= super::SCRATCH_CAP);
+        assert_eq!(scratch.hits(), 0, "distinct keys never hit");
     }
 }

@@ -10,7 +10,12 @@
 //! prime from a `polylog n` window.
 //!
 //! All arithmetic is over `u64` moduli with `u128` intermediate products —
-//! exact for every prime below 2⁶⁴.
+//! exact for every prime below 2⁶⁴. Multiplication is division-free for
+//! every odd prime below 2⁶³ through a precomputed Montgomery context
+//! (see [`Fp`] and the batch entry points [`Fp::mul_many`] /
+//! [`Fp::product_accumulate`]); the naive `u128 %` path survives as the
+//! differential-testing baseline ([`Fp::mul_naive`],
+//! [`multiset_poly_eval_naive`]).
 
 #![warn(missing_docs)]
 // Parallel-array index loops are idiomatic throughout this codebase.
@@ -21,7 +26,7 @@ pub mod poly;
 pub mod primes;
 
 pub use field::Fp;
-pub use poly::{multiset_poly_eval, prefix_poly_evals};
+pub use poly::{multiset_poly_eval, multiset_poly_eval_naive, prefix_poly_evals};
 pub use primes::{is_prime, next_prime, primes_in_window, smallest_prime_above};
 
 #[cfg(test)]

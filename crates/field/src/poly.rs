@@ -11,10 +11,23 @@
 use crate::field::Fp;
 
 /// Evaluates `φ_S(z) = ∏_{s ∈ S} (s − z)` over the field.
+///
+/// Runs on [`Fp::product_accumulate`]: one Montgomery step per element
+/// and a single domain fixup at the end, no divisions. The
+/// division-based reference lives in [`multiset_poly_eval_naive`].
 pub fn multiset_poly_eval(f: &Fp, s: impl IntoIterator<Item = u64>, z: u64) -> u64 {
+    let z = f.reduce(z);
+    f.product_accumulate(1, s.into_iter().map(|x| f.sub(x, z)))
+}
+
+/// Reference evaluation of `φ_S(z)` through [`Fp::mul_naive`] (one
+/// `u128` hardware remainder per element) — the differential-test and
+/// `pdip bench-hotpath` baseline.
+pub fn multiset_poly_eval_naive(f: &Fp, s: impl IntoIterator<Item = u64>, z: u64) -> u64 {
+    let z = f.reduce(z);
     let mut acc = 1u64;
     for x in s {
-        acc = f.mul(acc, f.sub(x, z));
+        acc = f.mul_naive(acc, f.sub(x, z));
     }
     acc
 }
@@ -48,6 +61,20 @@ mod tests {
     fn empty_multiset_is_one() {
         let f = Fp::new(101);
         assert_eq!(multiset_poly_eval(&f, [], 42), 1);
+        assert_eq!(multiset_poly_eval_naive(&f, [], 42), 1);
+    }
+
+    #[test]
+    fn fast_and_naive_evaluations_agree() {
+        let f = Fp::new(smallest_prime_above(1 << 16));
+        let s: Vec<u64> = (0..500u64).map(|i| i * i + 3).collect();
+        for z in [0u64, 1, 17, 65_536, u64::MAX] {
+            assert_eq!(
+                multiset_poly_eval(&f, s.iter().copied(), z),
+                multiset_poly_eval_naive(&f, s.iter().copied(), z),
+                "z={z}"
+            );
+        }
     }
 
     #[test]

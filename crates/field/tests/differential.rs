@@ -1,0 +1,127 @@
+//! Differential tests: the Montgomery fast path agrees with the naive
+//! `u128 %` reference on every operation, across the moduli the
+//! protocols actually draw from `primes.rs` (smallest-prime-above
+//! polylog windows, prime windows `[w, 2w]`, and the Montgomery range
+//! boundaries), for random operands and the edge cases `0`, `1`, `p−1`.
+
+use pdip_field::{
+    multiset_poly_eval, multiset_poly_eval_naive, primes_in_window, smallest_prime_above, Fp,
+};
+use proptest::prelude::*;
+
+/// Moduli representative of everything `primes.rs` can hand a protocol:
+/// tiny primes, the polylog windows of Lemma 2.6 / §4, the verification
+/// field `p' > p·L`, and both sides of the Montgomery cutoff.
+fn protocol_moduli() -> Vec<u64> {
+    let mut ps = vec![2u64, 3, 5, 17];
+    for w in [17u64, 1 << 10, 1 << 16, 1 << 20] {
+        ps.push(smallest_prime_above(w));
+    }
+    // A whole spanning-tree window, as sampled by Lemma 2.5.
+    ps.extend(primes_in_window(100, 200));
+    // Montgomery boundary: largest primes below 2^62/2^63, smallest above.
+    ps.push(smallest_prime_above((1 << 62) + 1));
+    ps.push((1u64 << 61) - 1); // Mersenne
+    ps.push(smallest_prime_above(1u64 << 63)); // falls back to naive
+    ps.push(18_446_744_073_709_551_557); // largest u64 prime
+    ps.sort_unstable();
+    ps.dedup();
+    ps
+}
+
+/// The operand edge cases for a given modulus, plus unreduced values.
+fn edge_operands(p: u64) -> Vec<u64> {
+    let mut xs = vec![0u64, 1, 2, p / 2, p.saturating_sub(2), p - 1, p, p.wrapping_add(1)];
+    xs.push(u64::MAX);
+    xs
+}
+
+#[test]
+fn mul_pow_inv_agree_on_edge_cases_for_all_moduli() {
+    for p in protocol_moduli() {
+        let f = Fp::new(p);
+        for &a in &edge_operands(p) {
+            for &b in &edge_operands(p) {
+                assert_eq!(f.mul(a, b), f.mul_naive(a, b), "mul p={p} a={a} b={b}");
+            }
+            for e in [0u64, 1, 2, p - 1, p, u64::MAX] {
+                assert_eq!(f.pow(a, e), f.pow_naive(a, e), "pow p={p} a={a} e={e}");
+            }
+            if f.reduce(a) != 0 {
+                let inv = f.inv(a);
+                assert_eq!(f.mul_naive(f.reduce(a), inv), f.reduce(1), "inv p={p} a={a}");
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_products_agree_on_edge_multisets() {
+    for p in protocol_moduli() {
+        let f = Fp::new(p);
+        let sets: Vec<Vec<u64>> =
+            vec![vec![], vec![0], vec![p - 1; 5], vec![0, 1, p - 1, p / 2], edge_operands(p)];
+        for s in sets {
+            let naive = s.iter().fold(1u64, |acc, &x| f.mul_naive(acc, x));
+            assert_eq!(f.mul_many(s.iter().copied()), naive, "p={p} s={s:?}");
+            for z in [0u64, 1, p - 1] {
+                assert_eq!(
+                    multiset_poly_eval(&f, s.iter().copied(), z),
+                    multiset_poly_eval_naive(&f, s.iter().copied(), z),
+                    "phi p={p} z={z} s={s:?}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random operands over a random protocol modulus: one Montgomery
+    /// product equals one hardware remainder.
+    #[test]
+    fn mul_matches_naive(which in 0usize..64, a in 0u64..=u64::MAX, b in 0u64..=u64::MAX) {
+        let ms = protocol_moduli();
+        let f = Fp::new(ms[which % ms.len()]);
+        prop_assert_eq!(f.mul(a, b), f.mul_naive(a, b));
+    }
+
+    /// Montgomery-domain exponentiation equals the naive ladder.
+    #[test]
+    fn pow_matches_naive(which in 0usize..64, a in 0u64..=u64::MAX, e in 0u64..=u64::MAX) {
+        let ms = protocol_moduli();
+        let f = Fp::new(ms[which % ms.len()]);
+        prop_assert_eq!(f.pow(a, e), f.pow_naive(a, e));
+    }
+
+    /// Fermat inverses verify against the naive product.
+    #[test]
+    fn inv_is_a_real_inverse(which in 0usize..64, a in 0u64..=u64::MAX) {
+        let ms = protocol_moduli();
+        let f = Fp::new(ms[which % ms.len()]);
+        let a = f.reduce(a);
+        if a != 0 {
+            prop_assert_eq!(f.mul_naive(a, f.inv(a)), f.reduce(1));
+        }
+    }
+
+    /// The drifting-domain batch product matches a naive fold, and the
+    /// fingerprint evaluation matches its reference, for random multisets.
+    #[test]
+    fn batch_matches_naive(
+        which in 0usize..64,
+        init in 0u64..=u64::MAX,
+        s in prop::collection::vec(0u64..=u64::MAX, 0..48),
+        z in 0u64..=u64::MAX,
+    ) {
+        let ms = protocol_moduli();
+        let f = Fp::new(ms[which % ms.len()]);
+        let naive = s.iter().fold(f.reduce(init), |acc, &x| f.mul_naive(acc, x));
+        prop_assert_eq!(f.product_accumulate(init, s.iter().copied()), naive);
+        prop_assert_eq!(
+            multiset_poly_eval(&f, s.iter().copied(), z),
+            multiset_poly_eval_naive(&f, s.iter().copied(), z)
+        );
+    }
+}

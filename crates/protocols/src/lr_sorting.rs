@@ -550,8 +550,8 @@ impl<'a> LrSorting<'a> {
                 members.iter().map(|&v| self.d_side(v, true, r1n, r2n)).collect();
             let d0: Vec<Vec<u64>> =
                 members.iter().map(|&v| self.d_side(v, false, r1n, r2n)).collect();
-            let msgs1 = ms.honest_response(&parent, &|i| c1[i].clone(), &|i| d1[i].clone(), z1);
-            let msgs0 = ms.honest_response(&parent, &|i| c0[i].clone(), &|i| d0[i].clone(), z0);
+            let msgs1 = ms.honest_response(&parent, |i| c1[i].as_slice(), |i| d1[i].as_slice(), z1);
+            let msgs0 = ms.honest_response(&parent, |i| c0[i].as_slice(), |i| d0[i].as_slice(), z0);
             for (i, &v) in members.iter().enumerate() {
                 out[v] = R3Node { eq1: msgs1[i], eq0: msgs0[i] };
             }

@@ -52,50 +52,52 @@ impl MultisetEq {
     /// size `k` with parent pointers `parent[i]` (local indices; exactly
     /// one root) and per-node multisets `s1`, `s2`.
     ///
+    /// The accessors *borrow* each node's multiset (no per-call clones),
+    /// and the aggregation is a single bottom-up pass: every node's own
+    /// multiset is fingerprinted exactly once
+    /// ([`pdip_field::multiset_poly_eval`], division-free), then each
+    /// node's finished product folds into its parent as soon as all its
+    /// children are folded — O(k + Σ|S(v)|) field operations total,
+    /// independent of the tree depth.
+    ///
     /// # Panics
     /// Panics if the parent pointers are cyclic.
-    pub fn honest_response(
+    pub fn honest_response<'s>(
         &self,
         parent: &[Option<usize>],
-        s1: &dyn Fn(usize) -> Vec<u64>,
-        s2: &dyn Fn(usize) -> Vec<u64>,
+        s1: impl Fn(usize) -> &'s [u64],
+        s2: impl Fn(usize) -> &'s [u64],
         z: u64,
     ) -> Vec<MsMsg> {
         let k = parent.len();
         let f = &self.field;
-        let mut a1: Vec<u64> = (0..k).map(|i| multiset_poly_eval(f, s1(i), z)).collect();
-        let mut a2: Vec<u64> = (0..k).map(|i| multiset_poly_eval(f, s2(i), z)).collect();
-        // Bottom-up accumulation: order nodes by decreasing depth.
-        let mut depth = vec![usize::MAX; k];
+        let mut a1: Vec<u64> =
+            (0..k).map(|i| multiset_poly_eval(f, s1(i).iter().copied(), z)).collect();
+        let mut a2: Vec<u64> =
+            (0..k).map(|i| multiset_poly_eval(f, s2(i).iter().copied(), z)).collect();
+        // One bottom-up pass (Kahn order over the parent forest): a node
+        // is ready once every child has folded into it; fold it into its
+        // parent and decrement the parent's pending count.
+        let mut pending = vec![0usize; k];
         for i in 0..k {
-            let mut cur = i;
-            let mut chain = Vec::new();
-            while depth[cur] == usize::MAX {
-                chain.push(cur);
-                match parent[cur] {
-                    None => break,
-                    Some(p) => {
-                        assert!(!chain.contains(&p), "cyclic parents");
-                        cur = p;
-                    }
-                }
-            }
-            let base = match parent[*chain.last().unwrap()] {
-                None => 0,
-                Some(p) => depth[p] + 1,
-            };
-            for (j, &w) in chain.iter().enumerate() {
-                depth[w] = base + (chain.len() - 1 - j);
+            if let Some(p) = parent[i] {
+                pending[p] += 1;
             }
         }
-        let mut order: Vec<usize> = (0..k).collect();
-        order.sort_by(|&a, &b| depth[b].cmp(&depth[a]));
-        for &i in &order {
+        let mut ready: Vec<usize> = (0..k).filter(|&i| pending[i] == 0).collect();
+        let mut folded = 0usize;
+        while let Some(i) = ready.pop() {
+            folded += 1;
             if let Some(p) = parent[i] {
                 a1[p] = f.mul(a1[p], a1[i]);
                 a2[p] = f.mul(a2[p], a2[i]);
+                pending[p] -= 1;
+                if pending[p] == 0 {
+                    ready.push(p);
+                }
             }
         }
+        assert!(folded == k, "cyclic parents");
         (0..k).map(|i| MsMsg { z, a1: a1[i], a2: a2[i] }).collect()
     }
 
@@ -178,9 +180,7 @@ mod tests {
             (0..k).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
         let mut rng = SmallRng::seed_from_u64(seed);
         let z = rng.gen_range(0..f.modulus());
-        let s1f = s1.clone();
-        let s2f = s2.clone();
-        let mut msgs = ms.honest_response(&parent, &|i| s1f[i].clone(), &|i| s2f[i].clone(), z);
+        let mut msgs = ms.honest_response(&parent, |i| s1[i].as_slice(), |i| s2[i].as_slice(), z);
         tamper(&mut msgs);
         let mut rej = Rejections::new();
         for i in 0..k {
@@ -285,9 +285,7 @@ mod tests {
         let s1: Vec<Vec<u64>> = vec![vec![10], vec![1], vec![2], vec![3], vec![4], vec![5]];
         let s2: Vec<Vec<u64>> = vec![vec![5], vec![10], vec![4], vec![3], vec![2], vec![1]];
         let z = 12345;
-        let s1c = s1.clone();
-        let s2c = s2.clone();
-        let msgs = ms.honest_response(&parent, &|i| s1c[i].clone(), &|i| s2c[i].clone(), z);
+        let msgs = ms.honest_response(&parent, |i| s1[i].as_slice(), |i| s2[i].as_slice(), z);
         let mut rej = Rejections::new();
         let children: Vec<usize> = (1..6).collect();
         ms.check(0, 0, None, &children, &s1[0], &s2[0], &msgs, Some(z), &mut rej);

@@ -1,0 +1,151 @@
+//! The one-pass `MultisetEq::honest_response` must assign every node the
+//! same subtree evaluations as the definition: for each node `v`,
+//! `a1(v) = φ_{∪_{u ∈ subtree(v)} S1(u)}(z)` recomputed from scratch with
+//! the naive (division-based) evaluator. Checked on paths, stars and
+//! random parent arrays, and on a two-challenge block segment shaped like
+//! the `lr_sorting` round-3 call site.
+
+use pdip_field::{multiset_poly_eval_naive, smallest_prime_above, Fp};
+use pdip_protocols::multiset_eq::MultisetEq;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Brute-force reference: gathers the subtree union of each node by
+/// walking every ancestor chain, then evaluates with the naive path.
+fn brute_force(f: &Fp, parent: &[Option<usize>], sets: &[Vec<u64>], z: u64) -> Vec<u64> {
+    let k = parent.len();
+    (0..k)
+        .map(|v| {
+            // subtree(v) = every node whose ancestor chain passes through v.
+            let mut union: Vec<u64> = Vec::new();
+            for (u, set) in sets.iter().enumerate() {
+                let mut cur = Some(u);
+                while let Some(w) = cur {
+                    if w == v {
+                        union.extend_from_slice(set);
+                        break;
+                    }
+                    cur = parent[w];
+                }
+            }
+            multiset_poly_eval_naive(f, union, z)
+        })
+        .collect()
+}
+
+fn random_sets(rng: &mut SmallRng, k: usize, p: u64) -> Vec<Vec<u64>> {
+    (0..k)
+        .map(|_| {
+            let len = rng.gen_range(0..6);
+            (0..len).map(|_| rng.gen_range(0..p)).collect()
+        })
+        .collect()
+}
+
+/// Runs both computations on one topology and compares every node.
+fn assert_equivalent(f: Fp, parent: &[Option<usize>], seed: u64) {
+    let k = parent.len();
+    let ms = MultisetEq::new(f);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let s1 = random_sets(&mut rng, k, f.modulus());
+    let s2 = random_sets(&mut rng, k, f.modulus());
+    let z = rng.gen_range(0..f.modulus());
+    let msgs = ms.honest_response(parent, |i| s1[i].as_slice(), |i| s2[i].as_slice(), z);
+    let want1 = brute_force(&f, parent, &s1, z);
+    let want2 = brute_force(&f, parent, &s2, z);
+    for v in 0..k {
+        assert_eq!(msgs[v].z, z);
+        assert_eq!(msgs[v].a1, want1[v], "a1 mismatch at node {v} (seed {seed})");
+        assert_eq!(msgs[v].a2, want2[v], "a2 mismatch at node {v} (seed {seed})");
+    }
+}
+
+#[test]
+fn one_pass_matches_brute_force_on_paths() {
+    let f = Fp::new(smallest_prime_above(1 << 16));
+    for k in [1usize, 2, 3, 17, 64] {
+        let parent: Vec<Option<usize>> =
+            (0..k).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        for seed in 0..10 {
+            assert_equivalent(f, &parent, seed * 31 + k as u64);
+        }
+    }
+}
+
+#[test]
+fn one_pass_matches_brute_force_on_stars() {
+    let f = Fp::new(smallest_prime_above(1 << 20));
+    for k in [2usize, 5, 33] {
+        // Root last, so the fold order differs from index order.
+        let parent: Vec<Option<usize>> =
+            (0..k).map(|i| if i == k - 1 { None } else { Some(k - 1) }).collect();
+        for seed in 0..10 {
+            assert_equivalent(f, &parent, seed * 17 + k as u64);
+        }
+    }
+}
+
+#[test]
+fn one_pass_matches_brute_force_on_random_trees() {
+    let f = Fp::new(smallest_prime_above(1 << 16));
+    for seed in 0..40u64 {
+        let mut rng = SmallRng::seed_from_u64(9000 + seed);
+        let k = rng.gen_range(1..40usize);
+        // parent[i] < i guarantees acyclicity; node 0 is the root. Then
+        // scramble the labels so the root is not always index 0.
+        let parent_mono: Vec<Option<usize>> =
+            (0..k).map(|i| if i == 0 { None } else { Some(rng.gen_range(0..i)) }).collect();
+        let mut perm: Vec<usize> = (0..k).collect();
+        for i in (1..k).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        let mut parent = vec![None; k];
+        for i in 0..k {
+            parent[perm[i]] = parent_mono[i].map(|p| perm[p]);
+        }
+        assert_equivalent(f, &parent, seed);
+    }
+}
+
+/// Mirrors the `lr_sorting` round-3 shape: one block path, two
+/// independent challenges `z1`, `z0`, C-side vs D-side multisets. The
+/// two aggregations must each match their own brute-force reference.
+#[test]
+fn two_challenge_block_segment_matches_reference() {
+    let f = Fp::new(smallest_prime_above(1 << 20));
+    let ms = MultisetEq::new(f);
+    for seed in 0..10u64 {
+        let mut rng = SmallRng::seed_from_u64(500 + seed);
+        let k = rng.gen_range(1..24usize);
+        let parent: Vec<Option<usize>> =
+            (0..k).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        let c1 = random_sets(&mut rng, k, f.modulus());
+        let d1 = random_sets(&mut rng, k, f.modulus());
+        let c0 = random_sets(&mut rng, k, f.modulus());
+        let d0 = random_sets(&mut rng, k, f.modulus());
+        let z1 = rng.gen_range(0..f.modulus());
+        let z0 = rng.gen_range(0..f.modulus());
+        let msgs1 = ms.honest_response(&parent, |i| c1[i].as_slice(), |i| d1[i].as_slice(), z1);
+        let msgs0 = ms.honest_response(&parent, |i| c0[i].as_slice(), |i| d0[i].as_slice(), z0);
+        let wc1 = brute_force(&f, &parent, &c1, z1);
+        let wd1 = brute_force(&f, &parent, &d1, z1);
+        let wc0 = brute_force(&f, &parent, &c0, z0);
+        let wd0 = brute_force(&f, &parent, &d0, z0);
+        for v in 0..k {
+            assert_eq!((msgs1[v].a1, msgs1[v].a2), (wc1[v], wd1[v]), "z1 node {v} seed {seed}");
+            assert_eq!((msgs0[v].a1, msgs0[v].a2), (wc0[v], wd0[v]), "z0 node {v} seed {seed}");
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "cyclic parents")]
+fn cyclic_parents_still_panic() {
+    let f = Fp::new(smallest_prime_above(1 << 16));
+    let ms = MultisetEq::new(f);
+    // 0 -> 1 -> 2 -> 0 cycle plus a root at 3.
+    let parent = vec![Some(1), Some(2), Some(0), None];
+    let empty: [u64; 0] = [];
+    ms.honest_response(&parent, |_| &empty[..], |_| &empty[..], 7);
+}

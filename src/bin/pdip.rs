@@ -8,6 +8,7 @@
 //! pdip soundness <family> [--n N] [--trials T]
 //! pdip sweep [--families a,b,..] [--n-from N] [--n-to N] [--trials T]
 //!            [--threads K] [--seed S] [--honest-only] [--out PATH]
+//! pdip bench-hotpath [--out PATH]
 //! ```
 
 use pdip_bench::{no_instance, Family, YesInstance, FAMILIES};
@@ -21,7 +22,8 @@ fn usage() -> ! {
          [--cheat IDX] [--simulated] [--repeat K]\n  pdip size <family> [--from K] [--to K]\n  \
          pdip soundness <family> [--n N] [--trials T]\n  \
          pdip sweep [--families a,b,..] [--n-from N] [--n-to N] [--trials T] [--threads K] \
-         [--seed S] [--honest-only] [--out PATH]\n\nfamilies: {}",
+         [--seed S] [--honest-only] [--out PATH]\n  \
+         pdip bench-hotpath [--out PATH]\n\nfamilies: {}",
         FAMILIES.iter().map(|f| f.name()).collect::<Vec<_>>().join(", ")
     );
     std::process::exit(2)
@@ -205,6 +207,34 @@ fn main() {
                     .expect("writing sweep outputs");
             println!("\nwrote {} and {}", json.display(), csv.display());
             println!("{}", outcome.metrics.summary_line());
+        }
+        "bench-hotpath" => {
+            let out =
+                flag_value(&args, "--out").unwrap_or_else(|| "results/bench_hotpath.json".into());
+            println!("hot-path microbenchmarks (optimized vs division-based baseline):\n");
+            let entries = pdip_bench::hotpath::run_hotpath();
+            println!(
+                "{:<24} {:>10} {:>14} {:>14} {:>9}",
+                "benchmark", "n", "baseline ns", "fast ns", "speedup"
+            );
+            for e in &entries {
+                println!(
+                    "{:<24} {:>10} {:>14.1} {:>14.1} {:>8.2}x",
+                    e.name,
+                    e.n,
+                    e.baseline_ns,
+                    e.fast_ns,
+                    e.speedup()
+                );
+            }
+            let p = planarity_dip::field::smallest_prime_above(1 << 20);
+            let doc = pdip_bench::hotpath::hotpath_json(p, &entries);
+            let path = std::path::Path::new(&out);
+            if let Some(dir) = path.parent() {
+                std::fs::create_dir_all(dir).expect("creating results dir");
+            }
+            std::fs::write(path, doc).expect("writing bench snapshot");
+            println!("\nwrote {}", path.display());
         }
         _ => usage(),
     }

@@ -83,9 +83,7 @@ fn multiset_equality_tampering_detected() {
     let parent: Vec<Option<usize>> = vec![None, Some(0), Some(1), Some(2)];
     let s: Vec<Vec<u64>> = vec![vec![5], vec![6], vec![7], vec![8]];
     let s2: Vec<Vec<u64>> = vec![vec![8, 7, 6, 5], vec![], vec![], vec![]];
-    let sc = s.clone();
-    let s2c = s2.clone();
-    let honest = |z: u64| ms.honest_response(&parent, &|i| sc[i].clone(), &|i| s2c[i].clone(), z);
+    let honest = |z: u64| ms.honest_response(&parent, |i| s[i].as_slice(), |i| s2[i].as_slice(), z);
     let check_all = |msgs: &Vec<MsMsg>, z: u64| {
         let mut rej = Rejections::new();
         for i in 0..4 {

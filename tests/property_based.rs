@@ -84,13 +84,11 @@ proptest! {
         let k = elems.len();
         let parent: Vec<Option<usize>> =
             (0..k).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
-        // S1 = per-node singleton; S2 = everything at the root, reversed.
-        let all = elems.clone();
-        let e2 = elems.clone();
+        // S1 = per-node singleton; S2 = everything at the root.
         let msgs = ms.honest_response(
             &parent,
-            &|i| vec![all[i]],
-            &|i| if i == 0 { e2.clone() } else { vec![] },
+            |i| &elems[i..=i],
+            |i| if i == 0 { elems.as_slice() } else { &[] },
             z % f.modulus(),
         );
         let mut rej = Rejections::new();
@@ -109,11 +107,10 @@ proptest! {
         {
             // The polynomials disagree at z, so an honest aggregation of the
             // perturbed S1 against the original S2 must be caught.
-            let p2 = perturbed.clone();
             let msgs2 = ms.honest_response(
                 &parent,
-                &|i| vec![p2[i]],
-                &|i| if i == 0 { e2.clone() } else { vec![] },
+                |i| &perturbed[i..=i],
+                |i| if i == 0 { elems.as_slice() } else { &[] },
                 z % f.modulus(),
             );
             let mut rej2 = Rejections::new();
