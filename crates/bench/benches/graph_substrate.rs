@@ -1,0 +1,80 @@
+//! Criterion timings of the frozen-CSR graph core: warm-scratch hot paths
+//! against the shapes they replaced. The `pdip bench-graph` subcommand
+//! runs the same paired measurements without criterion's analysis pass
+//! and snapshots them to `results/bench_graph.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdip_graph::gen;
+use pdip_graph::{
+    is_planar_with, BiconnectedComponents, Graph, NaiveAdjacency, RootedForest, TraversalScratch,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_edge_between(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge-between-dense");
+    // A circulant where every node has degree 512, probed at the last
+    // port of the row: the old linear scan's worst case.
+    let (n, k) = (1024usize, 256usize);
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in 1..=k {
+            let v = (i + j) % n;
+            if !g.has_edge(i, v) {
+                g.add_edge(i, v);
+            }
+        }
+    }
+    g.freeze();
+    let naive = NaiveAdjacency::from_graph(&g);
+    group.bench_function(BenchmarkId::new("linear-scan", 2 * k), |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..n {
+                acc ^= naive.edge_between(i, black_box((i + k) % n)).unwrap();
+            }
+            acc
+        })
+    });
+    group.bench_function(BenchmarkId::new("binary-search", 2 * k), |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..n {
+                acc ^= g.edge_between(i, black_box((i + k) % n)).unwrap();
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_traversals(c: &mut Criterion) {
+    let mut group = c.benchmark_group("warm-scratch-traversals");
+    for k in [10usize, 13] {
+        let n = 1usize << k;
+        let mut rng = SmallRng::seed_from_u64(k as u64);
+        let g = gen::planar::random_planar(n, 0.5, &mut rng).graph;
+        g.freeze();
+        let mut warm = TraversalScratch::new();
+        group.bench_with_input(BenchmarkId::new("is-planar-cold", n), &g, |b, g| {
+            b.iter(|| {
+                let mut cold = TraversalScratch::new();
+                assert!(is_planar_with(g, &mut cold));
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("is-planar-warm", n), &g, |b, g| {
+            b.iter(|| assert!(is_planar_with(g, &mut warm)))
+        });
+        group.bench_with_input(BenchmarkId::new("biconnected-warm", n), &g, |b, g| {
+            b.iter(|| black_box(BiconnectedComponents::compute_with(g, &mut warm)))
+        });
+        group.bench_with_input(BenchmarkId::new("spanning-forest-warm", n), &g, |b, g| {
+            b.iter(|| black_box(RootedForest::bfs_spanning_tree_with(g, 0, &mut warm)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_edge_between, bench_traversals);
+criterion_main!(benches);

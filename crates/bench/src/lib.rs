@@ -9,6 +9,7 @@
 //! under their historical paths, and E1–E3 now execute their grids on the
 //! engine's worker pool.
 
+pub mod graphbench;
 pub mod hotpath;
 
 pub use pdip_engine::{no_instance, print_table, Family, YesInstance, FAMILIES};

@@ -6,6 +6,7 @@
 
 use pdip_core::DipProtocol;
 use pdip_graph::gen;
+use pdip_graph::{with_thread_scratch, TraversalScratch};
 use pdip_protocols::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -89,6 +90,19 @@ pub enum YesInstance {
 impl YesInstance {
     /// Generates a yes-instance with roughly `n` nodes.
     pub fn generate(family: Family, n: usize, seed: u64) -> YesInstance {
+        with_thread_scratch(|s| YesInstance::generate_with(family, n, seed, s))
+    }
+
+    /// [`YesInstance::generate`] with an explicit [`TraversalScratch`], so
+    /// batch generation (worker pools, benches) reuses traversal buffers
+    /// across instances. Pure in `(family, n, seed)`: the scratch never
+    /// influences the generated instance.
+    pub fn generate_with(
+        family: Family,
+        n: usize,
+        seed: u64,
+        scratch: &mut TraversalScratch,
+    ) -> YesInstance {
         let mut rng = SmallRng::seed_from_u64(seed);
         match family {
             Family::PathOuterplanar => {
@@ -105,11 +119,11 @@ impl YesInstance {
                 YesInstance::Op(OpInstance { graph: g.graph, is_yes: true })
             }
             Family::EmbeddedPlanarity => {
-                let g = gen::planar::random_planar(n.max(4), 0.5, &mut rng);
+                let g = gen::planar::random_planar_with(n.max(4), 0.5, &mut rng, scratch);
                 YesInstance::Emb(EmbInstance { graph: g.graph, rho: g.rho, is_yes: true })
             }
             Family::Planarity => {
-                let g = gen::planar::random_planar(n.max(4), 0.5, &mut rng);
+                let g = gen::planar::random_planar_with(n.max(4), 0.5, &mut rng, scratch);
                 YesInstance::Pl(PlInstance {
                     graph: g.graph,
                     witness_rho: Some(g.rho),
@@ -147,6 +161,17 @@ impl YesInstance {
 
 /// A self-contained no-instance of a family.
 pub fn no_instance(family: Family, n: usize, seed: u64) -> YesInstance {
+    with_thread_scratch(|s| no_instance_with(family, n, seed, s))
+}
+
+/// [`no_instance`] with an explicit [`TraversalScratch`]. Pure in
+/// `(family, n, seed)`: the scratch never influences the instance.
+pub fn no_instance_with(
+    family: Family,
+    n: usize,
+    seed: u64,
+    scratch: &mut TraversalScratch,
+) -> YesInstance {
     let mut rng = SmallRng::seed_from_u64(seed);
     match family {
         Family::PathOuterplanar => {
@@ -162,11 +187,12 @@ pub fn no_instance(family: Family, n: usize, seed: u64) -> YesInstance {
             YesInstance::Emb(EmbInstance { graph: g.graph, rho: g.rho, is_yes: false })
         }
         Family::Planarity => {
-            let g = gen::no_instances::nonplanar_with_gadget(
+            let g = gen::no_instances::nonplanar_with_gadget_with(
                 n.max(8),
                 1,
                 seed.is_multiple_of(2),
                 &mut rng,
+                scratch,
             );
             YesInstance::Pl(PlInstance { graph: g, witness_rho: None, is_yes: false })
         }

@@ -48,7 +48,7 @@ pub mod seed;
 pub mod sink;
 pub mod spec;
 
-pub use family::{no_instance, Family, YesInstance, FAMILIES};
+pub use family::{no_instance, no_instance_with, Family, YesInstance, FAMILIES};
 pub use pool::{execute_job, execute_job_with, Engine, WorkerScratch};
 pub use record::{CellAgg, CellKey, JobFailure, RunRecord, SweepMetrics, SweepOutcome};
 pub use report::print_table;

@@ -7,10 +7,11 @@
 //! alone (see [`crate::seed`]), the sorted records — and everything folded
 //! from them — are byte-identical for any worker count.
 
-use crate::family::{no_instance, Family, YesInstance};
+use crate::family::{no_instance_with, Family, YesInstance};
 use crate::record::{JobFailure, RunRecord, SweepMetrics, SweepOutcome};
 use crate::seed::{labels, sub_seed};
 use crate::spec::{JobSpec, Prover, SweepSpec};
+use pdip_graph::TraversalScratch;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -37,6 +38,10 @@ const SCRATCH_CAP: usize = 256;
 #[derive(Default)]
 pub struct WorkerScratch {
     cache: HashMap<(Family, usize, bool, u64), YesInstance>,
+    /// Graph-side traversal buffers (visited epochs, BFS/DFS stacks, LR
+    /// arena) reused by every instance generation this worker performs,
+    /// so repeated sweep jobs do no graph-side allocation after warmup.
+    traversal: TraversalScratch,
     hits: u64,
     misses: u64,
 }
@@ -64,17 +69,18 @@ impl WorkerScratch {
         if self.cache.len() >= SCRATCH_CAP && !self.cache.contains_key(&key) {
             self.cache.clear();
         }
-        match self.cache.entry(key) {
+        let WorkerScratch { cache, traversal, hits, misses } = self;
+        match cache.entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => {
-                self.hits += 1;
+                *hits += 1;
                 e.into_mut()
             }
             std::collections::hash_map::Entry::Vacant(e) => {
-                self.misses += 1;
+                *misses += 1;
                 e.insert(if yes {
-                    YesInstance::generate(family, n, gen_seed)
+                    YesInstance::generate_with(family, n, gen_seed, traversal)
                 } else {
-                    no_instance(family, n, gen_seed)
+                    no_instance_with(family, n, gen_seed, traversal)
                 })
             }
         }

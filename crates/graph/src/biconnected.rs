@@ -7,6 +7,18 @@
 //! (iterative Hopcroft–Tarjan) and the rooted [`BlockCutTree`].
 
 use crate::graph::{EdgeId, Graph, NodeId};
+use crate::scratch::{reset_buf, with_thread_scratch, TraversalScratch};
+
+/// Reusable work arrays of the Hopcroft–Tarjan decomposition, owned by
+/// [`TraversalScratch`].
+#[derive(Debug, Default)]
+pub(crate) struct BiconArena {
+    disc: Vec<usize>,
+    low: Vec<usize>,
+    edge_stack: Vec<EdgeId>,
+    /// DFS frames: (node, parent edge id or `usize::MAX`, next port).
+    stack: Vec<(NodeId, usize, usize)>,
+}
 
 /// The biconnected decomposition of a connected graph.
 #[derive(Debug, Clone)]
@@ -26,21 +38,31 @@ impl BiconnectedComponents {
     /// component of size 1. Works on disconnected graphs too (components
     /// are computed per connected component).
     pub fn compute(g: &Graph) -> Self {
+        with_thread_scratch(|s| Self::compute_with(g, s))
+    }
+
+    /// [`Self::compute`] with an explicit scratch: the DFS bookkeeping
+    /// (discovery/low arrays, edge stack, frame stack) is reused across
+    /// calls; only the decomposition itself is allocated.
+    pub fn compute_with(g: &Graph, scratch: &mut TraversalScratch) -> Self {
         let n = g.n();
-        let mut disc = vec![usize::MAX; n];
-        let mut low = vec![0usize; n];
+        let BiconArena { disc, low, edge_stack, stack } = &mut scratch.bicon;
+        reset_buf(disc, n, usize::MAX);
+        reset_buf(low, n, 0);
+        edge_stack.clear();
         let mut timer = 0usize;
-        let mut edge_stack: Vec<EdgeId> = Vec::new();
         let mut component_of_edge = vec![usize::MAX; g.m()];
         let mut components: Vec<Vec<EdgeId>> = Vec::new();
         let mut is_cut_node = vec![false; n];
 
-        // Iterative DFS. Frame: (v, parent edge id, next port index).
+        // Iterative DFS. Frame: (v, parent edge id or usize::MAX, next port).
+        const NO_EDGE: usize = usize::MAX;
         for start in 0..n {
             if disc[start] != usize::MAX {
                 continue;
             }
-            let mut stack: Vec<(NodeId, Option<EdgeId>, usize)> = vec![(start, None, 0)];
+            stack.clear();
+            stack.push((start, NO_EDGE, 0));
             disc[start] = timer;
             low[start] = timer;
             timer += 1;
@@ -51,7 +73,7 @@ impl BiconnectedComponents {
                 if port < g.degree(v) {
                     stack[frame].2 += 1;
                     let (u, e) = g.neighbors(v)[port];
-                    if Some(e) == pe {
+                    if e == pe {
                         continue;
                     }
                     if disc[u] == usize::MAX {
@@ -63,7 +85,7 @@ impl BiconnectedComponents {
                         if v == start {
                             root_children += 1;
                         }
-                        stack.push((u, Some(e), 0));
+                        stack.push((u, e, 0));
                     } else if disc[u] < disc[v] {
                         // Back edge (to an ancestor).
                         edge_stack.push(e);

@@ -9,6 +9,7 @@
 //! genus 0.
 
 use crate::graph::{EdgeId, Graph, NodeId};
+use crate::scratch::{with_thread_scratch, TraversalScratch};
 
 /// A dart: edge `e` traversed away from node `from`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -61,6 +62,17 @@ impl RotationSystem {
         RotationSystem { order }
     }
 
+    /// Builds a rotation system from orderings that are permutations of
+    /// the incident edges *by construction* (generator-internal fast
+    /// path). Checks the invariant only in debug builds.
+    pub(crate) fn from_orders_trusted(g: &Graph, order: Vec<Vec<EdgeId>>) -> Self {
+        if cfg!(debug_assertions) {
+            Self::from_orders(g, order)
+        } else {
+            RotationSystem { order }
+        }
+    }
+
     /// The clockwise ordering at `v`.
     pub fn order_at(&self, v: NodeId) -> &[EdgeId] {
         &self.order[v]
@@ -111,25 +123,28 @@ impl RotationSystem {
     /// Number of faces of the embedding induced by this rotation system
     /// (orbits of the face-successor permutation on darts).
     pub fn face_count(&self, g: &Graph) -> usize {
+        with_thread_scratch(|s| self.face_count_with(g, s))
+    }
+
+    /// [`Self::face_count`] with an explicit scratch (epoch-stamped dart
+    /// marks instead of a fresh `seen` array per call).
+    pub fn face_count_with(&self, g: &Graph, scratch: &mut TraversalScratch) -> usize {
         let m = g.m();
         // Dart index: 2*e + (0 if from == edge.u else 1).
         let dart_index = |d: Dart| 2 * d.edge + usize::from(d.from != g.edge(d.edge).u);
-        let mut seen = vec![false; 2 * m];
+        scratch.begin_darts(2 * m);
         let mut faces = 0usize;
         for e in 0..m {
             for from in [g.edge(e).u, g.edge(e).v] {
                 let start = Dart { edge: e, from };
-                if seen[dart_index(start)] {
+                if !scratch.visit_dart(dart_index(start)) {
                     continue;
                 }
                 faces += 1;
-                let mut d = start;
-                loop {
-                    seen[dart_index(d)] = true;
+                let mut d = self.face_successor(g, start);
+                while d != start {
+                    scratch.visit_dart(dart_index(d));
                     d = self.face_successor(g, d);
-                    if d == start {
-                        break;
-                    }
                 }
             }
         }
@@ -170,11 +185,14 @@ impl RotationSystem {
     /// `f = 2c + m - n`. Returns `(2c + m) - (n + f)` — zero exactly for
     /// planar embeddings, positive (twice the total genus) otherwise.
     pub fn euler_genus_defect(&self, g: &Graph) -> usize {
-        let comps = crate::traversal::connected_components(g);
-        let c = comps.len();
+        with_thread_scratch(|s| self.euler_genus_defect_with(g, s))
+    }
+
+    /// [`Self::euler_genus_defect`] with an explicit scratch.
+    pub fn euler_genus_defect_with(&self, g: &Graph, scratch: &mut TraversalScratch) -> usize {
+        let (c, edgeless) = scratch.component_summary(g);
         // Edgeless components have one face each but no darts to trace.
-        let edgeless = comps.iter().filter(|nodes| nodes.iter().all(|&v| g.degree(v) == 0)).count();
-        let f = self.face_count(g) + edgeless;
+        let f = self.face_count_with(g, scratch) + edgeless;
         let lhs = 2 * c + g.m();
         let rhs = g.n() + f;
         debug_assert!(lhs >= rhs, "face tracing produced too many faces");
@@ -184,6 +202,11 @@ impl RotationSystem {
     /// Whether the rotation system induces a planar (genus-0) embedding.
     pub fn is_planar_embedding(&self, g: &Graph) -> bool {
         self.euler_genus_defect(g) == 0
+    }
+
+    /// [`Self::is_planar_embedding`] with an explicit scratch.
+    pub fn is_planar_embedding_with(&self, g: &Graph, scratch: &mut TraversalScratch) -> bool {
+        self.euler_genus_defect_with(g, scratch) == 0
     }
 }
 

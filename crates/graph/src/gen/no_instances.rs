@@ -12,6 +12,7 @@
 
 use super::{random_permutation, relabel};
 use crate::graph::{Graph, NodeId};
+use crate::scratch::{with_thread_scratch, TraversalScratch};
 use rand::Rng;
 
 /// Splices a subdivided `K5` (if `use_k5`) or `K3,3` into a random planar
@@ -19,7 +20,19 @@ use rand::Rng;
 /// subdivision nodes, and the gadget is connected to the host by one edge.
 /// The result is connected and non-planar.
 pub fn nonplanar_with_gadget(host_n: usize, sub: usize, use_k5: bool, rng: &mut impl Rng) -> Graph {
-    let host = super::planar::random_planar(host_n.max(4), 0.4, rng).graph;
+    with_thread_scratch(|s| nonplanar_with_gadget_with(host_n, sub, use_k5, rng, s))
+}
+
+/// [`nonplanar_with_gadget`] with an explicit [`TraversalScratch`] for the
+/// planar-host generation. Same RNG sequence, same instances.
+pub fn nonplanar_with_gadget_with(
+    host_n: usize,
+    sub: usize,
+    use_k5: bool,
+    rng: &mut impl Rng,
+    scratch: &mut TraversalScratch,
+) -> Graph {
+    let host = super::planar::random_planar_with(host_n.max(4), 0.4, rng, scratch).graph;
     let mut g = host.clone();
     let branch: Vec<NodeId> = (0..if use_k5 { 5 } else { 6 }).map(|_| g.add_node()).collect();
     let pairs: Vec<(usize, usize)> = if use_k5 {

@@ -11,8 +11,13 @@
 use super::{random_permutation, relabel};
 use crate::embedding::RotationSystem;
 use crate::graph::{EdgeId, Graph, NodeId};
+use crate::scratch::{with_thread_scratch, TraversalScratch};
 use crate::traversal::RootedForest;
 use rand::Rng;
+
+/// Initial capacity for per-node rotation orders: the average degree of a
+/// planar graph is below 6, so most orders never reallocate.
+const ORDER_CAP: usize = 6;
 
 /// A planar instance: the graph plus a valid combinatorial planar
 /// embedding.
@@ -38,7 +43,13 @@ impl TriangulationBuilder {
         let g = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
         // Rotation at v: any order; pick port order and read off the two
         // induced faces by tracing the resulting embedding.
-        let order: Vec<Vec<EdgeId>> = (0..3).map(|v| g.incident_edges(v).collect()).collect();
+        let order: Vec<Vec<EdgeId>> = (0..3)
+            .map(|v| {
+                let mut o = Vec::with_capacity(ORDER_CAP);
+                o.extend(g.incident_edges(v));
+                o
+            })
+            .collect();
         let rho = RotationSystem::from_orders(&g, order.clone());
         let faces = rho
             .faces(&g)
@@ -60,10 +71,11 @@ impl TriangulationBuilder {
         let ea = self.g.add_edge(a, w);
         let eb = self.g.add_edge(b, w);
         let ec = self.g.add_edge(c, w);
-        self.order.push(Vec::new());
         // Rotation at w so that the three sub-faces trace correctly:
         // clockwise cycle aw -> cw -> bw.
-        self.order[w] = vec![ea, ec, eb];
+        let mut ow = Vec::with_capacity(ORDER_CAP);
+        ow.extend([ea, ec, eb]);
+        self.order.push(ow);
         // At each face corner y with incoming dart (x -> y) and outgoing
         // (y -> z), insert edge (y, w) immediately after edge (x, y).
         for (x, y, e_new) in [(c, a, ea), (a, b, eb), (b, c, ec)] {
@@ -135,11 +147,31 @@ pub fn triangulation_with_degree(
 /// are kept with probability `keep`, with the embedding restricted
 /// accordingly. Labels shuffled.
 pub fn random_planar(n: usize, keep: f64, rng: &mut impl Rng) -> PlanarInstance {
+    with_thread_scratch(|s| random_planar_with(n, keep, rng, s))
+}
+
+/// [`random_planar`] with an explicit [`TraversalScratch`], so repeated
+/// generation (engine sweeps, benches) reuses traversal buffers. Draws the
+/// same RNG sequence as [`random_planar`] for any given seed.
+pub fn random_planar_with(
+    n: usize,
+    keep: f64,
+    rng: &mut impl Rng,
+    scratch: &mut TraversalScratch,
+) -> PlanarInstance {
     let full = random_triangulation_unshuffled(n, rng);
-    let tree = RootedForest::bfs_spanning_tree(&full.graph, 0);
+    let tree = RootedForest::bfs_spanning_tree_with(&full.graph, 0, scratch);
+    // Mark tree edges in one O(n) pass; the old per-edge `contains_edge`
+    // probe was an O(n·m) scan. The RNG is still consulted exactly once per
+    // non-tree edge, in edge-id order, so instances are seed-stable.
     let mut keep_edge = vec![false; full.graph.m()];
-    for e in 0..full.graph.m() {
-        keep_edge[e] = tree.contains_edge(e) || rng.gen_bool(keep);
+    for e in tree.edge_set() {
+        keep_edge[e] = true;
+    }
+    for flag in keep_edge.iter_mut() {
+        if !*flag {
+            *flag = rng.gen_bool(keep);
+        }
     }
     let (g, rho) = restrict_embedding(&full.graph, &full.rho, &keep_edge);
     finish_pair(g, rho, rng)
@@ -152,7 +184,7 @@ fn random_triangulation_unshuffled(n: usize, rng: &mut impl Rng) -> PlanarInstan
         let f = rng.gen_range(0..b.faces.len());
         b.insert_into_face(f);
     }
-    let rho = RotationSystem::from_orders(&b.g, b.order);
+    let rho = RotationSystem::from_orders_trusted(&b.g, b.order);
     PlanarInstance { graph: b.g, rho }
 }
 
@@ -173,12 +205,12 @@ pub fn restrict_embedding(
     let order: Vec<Vec<EdgeId>> = (0..g.n())
         .map(|v| rho.order_at(v).iter().filter(|&&e| keep_edge[e]).map(|&e| new_id[e]).collect())
         .collect();
-    let rho2 = RotationSystem::from_orders(&h, order);
+    let rho2 = RotationSystem::from_orders_trusted(&h, order);
     (h, rho2)
 }
 
 fn finish(g: Graph, order: Vec<Vec<EdgeId>>, rng: &mut impl Rng) -> PlanarInstance {
-    let rho = RotationSystem::from_orders(&g, order);
+    let rho = RotationSystem::from_orders_trusted(&g, order);
     finish_pair(g, rho, rng)
 }
 
@@ -191,7 +223,7 @@ fn finish_pair(g: Graph, rho: RotationSystem, rng: &mut impl Rng) -> PlanarInsta
     for v in 0..g.n() {
         order[perm[v]] = rho.order_at(v).to_vec();
     }
-    let rho2 = RotationSystem::from_orders(&h, order);
+    let rho2 = RotationSystem::from_orders_trusted(&h, order);
     PlanarInstance { graph: h, rho: rho2 }
 }
 
@@ -247,7 +279,7 @@ pub fn fan_planar(n: usize, delta: usize, rng: &mut impl Rng) -> PlanarInstance 
             order[v].push(tail_edges[k + 1]);
         }
     }
-    let rho = RotationSystem::from_orders(&g, order);
+    let rho = RotationSystem::from_orders_trusted(&g, order);
     debug_assert!(rho.is_planar_embedding(&g), "fan rotation must be planar");
     finish_pair(g, rho, rng)
 }

@@ -3,14 +3,17 @@
 //! The distributed interactive proof (DIP) model operates on simple,
 //! connected, undirected graphs whose nodes are anonymous: a node only sees
 //! its incident edges through local *port numbers*. [`Graph`] stores a fixed
-//! edge list plus per-node adjacency in port order, so the port number of an
-//! incident edge is simply its index in the node's adjacency list.
+//! edge list and materializes a packed CSR (compressed sparse row) adjacency
+//! on first query — see the crate docs for the build-then-freeze layout.
+//! Port numbers are edge-insertion order per node, so the port number of an
+//! incident edge is simply its index in the node's CSR row.
 //!
 //! Node and edge identifiers are plain indices ([`NodeId`], [`EdgeId`]).
 //! They exist only on the "simulator side"; protocol verifiers never see
 //! them (see `pdip-core::NodeView`).
 
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Index of a node in a [`Graph`] (simulator-side identifier).
 pub type NodeId = usize;
@@ -62,7 +65,74 @@ impl fmt::Display for Edge {
     }
 }
 
-/// A simple undirected graph with port-ordered adjacency lists.
+/// Sentinel for "no half-edge" in the construction-time intrusive lists.
+const NO_HALF: u32 = u32::MAX;
+
+/// Degree at or below which a frozen `edge_between` uses a linear scan of
+/// the port-ordered row instead of binary search in the sorted row: for
+/// tiny rows the scan wins on branch predictability and cache locality.
+const SCAN_THRESHOLD: usize = 8;
+
+/// Frozen CSR adjacency: one contiguous `(neighbor, edge)` array indexed by
+/// `offsets`, in two orders (ports for iteration, sorted for lookups).
+#[derive(Debug, Clone)]
+struct Csr {
+    /// `offsets[v]..offsets[v + 1]` indexes node `v`'s row (length n + 1).
+    offsets: Vec<u32>,
+    /// Rows in port order (edge-insertion order per node).
+    pairs: Vec<(NodeId, EdgeId)>,
+    /// Rows sorted by neighbor id, for binary-search lookups.
+    sorted: Vec<(NodeId, EdgeId)>,
+}
+
+impl Csr {
+    /// Counting-sort construction over the edge list: two passes, no
+    /// per-node allocation. Port order falls out of scanning edges in
+    /// insertion order.
+    fn build(n: usize, edges: &[Edge]) -> Csr {
+        let mut offsets = vec![0u32; n + 1];
+        for e in edges {
+            offsets[e.u + 1] += 1;
+            offsets[e.v + 1] += 1;
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut pairs = vec![(0, 0); 2 * edges.len()];
+        for (id, e) in edges.iter().enumerate() {
+            pairs[cursor[e.u] as usize] = (e.v, id);
+            cursor[e.u] += 1;
+            pairs[cursor[e.v] as usize] = (e.u, id);
+            cursor[e.v] += 1;
+        }
+        let mut sorted = pairs.clone();
+        for v in 0..n {
+            sorted[offsets[v] as usize..offsets[v + 1] as usize].sort_unstable();
+        }
+        Csr { offsets, pairs, sorted }
+    }
+
+    #[inline]
+    fn row(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.pairs[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    #[inline]
+    fn sorted_row(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.sorted[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+}
+
+/// A simple undirected graph with port-ordered adjacency.
+///
+/// Storage follows a *build-then-freeze* discipline: during construction the
+/// graph keeps only the edge list plus per-node intrusive half-edge lists
+/// (O(1) per `add_edge`, O(min-degree) membership checks). The packed CSR
+/// rows are materialized lazily on the first full-adjacency query
+/// ([`Graph::neighbors`] and friends) or explicitly via [`Graph::freeze`];
+/// any later mutation simply discards them, so the frozen view can never go
+/// stale.
 ///
 /// # Examples
 ///
@@ -78,17 +148,31 @@ impl fmt::Display for Edge {
 /// assert_eq!(g.degree(1), 2);
 /// assert!(g.is_connected());
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Graph {
     edges: Vec<Edge>,
-    /// adjacency[v] = list of (neighbor, edge id) in port order.
-    adjacency: Vec<Vec<(NodeId, EdgeId)>>,
+    /// degree[v], maintained incrementally (valid frozen or not).
+    degree: Vec<u32>,
+    /// first[v] = most recently added half-edge at `v` (`NO_HALF` if none).
+    /// Half-edge `2e` sits at `edges[e].u`, half-edge `2e + 1` at
+    /// `edges[e].v`.
+    first: Vec<u32>,
+    /// next[h] = next half-edge at the same node (`NO_HALF` terminates).
+    next: Vec<u32>,
+    /// Lazily frozen CSR rows; invalidated by every mutation.
+    csr: OnceLock<Csr>,
 }
 
 impl Graph {
     /// Creates a graph with `n` isolated nodes.
     pub fn new(n: usize) -> Self {
-        Graph { edges: Vec::new(), adjacency: vec![Vec::new(); n] }
+        Graph {
+            edges: Vec::new(),
+            degree: vec![0; n],
+            first: vec![NO_HALF; n],
+            next: Vec::new(),
+            csr: OnceLock::new(),
+        }
     }
 
     /// Builds a graph from an explicit edge list over nodes `0..n`.
@@ -106,7 +190,7 @@ impl Graph {
 
     /// Number of nodes.
     pub fn n(&self) -> usize {
-        self.adjacency.len()
+        self.degree.len()
     }
 
     /// Number of edges.
@@ -124,16 +208,41 @@ impl Graph {
         assert_ne!(u, v, "self-loops are not allowed");
         assert!(!self.has_edge(u, v), "parallel edge ({u}, {v})");
         let id = self.edges.len();
+        assert!(2 * id + 1 < NO_HALF as usize, "graph too large for u32 half-edge ids");
         self.edges.push(Edge { u, v });
-        self.adjacency[u].push((v, id));
-        self.adjacency[v].push((u, id));
+        self.next.push(self.first[u]);
+        self.first[u] = (2 * id) as u32;
+        self.next.push(self.first[v]);
+        self.first[v] = (2 * id + 1) as u32;
+        self.degree[u] += 1;
+        self.degree[v] += 1;
+        self.csr.take();
         id
     }
 
     /// Adds a new isolated node and returns its id.
     pub fn add_node(&mut self) -> NodeId {
-        self.adjacency.push(Vec::new());
-        self.adjacency.len() - 1
+        self.degree.push(0);
+        self.first.push(NO_HALF);
+        self.csr.take();
+        self.degree.len() - 1
+    }
+
+    /// Forces materialization of the frozen CSR rows now (they are built
+    /// lazily on first query otherwise). Idempotent; `&self` because the
+    /// frozen view is a cache, not a structural change.
+    pub fn freeze(&self) {
+        let _ = self.csr_rows();
+    }
+
+    /// Whether the CSR rows are currently materialized.
+    pub fn is_frozen(&self) -> bool {
+        self.csr.get().is_some()
+    }
+
+    #[inline]
+    fn csr_rows(&self) -> &Csr {
+        self.csr.get_or_init(|| Csr::build(self.n(), &self.edges))
     }
 
     /// The edge with id `e`.
@@ -150,34 +259,63 @@ impl Graph {
     }
 
     /// Degree of `v`.
+    #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adjacency[v].len()
+        self.degree[v] as usize
     }
 
     /// Maximum degree Δ of the graph (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.n()).map(|v| self.degree(v)).max().unwrap_or(0)
+        self.degree.iter().max().map_or(0, |&d| d as usize)
     }
 
-    /// Neighbors of `v` with edge ids, in port order.
+    /// Neighbors of `v` with edge ids, in port order. Freezes the graph.
+    #[inline]
     pub fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
-        &self.adjacency[v]
+        self.csr_rows().row(v)
     }
 
     /// Iterator over the neighbor node ids of `v`, in port order.
     pub fn neighbor_nodes(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.adjacency[v].iter().map(|&(u, _)| u)
+        self.neighbors(v).iter().map(|&(u, _)| u)
     }
 
     /// Iterator over the incident edge ids of `v`, in port order.
     pub fn incident_edges(&self, v: NodeId) -> impl Iterator<Item = EdgeId> + '_ {
-        self.adjacency[v].iter().map(|&(_, e)| e)
+        self.neighbors(v).iter().map(|&(_, e)| e)
     }
 
     /// Returns the id of the edge between `u` and `v`, if present.
+    ///
+    /// Frozen: binary search in the sorted row of the lower-degree endpoint
+    /// (linear scan below [`SCAN_THRESHOLD`]). Unfrozen: an O(min-degree)
+    /// half-edge walk — querying during construction does *not* trigger a
+    /// freeze, so generators can interleave `add_edge` and `has_edge`
+    /// without rebuilding rows.
     pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
         let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
-        self.adjacency[a].iter().find(|&&(w, _)| w == b).map(|&(_, e)| e)
+        if let Some(csr) = self.csr.get() {
+            if self.degree(a) <= SCAN_THRESHOLD {
+                return csr.row(a).iter().find(|&&(w, _)| w == b).map(|&(_, e)| e);
+            }
+            let row = csr.sorted_row(a);
+            let i = row.partition_point(|&(w, _)| w < b);
+            return match row.get(i) {
+                Some(&(w, e)) if w == b => Some(e),
+                _ => None,
+            };
+        }
+        let mut h = self.first[a];
+        while h != NO_HALF {
+            let e = (h >> 1) as usize;
+            let edge = self.edges[e];
+            let w = if h & 1 == 0 { edge.v } else { edge.u };
+            if w == b {
+                return Some(e);
+            }
+            h = self.next[h as usize];
+        }
+        None
     }
 
     /// Whether `u` and `v` are adjacent.
@@ -190,8 +328,7 @@ impl Graph {
         if self.n() == 0 {
             return true;
         }
-        let order = crate::traversal::bfs_order(self, 0);
-        order.len() == self.n()
+        crate::scratch::with_thread_scratch(|s| s.reach_count(self, 0)) == self.n()
     }
 
     /// Subgraph induced by `nodes`.
@@ -235,6 +372,16 @@ impl Graph {
         self.n() < 3 || self.m() <= 3 * self.n() - 6
     }
 }
+
+/// Structural equality: same node count and same edge list (the CSR rows
+/// and half-edge lists are derived state and never compared).
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        self.n() == other.n() && self.edges == other.edges
+    }
+}
+
+impl Eq for Graph {}
 
 /// An edge orientation overlaid on a [`Graph`].
 ///
@@ -371,6 +518,54 @@ mod tests {
         assert_eq!(nbrs, vec![0, 2, 3]);
         let edges: Vec<EdgeId> = g.incident_edges(1).collect();
         assert_eq!(edges, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn freeze_is_lazy_and_mutation_thaws() {
+        let mut g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        assert!(!g.is_frozen(), "queries so far should not have frozen");
+        assert!(g.has_edge(0, 1)); // pre-freeze lookup path
+        assert!(!g.is_frozen());
+        assert_eq!(g.neighbors(1).len(), 2); // first row query freezes
+        assert!(g.is_frozen());
+        g.add_edge(0, 2);
+        assert!(!g.is_frozen(), "mutation must discard the frozen rows");
+        assert_eq!(g.neighbor_nodes(0).collect::<Vec<_>>(), vec![1, 2]);
+        let w = g.add_node();
+        assert!(!g.is_frozen());
+        assert_eq!(g.degree(w), 0);
+        assert!(g.neighbors(w).is_empty());
+    }
+
+    #[test]
+    fn edge_between_on_high_degree_hub() {
+        // Degree above SCAN_THRESHOLD exercises the binary-search path.
+        let k = 3 * SCAN_THRESHOLD;
+        let mut g = Graph::new(k + 1);
+        let mut ids = Vec::new();
+        for v in 1..=k {
+            ids.push(g.add_edge(0, v));
+        }
+        // Pre-freeze half-edge walk.
+        for v in 1..=k {
+            assert_eq!(g.edge_between(0, v), Some(ids[v - 1]));
+            assert_eq!(g.edge_between(v, 0), Some(ids[v - 1]));
+        }
+        g.freeze();
+        for v in 1..=k {
+            assert_eq!(g.edge_between(0, v), Some(ids[v - 1]));
+            assert_eq!(g.edge_between(v, 0), Some(ids[v - 1]));
+        }
+        assert_eq!(g.edge_between(1, 2), None);
+    }
+
+    #[test]
+    fn equality_ignores_freeze_state() {
+        let a = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let b = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        a.freeze();
+        assert_eq!(a, b);
+        assert_ne!(a, Graph::from_edges(4, [(0, 1), (1, 2)]));
     }
 
     #[test]

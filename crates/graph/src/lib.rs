@@ -10,8 +10,10 @@ pub mod ear;
 pub mod embedding;
 pub mod gen;
 pub mod graph;
+pub mod naive;
 pub mod outerplanar;
 pub mod planarity;
+pub mod scratch;
 pub mod series_parallel;
 pub mod traversal;
 
@@ -23,11 +25,13 @@ pub use degeneracy::{
 pub use ear::{nested_ear_decomposition, Ear, EarDecomposition};
 pub use embedding::{Dart, RotationSystem};
 pub use graph::{Edge, EdgeId, Graph, NodeId, Orientation};
+pub use naive::NaiveAdjacency;
 pub use outerplanar::{
     is_biconnected, is_hamiltonian_path, is_outerplanar, is_path_outerplanar,
     is_path_outerplanar_with, is_properly_nested, outer_cycle, path_outerplanar_witness,
 };
-pub use planarity::{is_planar, is_planar_bruteforce};
+pub use planarity::{is_planar, is_planar_bruteforce, is_planar_with};
+pub use scratch::{reset_thread_scratch, with_thread_scratch, TraversalScratch};
 pub use series_parallel::{
     is_series_parallel, is_treewidth_at_most_2, sp_tree, SpNode, SpTree, SpTreeEntry,
 };

@@ -1,0 +1,132 @@
+//! The seed's `Vec<Vec<_>>` adjacency, retained as a differential
+//! reference.
+//!
+//! [`NaiveAdjacency`] is a faithful copy of the representation [`Graph`]
+//! used before the CSR freeze (per-node growable vectors, O(deg) linear
+//! membership scans). It exists so tests can compare the frozen CSR rows
+//! against an independently maintained structure, and so benchmarks can
+//! measure the old lookup cost on the same inputs. It is *not* used on any
+//! hot path.
+
+use crate::graph::{Edge, EdgeId, Graph, NodeId};
+
+/// Reference adjacency structure with the pre-CSR seed layout.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NaiveAdjacency {
+    edges: Vec<Edge>,
+    /// adjacency[v] = list of (neighbor, edge id) in port order.
+    adjacency: Vec<Vec<(NodeId, EdgeId)>>,
+}
+
+impl NaiveAdjacency {
+    /// Creates a reference graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        NaiveAdjacency { edges: Vec::new(), adjacency: vec![Vec::new(); n] }
+    }
+
+    /// Rebuilds the reference structure from a [`Graph`]'s edge list alone
+    /// (deliberately not via [`Graph::neighbors`], so the two
+    /// representations stay independent).
+    pub fn from_graph(g: &Graph) -> Self {
+        let mut naive = NaiveAdjacency::new(g.n());
+        for e in g.edges() {
+            naive.push_edge(e.u, e.v);
+        }
+        naive
+    }
+
+    /// Appends an edge without simplicity checks (construction mirror of
+    /// the counting-sort CSR build, which also trusts the edge list).
+    fn push_edge(&mut self, u: NodeId, v: NodeId) -> EdgeId {
+        let id = self.edges.len();
+        self.edges.push(Edge { u, v });
+        self.adjacency[u].push((v, id));
+        self.adjacency[v].push((u, id));
+        id
+    }
+
+    /// Adds an undirected edge, enforcing the same simplicity rules as
+    /// [`Graph::add_edge`].
+    ///
+    /// # Panics
+    /// Panics on self-loops, out-of-range endpoints, or parallel edges.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> EdgeId {
+        assert!(u < self.n() && v < self.n(), "edge ({u}, {v}) out of range (n = {})", self.n());
+        assert_ne!(u, v, "self-loops are not allowed");
+        assert!(!self.has_edge(u, v), "parallel edge ({u}, {v})");
+        self.push_edge(u, v)
+    }
+
+    /// Adds a new isolated node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adjacency.push(Vec::new());
+        self.adjacency.len() - 1
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All edges in insertion order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adjacency[v].len()
+    }
+
+    /// Neighbors of `v` with edge ids, in port order.
+    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.adjacency[v]
+    }
+
+    /// Iterator over the incident edge ids of `v`, in port order.
+    pub fn incident_edges(&self, v: NodeId) -> impl Iterator<Item = EdgeId> + '_ {
+        self.adjacency[v].iter().map(|&(_, e)| e)
+    }
+
+    /// The seed's O(deg) linear-scan lookup.
+    pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.adjacency[a].iter().find(|&&(w, _)| w == b).map(|&(_, e)| e)
+    }
+
+    /// Whether `u` and `v` are adjacent (linear scan).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_between(u, v).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirrors_graph_on_a_triangle() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let naive = NaiveAdjacency::from_graph(&g);
+        assert_eq!(naive.n(), 3);
+        assert_eq!(naive.m(), 3);
+        for v in 0..3 {
+            assert_eq!(naive.neighbors(v), g.neighbors(v));
+        }
+        assert_eq!(naive.edge_between(2, 0), g.edge_between(2, 0));
+        assert!(!naive.has_edge(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel edge")]
+    fn rejects_parallel_edges() {
+        let mut naive = NaiveAdjacency::new(2);
+        naive.add_edge(0, 1);
+        naive.add_edge(1, 0);
+    }
+}

@@ -11,10 +11,14 @@
 //! * `G` outerplanar ⇔ `G + apex` planar (see [`crate::outerplanar`]).
 
 use crate::graph::{EdgeId, Graph, NodeId};
+use crate::scratch::{reset_buf, with_thread_scratch, TraversalScratch};
 
 const NONE: usize = usize::MAX;
 
 /// Whether `g` is planar.
+///
+/// Uses the per-thread [`TraversalScratch`]; see [`is_planar_with`] for
+/// the explicit-scratch variant.
 ///
 /// # Examples
 ///
@@ -29,7 +33,15 @@ const NONE: usize = usize::MAX;
 /// assert!(!is_planar(&k5));
 /// ```
 pub fn is_planar(g: &Graph) -> bool {
-    LeftRightTester::new(g).run()
+    with_thread_scratch(|s| is_planar_with(g, s))
+}
+
+/// [`is_planar`] with an explicit scratch: all tester state (per-node and
+/// per-edge arrays, both DFS stacks, the conflict-pair stack, the
+/// nesting-ordered adjacency) lives in `scratch` and is reused across
+/// calls, so a warm call performs no heap allocation.
+pub fn is_planar_with(g: &Graph, scratch: &mut TraversalScratch) -> bool {
+    LeftRightTester { g, a: &mut scratch.lr }.run()
 }
 
 /// Exact exponential-time planarity decision by exhausting rotation
@@ -128,8 +140,20 @@ struct ConflictPair {
     r: Interval,
 }
 
-struct LeftRightTester<'g> {
-    g: &'g Graph,
+/// DFS-2 frame: (node, next out-edge index, out-edge awaiting
+/// post-processing or `NONE`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Frame {
+    v: NodeId,
+    idx: usize,
+    pending: usize,
+}
+
+/// Reusable work arrays of the LR tester, owned by
+/// [`TraversalScratch`]. All buffers are reset by value on each run and
+/// grow monotonically to the largest (n, m) seen.
+#[derive(Debug, Default)]
+pub(crate) struct LrArena {
     height: Vec<usize>,
     /// parent_edge[v] = edge id of tree edge into v, or NONE.
     parent_edge: Vec<usize>,
@@ -139,43 +163,63 @@ struct LeftRightTester<'g> {
     lowpt: Vec<usize>,
     lowpt2: Vec<usize>,
     nesting_depth: Vec<usize>,
-    /// Ordered outgoing adjacency (set before phase 2).
-    ordered_adj: Vec<Vec<EdgeId>>,
+    /// Flat outgoing adjacency grouped by source node and sorted by
+    /// nesting depth within each group (replaces the seed's per-node
+    /// `Vec<Vec<EdgeId>>`, built once per run before phase 2).
+    adj: Vec<EdgeId>,
+    /// Group offsets into `adj` (length n + 1).
+    adj_off: Vec<u32>,
+    /// Scatter cursor for the counting sort that fills `adj`.
+    cursor: Vec<u32>,
     // phase-2 state
     s: Vec<ConflictPair>,
     stack_bottom: Vec<usize>,
     lowpt_edge: Vec<usize>,
     reference: Vec<usize>,
+    dfs1_stack: Vec<(NodeId, usize)>,
+    dfs2_stack: Vec<Frame>,
 }
 
-impl<'g> LeftRightTester<'g> {
-    fn new(g: &'g Graph) -> Self {
-        let n = g.n();
-        let m = g.m();
-        LeftRightTester {
-            g,
-            height: vec![NONE; n],
-            parent_edge: vec![NONE; n],
-            source: vec![NONE; m],
-            oriented: vec![false; m],
-            lowpt: vec![0; m],
-            lowpt2: vec![0; m],
-            nesting_depth: vec![0; m],
-            ordered_adj: vec![Vec::new(); n],
-            s: Vec::new(),
-            stack_bottom: vec![0; m],
-            lowpt_edge: vec![NONE; m],
-            reference: vec![NONE; m],
-        }
+impl LrArena {
+    fn reset(&mut self, n: usize, m: usize) {
+        reset_buf(&mut self.height, n, NONE);
+        reset_buf(&mut self.parent_edge, n, NONE);
+        reset_buf(&mut self.source, m, NONE);
+        reset_buf(&mut self.oriented, m, false);
+        reset_buf(&mut self.lowpt, m, 0);
+        reset_buf(&mut self.lowpt2, m, 0);
+        reset_buf(&mut self.nesting_depth, m, 0);
+        reset_buf(&mut self.adj, m, 0);
+        reset_buf(&mut self.adj_off, n + 1, 0);
+        self.cursor.clear();
+        self.s.clear();
+        reset_buf(&mut self.stack_bottom, m, 0);
+        reset_buf(&mut self.lowpt_edge, m, NONE);
+        reset_buf(&mut self.reference, m, NONE);
+        self.dfs1_stack.clear();
+        self.dfs2_stack.clear();
     }
+}
 
+struct LeftRightTester<'g, 'a> {
+    g: &'g Graph,
+    a: &'a mut LrArena,
+}
+
+impl LeftRightTester<'_, '_> {
     fn target(&self, e: EdgeId) -> NodeId {
-        self.g.edge(e).other(self.source[e])
+        self.g.edge(e).other(self.a.source[e])
     }
 
     fn is_tree_edge(&self, e: EdgeId) -> bool {
         let t = self.target(e);
-        self.parent_edge[t] == e
+        self.a.parent_edge[t] == e
+    }
+
+    /// The out-edges of `v`, by nesting depth (valid after phase 1).
+    #[inline]
+    fn out_adj(&self, v: NodeId) -> &[EdgeId] {
+        &self.a.adj[self.a.adj_off[v] as usize..self.a.adj_off[v + 1] as usize]
     }
 
     fn run(&mut self) -> bool {
@@ -186,23 +230,37 @@ impl<'g> LeftRightTester<'g> {
         if !self.g.satisfies_planar_edge_bound() {
             return false;
         }
+        self.a.reset(n, m);
         // Phase 1: orientation DFS from every root.
         for root in 0..n {
-            if self.height[root] == NONE {
-                self.height[root] = 0;
+            if self.a.height[root] == NONE {
+                self.a.height[root] = 0;
                 self.dfs1(root);
             }
         }
-        // Sort outgoing adjacency by nesting depth.
-        for v in 0..n {
-            let mut out: Vec<EdgeId> =
-                self.g.incident_edges(v).filter(|&e| self.source[e] == v).collect();
-            out.sort_by_key(|&e| self.nesting_depth[e]);
-            self.ordered_adj[v] = out;
+        // Group out-edges by source (counting sort preserves nothing we
+        // need ordered), then sort each group by nesting depth.
+        {
+            let LrArena { source, nesting_depth, adj, adj_off, cursor, .. } = &mut *self.a;
+            for &s in source.iter() {
+                adj_off[s + 1] += 1;
+            }
+            for v in 0..n {
+                adj_off[v + 1] += adj_off[v];
+            }
+            cursor.extend_from_slice(&adj_off[..n]);
+            for (e, &s) in source.iter().enumerate() {
+                adj[cursor[s] as usize] = e;
+                cursor[s] += 1;
+            }
+            for v in 0..n {
+                adj[adj_off[v] as usize..adj_off[v + 1] as usize]
+                    .sort_unstable_by_key(|&e| nesting_depth[e]);
+            }
         }
         // Phase 2: testing DFS from every root.
         for root in 0..n {
-            if self.parent_edge[root] == NONE && self.g.degree(root) > 0 && !self.dfs2(root) {
+            if self.a.parent_edge[root] == NONE && self.g.degree(root) > 0 && !self.dfs2(root) {
                 return false;
             }
         }
@@ -211,35 +269,36 @@ impl<'g> LeftRightTester<'g> {
 
     /// Iterative orientation DFS (phase 1).
     fn dfs1(&mut self, root: NodeId) {
-        // Frame: (v, port index, edge we entered v by).
-        let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
-        while let Some(&(v, port)) = stack.last() {
+        // Frame: (v, port index).
+        self.a.dfs1_stack.clear();
+        self.a.dfs1_stack.push((root, 0));
+        while let Some(&(v, port)) = self.a.dfs1_stack.last() {
             if port < self.g.degree(v) {
-                stack.last_mut().unwrap().1 += 1;
+                self.a.dfs1_stack.last_mut().unwrap().1 += 1;
                 let (w, e) = self.g.neighbors(v)[port];
-                if self.oriented[e] {
+                if self.a.oriented[e] {
                     continue;
                 }
-                self.oriented[e] = true;
-                self.source[e] = v;
-                self.lowpt[e] = self.height[v];
-                self.lowpt2[e] = self.height[v];
-                if self.height[w] == NONE {
+                self.a.oriented[e] = true;
+                self.a.source[e] = v;
+                self.a.lowpt[e] = self.a.height[v];
+                self.a.lowpt2[e] = self.a.height[v];
+                if self.a.height[w] == NONE {
                     // Tree edge.
-                    self.parent_edge[w] = e;
-                    self.height[w] = self.height[v] + 1;
-                    stack.push((w, 0));
+                    self.a.parent_edge[w] = e;
+                    self.a.height[w] = self.a.height[v] + 1;
+                    self.a.dfs1_stack.push((w, 0));
                 } else {
                     // Back edge.
-                    self.lowpt[e] = self.height[w];
+                    self.a.lowpt[e] = self.a.height[w];
                     self.finish_edge(v, e);
                 }
             } else {
-                stack.pop();
+                self.a.dfs1_stack.pop();
                 // Finish the tree edge into v, updating its parent's lowpts.
-                let e = self.parent_edge[v];
+                let e = self.a.parent_edge[v];
                 if e != NONE {
-                    let u = self.source[e];
+                    let u = self.a.source[e];
                     self.finish_edge(u, e);
                 }
             }
@@ -249,19 +308,20 @@ impl<'g> LeftRightTester<'g> {
     /// Sets the nesting depth of `e` (out-edge of `v`) and folds its
     /// lowpoints into `v`'s parent edge.
     fn finish_edge(&mut self, v: NodeId, e: EdgeId) {
-        self.nesting_depth[e] = 2 * self.lowpt[e];
-        if self.lowpt2[e] < self.height[v] {
-            self.nesting_depth[e] += 1; // chordal
+        let a = &mut *self.a;
+        a.nesting_depth[e] = 2 * a.lowpt[e];
+        if a.lowpt2[e] < a.height[v] {
+            a.nesting_depth[e] += 1; // chordal
         }
-        let pe = self.parent_edge[v];
+        let pe = a.parent_edge[v];
         if pe != NONE {
-            if self.lowpt[e] < self.lowpt[pe] {
-                self.lowpt2[pe] = self.lowpt[pe].min(self.lowpt2[e]);
-                self.lowpt[pe] = self.lowpt[e];
-            } else if self.lowpt[e] > self.lowpt[pe] {
-                self.lowpt2[pe] = self.lowpt2[pe].min(self.lowpt[e]);
+            if a.lowpt[e] < a.lowpt[pe] {
+                a.lowpt2[pe] = a.lowpt[pe].min(a.lowpt2[e]);
+                a.lowpt[pe] = a.lowpt[e];
+            } else if a.lowpt[e] > a.lowpt[pe] {
+                a.lowpt2[pe] = a.lowpt2[pe].min(a.lowpt[e]);
             } else {
-                self.lowpt2[pe] = self.lowpt2[pe].min(self.lowpt2[e]);
+                a.lowpt2[pe] = a.lowpt2[pe].min(a.lowpt2[e]);
             }
         }
     }
@@ -269,47 +329,40 @@ impl<'g> LeftRightTester<'g> {
     fn lowest(&self, p: &ConflictPair) -> usize {
         match (p.l.low, p.r.low) {
             (NONE, NONE) => NONE,
-            (NONE, r) => self.lowpt[r],
-            (l, NONE) => self.lowpt[l],
-            (l, r) => self.lowpt[l].min(self.lowpt[r]),
+            (NONE, r) => self.a.lowpt[r],
+            (l, NONE) => self.a.lowpt[l],
+            (l, r) => self.a.lowpt[l].min(self.a.lowpt[r]),
         }
     }
 
     fn conflicting(&self, i: &Interval, b: EdgeId) -> bool {
-        !i.is_empty() && self.lowpt[i.high] > self.lowpt[b]
+        !i.is_empty() && self.a.lowpt[i.high] > self.a.lowpt[b]
     }
 
     /// Iterative testing DFS (phase 2). Returns false on a planarity
     /// violation.
     fn dfs2(&mut self, root: NodeId) -> bool {
-        // Frame: (v, next out-edge index, edge awaiting post-processing).
-        struct Frame {
-            v: NodeId,
-            idx: usize,
-            pending: usize, // out-edge whose subtree just finished, or NONE
-        }
-        let mut stack = vec![Frame { v: root, idx: 0, pending: NONE }];
-        while let Some(frame) = stack.last_mut() {
-            let v = frame.v;
-            if frame.pending != NONE {
-                let ei = frame.pending;
-                frame.pending = NONE;
-                if !self.integrate_out_edge(v, ei) {
+        self.a.dfs2_stack.clear();
+        self.a.dfs2_stack.push(Frame { v: root, idx: 0, pending: NONE });
+        while let Some(&Frame { v, idx, pending }) = self.a.dfs2_stack.last() {
+            if pending != NONE {
+                self.a.dfs2_stack.last_mut().unwrap().pending = NONE;
+                if !self.integrate_out_edge(v, pending) {
                     return false;
                 }
             }
-            if frame.idx < self.ordered_adj[v].len() {
-                let ei = self.ordered_adj[v][frame.idx];
-                frame.idx += 1;
-                self.stack_bottom[ei] = self.s.len();
+            if idx < self.out_adj(v).len() {
+                let ei = self.out_adj(v)[idx];
+                self.a.dfs2_stack.last_mut().unwrap().idx += 1;
+                self.a.stack_bottom[ei] = self.a.s.len();
                 if self.is_tree_edge(ei) {
                     let w = self.target(ei);
-                    stack.last_mut().unwrap().pending = ei;
-                    stack.push(Frame { v: w, idx: 0, pending: NONE });
+                    self.a.dfs2_stack.last_mut().unwrap().pending = ei;
+                    self.a.dfs2_stack.push(Frame { v: w, idx: 0, pending: NONE });
                 } else {
                     // Back edge.
-                    self.lowpt_edge[ei] = ei;
-                    self.s.push(ConflictPair {
+                    self.a.lowpt_edge[ei] = ei;
+                    self.a.s.push(ConflictPair {
                         l: Interval::EMPTY,
                         r: Interval { low: ei, high: ei },
                     });
@@ -319,18 +372,18 @@ impl<'g> LeftRightTester<'g> {
                 }
             } else {
                 // Leaving v.
-                let e = self.parent_edge[v];
-                stack.pop();
-                if e != NONE && !stack.is_empty() {
-                    let u = self.source[e];
+                let e = self.a.parent_edge[v];
+                self.a.dfs2_stack.pop();
+                if e != NONE && !self.a.dfs2_stack.is_empty() {
+                    let u = self.a.source[e];
                     self.trim_back_edges(u);
-                    if self.lowpt[e] < self.height[u] {
+                    if self.a.lowpt[e] < self.a.height[u] {
                         // e has a return edge: set its reference.
-                        let top = *self.s.last().expect("return edge requires a conflict pair");
+                        let top = *self.a.s.last().expect("return edge requires a conflict pair");
                         let hl = top.l.high;
                         let hr = top.r.high;
-                        self.reference[e] =
-                            if hl != NONE && (hr == NONE || self.lowpt[hl] > self.lowpt[hr]) {
+                        self.a.reference[e] =
+                            if hl != NONE && (hr == NONE || self.a.lowpt[hl] > self.a.lowpt[hr]) {
                                 hl
                             } else {
                                 hr
@@ -345,12 +398,12 @@ impl<'g> LeftRightTester<'g> {
     /// The post-processing of out-edge `ei` of `v`: propagate the lowpoint
     /// edge or add the left/right constraints. Returns false on violation.
     fn integrate_out_edge(&mut self, v: NodeId, ei: EdgeId) -> bool {
-        if self.lowpt[ei] < self.height[v] {
+        if self.a.lowpt[ei] < self.a.height[v] {
             // ei has a return edge below v.
-            if ei == self.ordered_adj[v][0] {
-                let pe = self.parent_edge[v];
+            if ei == self.out_adj(v)[0] {
+                let pe = self.a.parent_edge[v];
                 if pe != NONE {
-                    self.lowpt_edge[pe] = self.lowpt_edge[ei];
+                    self.a.lowpt_edge[pe] = self.a.lowpt_edge[ei];
                 }
             } else if !self.add_constraints(v, ei) {
                 return false;
@@ -360,12 +413,12 @@ impl<'g> LeftRightTester<'g> {
     }
 
     fn add_constraints(&mut self, v: NodeId, ei: EdgeId) -> bool {
-        let e = self.parent_edge[v];
+        let e = self.a.parent_edge[v];
         debug_assert_ne!(e, NONE);
         let mut p = ConflictPair { l: Interval::EMPTY, r: Interval::EMPTY };
         // Merge return edges of ei into p.r.
-        while self.s.len() > self.stack_bottom[ei] {
-            let mut q = self.s.pop().expect("stack bottom bookkeeping");
+        while self.a.s.len() > self.a.stack_bottom[ei] {
+            let mut q = self.a.s.pop().expect("stack bottom bookkeeping");
             if !q.l.is_empty() {
                 std::mem::swap(&mut q.l, &mut q.r);
             }
@@ -373,27 +426,27 @@ impl<'g> LeftRightTester<'g> {
                 return false; // not planar
             }
             debug_assert!(!q.r.is_empty());
-            if self.lowpt[q.r.low] > self.lowpt[e] {
+            if self.a.lowpt[q.r.low] > self.a.lowpt[e] {
                 // Merge intervals.
                 if p.r.is_empty() {
                     p.r.high = q.r.high;
                 } else {
-                    self.reference[p.r.low] = q.r.high;
+                    self.a.reference[p.r.low] = q.r.high;
                 }
                 p.r.low = q.r.low;
             } else {
                 // Align.
-                self.reference[q.r.low] = self.lowpt_edge[e];
+                self.a.reference[q.r.low] = self.a.lowpt_edge[e];
             }
         }
         // Merge conflicting return edges of earlier out-edges into p.l.
-        while let Some(top) = self.s.last() {
+        while let Some(top) = self.a.s.last() {
             let conflict_l = self.conflicting(&top.l, ei);
             let conflict_r = self.conflicting(&top.r, ei);
             if !conflict_l && !conflict_r {
                 break;
             }
-            let mut q = self.s.pop().unwrap();
+            let mut q = self.a.s.pop().unwrap();
             if self.conflicting(&q.r, ei) {
                 std::mem::swap(&mut q.l, &mut q.r);
             }
@@ -402,7 +455,7 @@ impl<'g> LeftRightTester<'g> {
             }
             // Merge interval below lowpt(ei) into p.r.
             if p.r.low != NONE {
-                self.reference[p.r.low] = q.r.high;
+                self.a.reference[p.r.low] = q.r.high;
             }
             if q.r.low != NONE {
                 p.r.low = q.r.low;
@@ -411,12 +464,12 @@ impl<'g> LeftRightTester<'g> {
             if p.l.is_empty() {
                 p.l.high = q.l.high;
             } else {
-                self.reference[p.l.low] = q.l.high;
+                self.a.reference[p.l.low] = q.l.high;
             }
             p.l.low = q.l.low;
         }
         if !(p.l.is_empty() && p.r.is_empty()) {
-            self.s.push(p);
+            self.a.s.push(p);
         }
         true
     }
@@ -424,32 +477,32 @@ impl<'g> LeftRightTester<'g> {
     /// Removes back edges ending at the parent `u` when leaving its child.
     fn trim_back_edges(&mut self, u: NodeId) {
         // Drop entire conflict pairs returning only to u.
-        while let Some(top) = self.s.last() {
-            if self.lowest(top) == self.height[u] {
-                self.s.pop();
+        while let Some(top) = self.a.s.last() {
+            if self.lowest(top) == self.a.height[u] {
+                self.a.s.pop();
             } else {
                 break;
             }
         }
-        if let Some(mut p) = self.s.pop() {
+        if let Some(mut p) = self.a.s.pop() {
             // Trim left interval.
             while p.l.high != NONE && self.target(p.l.high) == u {
-                p.l.high = self.reference[p.l.high];
+                p.l.high = self.a.reference[p.l.high];
             }
             if p.l.high == NONE && p.l.low != NONE {
                 // Just emptied.
-                self.reference[p.l.low] = p.r.low;
+                self.a.reference[p.l.low] = p.r.low;
                 p.l.low = NONE;
             }
             // Trim right interval.
             while p.r.high != NONE && self.target(p.r.high) == u {
-                p.r.high = self.reference[p.r.high];
+                p.r.high = self.a.reference[p.r.high];
             }
             if p.r.high == NONE && p.r.low != NONE {
-                self.reference[p.r.low] = p.l.low;
+                self.a.reference[p.r.low] = p.l.low;
                 p.r.low = NONE;
             }
-            self.s.push(p);
+            self.a.s.push(p);
         }
     }
 }

@@ -1,0 +1,290 @@
+//! Reusable, allocation-free traversal scratch.
+//!
+//! Every traversal in this crate (BFS/DFS orders, spanning trees,
+//! biconnected components, the LR planarity test, face tracing) needs the
+//! same transient state: visited marks, an explicit stack or queue, and a
+//! few per-node/per-edge arrays. [`TraversalScratch`] owns all of it so a
+//! caller that runs many traversals — the sweep engine's worker loop above
+//! all — pays for the buffers once and then runs allocation-free.
+//!
+//! Two mechanisms make reuse cheap:
+//!
+//! * **Epoch-stamped marks.** Visited flags are `u32` stamps, not bools: a
+//!   node is visited iff `mark[v] == current_stamp`, and starting a new
+//!   traversal just increments the stamp instead of clearing the array
+//!   (arrays are zeroed only on the one-in-4-billion stamp wraparound).
+//! * **`clear` + `resize` buffers.** Work arrays are reset by value, never
+//!   reallocated once grown to the largest graph seen.
+//!
+//! The `*_with`/`*_into` entry points scattered through the crate take an
+//! explicit `&mut TraversalScratch`; the classic free functions
+//! ([`crate::bfs_order`], [`crate::is_planar`], ...) keep their signatures
+//! and borrow a per-thread scratch internally, so every existing call site
+//! warms up for free.
+
+use crate::graph::{Graph, NodeId};
+use std::cell::RefCell;
+
+/// Bumps a stamp/mark pair to a fresh epoch covering `len` slots.
+fn begin_epoch(mark: &mut Vec<u32>, stamp: &mut u32, len: usize) {
+    if mark.len() < len {
+        mark.resize(len, 0);
+    }
+    if *stamp == u32::MAX {
+        mark.fill(0);
+        *stamp = 0;
+    }
+    *stamp += 1;
+}
+
+/// Clears and re-fills a work array without shrinking its capacity.
+pub(crate) fn reset_buf<T: Copy>(buf: &mut Vec<T>, len: usize, val: T) {
+    buf.clear();
+    buf.resize(len, val);
+}
+
+/// Reusable state for graph traversals. See the module docs.
+///
+/// A single scratch may be used on graphs of any (varying) size; buffers
+/// grow monotonically to the largest graph seen. All methods leave the
+/// scratch reusable regardless of outcome.
+#[derive(Debug, Default)]
+pub struct TraversalScratch {
+    node_mark: Vec<u32>,
+    node_stamp: u32,
+    dart_mark: Vec<u32>,
+    dart_stamp: u32,
+    /// BFS frontier / generic node queue.
+    pub(crate) queue: Vec<NodeId>,
+    /// DFS stack of (node, next port index).
+    pub(crate) dfs_stack: Vec<(NodeId, usize)>,
+    /// Hopcroft–Tarjan work arrays (biconnected components).
+    pub(crate) bicon: crate::biconnected::BiconArena,
+    /// LR planarity-test work arrays.
+    pub(crate) lr: crate::planarity::LrArena,
+}
+
+impl TraversalScratch {
+    /// A fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops all retained capacity (mainly useful for measuring cold-start
+    /// cost; warm reuse is the point of this type).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Starts a new node-visited epoch able to mark nodes `0..n`.
+    pub(crate) fn begin_nodes(&mut self, n: usize) {
+        begin_epoch(&mut self.node_mark, &mut self.node_stamp, n);
+    }
+
+    /// Marks node `v`; returns `true` iff it was unvisited this epoch.
+    #[inline]
+    pub(crate) fn visit_node(&mut self, v: NodeId) -> bool {
+        if self.node_mark[v] == self.node_stamp {
+            false
+        } else {
+            self.node_mark[v] = self.node_stamp;
+            true
+        }
+    }
+
+    /// Starts a new dart-visited epoch able to mark darts `0..two_m`.
+    pub(crate) fn begin_darts(&mut self, two_m: usize) {
+        begin_epoch(&mut self.dart_mark, &mut self.dart_stamp, two_m);
+    }
+
+    /// Marks dart `d`; returns `true` iff it was unvisited this epoch.
+    #[inline]
+    pub(crate) fn visit_dart(&mut self, d: usize) -> bool {
+        if self.dart_mark[d] == self.dart_stamp {
+            false
+        } else {
+            self.dart_mark[d] = self.dart_stamp;
+            true
+        }
+    }
+
+    /// BFS visit order from `root` into `out` (cleared first). The output
+    /// vector doubles as the queue, so a warm call allocates nothing once
+    /// `out` has capacity for the reachable component.
+    pub fn bfs_order_into(&mut self, g: &Graph, root: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        self.begin_nodes(g.n());
+        self.visit_node(root);
+        out.push(root);
+        let mut head = 0;
+        while head < out.len() {
+            let v = out[head];
+            head += 1;
+            for &(u, _) in g.neighbors(v) {
+                if self.visit_node(u) {
+                    out.push(u);
+                }
+            }
+        }
+    }
+
+    /// Iterative DFS preorder from `root` into `out` (cleared first),
+    /// visiting neighbors in port order.
+    pub fn dfs_order_into(&mut self, g: &Graph, root: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        self.begin_nodes(g.n());
+        self.visit_node(root);
+        self.dfs_stack.clear();
+        self.dfs_stack.push((root, 0));
+        out.push(root);
+        while let Some(&mut (v, ref mut port)) = self.dfs_stack.last_mut() {
+            let row = g.neighbors(v);
+            if *port < row.len() {
+                let (u, _) = row[*port];
+                *port += 1;
+                if self.visit_node(u) {
+                    out.push(u);
+                    self.dfs_stack.push((u, 0));
+                }
+            } else {
+                self.dfs_stack.pop();
+            }
+        }
+    }
+
+    /// Number of nodes reachable from `root` (BFS over an internal buffer).
+    pub fn reach_count(&mut self, g: &Graph, root: NodeId) -> usize {
+        self.begin_nodes(g.n());
+        self.visit_node(root);
+        self.queue.clear();
+        self.queue.push(root);
+        let mut head = 0;
+        while head < self.queue.len() {
+            let v = self.queue[head];
+            head += 1;
+            for &(u, _) in g.neighbors(v) {
+                if self.visit_node(u) {
+                    self.queue.push(u);
+                }
+            }
+        }
+        self.queue.len()
+    }
+
+    /// `(connected components, edgeless components)` of `g`, without
+    /// materializing the component node lists.
+    pub(crate) fn component_summary(&mut self, g: &Graph) -> (usize, usize) {
+        self.begin_nodes(g.n());
+        let mut comps = 0;
+        let mut edgeless = 0;
+        for s in 0..g.n() {
+            if !self.visit_node(s) {
+                continue;
+            }
+            comps += 1;
+            if g.degree(s) == 0 {
+                // A component is edgeless iff it is an isolated node.
+                edgeless += 1;
+                continue;
+            }
+            self.queue.clear();
+            self.queue.push(s);
+            let mut head = 0;
+            while head < self.queue.len() {
+                let v = self.queue[head];
+                head += 1;
+                for &(u, _) in g.neighbors(v) {
+                    if self.visit_node(u) {
+                        self.queue.push(u);
+                    }
+                }
+            }
+        }
+        (comps, edgeless)
+    }
+}
+
+thread_local! {
+    static THREAD_SCRATCH: RefCell<TraversalScratch> = RefCell::new(TraversalScratch::new());
+}
+
+/// Runs `f` with this thread's shared [`TraversalScratch`].
+///
+/// This is what keeps the classic free-function entry points
+/// allocation-free after warmup without changing their signatures. If the
+/// thread scratch is already borrowed (a re-entrant call from inside a
+/// traversal callback), `f` gets a fresh temporary scratch instead —
+/// slower, never wrong.
+pub fn with_thread_scratch<R>(f: impl FnOnce(&mut TraversalScratch) -> R) -> R {
+    THREAD_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut TraversalScratch::new()),
+    })
+}
+
+/// Drops the retained capacity of this thread's shared scratch. Exists so
+/// benchmarks can measure cold-start cost; normal code never needs it.
+pub fn reset_thread_scratch() {
+    THREAD_SCRATCH.with(|cell| {
+        if let Ok(mut scratch) = cell.try_borrow_mut() {
+            scratch.reset();
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_into_matches_free_function() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let mut s = TraversalScratch::new();
+        let mut out = Vec::new();
+        s.bfs_order_into(&g, 2, &mut out);
+        assert_eq!(out, crate::traversal::bfs_order(&g, 2));
+    }
+
+    #[test]
+    fn scratch_survives_shrinking_and_growing_graphs() {
+        let mut s = TraversalScratch::new();
+        let mut out = Vec::new();
+        for n in [10usize, 3, 25, 1] {
+            let g = Graph::from_edges(n, (0..n.saturating_sub(1)).map(|i| (i, i + 1)));
+            s.bfs_order_into(&g, 0, &mut out);
+            assert_eq!(out.len(), n);
+            s.dfs_order_into(&g, 0, &mut out);
+            assert_eq!(out.len(), n);
+            assert_eq!(s.reach_count(&g, 0), n);
+        }
+    }
+
+    #[test]
+    fn epoch_wraparound_clears_marks() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let mut s = TraversalScratch::new();
+        s.node_stamp = u32::MAX - 1;
+        assert_eq!(s.reach_count(&g, 0), 3); // stamp becomes u32::MAX
+        assert_eq!(s.reach_count(&g, 0), 3); // wraparound path
+        assert_eq!(s.node_stamp, 1);
+        assert_eq!(s.reach_count(&g, 2), 3);
+    }
+
+    #[test]
+    fn component_summary_counts() {
+        // Path (0-1-2), isolated 3, edge (4-5).
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (4, 5)]);
+        let mut s = TraversalScratch::new();
+        assert_eq!(s.component_summary(&g), (3, 1));
+    }
+
+    #[test]
+    fn reentrant_thread_scratch_falls_back() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let n = with_thread_scratch(|outer| {
+            let inner = with_thread_scratch(|s| s.reach_count(&g, 0));
+            outer.reach_count(&g, 0) + inner
+        });
+        assert_eq!(n, 6);
+    }
+}

@@ -7,76 +7,56 @@
 //! depths.
 
 use crate::graph::{EdgeId, Graph, NodeId};
+use crate::scratch::{with_thread_scratch, TraversalScratch};
 
 /// BFS visit order from `root` (only the reachable component).
+///
+/// Allocates the returned vector; the traversal state itself comes from
+/// the per-thread [`TraversalScratch`] (see
+/// [`TraversalScratch::bfs_order_into`] for the fully allocation-free
+/// variant).
 pub fn bfs_order(g: &Graph, root: NodeId) -> Vec<NodeId> {
-    let mut seen = vec![false; g.n()];
-    let mut queue = std::collections::VecDeque::new();
     let mut order = Vec::new();
-    seen[root] = true;
-    queue.push_back(root);
-    while let Some(v) = queue.pop_front() {
-        order.push(v);
-        for u in g.neighbor_nodes(v) {
-            if !seen[u] {
-                seen[u] = true;
-                queue.push_back(u);
-            }
-        }
-    }
+    with_thread_scratch(|s| s.bfs_order_into(g, root, &mut order));
     order
 }
 
 /// Iterative DFS preorder from `root` (only the reachable component),
 /// visiting neighbors in port order.
+///
+/// See [`TraversalScratch::dfs_order_into`] for the allocation-free
+/// variant.
 pub fn dfs_order(g: &Graph, root: NodeId) -> Vec<NodeId> {
-    let mut seen = vec![false; g.n()];
-    let mut stack = vec![root];
     let mut order = Vec::new();
-    seen[root] = true;
-    while let Some(v) = stack.pop() {
-        order.push(v);
-        // Push in reverse port order so the first port is explored first.
-        for &(u, _) in g.neighbors(v).iter().rev() {
-            if !seen[u] {
-                seen[u] = true;
-                stack.push(u);
-            }
-        }
-    }
+    with_thread_scratch(|s| s.dfs_order_into(g, root, &mut order));
     order
 }
 
 /// The connected components of `g`, each as a list of node ids.
 pub fn connected_components(g: &Graph) -> Vec<Vec<NodeId>> {
-    let mut comp = vec![usize::MAX; g.n()];
-    let mut comps = Vec::new();
-    for s in 0..g.n() {
-        if comp[s] != usize::MAX {
-            continue;
-        }
-        let idx = comps.len();
-        let nodes = bfs_order_masked(g, s, &mut comp, idx);
-        comps.push(nodes);
-    }
-    comps
-}
-
-fn bfs_order_masked(g: &Graph, root: NodeId, comp: &mut [usize], idx: usize) -> Vec<NodeId> {
-    let mut queue = std::collections::VecDeque::new();
-    let mut order = Vec::new();
-    comp[root] = idx;
-    queue.push_back(root);
-    while let Some(v) = queue.pop_front() {
-        order.push(v);
-        for u in g.neighbor_nodes(v) {
-            if comp[u] == usize::MAX {
-                comp[u] = idx;
-                queue.push_back(u);
+    with_thread_scratch(|s| {
+        s.begin_nodes(g.n());
+        let mut comps: Vec<Vec<NodeId>> = Vec::new();
+        for start in 0..g.n() {
+            if !s.visit_node(start) {
+                continue;
             }
+            // The component list doubles as the BFS queue.
+            let mut nodes = vec![start];
+            let mut head = 0;
+            while head < nodes.len() {
+                let v = nodes[head];
+                head += 1;
+                for &(u, _) in g.neighbors(v) {
+                    if s.visit_node(u) {
+                        nodes.push(u);
+                    }
+                }
+            }
+            comps.push(nodes);
         }
-    }
-    order
+        comps
+    })
 }
 
 /// A rooted spanning forest of a graph: every node has an optional parent
@@ -162,41 +142,72 @@ impl RootedForest {
         RootedForest { parent, children, depth }
     }
 
+    /// Assembles a forest from parent pointers and depths produced by a
+    /// traversal (valid by construction, so no [`Self::from_parents`]
+    /// validation pass). Children are listed in increasing id order, the
+    /// same order `from_parents` produces.
+    fn from_traversal(parent: Vec<Option<(NodeId, EdgeId)>>, depth: Vec<usize>) -> Self {
+        let mut children = vec![Vec::new(); parent.len()];
+        for (v, p) in parent.iter().enumerate() {
+            if let Some((u, _)) = *p {
+                children[u].push(v);
+            }
+        }
+        RootedForest { parent, children, depth }
+    }
+
     /// BFS spanning tree of the connected component of `root`.
     pub fn bfs_spanning_tree(g: &Graph, root: NodeId) -> Self {
+        with_thread_scratch(|s| Self::bfs_spanning_tree_with(g, root, s))
+    }
+
+    /// [`Self::bfs_spanning_tree`] with an explicit scratch: the visited
+    /// marks and queue are reused, only the forest itself is allocated.
+    pub fn bfs_spanning_tree_with(g: &Graph, root: NodeId, s: &mut TraversalScratch) -> Self {
         let mut parent = vec![None; g.n()];
-        let mut seen = vec![false; g.n()];
-        let mut queue = std::collections::VecDeque::new();
-        seen[root] = true;
-        queue.push_back(root);
-        while let Some(v) = queue.pop_front() {
+        let mut depth = vec![0usize; g.n()];
+        s.begin_nodes(g.n());
+        s.visit_node(root);
+        s.queue.clear();
+        s.queue.push(root);
+        let mut head = 0;
+        while head < s.queue.len() {
+            let v = s.queue[head];
+            head += 1;
             for &(u, e) in g.neighbors(v) {
-                if !seen[u] {
-                    seen[u] = true;
+                if s.visit_node(u) {
                     parent[u] = Some((v, e));
-                    queue.push_back(u);
+                    depth[u] = depth[v] + 1;
+                    s.queue.push(u);
                 }
             }
         }
-        Self::from_parents(g, parent)
+        Self::from_traversal(parent, depth)
     }
 
     /// DFS spanning tree of the connected component of `root`.
     pub fn dfs_spanning_tree(g: &Graph, root: NodeId) -> Self {
+        with_thread_scratch(|s| Self::dfs_spanning_tree_with(g, root, s))
+    }
+
+    /// [`Self::dfs_spanning_tree`] with an explicit scratch.
+    pub fn dfs_spanning_tree_with(g: &Graph, root: NodeId, s: &mut TraversalScratch) -> Self {
         let mut parent = vec![None; g.n()];
-        let mut seen = vec![false; g.n()];
-        let mut stack = vec![root];
-        seen[root] = true;
-        while let Some(v) = stack.pop() {
+        let mut depth = vec![0usize; g.n()];
+        s.begin_nodes(g.n());
+        s.visit_node(root);
+        s.queue.clear();
+        s.queue.push(root);
+        while let Some(v) = s.queue.pop() {
             for &(u, e) in g.neighbors(v).iter().rev() {
-                if !seen[u] {
-                    seen[u] = true;
+                if s.visit_node(u) {
                     parent[u] = Some((v, e));
-                    stack.push(u);
+                    depth[u] = depth[v] + 1;
+                    s.queue.push(u);
                 }
             }
         }
-        Self::from_parents(g, parent)
+        Self::from_traversal(parent, depth)
     }
 
     /// A forest representing a rooted path `nodes[0] -> nodes[1] -> ...`

@@ -1,0 +1,71 @@
+//! Allocation steady-state: after one warm-up pass, traversals and the
+//! left-right planarity test on a warm [`TraversalScratch`] perform zero
+//! heap allocations.
+//!
+//! A counting `#[global_allocator]` wrapper tallies every allocation in
+//! the process, so this file holds exactly ONE `#[test]`: a second test
+//! running concurrently would bleed its allocations into the counter.
+
+use pdip_graph::gen::planar::random_planar;
+use pdip_graph::{is_planar_with, TraversalScratch};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn warm_traversals_do_not_allocate() {
+    let mut rng = SmallRng::seed_from_u64(42);
+    let inst = random_planar(500, 0.5, &mut rng);
+    let g = inst.graph;
+    g.freeze(); // materialize the CSR rows outside the measured region
+
+    let mut scratch = TraversalScratch::new();
+    let mut order = Vec::new();
+
+    // Warm-up: every buffer grows to its high-water mark here.
+    scratch.bfs_order_into(&g, 0, &mut order);
+    scratch.dfs_order_into(&g, 0, &mut order);
+    assert!(is_planar_with(&g, &mut scratch));
+
+    // Steady state: the same traversals must not touch the heap.
+    let before = allocations();
+    scratch.bfs_order_into(&g, 0, &mut order);
+    assert_eq!(order.len(), g.n());
+    scratch.dfs_order_into(&g, 0, &mut order);
+    assert_eq!(order.len(), g.n());
+    assert!(is_planar_with(&g, &mut scratch));
+    let delta = allocations() - before;
+
+    assert_eq!(
+        delta, 0,
+        "warm BFS + DFS + LR planarity must be allocation-free, saw {delta} allocations"
+    );
+}

@@ -1,0 +1,130 @@
+//! Differential tests: the frozen-CSR [`Graph`] agrees with the retained
+//! naive `Vec<Vec<_>>` adjacency ([`NaiveAdjacency`]) on every accessor,
+//! for random build/query interleavings — including queries before the
+//! first freeze, after it, and after a post-freeze mutation thaws the
+//! rows — and the left-right planarity tester agrees with the
+//! rotation-system brute force on every small random graph.
+
+use pdip_graph::{is_planar, is_planar_bruteforce, Graph, NaiveAdjacency};
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Compares every accessor of `g` and `naive` over the whole node grid.
+fn assert_agree(g: &Graph, naive: &NaiveAdjacency) {
+    assert_eq!(g.n(), naive.n());
+    assert_eq!(g.m(), naive.m());
+    assert_eq!(g.edges(), naive.edges());
+    for v in 0..g.n() {
+        assert_eq!(g.degree(v), naive.degree(v), "degree of {v}");
+        assert_eq!(g.neighbors(v), naive.neighbors(v), "neighbors of {v}");
+        assert_eq!(
+            g.incident_edges(v).collect::<Vec<_>>(),
+            naive.incident_edges(v).collect::<Vec<_>>(),
+            "incident edges of {v}"
+        );
+        for u in 0..g.n() {
+            assert_eq!(g.edge_between(v, u), naive.edge_between(v, u), "edge ({v},{u})");
+            assert_eq!(g.has_edge(v, u), naive.has_edge(v, u), "adjacency ({v},{u})");
+        }
+    }
+}
+
+proptest! {
+    /// Random edge subsets with query points before freezing, after
+    /// freezing, and after a mutation that invalidates the frozen rows.
+    #[test]
+    fn csr_matches_naive_through_freeze_thaw(
+        n in 2usize..24,
+        picks in prop::collection::vec(0usize..24 * 24, 0..80),
+        extra in prop::collection::vec(0usize..30 * 30, 0..10),
+    ) {
+        let mut g = Graph::new(n);
+        let mut naive = NaiveAdjacency::new(n);
+        for &pick in &picks {
+            let (u, v) = (pick / 24 % n, pick % 24 % n);
+            // Mirror the mid-build has_edge probe generators rely on;
+            // it must not disagree with (or freeze out) later add_edge.
+            prop_assert_eq!(g.has_edge(u, v), naive.has_edge(u, v));
+            if u != v && !g.has_edge(u, v) {
+                prop_assert_eq!(g.add_edge(u, v), naive.add_edge(u, v));
+            }
+        }
+        assert_agree(&g, &naive);
+
+        g.freeze();
+        prop_assert!(g.is_frozen());
+        assert_agree(&g, &naive);
+
+        // Post-freeze mutation: rows must rebuild, not go stale.
+        let w = g.add_node();
+        prop_assert_eq!(naive.add_node(), w);
+        prop_assert!(!g.is_frozen());
+        for &pick in &extra {
+            let (u, v) = (pick / 30 % g.n(), pick % 30 % g.n());
+            if u != v && !g.has_edge(u, v) {
+                prop_assert_eq!(g.add_edge(u, v), naive.add_edge(u, v));
+            }
+        }
+        assert_agree(&g, &naive);
+    }
+
+    /// The left-right tester agrees with the rotation-system brute force
+    /// on every small graph whose search space is tractable.
+    #[test]
+    fn lr_planarity_matches_bruteforce(
+        n in 1usize..=8,
+        picks in prop::collection::vec(0usize..8 * 8, 0..20),
+    ) {
+        let mut g = Graph::new(n);
+        for &pick in &picks {
+            let (u, v) = (pick / 8 % n, pick % 8 % n);
+            if u != v && !g.has_edge(u, v) {
+                g.add_edge(u, v);
+            }
+        }
+        // ∏_v (deg(v) − 1)! rotation systems; skip (as an assume would)
+        // the rare dense case where the brute force would be slow.
+        let space: f64 = (0..n)
+            .map(|v| (1..g.degree(v).max(1)).map(|k| k as f64).product::<f64>())
+            .product();
+        if space > 1e6 {
+            return Ok(());
+        }
+        prop_assert_eq!(is_planar(&g), is_planar_bruteforce(&g));
+    }
+}
+
+#[test]
+fn both_reject_self_loops_and_parallel_edges() {
+    for (u, v, prebuild) in [(1usize, 1usize, false), (0, 1, true)] {
+        let graph_panic = catch_unwind(AssertUnwindSafe(|| {
+            let mut g = Graph::new(3);
+            if prebuild {
+                g.add_edge(u, v);
+            }
+            g.add_edge(u, v);
+        }))
+        .is_err();
+        let naive_panic = catch_unwind(AssertUnwindSafe(|| {
+            let mut a = NaiveAdjacency::new(3);
+            if prebuild {
+                a.add_edge(u, v);
+            }
+            a.add_edge(u, v);
+        }))
+        .is_err();
+        assert!(graph_panic, "Graph must reject ({u},{v}) prebuild={prebuild}");
+        assert!(naive_panic, "NaiveAdjacency must reject ({u},{v}) prebuild={prebuild}");
+    }
+}
+
+#[test]
+fn frozen_parallel_edge_rejection_survives_freeze() {
+    // The duplicate check must consult current adjacency even when the
+    // query path would otherwise serve frozen rows.
+    let mut g = Graph::new(3);
+    g.add_edge(0, 1);
+    g.freeze();
+    let dup = catch_unwind(AssertUnwindSafe(move || g.add_edge(0, 1)));
+    assert!(dup.is_err(), "parallel edge after freeze must still panic");
+}

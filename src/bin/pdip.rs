@@ -9,6 +9,7 @@
 //! pdip sweep [--families a,b,..] [--n-from N] [--n-to N] [--trials T]
 //!            [--threads K] [--seed S] [--honest-only] [--out PATH]
 //! pdip bench-hotpath [--out PATH]
+//! pdip bench-graph [--smoke] [--out PATH]
 //! ```
 
 use pdip_bench::{no_instance, Family, YesInstance, FAMILIES};
@@ -23,7 +24,8 @@ fn usage() -> ! {
          pdip soundness <family> [--n N] [--trials T]\n  \
          pdip sweep [--families a,b,..] [--n-from N] [--n-to N] [--trials T] [--threads K] \
          [--seed S] [--honest-only] [--out PATH]\n  \
-         pdip bench-hotpath [--out PATH]\n\nfamilies: {}",
+         pdip bench-hotpath [--out PATH]\n  \
+         pdip bench-graph [--smoke] [--out PATH]\n\nfamilies: {}",
         FAMILIES.iter().map(|f| f.name()).collect::<Vec<_>>().join(", ")
     );
     std::process::exit(2)
@@ -229,6 +231,45 @@ fn main() {
             }
             let p = planarity_dip::field::smallest_prime_above(1 << 20);
             let doc = pdip_bench::hotpath::hotpath_json(p, &entries);
+            let path = std::path::Path::new(&out);
+            if let Some(dir) = path.parent() {
+                std::fs::create_dir_all(dir).expect("creating results dir");
+            }
+            std::fs::write(path, doc).expect("writing bench snapshot");
+            println!("\nwrote {}", path.display());
+        }
+        "bench-graph" => {
+            let out =
+                flag_value(&args, "--out").unwrap_or_else(|| "results/bench_graph.json".into());
+            let smoke = args.iter().any(|a| a == "--smoke");
+            let cfg = if smoke {
+                pdip_bench::graphbench::GraphBenchConfig::smoke()
+            } else {
+                pdip_bench::graphbench::GraphBenchConfig::full()
+            };
+            println!(
+                "graph-substrate benchmarks ({}; frozen CSR + warm scratch vs legacy shape):\n",
+                if smoke { "smoke" } else { "full" }
+            );
+            let entries = pdip_bench::graphbench::run_graphbench(&cfg);
+            println!(
+                "{:<24} {:>10} {:>14} {:>14} {:>9}",
+                "benchmark", "n", "baseline ns", "fast ns", "speedup"
+            );
+            for e in &entries {
+                println!(
+                    "{:<24} {:>10} {:>14.1} {:>14.1} {:>8.2}x",
+                    e.name,
+                    e.n,
+                    e.baseline_ns,
+                    e.fast_ns,
+                    e.speedup()
+                );
+            }
+            let doc = pdip_bench::graphbench::graphbench_json(
+                if smoke { "smoke" } else { "full" },
+                &entries,
+            );
             let path = std::path::Path::new(&out);
             if let Some(dir) = path.parent() {
                 std::fs::create_dir_all(dir).expect("creating results dir");

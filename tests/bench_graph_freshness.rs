@@ -1,0 +1,36 @@
+//! Freshness guard for the committed `results/bench_graph.json`.
+//!
+//! Timings are machine-dependent, so unlike the E3 guard this does not
+//! re-run the measurements; it checks that the committed document still
+//! parses under the current schema (writer and parser live together in
+//! `pdip_bench::graphbench`, so drift in either fails here), that it is a
+//! full-grid run covering every benchmark at every acceptance-criterion
+//! size, and that it still witnesses the ≥ 2× speedup the graph-substrate
+//! overhaul claims.
+
+use pdip_bench::graphbench::parse_graphbench_json;
+
+#[test]
+fn committed_bench_graph_snapshot_parses_and_covers_the_grid() {
+    let doc =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/results/bench_graph.json"))
+            .expect("results/bench_graph.json must be committed");
+    let entries = parse_graphbench_json(&doc).expect("committed snapshot must parse");
+
+    assert!(doc.contains("\"mode\": \"full\""), "committed snapshot must be a full run");
+    for name in ["is_planar", "biconnected", "spanning_forest", "planarity_round"] {
+        for n in [1_000usize, 10_000, 100_000] {
+            assert!(
+                entries.iter().any(|(en, nn, _, _)| en == name && *nn == n),
+                "missing entry {name} at n = {n}"
+            );
+        }
+    }
+    assert!(
+        entries.iter().any(|(name, _, _, _)| name == "edge_between_dense"),
+        "missing the edge_between micro-benchmark"
+    );
+    let best =
+        entries.iter().map(|(_, _, base, fast)| base / fast).fold(f64::NEG_INFINITY, f64::max);
+    assert!(best >= 2.0, "committed snapshot must witness a >= 2x speedup, best is {best:.2}x");
+}

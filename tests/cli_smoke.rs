@@ -74,6 +74,28 @@ fn sweep_writes_deterministic_outputs() {
 }
 
 #[test]
+fn bench_graph_smoke_writes_parseable_snapshot() {
+    let out_path = std::env::temp_dir().join("pdip_bench_graph_smoke.json");
+    let out = pdip()
+        .args(["bench-graph", "--smoke", "--out"])
+        .arg(&out_path)
+        .output()
+        .expect("run pdip bench-graph");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in
+        ["edge_between_dense", "is_planar", "biconnected", "spanning_forest", "planarity_round"]
+    {
+        assert!(text.contains(name), "missing {name} in: {text}");
+    }
+    let doc = std::fs::read_to_string(&out_path).expect("bench-graph snapshot");
+    let entries = pdip_bench::graphbench::parse_graphbench_json(&doc).expect("snapshot parses");
+    assert!(entries.len() >= 5, "expected all five benchmarks, got {}", entries.len());
+    assert!(doc.contains("\"mode\": \"smoke\""));
+    let _ = std::fs::remove_file(out_path);
+}
+
+#[test]
 fn size_sweep_prints_rows() {
     let out = pdip()
         .args(["size", "treewidth-2", "--from", "6", "--to", "8"])
