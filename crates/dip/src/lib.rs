@@ -23,6 +23,6 @@ pub mod protocol;
 pub mod transcript;
 
 pub use bits::{bits_for_domain, bits_for_max, Tag};
-pub use outcome::{Rejections, RunResult, Verdict};
+pub use outcome::{RejectReason, Rejections, RunResult, Verdict};
 pub use protocol::{acceptance_rate, DipProtocol};
 pub use transcript::{neighbor_labels, LabelRound, RoundKind, SizeStats};

@@ -29,6 +29,28 @@ impl Verdict {
     }
 }
 
+/// Classifies *why* a node rejected, so soundness audits can tell a
+/// structural catch from a coin-dependent one.
+///
+/// A chaos/fault-injection sweep replays thousands of corrupted
+/// transcripts; when a run accepts, the audit needs to know whether the
+/// corruption class is one the verifier catches deterministically (then
+/// an accept is a bug) or one caught only with probability ≥ 1 − ε over
+/// the verifier's coins (then an accept is a soundness coin-flip miss,
+/// budgeted by the theorem).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RejectReason {
+    /// A structural invariant was violated: malformed or truncated input,
+    /// an out-of-range index, an edge that does not exist, an
+    /// inconsistent commitment. Detection does not depend on the coins —
+    /// re-running the same corrupted transcript rejects again.
+    Malformed,
+    /// A randomized check fired. Detection holds with probability
+    /// ≥ 1 − ε over the verifier's coins per the protocol's soundness
+    /// theorem, so the same corruption may survive another coin draw.
+    Probabilistic,
+}
+
 /// The outcome of one protocol run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -39,23 +61,44 @@ pub struct RunResult {
     /// Nodes that output 'no' (empty on accept), with a human-readable
     /// reason for the first few — invaluable when debugging soundness.
     pub rejections: Vec<(NodeId, String)>,
+    /// The [`RejectReason`] of each entry in `rejections` (parallel
+    /// vector, same length).
+    pub kinds: Vec<RejectReason>,
 }
 
 impl RunResult {
     /// An accepting result.
     pub fn accept(stats: SizeStats) -> Self {
-        RunResult { verdict: Verdict::Accept, stats, rejections: Vec::new() }
+        RunResult { verdict: Verdict::Accept, stats, rejections: Vec::new(), kinds: Vec::new() }
     }
 
-    /// A rejecting result with the recorded per-node reasons.
+    /// A rejecting result with the recorded per-node reasons; reasons are
+    /// classified [`RejectReason::Probabilistic`] (the conservative
+    /// default — deterministic detection must be claimed explicitly via
+    /// [`Rejections::reject_malformed`]).
     pub fn reject(stats: SizeStats, rejections: Vec<(NodeId, String)>) -> Self {
         debug_assert!(!rejections.is_empty());
-        RunResult { verdict: Verdict::Reject, stats, rejections }
+        let kinds = vec![RejectReason::Probabilistic; rejections.len()];
+        RunResult { verdict: Verdict::Reject, stats, rejections, kinds }
     }
 
     /// Whether the run accepted.
     pub fn accepted(&self) -> bool {
         self.verdict.accepted()
+    }
+
+    /// Whether any rejection is a deterministic structural catch.
+    pub fn caught_malformed(&self) -> bool {
+        self.kinds.contains(&RejectReason::Malformed)
+    }
+
+    /// The rejection entries with their classification, in recording
+    /// order: `(node, reason, kind)`.
+    pub fn classified_rejections(&self) -> impl Iterator<Item = (NodeId, &str, RejectReason)> {
+        self.rejections
+            .iter()
+            .zip(self.kinds.iter())
+            .map(|((v, reason), kind)| (*v, reason.as_str(), *kind))
     }
 }
 
@@ -63,7 +106,13 @@ impl RunResult {
 #[derive(Debug, Default, Clone)]
 pub struct Rejections {
     items: Vec<(NodeId, String)>,
+    kinds: Vec<RejectReason>,
+    /// Count of recorded (non-elided, non-duplicate) rejections.
+    recorded: usize,
 }
+
+/// Cap on stored reasons; beyond it one elision marker is kept.
+const REASON_CAP: usize = 16;
 
 impl Rejections {
     /// Creates an empty collector.
@@ -71,14 +120,51 @@ impl Rejections {
         Self::default()
     }
 
-    /// Records that node `v` rejects for `reason` (reasons beyond the
-    /// first 16 are dropped to bound memory).
-    pub fn reject(&mut self, v: NodeId, reason: impl Into<String>) {
-        if self.items.len() < 16 {
-            self.items.push((v, reason.into()));
-        } else if self.items.len() == 16 {
-            self.items.push((v, "... further rejections elided".into()));
+    /// Records that node `v` rejects for `reason`, classified `kind`.
+    ///
+    /// Duplicate `(node, reason)` pairs are recorded once: a node that
+    /// trips the same check in several rounds still counts as a single
+    /// rejection, so audits and stats are not double-counted (a repeat
+    /// with a *stronger* kind upgrades the stored classification).
+    /// Reasons beyond the first 16 distinct ones are dropped to bound
+    /// memory.
+    pub fn reject_as(&mut self, v: NodeId, kind: RejectReason, reason: impl Into<String>) {
+        let reason = reason.into();
+        if let Some(i) = self.items.iter().position(|(u, r)| *u == v && *r == reason) {
+            if kind < self.kinds[i] {
+                self.kinds[i] = kind;
+            }
+            return;
         }
+        if self.items.len() < REASON_CAP {
+            self.items.push((v, reason));
+            self.kinds.push(kind);
+            self.recorded += 1;
+        } else if self.items.len() == REASON_CAP {
+            self.items.push((v, "... further rejections elided".into()));
+            self.kinds.push(kind);
+            self.recorded += 1;
+        } else {
+            // Elided, but still classified (a Malformed catch past the
+            // cap must not vanish from the audit).
+            let last = self.kinds.len() - 1;
+            if kind < self.kinds[last] {
+                self.kinds[last] = kind;
+            }
+            self.recorded += 1;
+        }
+    }
+
+    /// Records a coin-dependent rejection (see [`Rejections::reject_as`]
+    /// for dedup and capping).
+    pub fn reject(&mut self, v: NodeId, reason: impl Into<String>) {
+        self.reject_as(v, RejectReason::Probabilistic, reason);
+    }
+
+    /// Records a deterministic structural rejection: the input is
+    /// malformed in a way every coin draw detects.
+    pub fn reject_malformed(&mut self, v: NodeId, reason: impl Into<String>) {
+        self.reject_as(v, RejectReason::Malformed, reason);
     }
 
     /// Convenience: reject unless `cond` holds.
@@ -88,9 +174,32 @@ impl Rejections {
         }
     }
 
+    /// Convenience: structural variant of [`Rejections::check`].
+    pub fn check_malformed(&mut self, v: NodeId, cond: bool, reason: impl Fn() -> String) {
+        if !cond {
+            self.reject_malformed(v, reason());
+        }
+    }
+
     /// Whether any node rejected.
     pub fn any(&self) -> bool {
         !self.items.is_empty()
+    }
+
+    /// The number of *distinct* recorded rejections (duplicates from the
+    /// same node with the same reason count once; elided entries count).
+    pub fn len(&self) -> usize {
+        self.recorded
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.recorded == 0
+    }
+
+    /// Whether any recorded rejection is a deterministic structural one.
+    pub fn any_malformed(&self) -> bool {
+        self.kinds.contains(&RejectReason::Malformed)
     }
 
     /// Finalizes into a [`RunResult`].
@@ -98,7 +207,8 @@ impl Rejections {
         if self.items.is_empty() {
             RunResult::accept(stats)
         } else {
-            RunResult::reject(stats, self.items)
+            debug_assert_eq!(self.items.len(), self.kinds.len());
+            RunResult { verdict: Verdict::Reject, stats, rejections: self.items, kinds: self.kinds }
         }
     }
 }
@@ -133,5 +243,53 @@ mod tests {
             r.reject(v, "x");
         }
         assert!(r.items.len() <= 17);
+        assert_eq!(r.len(), 100, "capped entries still count");
+    }
+
+    #[test]
+    fn duplicate_rejections_count_once() {
+        let mut r = Rejections::new();
+        for _round in 0..5 {
+            r.reject(7, "depth residue mismatch");
+        }
+        assert!(r.any());
+        assert_eq!(r.len(), 1, "same node + same reason must not double-count");
+        // A different reason on the same node is a distinct rejection...
+        r.reject(7, "arity mismatch");
+        assert_eq!(r.len(), 2);
+        // ...and the same reason on a different node too.
+        r.reject(8, "depth residue mismatch");
+        assert_eq!(r.len(), 3);
+        let res = r.into_result(SizeStats::default());
+        assert_eq!(res.rejections.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_upgrades_to_malformed() {
+        let mut r = Rejections::new();
+        r.reject(3, "bad arc");
+        assert!(!r.any_malformed());
+        // A structural repeat of the same finding upgrades its class.
+        r.reject_malformed(3, "bad arc");
+        assert!(r.any_malformed());
+        assert_eq!(r.len(), 1);
+        let res = r.into_result(SizeStats::default());
+        assert!(res.caught_malformed());
+        assert_eq!(res.classified_rejections().count(), 1);
+    }
+
+    #[test]
+    fn malformed_kind_survives_elision() {
+        let mut r = Rejections::new();
+        for v in 0..30 {
+            r.reject(v, "coin miss");
+        }
+        // Past the cap: the entry is elided but the class is kept.
+        r.reject_malformed(40, "truncated label");
+        assert!(r.any_malformed());
+        assert_eq!(r.len(), 31);
+        let res = r.into_result(SizeStats::default());
+        assert!(res.caught_malformed());
+        assert_eq!(res.rejections.len(), res.kinds.len());
     }
 }

@@ -1,0 +1,141 @@
+//! `pdip-chaos` — seed-driven adversarial fault injection (experiment E9).
+//!
+//! The paper's soundness theorems promise that *any* deviation from an
+//! honest transcript is rejected by some node except with probability
+//! ε = 1/polylog n. This module audits that promise mechanically: a small
+//! taxonomy of composable, SplitMix64-seeded corruptions ([`MutatorKind`])
+//! is applied — through one uniform [`Tamperable`] interface — to the
+//! transcripts and committed witnesses of every sub-protocol and derived
+//! protocol in the repository, and each corrupted run is classified as
+//!
+//! * **detected** — some node rejected (structurally
+//!   [`pdip_core::RejectReason::Malformed`] or via a value check),
+//! * **miss** — every node accepted corrupted state: a soundness
+//!   coin-flip miss, which must stay within the ε budget, or
+//! * **unchanged** — the mutation was a semantic no-op (e.g. swapping two
+//!   equal labels, or a witness rotation that is still a valid witness);
+//!   such runs are excluded from detection rates.
+//!
+//! Corruption classes are calibrated as deterministic (the verifier's
+//! structural checks catch them on every coin sequence; required
+//! detection rate 1.0) or probabilistic (caught up to the protocol's
+//! soundness error; required rate ≥ 1 − ε). The [`harness`] sweeps the
+//! target × mutator × seed grid on a deterministic parallel runner —
+//! byte-identical output for any thread count — and renders the E9
+//! report. Zero panics is part of the contract: every run is wrapped in
+//! `catch_unwind`, and a panicking verifier is a failed audit, not noise.
+
+pub mod harness;
+pub mod mutate;
+pub mod targets;
+
+pub use harness::{run_chaos, ChaosOutcome, ChaosRecord, ChaosReport, ChaosSpec};
+pub use mutate::Mutator;
+pub use targets::{build_target, TargetId, TARGETS};
+
+/// The corruption taxonomy. Each kind is a *family* of corruptions; the
+/// concrete victim, bit position or replacement value is drawn from the
+/// job's [`Mutator`] stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MutatorKind {
+    /// Flip one bit of one committed field element / color / residue.
+    BitFlip,
+    /// Swap the complete labels of two nodes.
+    LabelSwap,
+    /// Truncate a committed structure (drop trailing labels / path nodes).
+    Truncate,
+    /// Replay prover responses computed against stale verifier coins.
+    StaleCoins,
+    /// Re-root: flip a root flag or rotate a committed witness path.
+    ReRoot,
+    /// Write an out-of-range port / tag / index value.
+    OutOfRange,
+    /// Off-by-one a depth residue, block index or aggregate value.
+    DepthOffByOne,
+}
+
+/// All mutator kinds, in report order.
+pub const MUTATORS: [MutatorKind; 7] = [
+    MutatorKind::BitFlip,
+    MutatorKind::LabelSwap,
+    MutatorKind::Truncate,
+    MutatorKind::StaleCoins,
+    MutatorKind::ReRoot,
+    MutatorKind::OutOfRange,
+    MutatorKind::DepthOffByOne,
+];
+
+impl MutatorKind {
+    /// Machine-readable name (stable: part of the E9 schema).
+    pub fn name(&self) -> &'static str {
+        match self {
+            MutatorKind::BitFlip => "bit-flip",
+            MutatorKind::LabelSwap => "label-swap",
+            MutatorKind::Truncate => "truncate",
+            MutatorKind::StaleCoins => "stale-coins",
+            MutatorKind::ReRoot => "re-root",
+            MutatorKind::OutOfRange => "out-of-range",
+            MutatorKind::DepthOffByOne => "depth-off-by-one",
+        }
+    }
+
+    /// Inverse of [`MutatorKind::name`].
+    pub fn from_name(s: &str) -> Option<MutatorKind> {
+        MUTATORS.iter().copied().find(|k| k.name() == s)
+    }
+}
+
+/// Whether a corruption class is caught by structural checks on every
+/// coin sequence, or only up to the protocol's soundness error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Determinism {
+    /// Detection is coin-independent; the audit requires rate 1.0.
+    Deterministic,
+    /// Detection holds up to ε; the audit requires rate ≥ 1 − ε.
+    Probabilistic,
+}
+
+impl Determinism {
+    /// Report label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Determinism::Deterministic => "deterministic",
+            Determinism::Probabilistic => "probabilistic",
+        }
+    }
+}
+
+/// The outcome of one corrupted run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TamperOutcome {
+    /// At least one node rejected. `malformed` records whether any
+    /// rejection was structural ([`pdip_core::RejectReason::Malformed`]).
+    Detected {
+        /// Whether a structural (coin-independent) check fired.
+        malformed: bool,
+    },
+    /// Every node accepted the corrupted state: a soundness miss.
+    Miss,
+    /// The mutation was a semantic no-op; excluded from detection rates.
+    Unchanged,
+}
+
+/// One corruptible protocol surface: an instance plus the machinery to
+/// corrupt one run of it. Implementations cover the Lemma 2.3/2.5/2.6
+/// primitives, the §3–5 LR-sorting core, and the six Theorem 1.2–1.7
+/// protocols (see [`targets`]).
+pub trait Tamperable {
+    /// Stable machine-readable name (part of the E9 schema).
+    fn target_name(&self) -> &'static str;
+
+    /// Whether `kind` is meaningful for this target's label structure.
+    fn supports(&self, kind: MutatorKind) -> bool;
+
+    /// The calibrated detection class of `kind` on this target.
+    fn determinism(&self, kind: MutatorKind) -> Determinism;
+
+    /// Runs one honest execution, corrupts it according to `kind` with
+    /// choices drawn from the `seed`-keyed [`Mutator`] stream, and
+    /// re-runs the verifier on the corrupted state.
+    fn run_mutated(&self, kind: MutatorKind, seed: u64) -> TamperOutcome;
+}

@@ -40,6 +40,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod family;
 pub mod pool;
 pub mod record;
@@ -48,9 +49,15 @@ pub mod seed;
 pub mod sink;
 pub mod spec;
 
+pub use chaos::{
+    build_target, run_chaos, ChaosOutcome, ChaosRecord, ChaosReport, ChaosSpec, Determinism,
+    MutatorKind, TamperOutcome, Tamperable, TargetId, MUTATORS, TARGETS,
+};
 pub use family::{no_instance, no_instance_with, Family, YesInstance, FAMILIES};
 pub use pool::{execute_job, execute_job_with, Engine, WorkerScratch};
-pub use record::{CellAgg, CellKey, JobFailure, RunRecord, SweepMetrics, SweepOutcome};
+pub use record::{
+    CellAgg, CellKey, FailureKind, JobFailure, RunRecord, SweepMetrics, SweepOutcome,
+};
 pub use report::print_table;
 pub use seed::{job_seed, splitmix_finalize, sub_seed};
 pub use sink::{aggregate_json, records_csv, write_outputs};

@@ -8,7 +8,7 @@
 //! from them — are byte-identical for any worker count.
 
 use crate::family::{no_instance_with, Family, YesInstance};
-use crate::record::{JobFailure, RunRecord, SweepMetrics, SweepOutcome};
+use crate::record::{FailureKind, JobFailure, RunRecord, SweepMetrics, SweepOutcome};
 use crate::seed::{labels, sub_seed};
 use crate::spec::{JobSpec, Prover, SweepSpec};
 use pdip_graph::TraversalScratch;
@@ -164,9 +164,17 @@ impl Engine {
 
         records.sort_by_key(|r| r.index);
         failures.sort_by_key(|f| f.index);
+        let quarantined =
+            failures.iter().filter(|f| f.kind == FailureKind::Panicked).count() as u64;
+        let timed_out = failures.iter().filter(|f| f.kind == FailureKind::TimedOut).count() as u64;
+        let retries = records.iter().map(|r| (r.attempts - 1) as u64).sum::<u64>()
+            + failures.iter().map(|f| (f.attempts - 1) as u64).sum::<u64>();
         let metrics = SweepMetrics {
             jobs: (records.len() + failures.len()) as u64,
             failures: failures.len() as u64,
+            quarantined,
+            timed_out,
+            retries,
             threads,
             wall: start.elapsed(),
         };
@@ -190,6 +198,12 @@ pub fn execute_job(spec: &SweepSpec, job: &JobSpec) -> Result<RunRecord, JobFail
 /// while a deterministic panic exhausts its attempts and is quarantined.
 /// The attempt sequence depends only on the job, never on scheduling or
 /// on the scratch contents.
+///
+/// A completed run whose wall time exceeds the spec's
+/// [`SweepSpec::job_deadline`] watchdog is quarantined as
+/// [`FailureKind::TimedOut`] instead of entering the record stream; a
+/// timeout is terminal (never retried), because re-running a structurally
+/// slow job only stalls the pool again.
 pub fn execute_job_with(
     spec: &SweepSpec,
     job: &JobSpec,
@@ -204,7 +218,31 @@ pub fn execute_job_with(
             sub_seed(sub_seed(job.run_seed, labels::RETRY), attempt as u64)
         };
         match catch_unwind(AssertUnwindSafe(|| run_once(spec, job, run_seed, scratch))) {
-            Ok(record) => return Ok(record),
+            Ok(mut record) => {
+                record.attempts = attempt;
+                if let Some(deadline) = spec.job_deadline {
+                    if record.wall > deadline {
+                        let c = &job.coords;
+                        return Err(JobFailure {
+                            index: c.index,
+                            family: c.family,
+                            n: c.n,
+                            prover: c.prover,
+                            trial: c.trial,
+                            attempts: attempt,
+                            kind: FailureKind::TimedOut,
+                            // The measured wall time stays out of the
+                            // payload: failures feed the deterministic
+                            // JSON sink, which must not carry timings.
+                            payload: format!(
+                                "watchdog: exceeded the {:.3}s job deadline",
+                                deadline.as_secs_f64()
+                            ),
+                        });
+                    }
+                }
+                return Ok(record);
+            }
             Err(payload) => {
                 if attempt > spec.max_retries {
                     let c = &job.coords;
@@ -215,6 +253,7 @@ pub fn execute_job_with(
                         prover: c.prover,
                         trial: c.trial,
                         attempts: attempt,
+                        kind: FailureKind::Panicked,
                         payload: payload_string(payload),
                     });
                 }
@@ -270,7 +309,7 @@ fn payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
 /// panics don't spray backtrace noise over sweep output. Re-entrant
 /// across concurrently running engines; the previous hook is restored
 /// when the last engine finishes.
-struct PanicSilencer;
+pub(crate) struct PanicSilencer;
 
 type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Send + Sync>;
 
@@ -282,7 +321,7 @@ struct SilenceState {
 static SILENCE: Mutex<SilenceState> = Mutex::new(SilenceState { depth: 0, saved: None });
 
 impl PanicSilencer {
-    fn engage() -> PanicSilencer {
+    pub(crate) fn engage() -> PanicSilencer {
         let mut st = SILENCE.lock().expect("panic-hook state poisoned");
         if st.depth == 0 {
             st.saved = Some(std::panic::take_hook());
@@ -348,8 +387,51 @@ mod tests {
             assert_eq!(f.attempts, 2, "one attempt + one retry");
             assert!(f.payload.contains("injected panic"), "{}", f.payload);
             assert_eq!(f.prover, Prover::PanicInjection);
+            assert_eq!(f.kind, FailureKind::Panicked);
         }
         assert_eq!(outcome.metrics.failures, 2);
+        assert_eq!(outcome.metrics.quarantined, 2);
+        assert_eq!(outcome.metrics.timed_out, 0);
+        assert_eq!(outcome.metrics.retries, 2, "each panic job burned one retry");
+        assert!(outcome.metrics.summary_line().contains("2 quarantined"));
+    }
+
+    #[test]
+    fn watchdog_deadline_quarantines_slow_jobs_without_retry() {
+        use std::time::Duration;
+        // A zero-length deadline times out every job: the watchdog
+        // classifies completed runs post-hoc, so detection is exact.
+        let spec = SweepSpec { job_deadline: Some(Duration::ZERO), ..tiny_spec() };
+        let outcome = Engine::with_threads(2).run(&spec);
+        assert!(outcome.records.is_empty());
+        assert_eq!(outcome.failures.len(), 4);
+        for f in &outcome.failures {
+            assert_eq!(f.kind, FailureKind::TimedOut);
+            assert_eq!(f.attempts, 1, "timeouts must not be retried");
+            assert!(f.payload.contains("watchdog"), "{}", f.payload);
+        }
+        assert_eq!(outcome.metrics.timed_out, 4);
+        assert_eq!(outcome.metrics.quarantined, 0);
+        assert_eq!(outcome.metrics.retries, 0);
+        assert!(outcome.metrics.summary_line().contains("4 timed out"));
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        use std::time::Duration;
+        let lax = SweepSpec { job_deadline: Some(Duration::from_secs(3600)), ..tiny_spec() };
+        let outcome = Engine::with_threads(2).run(&lax);
+        assert_eq!(outcome.records.len(), 4);
+        assert!(outcome.failures.is_empty());
+        assert_eq!(outcome.metrics.timed_out, 0);
+        // Records under a generous deadline match the no-deadline run
+        // bit-for-bit on the deterministic surface.
+        let plain = Engine::with_threads(2).run(&tiny_spec());
+        let key = |r: &RunRecord| (r.index, r.accepted, r.proof_size_bits, r.run_seed);
+        assert_eq!(
+            outcome.records.iter().map(key).collect::<Vec<_>>(),
+            plain.records.iter().map(key).collect::<Vec<_>>(),
+        );
     }
 
     #[test]

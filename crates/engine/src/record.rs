@@ -39,6 +39,8 @@ pub struct RunRecord {
     pub rejections: Vec<(usize, String)>,
     /// Wall time of the run (excluded from deterministic aggregates).
     pub wall: Duration,
+    /// Attempts the job took to complete (1 = no retries).
+    pub attempts: u32,
 }
 
 impl RunRecord {
@@ -66,11 +68,34 @@ impl RunRecord {
             coin_bits: res.stats.coin_bits,
             rejections: res.rejections.clone(),
             wall,
+            attempts: 1,
         }
     }
 }
 
-/// A job that panicked through all its retries and was quarantined.
+/// Why a job was quarantined as a [`JobFailure`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The job panicked through all of its retries.
+    Panicked,
+    /// The job completed but its wall time exceeded the sweep's
+    /// [`crate::spec::SweepSpec::job_deadline`] watchdog (not retried:
+    /// a slow job would only get slower under contention).
+    TimedOut,
+}
+
+impl FailureKind {
+    /// Machine-readable name ("panicked" / "timed-out").
+    pub fn name(&self) -> &'static str {
+        match self {
+            FailureKind::Panicked => "panicked",
+            FailureKind::TimedOut => "timed-out",
+        }
+    }
+}
+
+/// A job that was quarantined: it panicked through all its retries, or
+/// blew through the sweep's per-job watchdog deadline.
 #[derive(Debug, Clone)]
 pub struct JobFailure {
     /// Grid index of the job.
@@ -85,7 +110,9 @@ pub struct JobFailure {
     pub trial: u64,
     /// Attempts made (1 + retries).
     pub attempts: u32,
-    /// The panic payload, stringified.
+    /// What went wrong (panic vs. watchdog timeout).
+    pub kind: FailureKind,
+    /// The panic payload or timeout description, stringified.
     pub payload: String,
 }
 
@@ -94,8 +121,14 @@ pub struct JobFailure {
 pub struct SweepMetrics {
     /// Jobs executed (completed + failed).
     pub jobs: u64,
-    /// Jobs quarantined as failures.
+    /// Jobs quarantined as failures (panicked + timed out).
     pub failures: u64,
+    /// Failures quarantined after panicking through their retries.
+    pub quarantined: u64,
+    /// Failures whose wall time exceeded the per-job deadline.
+    pub timed_out: u64,
+    /// Extra attempts beyond the first, summed over all jobs.
+    pub retries: u64,
     /// Worker threads used.
     pub threads: usize,
     /// End-to-end wall time of the sweep.
@@ -113,12 +146,18 @@ impl SweepMetrics {
         }
     }
 
-    /// The one-line summary the experiment binaries print.
+    /// The one-line summary the experiment binaries print. The failure
+    /// count is broken down into panic quarantines and watchdog
+    /// timeouts, and retry churn is surfaced alongside.
     pub fn summary_line(&self) -> String {
         format!(
-            "[engine] {} jobs, {} failures, {} threads, {:.2}s wall, {:.1} jobs/sec",
+            "[engine] {} jobs, {} failures ({} quarantined, {} timed out), \
+             {} retries, {} threads, {:.2}s wall, {:.1} jobs/sec",
             self.jobs,
             self.failures,
+            self.quarantined,
+            self.timed_out,
+            self.retries,
             self.threads,
             self.wall.as_secs_f64(),
             self.jobs_per_sec()
@@ -272,6 +311,7 @@ mod tests {
             coin_bits: 0,
             rejections: vec![],
             wall: Duration::from_millis(1),
+            attempts: 1,
         }
     }
 
@@ -290,11 +330,15 @@ mod tests {
                 prover: Prover::Cheat(0),
                 trial: 1,
                 attempts: 2,
+                kind: FailureKind::Panicked,
                 payload: "boom".into(),
             }],
             metrics: SweepMetrics {
                 jobs: 4,
                 failures: 1,
+                quarantined: 1,
+                timed_out: 0,
+                retries: 1,
                 threads: 1,
                 wall: Duration::from_millis(4),
             },
@@ -314,11 +358,28 @@ mod tests {
 
     #[test]
     fn metrics_summary_line_mentions_all_fields() {
-        let m = SweepMetrics { jobs: 100, failures: 2, threads: 4, wall: Duration::from_secs(2) };
+        let m = SweepMetrics {
+            jobs: 100,
+            failures: 2,
+            quarantined: 1,
+            timed_out: 1,
+            retries: 3,
+            threads: 4,
+            wall: Duration::from_secs(2),
+        };
         let line = m.summary_line();
         assert!(line.contains("100 jobs"));
         assert!(line.contains("2 failures"));
+        assert!(line.contains("1 quarantined"));
+        assert!(line.contains("1 timed out"));
+        assert!(line.contains("3 retries"));
         assert!(line.contains("4 threads"));
         assert!(line.contains("50.0 jobs/sec"));
+    }
+
+    #[test]
+    fn failure_kind_names_are_stable() {
+        assert_eq!(FailureKind::Panicked.name(), "panicked");
+        assert_eq!(FailureKind::TimedOut.name(), "timed-out");
     }
 }

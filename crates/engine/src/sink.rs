@@ -77,13 +77,14 @@ pub fn aggregate_json(spec: &SweepSpec, outcome: &SweepOutcome) -> String {
         .map(|f| {
             format!(
                 "    {{\"index\": {}, \"family\": \"{}\", \"prover\": \"{}\", \"n\": {}, \
-                 \"trial\": {}, \"attempts\": {}, \"payload\": \"{}\"}}",
+                 \"trial\": {}, \"attempts\": {}, \"kind\": \"{}\", \"payload\": \"{}\"}}",
                 f.index,
                 f.family.name(),
                 f.prover.tag(),
                 f.n,
                 f.trial,
                 f.attempts,
+                f.kind.name(),
                 json_escape(&f.payload),
             )
         })
@@ -98,7 +99,7 @@ pub fn aggregate_json(spec: &SweepSpec, outcome: &SweepOutcome) -> String {
 pub fn records_csv(outcome: &SweepOutcome) -> String {
     let mut s = String::from(
         "index,family,n,actual_n,prover,trial,gen_seed,run_seed,accepted,rounds,\
-         proof_size_bits,coin_bits,wall_micros,first_rejection\n",
+         proof_size_bits,coin_bits,attempts,wall_micros,first_rejection\n",
     );
     for r in &outcome.records {
         let first_rej = r
@@ -108,7 +109,7 @@ pub fn records_csv(outcome: &SweepOutcome) -> String {
             .unwrap_or_default();
         let _ = writeln!(
             s,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             r.index,
             r.family.name(),
             r.n,
@@ -121,6 +122,7 @@ pub fn records_csv(outcome: &SweepOutcome) -> String {
             r.rounds,
             r.proof_size_bits,
             r.coin_bits,
+            r.attempts,
             r.wall.as_micros(),
             csv_escape(&first_rej),
         );
@@ -180,7 +182,17 @@ mod tests {
         let b = aggregate_json(&spec, &Engine::with_threads(4).run(&spec));
         assert_eq!(a, b, "aggregate JSON must not depend on worker count");
         assert!(a.contains("\"quarantined\": 2"));
+        assert!(a.contains("\"kind\": \"panicked\""));
         assert!(a.contains("injected panic"));
+    }
+
+    #[test]
+    fn json_reports_timed_out_failures() {
+        use std::time::Duration;
+        let spec = SweepSpec { job_deadline: Some(Duration::ZERO), ..spec() };
+        let json = aggregate_json(&spec, &Engine::with_threads(1).run(&spec));
+        assert!(json.contains("\"kind\": \"timed-out\""));
+        assert!(json.contains("watchdog"));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::family::Family;
 use crate::seed::{job_seed, labels, sub_seed};
 use pdip_protocols::{PopParams, Transport};
+use std::time::Duration;
 
 /// A prover behaviour *requested* in a spec (may expand to several
 /// concrete [`Prover`]s per family).
@@ -113,6 +114,11 @@ pub struct SweepSpec {
     pub transport: Transport,
     /// Panic retries per job before it is quarantined as a failure.
     pub max_retries: u32,
+    /// Per-job watchdog: a completed job whose wall time exceeds this
+    /// deadline is quarantined as [`crate::record::FailureKind::TimedOut`]
+    /// instead of entering the record stream. Timeouts are never retried.
+    /// `None` (the default) disables the watchdog.
+    pub job_deadline: Option<Duration>,
 }
 
 impl Default for SweepSpec {
@@ -127,6 +133,7 @@ impl Default for SweepSpec {
             params: PopParams::default(),
             transport: Transport::Native,
             max_retries: 1,
+            job_deadline: None,
         }
     }
 }

@@ -67,6 +67,36 @@ fn parallel_and_serial_sweeps_produce_identical_records() {
     assert_eq!(aggregate_json(&spec, &serial), aggregate_json(&spec, &parallel));
 }
 
+/// The watchdog deadline degrades gracefully and deterministically: with
+/// a zero deadline every job is classified as a timeout (identically at
+/// any worker count), and the failure kinds survive into the JSON sink.
+#[test]
+fn watchdog_timeouts_are_deterministic_across_thread_counts() {
+    use pdip_engine::FailureKind;
+    use std::time::Duration;
+    let spec = SweepSpec { job_deadline: Some(Duration::ZERO), ..demo_spec() };
+    let serial = Engine::with_threads(1).run(&spec);
+    let parallel = Engine::with_threads(4).run(&spec);
+
+    assert!(serial.records.is_empty(), "zero deadline must time out every completed job");
+    assert_eq!(serial.failures.len(), parallel.failures.len());
+    for (a, b) in serial.failures.iter().zip(&parallel.failures) {
+        assert_eq!((a.index, a.kind, a.attempts), (b.index, b.kind, b.attempts));
+    }
+    // Injected panics keep their own kind; completed-but-slow jobs the
+    // watchdog's. Both counters land in the metrics split.
+    assert!(serial.failures.iter().any(|f| f.kind == FailureKind::Panicked));
+    assert!(serial.failures.iter().any(|f| f.kind == FailureKind::TimedOut));
+    assert_eq!(
+        serial.metrics.quarantined + serial.metrics.timed_out,
+        serial.metrics.failures,
+        "failure split must sum to the total"
+    );
+    assert_eq!(serial.metrics.quarantined, parallel.metrics.quarantined);
+    assert_eq!(serial.metrics.timed_out, parallel.metrics.timed_out);
+    assert_eq!(aggregate_json(&spec, &serial), aggregate_json(&spec, &parallel));
+}
+
 #[test]
 fn record_stream_is_sorted_in_grid_order() {
     let outcome = Engine::with_threads(4).run(&demo_spec());

@@ -36,19 +36,21 @@ impl<P: DipProtocol> Amplified<P> {
     fn combine(&self, runs: Vec<RunResult>) -> RunResult {
         let mut stats = SizeStats { rounds: runs[0].stats.rounds, ..Default::default() };
         let mut rejections = Vec::new();
+        let mut kinds = Vec::new();
         let mut verdict = Verdict::Accept;
         for (copy, r) in runs.into_iter().enumerate() {
             stats.merge_parallel(&r.stats);
             if !r.accepted() {
                 verdict = Verdict::Reject;
-                for (v, reason) in r.rejections {
+                for ((v, reason), kind) in r.rejections.into_iter().zip(r.kinds) {
                     if rejections.len() < 16 {
                         rejections.push((v, format!("copy {copy}: {reason}")));
+                        kinds.push(kind);
                     }
                 }
             }
         }
-        RunResult { verdict, stats, rejections }
+        RunResult { verdict, stats, rejections, kinds }
     }
 }
 

@@ -268,9 +268,9 @@ impl<'a> EmbeddedPlanarity<'a> {
             rounds: 5,
         };
         stats.merge_parallel(&own);
-        for (copy, reason) in res.rejections {
+        for ((copy, reason), kind) in res.rejections.into_iter().zip(res.kinds) {
             let orig = red.copy_of.get(copy).copied().unwrap_or(0);
-            rej.reject(orig, format!("emb/h: {reason}"));
+            rej.reject_as(orig, kind, format!("emb/h: {reason}"));
         }
         rej.into_result(stats)
     }

@@ -12,6 +12,8 @@
 //! The encoding is *communication only*: it does not certify that `F` is a
 //! spanning forest (that is Lemma 2.5, [`crate::spanning_tree`]).
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use pdip_core::bits_for_domain;
 use pdip_graph::degeneracy::greedy_coloring;
 use pdip_graph::{Graph, NodeId, RootedForest};
@@ -109,13 +111,15 @@ impl ForestCode {
 /// contraction in which the edge `(v, parent)` was contracted. Returns
 /// `None` for roots or malformed labelings (zero or multiple candidates).
 pub fn decode_parent(g: &Graph, labels: &[ForestCodeLabel], v: NodeId) -> Option<NodeId> {
-    let me = labels[v];
+    let me = *labels.get(v)?;
     if me.root {
         return None;
     }
     let mut found = None;
     for u in g.neighbor_nodes(v) {
-        let nb = labels[u];
+        let Some(nb) = labels.get(u).copied() else {
+            return None; // truncated labeling: malformed encoding
+        };
         if nb.odd == me.odd {
             continue;
         }
@@ -137,10 +141,14 @@ pub fn decode_parent(g: &Graph, labels: &[ForestCodeLabel], v: NodeId) -> Option
 /// matches. Symmetric to [`decode_parent`], so a consistent labeling makes
 /// `u ∈ children(v) ⇔ parent(u) = v` whenever `u`'s decode is unambiguous.
 pub fn decode_children(g: &Graph, labels: &[ForestCodeLabel], v: NodeId) -> Vec<NodeId> {
-    let me = labels[v];
+    let Some(me) = labels.get(v).copied() else {
+        return Vec::new();
+    };
     g.neighbor_nodes(v)
         .filter(|&u| {
-            let nb = labels[u];
+            let Some(nb) = labels.get(u).copied() else {
+                return false;
+            };
             if nb.odd == me.odd || nb.root {
                 return false;
             }
@@ -154,6 +162,7 @@ pub fn decode_children(g: &Graph, labels: &[ForestCodeLabel], v: NodeId) -> Vec<
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use pdip_graph::gen::planar::random_planar;

@@ -19,6 +19,8 @@
 //! while the interactive 5-round protocol achieves O(log log n) bits —
 //! randomized per-run names cannot be precomputed against.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::nesting::{self, NestingLabels};
 use pdip_core::{Rejections, Tag};
 use pdip_graph::{Graph, NodeId};
@@ -78,10 +80,18 @@ fn path_graph(n: usize) -> Graph {
 /// truncated position tags. Returns whether every node accepts.
 pub fn truncated_check(g: &Graph, labels: &NestingLabels, b: usize) -> bool {
     let n = g.n();
+    if n == 0 {
+        return true;
+    }
     let tags: Vec<Tag> = (0..n).map(|v| truncated_tag(v, b)).collect();
     let mut is_path_edge = vec![false; g.m()];
     for v in 0..n - 1 {
-        is_path_edge[g.edge_between(v, v + 1).expect("path edge")] = true;
+        // A malformed instance whose spine is not a path is rejected,
+        // never a panic.
+        match g.edge_between(v, v + 1) {
+            Some(e) => is_path_edge[e] = true,
+            None => return false,
+        }
     }
     let mut rej = Rejections::new();
     for v in 0..n {
@@ -114,8 +124,10 @@ pub fn truncated_labels(g: &Graph, b: usize) -> NestingLabels {
     let positions: Vec<usize> = (0..n).collect();
     let path: Vec<NodeId> = (0..n).collect();
     let mut is_path_edge = vec![false; g.m()];
-    for v in 0..n - 1 {
-        is_path_edge[g.edge_between(v, v + 1).unwrap()] = true;
+    for v in 0..n.saturating_sub(1) {
+        if let Some(e) = g.edge_between(v, v + 1) {
+            is_path_edge[e] = true;
+        }
     }
     let tags: Vec<Tag> = (0..n).map(|v| truncated_tag(v, b)).collect();
     nesting::sweep_assign(g, &positions, &path, &is_path_edge, &tags)
@@ -146,7 +158,9 @@ pub fn attempt_forgery(n: usize, b: usize) -> Option<bool> {
     }
     let mut gaps = vec![None; z.m()];
     for v in 0..n - 1 {
-        gaps[z.edge_between(v, v + 1).unwrap()] = Some(Some(sigma));
+        if let Some(e) = z.edge_between(v, v + 1) {
+            gaps[e] = Some(Some(sigma));
+        }
     }
     let forged =
         NestingLabels { arcs, above: vec![nesting::AboveLabel { above: Some(sigma) }; n], gaps };

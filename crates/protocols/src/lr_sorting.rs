@@ -647,6 +647,55 @@ impl<'a> LrSorting<'a> {
         rej.into_result(stats)
     }
 
+    /// Runs the honest prover rounds, lets `tamper` corrupt the finished
+    /// transcript and/or the verifier coins (a stale-coin replay overwrites
+    /// the coins the nodes check against), then runs the per-node decision
+    /// on the corrupted state. An identity `tamper` reproduces the honest
+    /// verdict bit-for-bit; this is the chaos harness's entry point (E9).
+    ///
+    /// Transcript vectors whose arity no longer matches the graph are
+    /// rejected as malformed up front — the decision functions assume
+    /// well-arity transcripts.
+    pub fn run_tampered(
+        &self,
+        seed: u64,
+        tamper: impl FnOnce(&mut LrTranscript, &mut [LrCoins]),
+    ) -> RunResult {
+        let g = self.g();
+        let n = g.n();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut coins: Vec<LrCoins> = (0..n)
+            .map(|_| LrCoins {
+                r: rng.gen_range(0..self.field_p.modulus()),
+                rp: rng.gen_range(0..self.field_p.modulus()),
+                rb: rng.gen_range(0..self.field_p.modulus()),
+                z1: rng.gen_range(0..self.field_pp.modulus()),
+                z0: rng.gen_range(0..self.field_pp.modulus()),
+            })
+            .collect();
+        let (r1n, r1e) = self.round1(None);
+        let (r2n, r2e) = self.round2(&r1n, &r1e, &coins, None);
+        let r3n = self.round3(&r1n, &r1e, &r2n, &r2e, &coins);
+        let mut t =
+            LrTranscript { r1_node: r1n, r1_edge: r1e, r2_node: r2n, r2_edge: r2e, r3_node: r3n };
+        let stats = self.stats(&t);
+        tamper(&mut t, &mut coins);
+        let mut rej = Rejections::new();
+        if t.r1_node.len() != n
+            || t.r2_node.len() != n
+            || t.r3_node.len() != n
+            || t.r1_edge.len() != g.m()
+            || t.r2_edge.len() != g.m()
+        {
+            rej.reject_malformed(0, "lr: truncated transcript");
+            return rej.into_result(stats);
+        }
+        for v in 0..n {
+            self.decide(v, &t, &coins, &mut rej);
+        }
+        rej.into_result(stats)
+    }
+
     /// Size accounting for the honest transcript.
     fn stats(&self, t: &LrTranscript) -> SizeStats {
         let g = self.g();

@@ -12,6 +12,8 @@
 //! segment into the graph (a block of the LR-sorting path, the committed
 //! Hamiltonian path, a sub-ear, ...).
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use pdip_core::Rejections;
 use pdip_field::{multiset_poly_eval, Fp};
 
@@ -121,9 +123,12 @@ impl MultisetEq {
         rej: &mut Rejections,
     ) {
         let f = &self.field;
-        let me = msgs[i];
+        let Some(me) = msgs.get(i).copied() else {
+            rej.reject_malformed(node, "mseq: truncated message vector");
+            return;
+        };
         if me.z >= f.modulus() || me.a1 >= f.modulus() || me.a2 >= f.modulus() {
-            rej.reject(node, "mseq: message not reduced mod p");
+            rej.reject_malformed(node, "mseq: message not reduced mod p");
             return;
         }
         if let Some(z) = root_coin {
@@ -133,7 +138,7 @@ impl MultisetEq {
             }
         }
         if let Some(p) = parent {
-            if msgs[p].z != me.z {
+            if msgs.get(p).map(|m| m.z) != Some(me.z) {
                 rej.reject(node, "mseq: challenge differs from parent");
                 return;
             }
@@ -142,12 +147,16 @@ impl MultisetEq {
         let mut e1 = multiset_poly_eval(f, own_s1.iter().copied(), me.z);
         let mut e2 = multiset_poly_eval(f, own_s2.iter().copied(), me.z);
         for &c in children {
-            if msgs[c].z != me.z {
+            let Some(cm) = msgs.get(c) else {
+                rej.reject_malformed(node, "mseq: child message missing");
+                return;
+            };
+            if cm.z != me.z {
                 rej.reject(node, "mseq: challenge differs from a child");
                 return;
             }
-            e1 = f.mul(e1, msgs[c].a1);
-            e2 = f.mul(e2, msgs[c].a2);
+            e1 = f.mul(e1, cm.a1);
+            e2 = f.mul(e2, cm.a2);
         }
         if me.a1 != e1 || me.a2 != e2 {
             rej.reject(node, "mseq: subtree aggregation mismatch");
@@ -160,6 +169,7 @@ impl MultisetEq {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use pdip_field::smallest_prime_above;

@@ -18,6 +18,8 @@
 //! grouped DP (the model does not bound verifier computation), with a
 //! state cap that rejects pathological blow-ups.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use pdip_core::{Rejections, Tag};
 use pdip_graph::{EdgeId, Graph, NodeId};
 
@@ -243,18 +245,26 @@ pub fn check_node(
     let mut lefts: Vec<SideArc> = Vec::new();
     let mut rights: Vec<SideArc> = Vec::new();
     for e in g.incident_edges(v) {
-        if is_path_edge[e] {
+        if is_path_edge.get(e) != Some(&false) {
+            if is_path_edge.get(e).is_none() {
+                rej.reject_malformed(v, "nest: truncated path-edge table");
+                return;
+            }
             continue;
         }
-        let Some(l) = labels.arcs[e] else {
-            rej.reject(v, "nest: unlabeled arc");
+        let Some(l) = labels.arcs.get(e).copied().flatten() else {
+            rej.reject_malformed(v, "nest: unlabeled or truncated arc");
             return;
         };
         let u = g.edge(e).other(v);
         let left = is_left_arc(e);
         // Name must match the sampled tags (own tag and the neighbor's tag,
         // both visible to v).
-        let want = if left { (tags[u], tags[v]) } else { (tags[v], tags[u]) };
+        let (Some(&tu), Some(&tv)) = (tags.get(u), tags.get(v)) else {
+            rej.reject_malformed(v, "nest: missing sampled tag");
+            return;
+        };
+        let want = if left { (tu, tv) } else { (tv, tu) };
         if l.name != want {
             rej.reject(v, "nest: arc name does not match sampled tags");
             return;
@@ -279,17 +289,20 @@ pub fn check_node(
         }
         let marked = arcs.iter().filter(|a| a.longest_here).count();
         if marked != 1 {
-            rej.reject(v, format!("nest: {marked} longest-{side} marks"));
+            rej.reject_malformed(v, format!("nest: {marked} longest-{side} marks"));
             return;
         }
         for a in arcs.iter() {
             if !a.longest_here && !a.longest_other {
-                rej.reject(v, "nest: non-longest arc unmarked at both ends");
+                rej.reject_malformed(v, "nest: non-longest arc unmarked at both ends");
                 return;
             }
         }
     }
-    let my_above = labels.above[v].above;
+    let Some(my_above) = labels.above.get(v).map(|a| a.above) else {
+        rej.reject_malformed(v, "nest: missing above label");
+        return;
+    };
     // Conditions (3): the longest arcs on both sides share succ == above(v).
     for arcs in [&lefts, &rights] {
         if let Some(a) = arcs.iter().find(|a| a.longest_here) {
@@ -304,11 +317,11 @@ pub fn check_node(
     // first element) or, with no arcs on that side, the node's `above`.
     if let Some(u) = right_nb {
         let Some(pe) = g.edge_between(v, u) else {
-            rej.reject(v, "nest: committed path uses a non-edge");
+            rej.reject_malformed(v, "nest: committed path uses a non-edge");
             return;
         };
-        let Some(gap) = labels.gaps[pe] else {
-            rej.reject(v, "nest: path edge without gap label");
+        let Some(gap) = labels.gaps.get(pe).copied().flatten() else {
+            rej.reject_malformed(v, "nest: path edge without gap label");
             return;
         };
         if rights.is_empty() {
@@ -324,11 +337,11 @@ pub fn check_node(
     }
     if let Some(u) = left_nb {
         let Some(pe) = g.edge_between(v, u) else {
-            rej.reject(v, "nest: committed path uses a non-edge");
+            rej.reject_malformed(v, "nest: committed path uses a non-edge");
             return;
         };
-        let Some(gap) = labels.gaps[pe] else {
-            rej.reject(v, "nest: path edge without gap label");
+        let Some(gap) = labels.gaps.get(pe).copied().flatten() else {
+            rej.reject_malformed(v, "nest: path edge without gap label");
             return;
         };
         if lefts.is_empty() {
@@ -355,7 +368,13 @@ fn exists_chain(
     v: NodeId,
     side: &str,
 ) -> bool {
-    let longest_idx = arcs.iter().position(|a| a.longest_here).expect("checked above");
+    let Some(longest_idx) = arcs.iter().position(|a| a.longest_here) else {
+        // Unreachable through `check_node` (the mark checks run first),
+        // but a library caller may feed an arbitrary side: structured
+        // reject, never a panic.
+        rej.reject_malformed(v, format!("nest: no longest-{side} mark"));
+        return false;
+    };
     if arcs.len() == 1 {
         // The chain is just the longest arc: condition (4)/(5) pins its name.
         let ok = first.is_none_or(|f| f == Some(arcs[0].name));
@@ -420,6 +439,7 @@ fn exists_chain(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use pdip_graph::gen::outerplanar::random_path_outerplanar;

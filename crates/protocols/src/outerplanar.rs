@@ -16,6 +16,8 @@
 //! node's labels deferred to its in-block neighbors, so cut nodes carry
 //! O(1) blocks' worth of bits).
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::lr_sorting::Transport;
 use crate::path_outerplanar::{PathOuterplanarity, PopCheat, PopInstance, PopParams};
 use crate::spanning_tree::{SpanningTreeVerification, StParams};
@@ -123,11 +125,21 @@ impl<'a> Outerplanarity<'a> {
                 }
             }
         }
+        // Every node of a connected graph has a home block; a decomposition
+        // that leaves one homeless is structurally broken — reject instead
+        // of indexing with the sentinel (which would panic).
+        if let Some(orphan) = home_block.iter().position(|&c| c == usize::MAX) {
+            rej.reject_malformed(orphan, "op: node without a home block in the decomposition");
+            stats.per_round_max_bits = vec![self.tag_bits * 2 + 4, 0, 0];
+            return rej.into_result(stats);
+        }
         // Labels sep(v) / lead(v) for v's home block.
         let sep_tag: Vec<Option<Tag>> =
             (0..n).map(|v| bct.separating_node[home_block[v]].map(|s| tags[s])).collect();
-        let lead_tag: Vec<Tag> =
-            (0..n).map(|v| tags[leader_of_block[home_block[v]].unwrap()]).collect();
+        let zero_tag = Tag::zero(self.tag_bits);
+        let lead_tag: Vec<Tag> = (0..n)
+            .map(|v| leader_of_block[home_block[v]].map(|l| tags[l]).unwrap_or(zero_tag))
+            .collect();
         // d(C) mod 3 per node (home block), cut nodes implicitly also hold
         // home depth - 1 for their child blocks.
         let d_mod3: Vec<u8> = (0..n).map(|v| (bct.block_depth[home_block[v]] % 3) as u8).collect();
@@ -232,10 +244,14 @@ impl<'a> Outerplanarity<'a> {
             };
             // Theorem 6.1 extra condition: the path endpoints are adjacent.
             if let Some(w) = &witness {
-                let closes = h.has_edge(*w.first().unwrap(), *w.last().unwrap());
-                rej.check(nodes[0], closes, || {
-                    "op: block path endpoints not adjacent (Thm 6.1)".into()
-                });
+                match (w.first(), w.last()) {
+                    (Some(&first), Some(&last)) => {
+                        rej.check(nodes[0], h.has_edge(first, last), || {
+                            "op: block path endpoints not adjacent (Thm 6.1)".into()
+                        });
+                    }
+                    _ => rej.reject_malformed(nodes[0], "op: empty committed block path"),
+                }
             }
             let sub_inst = PopInstance { graph: h, witness, is_yes: block_ok[c] };
             let sub = PathOuterplanarity::new(&sub_inst, self.params, self.transport);
@@ -255,9 +271,10 @@ impl<'a> Outerplanarity<'a> {
                 // constant number of blocks' labels).
                 per_round_max[i] = per_round_max[i].max(*b);
             }
-            for (lv, reason) in res.rejections {
-                rej.reject(
+            for ((lv, reason), kind) in res.rejections.into_iter().zip(res.kinds) {
+                rej.reject_as(
                     nodes.get(lv).copied().unwrap_or(nodes[0]),
+                    kind,
                     format!("op/block {c}: {reason}"),
                 );
             }
@@ -319,13 +336,14 @@ fn greedy_block_path(g: &Graph, nodes: &[NodeId], start: Option<NodeId>) -> Vec<
     let mut path = vec![s];
     let mut used = std::collections::HashSet::new();
     used.insert(s);
+    let mut last = s;
     loop {
-        let last = *path.last().unwrap();
         let next = g.neighbor_nodes(last).find(|u| inside.contains(u) && !used.contains(u));
         match next {
             Some(u) => {
                 used.insert(u);
                 path.push(u);
+                last = u;
             }
             None => break,
         }
@@ -364,6 +382,7 @@ impl DipProtocol for Outerplanarity<'_> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use pdip_graph::gen::no_instances::planar_not_outerplanar;

@@ -15,6 +15,8 @@
 //!    the `longest`/`succ`/`above`/`gap` labels certify proper nesting
 //!    (see [`crate::nesting`]).
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::forest_code::{decode_children, decode_parent, ForestCode};
 use crate::lr_sorting::{LrCheat, LrParams, LrSorting, Transport};
 use crate::nesting::{self, NestingLabels};
@@ -120,10 +122,29 @@ impl<'a> PathOuterplanarity<'a> {
 
         // ---- Stage 1: committing to a path ----
         let path = self.claimed_path(cheat);
+        // A corrupted witness can name unknown nodes, revisit a node
+        // (which would put a cycle in the parent pointers), or traverse
+        // non-edges; in the real protocol no prover can make a node read
+        // a forest-code pointer over a port it does not have, so this is
+        // a deterministic structural reject (never a panic).
+        let mut seen = vec![false; n];
+        let mut path_ok = path.iter().all(|&v| v < n && !std::mem::replace(&mut seen[v], true));
         let mut parent: Vec<Option<(NodeId, usize)>> = vec![None; n];
-        for w in path.windows(2) {
-            let e = g.edge_between(w[0], w[1]).expect("claimed path follows edges");
-            parent[w[1]] = Some((w[0], e));
+        if path_ok {
+            for w in path.windows(2) {
+                match g.edge_between(w[0], w[1]) {
+                    Some(e) => parent[w[1]] = Some((w[0], e)),
+                    None => path_ok = false,
+                }
+            }
+        }
+        if !path_ok {
+            rej.reject_malformed(
+                path.first().copied().filter(|&v| v < n).unwrap_or(0),
+                "pop: committed path uses a non-edge or unknown node",
+            );
+            stats.per_round_max_bits = vec![1, 0, 0];
+            return rej.into_result(stats);
         }
         let forest = RootedForest::from_parents(g, parent);
         let code = ForestCode::encode(g, &forest);
@@ -176,13 +197,15 @@ impl<'a> PathOuterplanarity<'a> {
                 lr_cheat = Some(LrCheat::OuterForgedIndex);
             }
         }
+        // Every window is a real edge here: `truly_hamiltonian` above
+        // verified the path, so the filter drops nothing.
         let path_edges: Vec<usize> =
-            path.windows(2).map(|w| g.edge_between(w[0], w[1]).expect("path edge")).collect();
+            path.windows(2).filter_map(|w| g.edge_between(w[0], w[1])).collect();
         let lr_inst = LrInstance {
             graph: g.clone(),
             orientation: orientation.clone(),
             path: path.clone(),
-            path_edges,
+            path_edges: path_edges.clone(),
             is_yes: true,
         };
         let lr = LrSorting::new(
@@ -192,14 +215,14 @@ impl<'a> PathOuterplanarity<'a> {
         );
         let lr_res = lr.run(lr_cheat, rng.gen());
         stats.merge_parallel(&lr_res.stats);
-        for (v, reason) in lr_res.rejections {
-            rej.reject(v, format!("pop/lr: {reason}"));
+        for ((v, reason), kind) in lr_res.rejections.into_iter().zip(lr_res.kinds) {
+            rej.reject_as(v, kind, format!("pop/lr: {reason}"));
         }
 
         // ---- Stage 3: nesting verification ----
         let mut is_path_edge = vec![false; g.m()];
-        for w in path.windows(2) {
-            is_path_edge[g.edge_between(w[0], w[1]).unwrap()] = true;
+        for &e in &path_edges {
+            is_path_edge[e] = true;
         }
         let tags: Vec<Tag> = (0..n).map(|_| Tag::random(self.tag_bits, &mut rng)).collect();
         let mut labels = nesting::sweep_assign(g, &positions, &path, &is_path_edge, &tags);
@@ -264,12 +287,12 @@ fn greedy_longest_path(g: &Graph) -> Vec<NodeId> {
     }
     // Double-BFS heuristic endpoint, then greedy extension by unvisited
     // neighbors.
-    let far = *pdip_graph::bfs_order(g, 0).last().unwrap();
+    let far = pdip_graph::bfs_order(g, 0).last().copied().unwrap_or(0);
     let mut path = vec![far];
     let mut used = vec![false; g.n()];
     used[far] = true;
+    let mut last = far;
     loop {
-        let last = *path.last().unwrap();
         // Warnsdorff with dead-end avoidance: prefer the unvisited
         // neighbor with the fewest *positive* number of onward options;
         // enter a dead end only when nothing else remains.
@@ -281,6 +304,7 @@ fn greedy_longest_path(g: &Graph) -> Vec<NodeId> {
             Some(u) => {
                 used[u] = true;
                 path.push(u);
+                last = u;
             }
             None => break,
         }
@@ -367,6 +391,7 @@ impl DipProtocol for PathOuterplanarity<'_> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use pdip_graph::gen::no_instances::outerplanar_no_hamiltonian_path;

@@ -95,8 +95,8 @@ impl<'a> Planarity<'a> {
                 Transport::Simulated => 5 * (delta_bits + 1),
             };
         }
-        for (v, reason) in res.rejections {
-            rej.reject(v, reason);
+        for ((v, reason), kind) in res.rejections.into_iter().zip(res.kinds) {
+            rej.reject_as(v, kind, reason);
         }
         rej.into_result(stats)
     }

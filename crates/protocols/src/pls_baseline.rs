@@ -11,6 +11,8 @@
 //! these labelings: compressing them below ~log n bits creates label
 //! collisions that admit forged hybrid proofs.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::embedded_planarity::build_reduction;
 use crate::nesting::{self, NestingLabels};
 use pdip_core::{bits_for_max, DipProtocol, Rejections, RunResult, SizeStats, Tag};
@@ -44,7 +46,12 @@ pub fn pls_labels(g: &Graph, path: &[NodeId]) -> PlsLabels {
     }
     let mut is_path_edge = vec![false; g.m()];
     for w in path.windows(2) {
-        is_path_edge[g.edge_between(w[0], w[1]).expect("witness path edge")] = true;
+        // The witness comes from the generator, so consecutive nodes are
+        // adjacent; a malformed witness simply yields labels the verifier
+        // rejects instead of a prover-side panic.
+        if let Some(e) = g.edge_between(w[0], w[1]) {
+            is_path_edge[e] = true;
+        }
     }
     let tags: Vec<Tag> = (0..n).map(|v| pos_tag(pos[v], pos_bits)).collect();
     let nesting = nesting::sweep_assign(g, &pos, path, &is_path_edge, &tags);
@@ -75,12 +82,12 @@ pub fn pls_check(g: &Graph, labels: &PlsLabels, rej: &mut Rejections) {
                 is_path_edge[e] = true;
             }
             if pos[u] == pos[v] {
-                rej.reject(v, "pls: neighbor shares my position");
+                rej.reject_malformed(v, "pls: neighbor shares my position");
                 return;
             }
         }
         if pos[v] > 0 && left_count != 1 {
-            rej.reject(v, "pls: interior node without unique predecessor");
+            rej.reject_malformed(v, "pls: interior node without unique predecessor");
             return;
         }
         let _ = (right, right_count);
@@ -136,7 +143,7 @@ impl PlsPathOuterplanar<'_> {
     pub fn run(&self) -> RunResult {
         let mut rej = Rejections::new();
         let Some(path) = self.witness else {
-            rej.reject(0, "pls: prover has no Hamiltonian path to commit");
+            rej.reject_malformed(0, "pls: prover has no Hamiltonian path to commit");
             return rej.into_result(SizeStats { rounds: 1, ..Default::default() });
         };
         let labels = pls_labels(self.graph, path);
@@ -245,6 +252,7 @@ impl PlsEmbeddedPlanarity<'_> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use pdip_graph::gen::outerplanar::random_path_outerplanar;

@@ -20,6 +20,8 @@
 //! Condition (2) (fresh interiors) follows from the forest structure:
 //! every node lies in exactly one sub-ear.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::lr_sorting::Transport;
 use crate::path_outerplanar::{PathOuterplanarity, PopCheat, PopInstance, PopParams};
 use crate::spanning_tree::{SpanningTreeVerification, StParams};
@@ -189,7 +191,7 @@ impl<'a> SeriesParallel<'a> {
             // Broken commitment: conservative immediate reject via local
             // coverage checks (a node outside every sub-ear sees no
             // consistent forest code).
-            rej.reject(0, "spa: committed sub-ears do not partition the nodes");
+            rej.reject_malformed(0, "spa: committed sub-ears do not partition the nodes");
             return rej.into_result(stats);
         }
         let forest = RootedForest::from_parents(g, parent);
@@ -230,13 +232,16 @@ impl<'a> SeriesParallel<'a> {
             if i == 0 {
                 continue;
             }
-            let host_tag = host.map(|h| ear_tag[h]).unwrap_or(ear_tag[0]);
+            let host_tag = host.and_then(|h| ear_tag.get(h).copied()).unwrap_or(ear_tag[0]);
+            if p.len() < 2 {
+                continue; // degenerate committed ear (cheats only)
+            }
             if p.len() == 2 {
                 if let Some(e) = g.edge_between(p[0], p[1]) {
                     class[e] = EdgeClass::SingleEdgeEar { host: Some(host_tag) };
                 }
             } else {
-                for (a, b) in [(p[0], p[1]), (*p.last().unwrap(), p[p.len() - 2])] {
+                for (a, b) in [(p[0], p[1]), (p[p.len() - 1], p[p.len() - 2])] {
                     if let Some(e) = g.edge_between(a, b) {
                         class[e] = EdgeClass::Connecting {
                             host: host_tag,
@@ -310,7 +315,7 @@ impl<'a> SeriesParallel<'a> {
                     }
                     EdgeClass::SingleEdgeEar { host } => {
                         let Some(h) = host else {
-                            rej.reject(v, "spa: single-edge ear without host tag");
+                            rej.reject_malformed(v, "spa: single-edge ear without host tag");
                             continue;
                         };
                         rej.check(v, my_onset.contains(&h), || {
@@ -329,6 +334,9 @@ impl<'a> SeriesParallel<'a> {
         // ---- Condition (3): per host ear, nesting of hosted arcs ----
         let mut per_round_max = [0usize; 3];
         for (i, (p, _)) in ears.iter().enumerate() {
+            if p.is_empty() {
+                continue; // degenerate committed ear (cheats only)
+            }
             // Host path plus virtual arcs from each hosted ear.
             let mut remap = std::collections::HashMap::new();
             for (k, &v) in p.iter().enumerate() {
@@ -340,10 +348,13 @@ impl<'a> SeriesParallel<'a> {
             }
             let mut ok = true;
             for (j, (q, host)) in ears.iter().enumerate() {
-                if *host != Some(i) || j == 0 {
+                if *host != Some(i) || j == 0 || q.is_empty() {
+                    if *host == Some(i) && j != 0 && q.is_empty() {
+                        ok = false; // degenerate hosted ear
+                    }
                     continue;
                 }
-                let (a, b) = (q[0], *q.last().unwrap());
+                let (a, b) = (q[0], q[q.len() - 1]);
                 match (remap.get(&a), remap.get(&b)) {
                     (Some(&ra), Some(&rb)) if ra != rb => {
                         if ra.abs_diff(rb) > 1 && !flat.has_edge(ra, rb) {
@@ -354,7 +365,7 @@ impl<'a> SeriesParallel<'a> {
                 }
             }
             if !ok {
-                rej.reject(p[0], "spa: hosted ear endpoints not on host");
+                rej.reject_malformed(p[0], "spa: hosted ear endpoints not on host");
                 continue;
             }
             if flat.n() < 2 {
@@ -369,8 +380,8 @@ impl<'a> SeriesParallel<'a> {
             for (k, b) in res.stats.per_round_max_bits.iter().enumerate() {
                 per_round_max[k] = per_round_max[k].max(*b);
             }
-            for (lv, reason) in res.rejections {
-                rej.reject(*p.get(lv).unwrap_or(&p[0]), format!("spa/ear {i}: {reason}"));
+            for ((lv, reason), kind) in res.rejections.into_iter().zip(res.kinds) {
+                rej.reject_as(*p.get(lv).unwrap_or(&p[0]), kind, format!("spa/ear {i}: {reason}"));
             }
         }
 
@@ -461,6 +472,7 @@ impl DipProtocol for SeriesParallel<'_> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use pdip_graph::gen::no_instances::tw2_violator;

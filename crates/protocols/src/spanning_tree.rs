@@ -24,6 +24,8 @@
 //! only if all k sampled the same prime. Parallel repetition with
 //! independent primes drives the error to (1/polylog n)^r.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use pdip_core::{bits_for_domain, Rejections};
 use pdip_field::primes_in_window;
 use pdip_graph::{Graph, NodeId, RootedForest};
@@ -146,21 +148,24 @@ impl SpanningTreeVerification {
         msgs: &[StMsg],
         rej: &mut Rejections,
     ) {
-        let me = &msgs[v];
+        let Some(me) = msgs.get(v) else {
+            rej.reject_malformed(v, "st: truncated message vector");
+            return;
+        };
         if me.prime_indices.len() != self.params.repetitions
             || me.depth_mod_p.len() != self.params.repetitions
         {
-            rej.reject(v, "st: malformed message arity");
+            rej.reject_malformed(v, "st: malformed message arity");
             return;
         }
         // Structure: exactly one of {root, parent}.
         match (claimed_root, claimed_parent) {
             (true, Some(_)) => {
-                rej.reject(v, "st: flagged root has a parent");
+                rej.reject_malformed(v, "st: flagged root has a parent");
                 return;
             }
             (false, None) => {
-                rej.reject(v, "st: non-root without parent");
+                rej.reject_malformed(v, "st: non-root without parent");
                 return;
             }
             _ => {}
@@ -168,23 +173,26 @@ impl SpanningTreeVerification {
         for r in 0..self.params.repetitions {
             let pi = me.prime_indices[r];
             if pi >= self.primes.len() {
-                rej.reject(v, "st: prime index out of window");
+                rej.reject_malformed(v, "st: prime index out of window");
                 return;
             }
             let p = self.primes[pi];
             if me.depth_mod_p[r] >= p {
-                rej.reject(v, format!("st: residue {} not reduced mod {p}", me.depth_mod_p[r]));
+                rej.reject_malformed(
+                    v,
+                    format!("st: residue {} not reduced mod {p}", me.depth_mod_p[r]),
+                );
                 return;
             }
             // Global prime consistency across all graph edges.
             for u in g.neighbor_nodes(v) {
-                if msgs[u].prime_indices.get(r) != Some(&pi) {
+                if msgs.get(u).map(|m| m.prime_indices.get(r)) != Some(Some(&pi)) {
                     rej.reject(v, "st: prime disagrees with a neighbor");
                     return;
                 }
             }
             if claimed_root {
-                if coins[v].prime_indices[r] != pi {
+                if coins.get(v).and_then(|c| c.prime_indices.get(r)) != Some(&pi) {
                     rej.reject(v, "st: root's sampled prime ignored");
                     return;
                 }
@@ -194,7 +202,11 @@ impl SpanningTreeVerification {
                 }
             }
             if let Some(par) = claimed_parent {
-                let expect = (msgs[par].depth_mod_p[r] + 1) % p;
+                let Some(par_residue) = msgs.get(par).and_then(|m| m.depth_mod_p.get(r)) else {
+                    rej.reject_malformed(v, "st: parent message truncated");
+                    return;
+                };
+                let expect = (par_residue + 1) % p;
                 if me.depth_mod_p[r] != expect {
                     rej.reject(v, "st: depth is not parent depth + 1");
                     return;
@@ -205,6 +217,7 @@ impl SpanningTreeVerification {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use rand::rngs::SmallRng;

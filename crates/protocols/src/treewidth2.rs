@@ -153,9 +153,10 @@ impl<'a> Treewidth2<'a> {
             for (i, b) in res.stats.per_round_max_bits.iter().enumerate() {
                 per_round_max[i] = per_round_max[i].max(*b);
             }
-            for (lv, reason) in res.rejections {
-                rej.reject(
+            for ((lv, reason), kind) in res.rejections.into_iter().zip(res.kinds) {
+                rej.reject_as(
                     nodes.get(lv).copied().unwrap_or(nodes[0]),
+                    kind,
                     format!("tw2/block {c}: {reason}"),
                 );
             }

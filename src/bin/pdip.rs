@@ -10,6 +10,7 @@
 //!            [--threads K] [--seed S] [--honest-only] [--out PATH]
 //! pdip bench-hotpath [--out PATH]
 //! pdip bench-graph [--smoke] [--out PATH]
+//! pdip chaos [--smoke] [--threads K] [--out PREFIX]
 //! ```
 
 use pdip_bench::{no_instance, Family, YesInstance, FAMILIES};
@@ -25,7 +26,8 @@ fn usage() -> ! {
          pdip sweep [--families a,b,..] [--n-from N] [--n-to N] [--trials T] [--threads K] \
          [--seed S] [--honest-only] [--out PATH]\n  \
          pdip bench-hotpath [--out PATH]\n  \
-         pdip bench-graph [--smoke] [--out PATH]\n\nfamilies: {}",
+         pdip bench-graph [--smoke] [--out PATH]\n  \
+         pdip chaos [--smoke] [--threads K] [--out PREFIX]\n\nfamilies: {}",
         FAMILIES.iter().map(|f| f.name()).collect::<Vec<_>>().join(", ")
     );
     std::process::exit(2)
@@ -276,6 +278,40 @@ fn main() {
             }
             std::fs::write(path, doc).expect("writing bench snapshot");
             println!("\nwrote {}", path.display());
+        }
+        "chaos" => {
+            let smoke = args.iter().any(|a| a == "--smoke");
+            let mut spec = if smoke {
+                pdip_engine::ChaosSpec::smoke()
+            } else {
+                pdip_engine::ChaosSpec::full()
+            };
+            spec.threads = flag_num(&args, "--threads", {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            });
+            let out = flag_value(&args, "--out").unwrap_or_else(|| "results/e9_chaos".into());
+            println!(
+                "chaos sweep ({}): n={} trials-per-cell={} base-seed={:#x} threads={}\n",
+                if smoke { "smoke" } else { "full" },
+                spec.n,
+                spec.trials,
+                spec.base_seed,
+                spec.threads
+            );
+            let report = pdip_engine::run_chaos(&spec);
+            print!("{}", report.render_text());
+            let txt_path = std::path::PathBuf::from(format!("{out}.txt"));
+            let json_path = std::path::PathBuf::from(format!("{out}.json"));
+            if let Some(dir) = txt_path.parent() {
+                std::fs::create_dir_all(dir).expect("creating results dir");
+            }
+            std::fs::write(&txt_path, report.render_text()).expect("writing chaos text report");
+            std::fs::write(&json_path, report.render_json()).expect("writing chaos json report");
+            println!("\nwrote {} and {}", txt_path.display(), json_path.display());
+            if !report.all_pass {
+                eprintln!("chaos audit FAILED (see table above)");
+                std::process::exit(1);
+            }
         }
         _ => usage(),
     }
