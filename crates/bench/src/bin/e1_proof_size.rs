@@ -9,7 +9,7 @@
 //! (`--threads N`; deterministic at any worker count). The legacy seed
 //! formulas are kept, so the table matches the historical serial output.
 
-use pdip_bench::{print_table, threads_flag, FAMILIES};
+use pdip_bench::{reporter_from_args, threads_flag, FAMILIES};
 use pdip_engine::{Engine, JobCoords, ProverSpec, SeedMode, SweepSpec};
 use pdip_protocols::pls_baseline;
 use rand::rngs::SmallRng;
@@ -22,7 +22,8 @@ fn e1_seeds(c: &JobCoords) -> (u64, u64) {
 
 fn main() {
     let sizes: Vec<usize> = (8..=16).step_by(2).map(|k| 1usize << k).collect();
-    println!("E1 — proof size (bits of the longest honest label) vs n\n");
+    let mut rep = reporter_from_args();
+    rep.line("E1 — proof size (bits of the longest honest label) vs n\n");
 
     let spec = SweepSpec {
         families: FAMILIES.to_vec(),
@@ -77,14 +78,14 @@ fn main() {
         row.push(plse.run().stats.proof_size().to_string());
         rows.push(row);
     }
-    print_table(&headers, &rows);
-    println!(
+    rep.table(&headers, &rows);
+    rep.line(
         "\nShape check: DIP columns grow with loglog n (a few bits per row); the PLS\n\
          columns grow with log n (~9·log n and ~45·log n respectively). With these\n\
          constant factors the absolute crossover sits near n = 2^30; the paper's\n\
          claim is the asymptotic separation, which the slopes show directly.\n\
          The embedded-planarity/planarity columns ride the h(G,T,ρ) simulation\n\
-         (x5 per-node copies), and planarity adds its O(log Δ) rotation term."
+         (x5 per-node copies), and planarity adds its O(log Δ) rotation term.\n",
     );
-    println!("\n{}", outcome.metrics.summary_line());
+    rep.summary(&outcome.metrics);
 }

@@ -10,7 +10,7 @@
 //! [`SeedMode::Explicit`], so the table matches the historical serial
 //! output byte for byte.
 
-use pdip_bench::{print_table, threads_flag, FAMILIES};
+use pdip_bench::{reporter_from_args, threads_flag, FAMILIES};
 use pdip_engine::{Engine, JobCoords, ProverSpec, SeedMode, SweepSpec};
 
 /// The historical E2 seeds: instances from `seed * 7919 + n`, runs from
@@ -22,7 +22,8 @@ fn e2_seeds(c: &JobCoords) -> (u64, u64) {
 fn main() {
     let sizes = [32usize, 128, 512, 2048];
     let seeds_per_size = 8u64;
-    println!("E2 — rounds and perfect completeness (honest prover)\n");
+    let mut rep = reporter_from_args();
+    rep.line("E2 — rounds and perfect completeness (honest prover)\n");
 
     let spec = SweepSpec {
         families: FAMILIES.to_vec(),
@@ -57,7 +58,7 @@ fn main() {
         ]);
         assert_eq!(runs, accepted, "completeness violated for {}", fam.name());
     }
-    print_table(&headers, &rows);
-    println!("\nEvery rate must read 100.0% — the theorems claim perfect completeness.");
-    println!("\n{}", outcome.metrics.summary_line());
+    rep.table(&headers, &rows);
+    rep.line("\nEvery rate must read 100.0% — the theorems claim perfect completeness.\n");
+    rep.summary(&outcome.metrics);
 }

@@ -12,7 +12,7 @@
 //! the tables match the historical serial output byte for byte. E3c/E3d
 //! isolate single probabilistic events and stay serial.
 
-use pdip_bench::{print_table, threads_flag, FAMILIES};
+use pdip_bench::{reporter_from_args, threads_flag, FAMILIES};
 use pdip_engine::{Engine, JobCoords, Prover, ProverSpec, SeedMode, SweepOutcome, SweepSpec};
 use pdip_protocols::{PopParams, Transport};
 
@@ -53,7 +53,8 @@ fn cheat_rate_rows(outcome: &SweepOutcome, sizes: &[usize], trials: u64) -> Vec<
 fn main() {
     let threads = threads_flag();
     let trials = 80u64;
-    println!("E3 — cheating-prover acceptance rates ({trials} trials per cell)\n");
+    let mut rep = reporter_from_args();
+    rep.line(&format!("E3 — cheating-prover acceptance rates ({trials} trials per cell)\n"));
     let sizes = [60usize, 300];
     let spec = SweepSpec {
         families: FAMILIES.to_vec(),
@@ -66,18 +67,19 @@ fn main() {
     let outcome = Engine::with_threads(threads).run(&spec);
     assert!(outcome.failures.is_empty(), "E3 jobs must not panic: {:?}", outcome.failures);
     let headers = ["protocol", "cheat", "rate @ n~60", "rate @ n~300"];
-    print_table(&headers, &cheat_rate_rows(&outcome, &sizes, trials));
-    println!(
+    rep.table(&headers, &cheat_rate_rows(&outcome, &sizes, trials));
+    rep.line(
         "\nShape check: every rate is far below 50% and the n~300 column is at most\n\
          the n~60 column (up to sampling noise) — the 1/polylog n soundness error\n\
-         shrinks with n. Deterministically-caught cheats read 0.0%.\n"
+         shrinks with n. Deterministically-caught cheats read 0.0%.\n",
     );
-    println!("{}\n", outcome.metrics.summary_line());
+    rep.summary(&outcome.metrics);
+    rep.line("");
 
     // At the paper's default parameters (c = 3) the error is ~log^-3 n —
     // invisible at this trial count. Weakening the fields to c = 1 and a
     // single spanning-tree repetition makes the 1/polylog n decay visible.
-    println!("E3b — weakened parameters (c = 1, 1 ST repetition), {trials} trials\n");
+    rep.line(&format!("E3b — weakened parameters (c = 1, 1 ST repetition), {trials} trials\n"));
     let weak = PopParams { c: 1, st_repetitions: 1 };
     let sizes_b = [60usize, 300, 1200];
     let spec_b = SweepSpec {
@@ -92,16 +94,17 @@ fn main() {
     let outcome_b = Engine::with_threads(threads).run(&spec_b);
     assert!(outcome_b.failures.is_empty(), "E3b jobs must not panic: {:?}", outcome_b.failures);
     let headers = ["protocol", "cheat", "rate @ n~60", "rate @ n~300", "rate @ n~1200"];
-    print_table(&headers, &cheat_rate_rows(&outcome_b, &sizes_b, trials));
-    println!(
+    rep.table(&headers, &cheat_rate_rows(&outcome_b, &sizes_b, trials));
+    rep.line(
         "\nMost composite cheats trip several independent checks at once, so even\n\
          weakened parameters leave them near 0%. The remaining sections isolate\n\
-         single probabilistic events to expose the raw 1/polylog n error.\n"
+         single probabilistic events to expose the raw 1/polylog n error.\n",
     );
-    println!("{}\n", outcome_b.metrics.summary_line());
+    rep.summary(&outcome_b.metrics);
+    rep.line("");
 
     // --- E3c: LR-sorting, the pure field-collision events ---
-    println!("E3c — LR-sorting cheats at c = 1 (single collision events), 300 trials\n");
+    rep.line("E3c — LR-sorting cheats at c = 1 (single collision events), 300 trials\n");
     use pdip_graph::gen;
     use pdip_protocols::{LrCheat, LrParams, LrSorting};
     let headers = ["cheat", "n=64", "n=1024", "n=16384"];
@@ -127,16 +130,16 @@ fn main() {
         }
         rows.push(cells);
     }
-    print_table(&headers, &rows);
-    println!(
+    rep.table(&headers, &rows);
+    rep.line(
         "\nWith c = 1 the collision events survive a visible few percent of runs\n\
          (each cheat also trips auxiliary checks, so rates sit below the raw 1/p).\n\
          The clean single-event decay is isolated in E3d below and in the c-sweep\n\
-         of E8b.\n"
+         of E8b.\n",
     );
 
     // --- E3d: the spanning-tree prime-collision event ---
-    println!("E3d — fake-path with exactly one extra root (Lemma 2.5 event), 300 trials\n");
+    rep.line("E3d — fake-path with exactly one extra root (Lemma 2.5 event), 300 trials\n");
     use pdip_protocols::{PathOuterplanarity, PopCheat, PopInstance};
     let headers = ["n", "window primes", "predicted 1/#primes", "measured acceptance"];
     let mut rows = Vec::new();
@@ -165,9 +168,9 @@ fn main() {
             format!("{:.1}%", 100.0 * accepted as f64 / 300.0),
         ]);
     }
-    print_table(&headers, &rows);
-    println!(
+    rep.table(&headers, &rows);
+    rep.line(
         "\nThe measured acceptance matches the predicted prime-collision probability\n\
-         and shrinks as the window (log^c n) grows — the 1/polylog n error, live."
+         and shrinks as the window (log^c n) grows — the 1/polylog n error, live.",
     );
 }

@@ -12,7 +12,7 @@
 pub mod graphbench;
 pub mod hotpath;
 
-pub use pdip_engine::{no_instance, print_table, Family, YesInstance, FAMILIES};
+pub use pdip_engine::{no_instance, print_table, Family, Reporter, YesInstance, FAMILIES};
 
 /// Parses a `--threads N` flag from the binary's argv, defaulting to the
 /// machine's available parallelism. Shared by the E1–E3 binaries.
@@ -23,6 +23,13 @@ pub fn threads_flag() -> usize {
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--threads takes a number"))
         .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// A [`Reporter`] honouring a `--quiet` flag in the binary's argv.
+/// Shared by the E1–E3 binaries so their tables and `[engine]` summary
+/// lines route through one silenceable sink.
+pub fn reporter_from_args() -> Reporter {
+    Reporter::from_quiet_flag(std::env::args().any(|a| a == "--quiet"))
 }
 
 #[cfg(test)]

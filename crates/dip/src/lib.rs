@@ -20,9 +20,11 @@
 pub mod bits;
 pub mod outcome;
 pub mod protocol;
+pub mod trace;
 pub mod transcript;
 
 pub use bits::{bits_for_domain, bits_for_max, Tag};
 pub use outcome::{RejectReason, Rejections, RunResult, Verdict};
 pub use protocol::{acceptance_rate, DipProtocol};
+pub use trace::trace_stats;
 pub use transcript::{neighbor_labels, LabelRound, RoundKind, SizeStats};

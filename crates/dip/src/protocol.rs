@@ -7,6 +7,7 @@
 //! parameters).
 
 use crate::outcome::RunResult;
+use pdip_obs::Recorder;
 
 /// A DIP bound to a concrete instance.
 pub trait DipProtocol {
@@ -33,6 +34,20 @@ pub trait DipProtocol {
     /// One run against cheating strategy `strategy` (an index into
     /// [`DipProtocol::cheat_names`]).
     fn run_cheat(&self, strategy: usize, seed: u64) -> RunResult;
+
+    /// [`DipProtocol::run_honest`] with instrumentation: the same run
+    /// (identical RNG call order and [`RunResult`]) with round spans
+    /// and bit counters emitted to `rec`. The default ignores `rec`,
+    /// so protocols without instrumentation stay correct.
+    fn run_honest_traced(&self, seed: u64, _rec: &dyn Recorder) -> RunResult {
+        self.run_honest(seed)
+    }
+
+    /// [`DipProtocol::run_cheat`] with instrumentation; see
+    /// [`DipProtocol::run_honest_traced`].
+    fn run_cheat_traced(&self, strategy: usize, seed: u64, _rec: &dyn Recorder) -> RunResult {
+        self.run_cheat(strategy, seed)
+    }
 }
 
 /// Empirical acceptance rate over `trials` runs with distinct seeds.

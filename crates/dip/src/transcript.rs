@@ -53,6 +53,18 @@ impl<L> LabelRound<L> {
         self.bits.iter().copied().max().unwrap_or(0)
     }
 
+    /// Total communication of this round in bits (sum over nodes).
+    pub fn total_bits(&self) -> usize {
+        self.bits.iter().sum()
+    }
+
+    /// `(max_bits, total_bits)` in one pass over the declared sizes —
+    /// the single source of truth for per-round accounting
+    /// ([`SizeStats::record_round`] and every aggregation path).
+    pub fn bit_summary(&self) -> (usize, usize) {
+        self.bits.iter().fold((0, 0), |(max, total), &b| (max.max(b), total + b))
+    }
+
     /// Number of nodes.
     pub fn len(&self) -> usize {
         self.labels.len()
@@ -90,24 +102,29 @@ impl SizeStats {
         self.per_round_max_bits.iter().sum()
     }
 
-    /// Records one prover round.
+    /// Records one prover round (one pass over the declared sizes via
+    /// [`LabelRound::bit_summary`]).
     pub fn record_round<L>(&mut self, round: &LabelRound<L>) {
-        self.per_round_max_bits.push(round.max_bits());
-        self.per_round_total_bits.push((0..round.len()).map(|v| round.bits(v)).sum());
+        let (max, total) = round.bit_summary();
+        self.per_round_max_bits.push(max);
+        self.per_round_total_bits.push(total);
+    }
+
+    /// Grow `dst` to `len` and add `src` elementwise — the one helper
+    /// behind both per-round vectors of [`SizeStats::merge_parallel`].
+    fn resize_add(dst: &mut Vec<usize>, src: &[usize], len: usize) {
+        dst.resize(len, 0);
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d += s;
+        }
     }
 
     /// Merges stats of a sub-protocol executed in parallel (same rounds):
     /// per-round maxima add up because a node receives the concatenation.
     pub fn merge_parallel(&mut self, other: &SizeStats) {
         let rounds = self.per_round_max_bits.len().max(other.per_round_max_bits.len());
-        self.per_round_max_bits.resize(rounds, 0);
-        self.per_round_total_bits.resize(rounds, 0);
-        for (i, &b) in other.per_round_max_bits.iter().enumerate() {
-            self.per_round_max_bits[i] += b;
-        }
-        for (i, &b) in other.per_round_total_bits.iter().enumerate() {
-            self.per_round_total_bits[i] += b;
-        }
+        Self::resize_add(&mut self.per_round_max_bits, &other.per_round_max_bits, rounds);
+        Self::resize_add(&mut self.per_round_total_bits, &other.per_round_total_bits, rounds);
         self.coin_bits += other.coin_bits;
         self.rounds = self.rounds.max(other.rounds);
     }

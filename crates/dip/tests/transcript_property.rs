@@ -1,0 +1,96 @@
+//! Property: `SizeStats::per_round_total_bits` is always the sum of
+//! the declared `LabelRound::bits` — across the record path, the
+//! parallel-merge path (including its resize branch when round counts
+//! differ), and any interleaving of the two.
+//!
+//! This pins the invariant behind the PR-5 dedup of the per-round bit
+//! accounting into `LabelRound::bit_summary`.
+
+use pdip_core::{LabelRound, SizeStats};
+use proptest::prelude::*;
+
+/// A round whose label sizes are exactly the given declared bits.
+fn round_from_bits(bits: &[usize]) -> LabelRound<usize> {
+    LabelRound::new(bits.to_vec(), |&b| b)
+}
+
+/// Reference accounting: fold the same rounds/merges with naive sums.
+#[derive(Default)]
+struct Reference {
+    totals: Vec<usize>,
+    maxes: Vec<usize>,
+}
+
+impl Reference {
+    fn record(&mut self, bits: &[usize]) {
+        self.totals.push(bits.iter().sum());
+        self.maxes.push(bits.iter().copied().max().unwrap_or(0));
+    }
+
+    fn merge(&mut self, other: &Reference) {
+        let rounds = self.totals.len().max(other.totals.len());
+        self.totals.resize(rounds, 0);
+        self.maxes.resize(rounds, 0);
+        for (i, (&t, &m)) in other.totals.iter().zip(&other.maxes).enumerate() {
+            self.totals[i] += t;
+            self.maxes[i] += m;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Whatever mix of record_round / merge_parallel (with mismatched
+    /// round counts forcing the resize path), the stats vectors equal
+    /// the naive per-round sums and maxima of the declared bits.
+    ///
+    /// `kinds[i] == 0` records one round from the pool; `kinds[i] == k`
+    /// (1..=3) merges a parallel sub-protocol of k pooled rounds — so
+    /// merges regularly carry more rounds than already recorded,
+    /// exercising the resize branch. (The vendored proptest subset has
+    /// no enum strategies, hence the opcode encoding.)
+    #[test]
+    fn totals_equal_sum_of_declared_bits(
+        kinds in prop::collection::vec(0usize..4, 1..10),
+        pool in prop::collection::vec(prop::collection::vec(0usize..512, 0..12), 32..33),
+    ) {
+        let mut stats = SizeStats::default();
+        let mut reference = Reference::default();
+        let mut cursor = 0usize;
+        let next = |cursor: &mut usize| {
+            let bits = pool[*cursor % pool.len()].clone();
+            *cursor += 1;
+            bits
+        };
+        for &kind in &kinds {
+            if kind == 0 {
+                let bits = next(&mut cursor);
+                stats.record_round(&round_from_bits(&bits));
+                reference.record(&bits);
+            } else {
+                let mut sub = SizeStats::default();
+                let mut sub_ref = Reference::default();
+                for _ in 0..kind {
+                    let bits = next(&mut cursor);
+                    sub.record_round(&round_from_bits(&bits));
+                    sub_ref.record(&bits);
+                }
+                stats.merge_parallel(&sub);
+                reference.merge(&sub_ref);
+            }
+        }
+        prop_assert_eq!(&stats.per_round_total_bits, &reference.totals);
+        prop_assert_eq!(&stats.per_round_max_bits, &reference.maxes);
+        // Derived measures agree with the reference vectors too.
+        prop_assert_eq!(stats.proof_size(), reference.maxes.iter().copied().max().unwrap_or(0));
+        prop_assert_eq!(stats.per_node_total(), reference.maxes.iter().sum::<usize>());
+    }
+
+    /// bit_summary is a one-pass equivalent of (max_bits, total_bits).
+    #[test]
+    fn bit_summary_matches_separate_passes(bits in prop::collection::vec(0usize..4096, 0..64)) {
+        let round = round_from_bits(&bits);
+        prop_assert_eq!(round.bit_summary(), (round.max_bits(), round.total_bits()));
+    }
+}

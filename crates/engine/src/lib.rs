@@ -48,17 +48,21 @@ pub mod report;
 pub mod seed;
 pub mod sink;
 pub mod spec;
+pub mod trace;
 
 pub use chaos::{
     build_target, run_chaos, ChaosOutcome, ChaosRecord, ChaosReport, ChaosSpec, Determinism,
     MutatorKind, TamperOutcome, Tamperable, TargetId, MUTATORS, TARGETS,
 };
 pub use family::{no_instance, no_instance_with, Family, YesInstance, FAMILIES};
-pub use pool::{execute_job, execute_job_with, Engine, WorkerScratch};
+pub use pool::{execute_job, execute_job_traced, execute_job_with, Engine, WorkerScratch};
 pub use record::{
     CellAgg, CellKey, FailureKind, JobFailure, RunRecord, SweepMetrics, SweepOutcome,
 };
-pub use report::print_table;
+pub use report::{print_table, render_table, Reporter};
 pub use seed::{job_seed, splitmix_finalize, sub_seed};
 pub use sink::{aggregate_json, records_csv, write_outputs};
 pub use spec::{JobCoords, JobSpec, Prover, ProverSpec, SeedMode, SweepSpec};
+pub use trace::{
+    envelope_bits, run_trace, TraceCell, TraceOutcome, TraceReport, TraceSpec, E10_SEED,
+};

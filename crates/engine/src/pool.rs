@@ -12,6 +12,7 @@ use crate::record::{FailureKind, JobFailure, RunRecord, SweepMetrics, SweepOutco
 use crate::seed::{labels, sub_seed};
 use crate::spec::{JobSpec, Prover, SweepSpec};
 use pdip_graph::TraversalScratch;
+use pdip_obs::{counter, span, BufferedRecorder, NoopRecorder, Recorder, ScopedRecorder, SpanId};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -120,8 +121,34 @@ impl Engine {
         self.run_jobs(spec, &jobs)
     }
 
+    /// [`Engine::run`] with an instrumentation [`Recorder`]: per-job
+    /// execute spans (job index as the event context), queue-wait and
+    /// execute duration histograms, retry/timeout counters, and every
+    /// protocol-level span the instrumented protocols emit.
+    ///
+    /// The recorder rides as a parameter (not an engine field) so the
+    /// engine stays `Clone`; each worker buffers through one
+    /// [`BufferedRecorder`] shard, keeping a collecting parent's drain
+    /// deterministic across worker counts. With a disabled recorder
+    /// this is exactly [`Engine::run`].
+    pub fn run_traced(&self, spec: &SweepSpec, rec: &dyn Recorder) -> SweepOutcome {
+        let jobs = spec.expand();
+        self.run_jobs_traced(spec, &jobs, rec)
+    }
+
     /// Executes an explicit job list (already expanded from `spec`).
     pub fn run_jobs(&self, spec: &SweepSpec, jobs: &[JobSpec]) -> SweepOutcome {
+        self.run_jobs_traced(spec, jobs, &NoopRecorder)
+    }
+
+    /// [`Engine::run_jobs`] with an instrumentation [`Recorder`]
+    /// (see [`Engine::run_traced`]).
+    pub fn run_jobs_traced(
+        &self,
+        spec: &SweepSpec,
+        jobs: &[JobSpec],
+        rec: &dyn Recorder,
+    ) -> SweepOutcome {
         let threads = self.threads.max(1);
         let _silencer = self.quiet_panics.then(PanicSilencer::engage);
         let start = Instant::now();
@@ -147,12 +174,25 @@ impl Engine {
                 let cursor = &cursor;
                 s.spawn(move || {
                     // One scratch arena per worker, reused across every
-                    // job this worker drains from the queue.
+                    // job this worker drains from the queue, and one
+                    // contiguous event shard (flushed on drop).
                     let mut scratch = WorkerScratch::new();
+                    let worker_rec = BufferedRecorder::new(rec);
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(job) = jobs.get(i) else { break };
-                        if tx.send(execute_job_with(spec, job, &mut scratch)).is_err() {
+                        if worker_rec.enabled() {
+                            // Time from pool start to job pickup: the
+                            // job's queue wait (histogram only — wall
+                            // data never enters the event stream).
+                            let nanos = start.elapsed().as_nanos();
+                            worker_rec.duration(
+                                "engine/queue-wait",
+                                u64::try_from(nanos).unwrap_or(u64::MAX),
+                            );
+                        }
+                        let out = execute_job_traced(spec, job, &mut scratch, &worker_rec);
+                        if tx.send(out).is_err() {
                             break;
                         }
                     }
@@ -209,19 +249,44 @@ pub fn execute_job_with(
     job: &JobSpec,
     scratch: &mut WorkerScratch,
 ) -> Result<RunRecord, JobFailure> {
+    execute_job_traced(spec, job, scratch, &NoopRecorder)
+}
+
+/// [`execute_job_with`] with an instrumentation [`Recorder`]: the run
+/// executes under an `engine/job` span whose event context is the job's
+/// grid index, with `retry` / `timed_out` counters and the protocol's
+/// own spans nested inside. With a disabled recorder this is exactly
+/// [`execute_job_with`] — same seeds, same records.
+pub fn execute_job_traced(
+    spec: &SweepSpec,
+    job: &JobSpec,
+    scratch: &mut WorkerScratch,
+    rec: &dyn Recorder,
+) -> Result<RunRecord, JobFailure> {
+    // Every event below carries the job's grid index as its context, so
+    // the drained trace groups per job no matter which worker ran it.
+    let job_rec = ScopedRecorder::new(rec, job.coords.index);
+    let job_id = SpanId::new("engine/job");
     let mut attempt = 0u32;
     loop {
         attempt += 1;
+        if attempt > 1 {
+            counter(&job_rec, 0, job_id, "retry", 1);
+        }
         let run_seed = if attempt == 1 {
             job.run_seed
         } else {
             sub_seed(sub_seed(job.run_seed, labels::RETRY), attempt as u64)
         };
-        match catch_unwind(AssertUnwindSafe(|| run_once(spec, job, run_seed, scratch))) {
+        match catch_unwind(AssertUnwindSafe(|| {
+            let _exec = span(&job_rec, 0, SpanId::new("engine/execute"));
+            run_once(spec, job, run_seed, scratch, &job_rec)
+        })) {
             Ok(mut record) => {
                 record.attempts = attempt;
                 if let Some(deadline) = spec.job_deadline {
                     if record.wall > deadline {
+                        counter(&job_rec, 0, job_id, "timed_out", 1);
                         let c = &job.coords;
                         return Err(JobFailure {
                             index: c.index,
@@ -267,6 +332,7 @@ fn run_once(
     job: &JobSpec,
     run_seed: u64,
     scratch: &mut WorkerScratch,
+    rec: &dyn Recorder,
 ) -> RunRecord {
     let c = &job.coords;
     let start = Instant::now();
@@ -274,13 +340,13 @@ fn run_once(
         Prover::Honest => {
             let inst = scratch.instance(c.family, c.n, true, job.gen_seed);
             inst.with_protocol(spec.params, spec.transport, |p| {
-                (p.run_honest(run_seed), p.instance_size(), p.rounds())
+                (p.run_honest_traced(run_seed, rec), p.instance_size(), p.rounds())
             })
         }
         Prover::Cheat(s) => {
             let inst = scratch.instance(c.family, c.n, false, job.gen_seed);
             inst.with_protocol(spec.params, spec.transport, |p| {
-                (p.run_cheat(s, run_seed), p.instance_size(), p.rounds())
+                (p.run_cheat_traced(s, run_seed, rec), p.instance_size(), p.rounds())
             })
         }
         Prover::PanicInjection => panic!(

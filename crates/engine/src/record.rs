@@ -136,13 +136,15 @@ pub struct SweepMetrics {
 }
 
 impl SweepMetrics {
-    /// Jobs per second of wall time.
+    /// Jobs per second of wall time. A zero wall time (possible for
+    /// empty sweeps on coarse clocks) reports 0.0, not infinity, so the
+    /// summary line always prints a finite number.
     pub fn jobs_per_sec(&self) -> f64 {
         let secs = self.wall.as_secs_f64();
         if secs > 0.0 {
             self.jobs as f64 / secs
         } else {
-            f64::INFINITY
+            0.0
         }
     }
 
@@ -375,6 +377,22 @@ mod tests {
         assert!(line.contains("3 retries"));
         assert!(line.contains("4 threads"));
         assert!(line.contains("50.0 jobs/sec"));
+    }
+
+    #[test]
+    fn zero_wall_time_reports_zero_throughput() {
+        let m = SweepMetrics {
+            jobs: 0,
+            failures: 0,
+            quarantined: 0,
+            timed_out: 0,
+            retries: 0,
+            threads: 1,
+            wall: Duration::ZERO,
+        };
+        assert_eq!(m.jobs_per_sec(), 0.0);
+        assert!(m.jobs_per_sec().is_finite());
+        assert!(m.summary_line().contains("0.0 jobs/sec"));
     }
 
     #[test]

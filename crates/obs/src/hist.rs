@@ -1,0 +1,137 @@
+//! Log2-bucketed duration histograms.
+
+/// A fixed-size histogram with power-of-two nanosecond buckets.
+///
+/// Bucket `i` counts observations `x` with `2^(i-1) <= x < 2^i`
+/// (bucket 0 counts `x == 0`), so 64 buckets cover the full `u64`
+/// range with no allocation and O(1) record/merge. Histograms carry
+/// *timing* data and are therefore excluded from deterministic
+/// artifacts by construction — see the crate-level determinism rules.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    total: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self { buckets: [0; 64], count: 0, total: 0 }
+    }
+
+    /// Bucket index for a nanosecond observation.
+    #[inline]
+    fn bucket(nanos: u64) -> usize {
+        ((64 - nanos.leading_zeros()) as usize).min(63)
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&mut self, nanos: u64) {
+        self.buckets[Self::bucket(nanos)] += 1;
+        self.count += 1;
+        self.total = self.total.saturating_add(nanos);
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.total = self.total.saturating_add(other.total);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations in nanoseconds (saturating).
+    pub fn total_nanos(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean observation in nanoseconds (0 when empty).
+    pub fn mean_nanos(&self) -> u64 {
+        self.total.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The raw bucket counts; bucket `i` covers `[2^(i-1), 2^i)`.
+    pub fn buckets(&self) -> &[u64; 64] {
+        &self.buckets
+    }
+
+    /// Upper bound (exclusive) of the bucket containing the `q`
+    /// quantile, `0.0 <= q <= 1.0` — a coarse percentile good enough
+    /// for breakdown tables. Returns 0 when empty.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i >= 63 { u64::MAX } else { 1u64 << i };
+            }
+        }
+        u64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        let mut h = Histogram::new();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1
+        h.record(2); // bucket 2
+        h.record(3); // bucket 2
+        h.record(4); // bucket 3
+        h.record(u64::MAX); // bucket 63
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[1], 1);
+        assert_eq!(h.buckets()[2], 2);
+        assert_eq!(h.buckets()[3], 1);
+        assert_eq!(h.buckets()[63], 1);
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_totals() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(7);
+        b.record(9);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.total_nanos(), 21);
+        assert_eq!(a.mean_nanos(), 7);
+    }
+
+    #[test]
+    fn quantile_bounds_are_monotone() {
+        let mut h = Histogram::new();
+        for x in [1u64, 10, 100, 1000, 10_000] {
+            h.record(x);
+        }
+        let p50 = h.quantile_upper_bound(0.5);
+        let p99 = h.quantile_upper_bound(0.99);
+        assert!(p50 <= p99);
+        assert!(p50 >= 100, "median bucket bound must cover the median sample");
+        assert_eq!(Histogram::new().quantile_upper_bound(0.5), 0);
+    }
+}

@@ -15,8 +15,9 @@
 use crate::lr_sorting::Transport;
 use crate::path_outerplanar::{PathOuterplanarity, PopCheat, PopInstance, PopParams};
 use crate::spanning_tree::{SpanningTreeVerification, StParams};
-use pdip_core::{DipProtocol, Rejections, RunResult, SizeStats};
+use pdip_core::{trace_stats, DipProtocol, Rejections, RunResult, SizeStats};
 use pdip_graph::{EdgeId, EulerTour, Graph, NodeId, RootedForest, RotationSystem};
+use pdip_obs::{span, NoopRecorder, Recorder, SpanId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -200,6 +201,19 @@ impl<'a> EmbeddedPlanarity<'a> {
 
     /// One full run.
     pub fn run(&self, cheat: Option<EmbCheat>, seed: u64) -> RunResult {
+        self.run_with(cheat, seed, &NoopRecorder)
+    }
+
+    /// [`EmbeddedPlanarity::run`] with an instrumentation [`Recorder`]:
+    /// stage spans, Lemma 2.5 primitive spans, and per-round bit counters
+    /// ([`trace_stats`]). With a disabled recorder this is the same run.
+    pub fn run_with(&self, cheat: Option<EmbCheat>, seed: u64, rec: &dyn Recorder) -> RunResult {
+        let res = self.run_inner(cheat, seed, rec);
+        trace_stats(rec, "embedded-planarity", &res.stats);
+        res
+    }
+
+    fn run_inner(&self, cheat: Option<EmbCheat>, seed: u64, rec: &dyn Recorder) -> RunResult {
         let g = self.g();
         let n = g.n();
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -210,6 +224,7 @@ impl<'a> EmbeddedPlanarity<'a> {
         }
 
         // ---- Spanning-tree commitment + verification ----
+        let stage1 = span(rec, 0, SpanId::at("embedded-planarity/stage", 1));
         let root = 0;
         let tree = if cheat == Some(EmbCheat::FakeTree) {
             // A non-spanning "tree": BFS stopped halfway, rest are roots.
@@ -230,7 +245,7 @@ impl<'a> EmbeddedPlanarity<'a> {
             self.params.st_repetitions,
         ));
         let st_coins = st.draw_coins(n, &mut rng);
-        let st_msgs = st.honest_response(&tree, &st_coins);
+        let st_msgs = st.honest_response_traced(&tree, &st_coins, rec);
         for v in 0..n {
             st.check(g, v, tree.parent(v), tree.parent(v).is_none(), &st_coins, &st_msgs, &mut rej);
         }
@@ -240,7 +255,10 @@ impl<'a> EmbeddedPlanarity<'a> {
             return rej.into_result(stats);
         }
 
+        drop(stage1);
+
         // ---- The reduction + simulated path-outerplanarity on h ----
+        let _stage2 = span(rec, 0, SpanId::at("embedded-planarity/stage", 2));
         let red = build_reduction(g, &self.inst.rho, &tree, root);
         let pop_inst = PopInstance {
             witness: Some(red.path.clone()),
@@ -253,7 +271,7 @@ impl<'a> EmbeddedPlanarity<'a> {
             Some(EmbCheat::ForceMark) => Some(PopCheat::NestingForceMark),
             _ => None,
         };
-        let res = sub.run(sub_cheat, rng.gen());
+        let res = sub.run_with(sub_cheat, rng.gen(), rec);
         // Each original node simulates at most 5 copies of h — multiply the
         // per-round bounds accordingly (§7 simulation argument).
         let mut sub_stats = res.stats.clone();
@@ -303,6 +321,14 @@ impl DipProtocol for EmbeddedPlanarity<'_> {
 
     fn run_cheat(&self, strategy: usize, seed: u64) -> RunResult {
         self.run(Some(EMB_CHEATS[strategy]), seed)
+    }
+
+    fn run_honest_traced(&self, seed: u64, rec: &dyn Recorder) -> RunResult {
+        self.run_with(None, seed, rec)
+    }
+
+    fn run_cheat_traced(&self, strategy: usize, seed: u64, rec: &dyn Recorder) -> RunResult {
+        self.run_with(Some(EMB_CHEATS[strategy]), seed, rec)
     }
 }
 

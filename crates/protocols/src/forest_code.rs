@@ -17,6 +17,7 @@
 use pdip_core::bits_for_domain;
 use pdip_graph::degeneracy::greedy_coloring;
 use pdip_graph::{Graph, NodeId, RootedForest};
+use pdip_obs::{counter, span, Recorder, SpanId};
 
 /// The Lemma 2.3 label of one node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,6 +104,16 @@ impl ForestCode {
     /// Label width in bits: two colors, the parity bit and the root bit.
     pub fn label_bits(&self) -> usize {
         2 * bits_for_domain(self.colors) + 2
+    }
+
+    /// [`ForestCode::encode`] under a Lemma 2.3 span with a
+    /// `label_bits` counter; the encoding itself is untouched.
+    pub fn encode_traced(g: &Graph, forest: &RootedForest, rec: &dyn Recorder) -> Self {
+        let id = SpanId::new("lemma2.3/forest-code");
+        let _g = span(rec, 0, id);
+        let code = Self::encode(g, forest);
+        counter(rec, 0, id, "label_bits", code.label_bits() as u64);
+        code
     }
 }
 

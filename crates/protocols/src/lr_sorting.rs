@@ -30,10 +30,11 @@
 
 use crate::edge_labels::EdgeLabelCarrier;
 use crate::multiset_eq::{MsMsg, MultisetEq};
-use pdip_core::{bits_for_max, Rejections, RunResult, SizeStats};
+use pdip_core::{bits_for_max, trace_stats, Rejections, RunResult, SizeStats};
 use pdip_field::{prefix_poly_evals, smallest_prime_above, Fp};
 use pdip_graph::gen::lr::LrInstance;
 use pdip_graph::{EdgeId, Graph, NodeId};
+use pdip_obs::{span, NoopRecorder, Recorder, SpanId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -524,6 +525,7 @@ impl<'a> LrSorting<'a> {
         r2n: &[R2Node],
         r2e: &[Option<R2Edge>],
         coins: &[LrCoins],
+        rec: &dyn Recorder,
     ) -> Vec<R3Node> {
         let g = self.g();
         let n = g.n();
@@ -550,8 +552,20 @@ impl<'a> LrSorting<'a> {
                 members.iter().map(|&v| self.d_side(v, true, r1n, r2n)).collect();
             let d0: Vec<Vec<u64>> =
                 members.iter().map(|&v| self.d_side(v, false, r1n, r2n)).collect();
-            let msgs1 = ms.honest_response(&parent, |i| c1[i].as_slice(), |i| d1[i].as_slice(), z1);
-            let msgs0 = ms.honest_response(&parent, |i| c0[i].as_slice(), |i| d0[i].as_slice(), z0);
+            let msgs1 = ms.honest_response_traced(
+                &parent,
+                |i| c1[i].as_slice(),
+                |i| d1[i].as_slice(),
+                z1,
+                rec,
+            );
+            let msgs0 = ms.honest_response_traced(
+                &parent,
+                |i| c0[i].as_slice(),
+                |i| d0[i].as_slice(),
+                z0,
+                rec,
+            );
             for (i, &v) in members.iter().enumerate() {
                 out[v] = R3Node { eq1: msgs1[i], eq0: msgs0[i] };
             }
@@ -621,10 +635,18 @@ impl<'a> LrSorting<'a> {
 
     /// Runs the whole protocol and decides.
     pub fn run(&self, cheat: Option<LrCheat>, seed: u64) -> RunResult {
+        self.run_with(cheat, seed, &NoopRecorder)
+    }
+
+    /// [`LrSorting::run`] with instrumentation: prover-round and decide
+    /// spans plus per-round bit counters (span name `"lr-sorting"`).
+    /// Identical RNG call order and result — `rec` is observe-only.
+    pub fn run_with(&self, cheat: Option<LrCheat>, seed: u64, rec: &dyn Recorder) -> RunResult {
         let g = self.g();
         let n = g.n();
         let mut rng = SmallRng::seed_from_u64(seed);
         // V-rounds: all nodes draw all coins (public coin model).
+        let coins_span = span(rec, 0, SpanId::new("lr-sorting/coins"));
         let coins: Vec<LrCoins> = (0..n)
             .map(|_| LrCoins {
                 r: rng.gen_range(0..self.field_p.modulus()),
@@ -634,16 +656,27 @@ impl<'a> LrSorting<'a> {
                 z0: rng.gen_range(0..self.field_pp.modulus()),
             })
             .collect();
+        drop(coins_span);
+        let s1 = span(rec, 0, SpanId::at("lr-sorting/prover-round", 1));
         let (r1n, r1e) = self.round1(cheat);
+        drop(s1);
+        let s2 = span(rec, 0, SpanId::at("lr-sorting/prover-round", 2));
         let (r2n, r2e) = self.round2(&r1n, &r1e, &coins, cheat);
-        let r3n = self.round3(&r1n, &r1e, &r2n, &r2e, &coins);
+        drop(s2);
+        let s3 = span(rec, 0, SpanId::at("lr-sorting/prover-round", 3));
+        let r3n = self.round3(&r1n, &r1e, &r2n, &r2e, &coins, rec);
+        drop(s3);
         let t =
             LrTranscript { r1_node: r1n, r1_edge: r1e, r2_node: r2n, r2_edge: r2e, r3_node: r3n };
         let stats = self.stats(&t);
         let mut rej = Rejections::new();
-        for v in 0..n {
-            self.decide(v, &t, &coins, &mut rej);
+        {
+            let _d = span(rec, 0, SpanId::new("lr-sorting/decide"));
+            for v in 0..n {
+                self.decide(v, &t, &coins, &mut rej);
+            }
         }
+        trace_stats(rec, "lr-sorting", &stats);
         rej.into_result(stats)
     }
 
@@ -675,7 +708,7 @@ impl<'a> LrSorting<'a> {
             .collect();
         let (r1n, r1e) = self.round1(None);
         let (r2n, r2e) = self.round2(&r1n, &r1e, &coins, None);
-        let r3n = self.round3(&r1n, &r1e, &r2n, &r2e, &coins);
+        let r3n = self.round3(&r1n, &r1e, &r2n, &r2e, &coins, &NoopRecorder);
         let mut t =
             LrTranscript { r1_node: r1n, r1_edge: r1e, r2_node: r2n, r2_edge: r2e, r3_node: r3n };
         let stats = self.stats(&t);

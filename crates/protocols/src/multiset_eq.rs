@@ -16,6 +16,7 @@
 
 use pdip_core::Rejections;
 use pdip_field::{multiset_poly_eval, Fp};
+use pdip_obs::{counter, span, Recorder, SpanId};
 
 /// The prover's message to one segment node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,6 +102,25 @@ impl MultisetEq {
         }
         assert!(folded == k, "cyclic parents");
         (0..k).map(|i| MsMsg { z, a1: a1[i], a2: a2[i] }).collect()
+    }
+
+    /// [`MultisetEq::honest_response`] under a Lemma 2.6 span with
+    /// `segment_len` / `msg_bits` counters. The hot one-pass
+    /// implementation is untouched; with a disabled recorder this is
+    /// the same call (the PR-2 bench numbers measure the inner fn).
+    pub fn honest_response_traced<'s>(
+        &self,
+        parent: &[Option<usize>],
+        s1: impl Fn(usize) -> &'s [u64],
+        s2: impl Fn(usize) -> &'s [u64],
+        z: u64,
+        rec: &dyn Recorder,
+    ) -> Vec<MsMsg> {
+        let id = SpanId::new("lemma2.6/multiset-eq");
+        let _g = span(rec, 0, id);
+        counter(rec, 0, id, "segment_len", parent.len() as u64);
+        counter(rec, 0, id, "msg_bits", self.msg_bits() as u64);
+        self.honest_response(parent, s1, s2, z)
     }
 
     /// The verifier check at segment node `i`.

@@ -21,9 +21,10 @@
 use crate::lr_sorting::Transport;
 use crate::path_outerplanar::{PathOuterplanarity, PopCheat, PopInstance, PopParams};
 use crate::spanning_tree::{SpanningTreeVerification, StParams};
-use pdip_core::{DipProtocol, Rejections, RunResult, SizeStats, Tag};
+use pdip_core::{trace_stats, DipProtocol, Rejections, RunResult, SizeStats, Tag};
 use pdip_graph::outerplanar::outer_cycle;
 use pdip_graph::{BlockCutTree, Graph, NodeId, RootedForest};
+use pdip_obs::{span, NoopRecorder, Recorder, SpanId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -75,6 +76,19 @@ impl<'a> Outerplanarity<'a> {
 
     /// One full run.
     pub fn run(&self, cheat: Option<OpCheat>, seed: u64) -> RunResult {
+        self.run_with(cheat, seed, &NoopRecorder)
+    }
+
+    /// [`Outerplanarity::run`] with an instrumentation [`Recorder`]: stage
+    /// spans, Lemma 2.3/2.5 primitive spans, and per-round bit counters
+    /// ([`trace_stats`]). With a disabled recorder this is the same run.
+    pub fn run_with(&self, cheat: Option<OpCheat>, seed: u64, rec: &dyn Recorder) -> RunResult {
+        let res = self.run_inner(cheat, seed, rec);
+        trace_stats(rec, "outerplanarity", &res.stats);
+        res
+    }
+
+    fn run_inner(&self, cheat: Option<OpCheat>, seed: u64, rec: &dyn Recorder) -> RunResult {
         let g = self.g();
         let n = g.n();
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -106,6 +120,7 @@ impl<'a> Outerplanarity<'a> {
         }
 
         // ---- Stage 1: component-membership tags ----
+        let stage1 = span(rec, 0, SpanId::at("outerplanarity/stage", 1));
         // Per node: cut-node flag, leader flag, sep/lead tag echoes.
         let is_cut: Vec<bool> = (0..n).map(|v| bct.bcc.is_cut_node[v]).collect();
         let mut leader_of_block: Vec<Option<NodeId>> = vec![None; k];
@@ -177,7 +192,10 @@ impl<'a> Outerplanarity<'a> {
             }
         }
 
+        drop(stage1);
+
         // ---- Stage 2: union of block paths is a spanning tree ----
+        let stage2 = span(rec, 0, SpanId::at("outerplanarity/stage", 2));
         let mut parent: Vec<Option<(NodeId, usize)>> = vec![None; n];
         let mut union_ok = true;
         for p in &block_paths {
@@ -200,7 +218,7 @@ impl<'a> Outerplanarity<'a> {
             self.params.st_repetitions,
         ));
         let st_coins = st.draw_coins(n, &mut rng);
-        let st_msgs = st.honest_response(&forest, &st_coins);
+        let st_msgs = st.honest_response_traced(&forest, &st_coins, rec);
         for v in 0..n {
             st.check(
                 g,
@@ -220,7 +238,10 @@ impl<'a> Outerplanarity<'a> {
             return rej.into_result(stats);
         }
 
+        drop(stage2);
+
         // ---- Stage 3: per-block biconnected outerplanarity ----
+        let _stage3 = span(rec, 0, SpanId::at("outerplanarity/stage", 3));
         let mut per_round_max = [0usize; 3];
         for c in 0..k {
             let nodes = bct.bcc.component_nodes(g, c);
@@ -264,7 +285,7 @@ impl<'a> Outerplanarity<'a> {
                     _ => PopCheat::FakePath,
                 })
             };
-            let res = sub.run(sub_cheat, rng.gen());
+            let res = sub.run_with(sub_cheat, rng.gen(), rec);
             for (i, b) in res.stats.per_round_max_bits.iter().enumerate() {
                 // Parallel per-block executions: a node is charged its own
                 // block's labels (the deferral trick bounds cut nodes by a
@@ -378,6 +399,14 @@ impl DipProtocol for Outerplanarity<'_> {
 
     fn run_cheat(&self, strategy: usize, seed: u64) -> RunResult {
         self.run(Some(OP_CHEATS[strategy]), seed)
+    }
+
+    fn run_honest_traced(&self, seed: u64, rec: &dyn Recorder) -> RunResult {
+        self.run_with(None, seed, rec)
+    }
+
+    fn run_cheat_traced(&self, strategy: usize, seed: u64, rec: &dyn Recorder) -> RunResult {
+        self.run_with(Some(OP_CHEATS[strategy]), seed, rec)
     }
 }
 

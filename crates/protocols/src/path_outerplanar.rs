@@ -21,9 +21,10 @@ use crate::forest_code::{decode_children, decode_parent, ForestCode};
 use crate::lr_sorting::{LrCheat, LrParams, LrSorting, Transport};
 use crate::nesting::{self, NestingLabels};
 use crate::spanning_tree::{SpanningTreeVerification, StParams};
-use pdip_core::{DipProtocol, Rejections, RunResult, SizeStats, Tag};
+use pdip_core::{trace_stats, DipProtocol, Rejections, RunResult, SizeStats, Tag};
 use pdip_graph::gen::lr::LrInstance;
 use pdip_graph::{Graph, NodeId, Orientation, RootedForest};
+use pdip_obs::{span, NoopRecorder, Recorder, SpanId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -114,6 +115,20 @@ impl<'a> PathOuterplanarity<'a> {
 
     /// One full run.
     pub fn run(&self, cheat: Option<PopCheat>, seed: u64) -> RunResult {
+        self.run_with(cheat, seed, &NoopRecorder)
+    }
+
+    /// [`PathOuterplanarity::run`] with instrumentation: stage spans
+    /// (path commit / LR-sorting / nesting), Lemma 2.3/2.5 primitive
+    /// spans, and per-round bit counters under span name
+    /// `"path-outerplanarity"`. Identical RNG call order and result.
+    pub fn run_with(&self, cheat: Option<PopCheat>, seed: u64, rec: &dyn Recorder) -> RunResult {
+        let res = self.run_inner(cheat, seed, rec);
+        trace_stats(rec, "path-outerplanarity", &res.stats);
+        res
+    }
+
+    fn run_inner(&self, cheat: Option<PopCheat>, seed: u64, rec: &dyn Recorder) -> RunResult {
         let g = self.g();
         let n = g.n();
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -121,6 +136,7 @@ impl<'a> PathOuterplanarity<'a> {
         let mut stats = SizeStats { rounds: 5, ..Default::default() };
 
         // ---- Stage 1: committing to a path ----
+        let stage1 = span(rec, 0, SpanId::at("path-outerplanarity/stage", 1));
         let path = self.claimed_path(cheat);
         // A corrupted witness can name unknown nodes, revisit a node
         // (which would put a cycle in the parent pointers), or traverse
@@ -147,7 +163,7 @@ impl<'a> PathOuterplanarity<'a> {
             return rej.into_result(stats);
         }
         let forest = RootedForest::from_parents(g, parent);
-        let code = ForestCode::encode(g, &forest);
+        let code = ForestCode::encode_traced(g, &forest, rec);
         let claimed_parent: Vec<Option<NodeId>> =
             (0..n).map(|v| decode_parent(g, &code.labels, v)).collect();
         let claimed_root: Vec<bool> = (0..n).map(|v| code.labels[v].root).collect();
@@ -166,7 +182,7 @@ impl<'a> PathOuterplanarity<'a> {
             self.params.st_repetitions,
         ));
         let st_coins = st.draw_coins(n, &mut rng);
-        let st_msgs = st.honest_response(&forest, &st_coins);
+        let st_msgs = st.honest_response_traced(&forest, &st_coins, rec);
         for v in 0..n {
             st.check(g, v, claimed_parent[v], claimed_root[v], &st_coins, &st_msgs, &mut rej);
         }
@@ -183,8 +199,10 @@ impl<'a> PathOuterplanarity<'a> {
             stats.coin_bits = n * st.coin_bits();
             return rej.into_result(stats);
         }
+        drop(stage1);
 
         // ---- Stage 2: LR-sorting on the claimed orientation ----
+        let stage2 = span(rec, 0, SpanId::at("path-outerplanarity/stage", 2));
         let mut positions = vec![0usize; n];
         for (i, &v) in path.iter().enumerate() {
             positions[v] = i;
@@ -213,13 +231,15 @@ impl<'a> PathOuterplanarity<'a> {
             LrParams { c: self.params.c, block_len: None },
             self.transport,
         );
-        let lr_res = lr.run(lr_cheat, rng.gen());
+        let lr_res = lr.run_with(lr_cheat, rng.gen(), rec);
         stats.merge_parallel(&lr_res.stats);
         for ((v, reason), kind) in lr_res.rejections.into_iter().zip(lr_res.kinds) {
             rej.reject_as(v, kind, format!("pop/lr: {reason}"));
         }
+        drop(stage2);
 
         // ---- Stage 3: nesting verification ----
+        let _stage3 = span(rec, 0, SpanId::at("path-outerplanarity/stage", 3));
         let mut is_path_edge = vec![false; g.m()];
         for &e in &path_edges {
             is_path_edge[e] = true;
@@ -387,6 +407,14 @@ impl DipProtocol for PathOuterplanarity<'_> {
 
     fn run_cheat(&self, strategy: usize, seed: u64) -> RunResult {
         self.run(Some(POP_CHEATS[strategy]), seed)
+    }
+
+    fn run_honest_traced(&self, seed: u64, rec: &dyn Recorder) -> RunResult {
+        self.run_with(None, seed, rec)
+    }
+
+    fn run_cheat_traced(&self, strategy: usize, seed: u64, rec: &dyn Recorder) -> RunResult {
+        self.run_with(Some(POP_CHEATS[strategy]), seed, rec)
     }
 }
 

@@ -13,8 +13,9 @@
 use crate::embedded_planarity::{EmbCheat, EmbInstance, EmbeddedPlanarity};
 use crate::lr_sorting::Transport;
 use crate::path_outerplanar::PopParams;
-use pdip_core::{bits_for_domain, DipProtocol, Rejections, RunResult};
+use pdip_core::{bits_for_domain, trace_stats, DipProtocol, Rejections, RunResult};
 use pdip_graph::{Graph, RotationSystem};
+use pdip_obs::{counter, span, NoopRecorder, Recorder, SpanId};
 
 /// A planarity instance: graph plus (for yes-instances) a witness
 /// embedding.
@@ -60,13 +61,23 @@ impl<'a> Planarity<'a> {
 
     /// One full run.
     pub fn run(&self, cheat: Option<PlCheat>, seed: u64) -> RunResult {
+        self.run_with(cheat, seed, &NoopRecorder)
+    }
+
+    /// [`Planarity::run`] with an instrumentation [`Recorder`]: a rotation
+    /// span with a `delta_bits` counter, the inner Theorem 1.4 trace, and
+    /// per-round bit counters ([`trace_stats`]). With a disabled recorder
+    /// this is the same run.
+    pub fn run_with(&self, cheat: Option<PlCheat>, seed: u64, rec: &dyn Recorder) -> RunResult {
         let g = &self.inst.graph;
         let mut rej = Rejections::new();
         // The prover's rotation system.
+        let rot_span = span(rec, 0, SpanId::new("planarity/rotation"));
         let rho = match (&self.inst.witness_rho, cheat) {
             (Some(w), None) => w.clone(),
             _ => RotationSystem::port_order(g),
         };
+        drop(rot_span);
         // Local well-formedness: each node's received values are a
         // permutation of 0..deg(v) (RotationSystem enforces this
         // structurally; a malformed assignment would be a deterministic
@@ -84,11 +95,12 @@ impl<'a> Planarity<'a> {
             Some(PlCheat::PortOrderFakeTree) => Some(EmbCheat::FakeTree),
             None => None,
         };
-        let res = emb.run(sub_cheat, seed);
+        let res = emb.run_with(sub_cheat, seed, rec);
         let mut stats = res.stats.clone();
         // The Δ-dependent overhead: the pair (ρ_u(e), ρ_v(e)) on each edge
         // rides round 1.
         let delta_bits = 2 * bits_for_domain(g.max_degree().max(1));
+        counter(rec, 0, SpanId::new("planarity/rotation"), "delta_bits", delta_bits as u64);
         if let Some(b) = stats.per_round_max_bits.first_mut() {
             *b += match self.transport {
                 Transport::Native => delta_bits,
@@ -98,6 +110,7 @@ impl<'a> Planarity<'a> {
         for ((v, reason), kind) in res.rejections.into_iter().zip(res.kinds) {
             rej.reject_as(v, kind, reason);
         }
+        trace_stats(rec, "planarity", &stats);
         rej.into_result(stats)
     }
 }
@@ -133,6 +146,14 @@ impl DipProtocol for Planarity<'_> {
 
     fn run_cheat(&self, strategy: usize, seed: u64) -> RunResult {
         self.run(Some(PL_CHEATS[strategy]), seed)
+    }
+
+    fn run_honest_traced(&self, seed: u64, rec: &dyn Recorder) -> RunResult {
+        self.run_with(None, seed, rec)
+    }
+
+    fn run_cheat_traced(&self, strategy: usize, seed: u64, rec: &dyn Recorder) -> RunResult {
+        self.run_with(Some(PL_CHEATS[strategy]), seed, rec)
     }
 }
 

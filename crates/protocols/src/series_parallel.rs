@@ -25,9 +25,10 @@
 use crate::lr_sorting::Transport;
 use crate::path_outerplanar::{PathOuterplanarity, PopCheat, PopInstance, PopParams};
 use crate::spanning_tree::{SpanningTreeVerification, StParams};
-use pdip_core::{DipProtocol, Rejections, RunResult, SizeStats, Tag};
+use pdip_core::{trace_stats, DipProtocol, Rejections, RunResult, SizeStats, Tag};
 use pdip_graph::ear::EarDecomposition;
 use pdip_graph::{Graph, NodeId, RootedForest};
+use pdip_obs::{span, NoopRecorder, Recorder, SpanId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -138,6 +139,20 @@ impl<'a> SeriesParallel<'a> {
 
     /// One full run.
     pub fn run(&self, cheat: Option<SpaCheat>, seed: u64) -> RunResult {
+        self.run_with(cheat, seed, &NoopRecorder)
+    }
+
+    /// [`SeriesParallel::run`] with an instrumentation [`Recorder`]: stage
+    /// spans, the Theorem 1.2 sub-run traces per host ear, and per-round
+    /// bit counters ([`trace_stats`]). With a disabled recorder this is
+    /// the same run.
+    pub fn run_with(&self, cheat: Option<SpaCheat>, seed: u64, rec: &dyn Recorder) -> RunResult {
+        let res = self.run_inner(cheat, seed, rec);
+        trace_stats(rec, "series-parallel", &res.stats);
+        res
+    }
+
+    fn run_inner(&self, cheat: Option<SpaCheat>, seed: u64, rec: &dyn Recorder) -> RunResult {
         let g = self.g();
         let n = g.n();
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -146,6 +161,7 @@ impl<'a> SeriesParallel<'a> {
         if n <= 2 || g.m() == 0 {
             return rej.into_result(stats);
         }
+        let stage1 = span(rec, 0, SpanId::at("series-parallel/stage", 1));
         let com = self.commitment(cheat);
         let ears = &com.ears;
 
@@ -205,7 +221,9 @@ impl<'a> SeriesParallel<'a> {
             self.params.c,
             self.params.st_repetitions,
         ));
+        drop(stage1);
         // ---- Condition (1): ear tags ----
+        let stage2 = span(rec, 0, SpanId::at("series-parallel/stage", 2));
         // Every ear draws a random tag (sampled by its sub-ear head —
         // here: by index, the coins being public). Node labels carry
         // (ear, pred_ear); connecting edges and single-edge-ear edges
@@ -331,7 +349,10 @@ impl<'a> SeriesParallel<'a> {
             }
         }
 
+        drop(stage2);
+
         // ---- Condition (3): per host ear, nesting of hosted arcs ----
+        let _stage3 = span(rec, 0, SpanId::at("series-parallel/stage", 3));
         let mut per_round_max = [0usize; 3];
         for (i, (p, _)) in ears.iter().enumerate() {
             if p.is_empty() {
@@ -376,7 +397,7 @@ impl<'a> SeriesParallel<'a> {
             let pop_inst = PopInstance { graph: flat, witness: Some(witness), is_yes };
             let sub = PathOuterplanarity::new(&pop_inst, self.params, self.transport);
             let sub_cheat = if is_yes { None } else { Some(PopCheat::NestingForceMark) };
-            let res = sub.run(sub_cheat, rng.gen());
+            let res = sub.run_with(sub_cheat, rng.gen(), rec);
             for (k, b) in res.stats.per_round_max_bits.iter().enumerate() {
                 per_round_max[k] = per_round_max[k].max(*b);
             }
@@ -468,6 +489,14 @@ impl DipProtocol for SeriesParallel<'_> {
 
     fn run_cheat(&self, strategy: usize, seed: u64) -> RunResult {
         self.run(Some(SPA_CHEATS[strategy]), seed)
+    }
+
+    fn run_honest_traced(&self, seed: u64, rec: &dyn Recorder) -> RunResult {
+        self.run_with(None, seed, rec)
+    }
+
+    fn run_cheat_traced(&self, strategy: usize, seed: u64, rec: &dyn Recorder) -> RunResult {
+        self.run_with(Some(SPA_CHEATS[strategy]), seed, rec)
     }
 }
 

@@ -29,6 +29,7 @@
 use pdip_core::{bits_for_domain, Rejections};
 use pdip_field::primes_in_window;
 use pdip_graph::{Graph, NodeId, RootedForest};
+use pdip_obs::{counter, span, Recorder, SpanId};
 use rand::Rng;
 
 /// Parameters of the spanning-tree verifier.
@@ -121,6 +122,22 @@ impl SpanningTreeVerification {
                     .collect(),
             })
             .collect()
+    }
+
+    /// [`SpanningTreeVerification::honest_response`] under a Lemma 2.5
+    /// span with `msg_bits` / `coin_bits` counters; the response
+    /// computation is untouched.
+    pub fn honest_response_traced(
+        &self,
+        forest: &RootedForest,
+        coins: &[StCoin],
+        rec: &dyn Recorder,
+    ) -> Vec<StMsg> {
+        let id = SpanId::new("lemma2.5/spanning-tree");
+        let _g = span(rec, 0, id);
+        counter(rec, 0, id, "msg_bits", self.msg_bits() as u64);
+        counter(rec, 0, id, "coin_bits", self.coin_bits() as u64);
+        self.honest_response(forest, coins)
     }
 
     /// Message size in bits per node.

@@ -12,8 +12,9 @@ use crate::lr_sorting::Transport;
 use crate::path_outerplanar::PopParams;
 use crate::series_parallel::{SeriesParallel, SpaCheat, SpaInstance};
 use crate::spanning_tree::{SpanningTreeVerification, StParams};
-use pdip_core::{DipProtocol, Rejections, RunResult, SizeStats, Tag};
+use pdip_core::{trace_stats, DipProtocol, Rejections, RunResult, SizeStats, Tag};
 use pdip_graph::{BlockCutTree, Graph, RootedForest};
+use pdip_obs::{span, NoopRecorder, Recorder, SpanId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -62,6 +63,20 @@ impl<'a> Treewidth2<'a> {
 
     /// One full run.
     pub fn run(&self, cheat: Option<Tw2Cheat>, seed: u64) -> RunResult {
+        self.run_with(cheat, seed, &NoopRecorder)
+    }
+
+    /// [`Treewidth2::run`] with an instrumentation [`Recorder`]: stage
+    /// spans, Lemma 2.5 primitive spans, the Theorem 1.6 sub-run traces
+    /// per block, and per-round bit counters ([`trace_stats`]). With a
+    /// disabled recorder this is the same run.
+    pub fn run_with(&self, cheat: Option<Tw2Cheat>, seed: u64, rec: &dyn Recorder) -> RunResult {
+        let res = self.run_inner(cheat, seed, rec);
+        trace_stats(rec, "treewidth-2", &res.stats);
+        res
+    }
+
+    fn run_inner(&self, cheat: Option<Tw2Cheat>, seed: u64, rec: &dyn Recorder) -> RunResult {
         let g = self.g();
         let n = g.n();
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -72,6 +87,7 @@ impl<'a> Treewidth2<'a> {
         }
 
         // ---- Block-cut commitment: spanning tree + block tags ----
+        let stage1 = span(rec, 0, SpanId::at("treewidth-2/stage", 1));
         let bct = BlockCutTree::rooted(g);
         let k = bct.block_count();
         let tags: Vec<Tag> = (0..k).map(|_| Tag::random(self.tag_bits, &mut rng)).collect();
@@ -109,7 +125,7 @@ impl<'a> Treewidth2<'a> {
             self.params.st_repetitions,
         ));
         let st_coins = st.draw_coins(n, &mut rng);
-        let st_msgs = st.honest_response(&forest, &st_coins);
+        let st_msgs = st.honest_response_traced(&forest, &st_coins, rec);
         for v in 0..n {
             st.check(
                 g,
@@ -122,7 +138,10 @@ impl<'a> Treewidth2<'a> {
             );
         }
 
+        drop(stage1);
+
         // ---- Per-block series-parallel runs ----
+        let _stage2 = span(rec, 0, SpanId::at("treewidth-2/stage", 2));
         let mut per_round_max = [0usize; 3];
         for c in 0..k {
             let nodes = bct.bcc.component_nodes(g, c);
@@ -149,7 +168,7 @@ impl<'a> Treewidth2<'a> {
                     _ => SpaCheat::HideExtraEdges,
                 })
             };
-            let res = sub.run(sub_cheat, rng.gen());
+            let res = sub.run_with(sub_cheat, rng.gen(), rec);
             for (i, b) in res.stats.per_round_max_bits.iter().enumerate() {
                 per_round_max[i] = per_round_max[i].max(*b);
             }
@@ -204,6 +223,14 @@ impl DipProtocol for Treewidth2<'_> {
 
     fn run_cheat(&self, strategy: usize, seed: u64) -> RunResult {
         self.run(Some(TW2_CHEATS[strategy]), seed)
+    }
+
+    fn run_honest_traced(&self, seed: u64, rec: &dyn Recorder) -> RunResult {
+        self.run_with(None, seed, rec)
+    }
+
+    fn run_cheat_traced(&self, strategy: usize, seed: u64, rec: &dyn Recorder) -> RunResult {
+        self.run_with(Some(TW2_CHEATS[strategy]), seed, rec)
     }
 }
 

@@ -7,14 +7,15 @@
 //! pdip size <family> [--from K] [--to K]
 //! pdip soundness <family> [--n N] [--trials T]
 //! pdip sweep [--families a,b,..] [--n-from N] [--n-to N] [--trials T]
-//!            [--threads K] [--seed S] [--honest-only] [--out PATH]
+//!            [--threads K] [--seed S] [--honest-only] [--out PATH] [--quiet]
 //! pdip bench-hotpath [--out PATH]
 //! pdip bench-graph [--smoke] [--out PATH]
 //! pdip chaos [--smoke] [--threads K] [--out PREFIX]
+//! pdip trace [--smoke] [--threads K] [--out PREFIX] [--quiet]
 //! ```
 
 use pdip_bench::{no_instance, Family, YesInstance, FAMILIES};
-use pdip_engine::{print_table, Engine, ProverSpec, SweepSpec};
+use pdip_engine::{Engine, ProverSpec, Reporter, SweepSpec};
 use planarity_dip::dip::DipProtocol;
 use planarity_dip::protocols::{Amplified, PopParams, Transport};
 
@@ -24,10 +25,11 @@ fn usage() -> ! {
          [--cheat IDX] [--simulated] [--repeat K]\n  pdip size <family> [--from K] [--to K]\n  \
          pdip soundness <family> [--n N] [--trials T]\n  \
          pdip sweep [--families a,b,..] [--n-from N] [--n-to N] [--trials T] [--threads K] \
-         [--seed S] [--honest-only] [--out PATH]\n  \
+         [--seed S] [--honest-only] [--out PATH] [--quiet]\n  \
          pdip bench-hotpath [--out PATH]\n  \
          pdip bench-graph [--smoke] [--out PATH]\n  \
-         pdip chaos [--smoke] [--threads K] [--out PREFIX]\n\nfamilies: {}",
+         pdip chaos [--smoke] [--threads K] [--out PREFIX]\n  \
+         pdip trace [--smoke] [--threads K] [--out PREFIX] [--quiet]\n\nfamilies: {}",
         FAMILIES.iter().map(|f| f.name()).collect::<Vec<_>>().join(", ")
     );
     std::process::exit(2)
@@ -181,19 +183,20 @@ fn main() {
                 base_seed: flag_num(&args, "--seed", 0xd1b) as u64,
                 ..SweepSpec::default()
             };
-            println!(
+            let mut rep = Reporter::from_quiet_flag(args.iter().any(|a| a == "--quiet"));
+            rep.line(&format!(
                 "sweep: {} jobs over {} families x {} sizes, {} threads\n",
                 spec.job_count(),
                 spec.families.len(),
                 spec.sizes.len(),
                 threads
-            );
+            ));
             let outcome = Engine::with_threads(threads).run(&spec);
-            print_table(&pdip_engine::SweepOutcome::aggregate_headers(), &outcome.aggregate_rows());
+            rep.table(&pdip_engine::SweepOutcome::aggregate_headers(), &outcome.aggregate_rows());
             if !outcome.failures.is_empty() {
-                println!("\nquarantined jobs:");
+                rep.line("\nquarantined jobs:");
                 for f in &outcome.failures {
-                    println!(
+                    rep.line(&format!(
                         "  #{} {} n={} {} trial={} after {} attempts: {}",
                         f.index,
                         f.family.name(),
@@ -202,15 +205,15 @@ fn main() {
                         f.trial,
                         f.attempts,
                         f.payload
-                    );
+                    ));
                 }
             }
             let out = flag_value(&args, "--out").unwrap_or_else(|| "results/sweep".to_string());
             let (json, csv) =
                 pdip_engine::sink::write_outputs(std::path::Path::new(&out), &spec, &outcome)
                     .expect("writing sweep outputs");
-            println!("\nwrote {} and {}", json.display(), csv.display());
-            println!("{}", outcome.metrics.summary_line());
+            rep.line(&format!("\nwrote {} and {}", json.display(), csv.display()));
+            rep.summary(&outcome.metrics);
         }
         "bench-hotpath" => {
             let out =
@@ -310,6 +313,50 @@ fn main() {
             println!("\nwrote {} and {}", txt_path.display(), json_path.display());
             if !report.all_pass {
                 eprintln!("chaos audit FAILED (see table above)");
+                std::process::exit(1);
+            }
+        }
+        "trace" => {
+            let smoke = args.iter().any(|a| a == "--smoke");
+            let mut spec = if smoke {
+                pdip_engine::TraceSpec::smoke()
+            } else {
+                pdip_engine::TraceSpec::full()
+            };
+            spec.threads = flag_num(&args, "--threads", {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            });
+            let out = flag_value(&args, "--out").unwrap_or_else(|| "results/e10_trace".into());
+            let mut rep = Reporter::from_quiet_flag(args.iter().any(|a| a == "--quiet"));
+            rep.line(&format!(
+                "trace audit ({}): sizes={:?} trials-per-cell={} base-seed={:#x} threads={}\n",
+                if smoke { "smoke" } else { "full" },
+                spec.sizes,
+                spec.trials,
+                spec.base_seed,
+                spec.threads
+            ));
+            let outcome = pdip_engine::run_trace(&spec);
+            rep.line(&outcome.report.render_text());
+            // Timing breakdown is stdout-only: scheduling-dependent, so
+            // it never reaches the committed artifact files.
+            rep.line("span timing (wall-clock, not part of the artifact):");
+            for l in outcome.timing_lines() {
+                rep.line(&format!("  {l}"));
+            }
+            let txt_path = std::path::PathBuf::from(format!("{out}.txt"));
+            let json_path = std::path::PathBuf::from(format!("{out}.json"));
+            if let Some(dir) = txt_path.parent() {
+                std::fs::create_dir_all(dir).expect("creating results dir");
+            }
+            std::fs::write(&txt_path, outcome.report.render_text())
+                .expect("writing trace text report");
+            std::fs::write(&json_path, outcome.report.render_json())
+                .expect("writing trace json report");
+            rep.line(&format!("\nwrote {} and {}", txt_path.display(), json_path.display()));
+            rep.summary(&outcome.metrics);
+            if !outcome.report.all_pass {
+                eprintln!("trace audit FAILED (see table above)");
                 std::process::exit(1);
             }
         }

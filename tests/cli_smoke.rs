@@ -96,6 +96,25 @@ fn bench_graph_smoke_writes_parseable_snapshot() {
 }
 
 #[test]
+fn trace_smoke_passes_audit_and_quiet_silences_stdout() {
+    let out_path = std::env::temp_dir().join("pdip_trace_smoke");
+    let out = pdip()
+        .args(["trace", "--smoke", "--threads", "2", "--quiet", "--out"])
+        .arg(&out_path)
+        .output()
+        .expect("run pdip trace");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(out.stdout.is_empty(), "--quiet must silence stdout");
+    let txt = std::fs::read_to_string(out_path.with_extension("txt")).expect("trace txt");
+    assert!(txt.contains("# all-pass=true audit-errors=0"), "{txt}");
+    let json = std::fs::read_to_string(out_path.with_extension("json")).expect("trace json");
+    assert!(json.contains("\"experiment\": \"e10-trace\""));
+    assert!(json.contains("\"all_pass\": true"));
+    let _ = std::fs::remove_file(out_path.with_extension("txt"));
+    let _ = std::fs::remove_file(out_path.with_extension("json"));
+}
+
+#[test]
 fn size_sweep_prints_rows() {
     let out = pdip()
         .args(["size", "treewidth-2", "--from", "6", "--to", "8"])
