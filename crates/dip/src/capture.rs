@@ -1,0 +1,208 @@
+//! Prover-transcript capture hooks.
+//!
+//! The DIP model is defined by its communication: per-node, per-round
+//! labels. The protocols in `pdip-protocols` materialize those labels as
+//! typed Rust values deep inside their run functions; this module lets an
+//! outer caller observe them as canonical byte blobs *without* changing
+//! any protocol signature, RNG call order, or result.
+//!
+//! The mechanism is a thread-local capture scope, in the same spirit as
+//! `pdip_graph::with_thread_scratch`:
+//!
+//! * [`capture`] installs a sink for the duration of a closure and
+//!   returns whatever the protocol emitted as a [`CapturedTranscript`];
+//! * protocol code calls [`emit`] at each prover round with a closure
+//!   that serializes the round's labels into a [`ByteSink`]. When no
+//!   capture scope is active the closure is **not evaluated** — a
+//!   thread-local read and a branch, no allocation, so sweeps and
+//!   benchmarks are unaffected.
+//!
+//! Nested protocol runs (outerplanarity spawning a path-outerplanarity
+//! run per block, which in turn runs LR-sorting) emit into the same
+//! active scope in deterministic execution order, so the captured round
+//! sequence is itself a pure function of `(instance, prover, seed)`.
+//! That determinism is what makes stored transcripts re-verifiable: see
+//! `pdip-wire` and DESIGN.md §5.
+
+use std::cell::RefCell;
+
+/// Canonical little-endian byte encoder used by every [`emit`] call.
+///
+/// All multi-byte integers are little-endian; `usize` values are widened
+/// to `u64` so payloads are identical across platforms.
+#[derive(Debug, Default)]
+pub struct ByteSink {
+    buf: Vec<u8>,
+}
+
+impl ByteSink {
+    /// A fresh empty sink.
+    pub fn new() -> Self {
+        ByteSink { buf: Vec::new() }
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, x: u8) {
+        self.buf.push(x);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, x: u32) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Appends a `usize` widened to `u64`.
+    pub fn put_usize(&mut self, x: usize) {
+        self.put_u64(x as u64);
+    }
+
+    /// Appends a `bool` as one byte (0 or 1).
+    pub fn put_bool(&mut self, x: bool) {
+        self.put_u8(u8::from(x));
+    }
+
+    /// Appends raw bytes (no length prefix).
+    pub fn put_bytes(&mut self, xs: &[u8]) {
+        self.buf.extend_from_slice(xs);
+    }
+
+    /// The accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// One captured prover-round message blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapturedRound {
+    /// Stable stage name, e.g. `"lr/round1"` or `"lemma2.5/st"`.
+    pub stage: String,
+    /// Canonical little-endian payload ([`ByteSink`] encoding).
+    pub payload: Vec<u8>,
+}
+
+/// The ordered sequence of prover-round blobs emitted during one capture
+/// scope.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CapturedTranscript {
+    /// Rounds in emission (= deterministic execution) order.
+    pub rounds: Vec<CapturedRound>,
+}
+
+impl CapturedTranscript {
+    /// Total payload bytes across all rounds.
+    pub fn payload_bytes(&self) -> usize {
+        self.rounds.iter().map(|r| r.payload.len()).sum()
+    }
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Vec<CapturedRound>>> = const { RefCell::new(None) };
+}
+
+/// Whether a capture scope is active on this thread.
+pub fn is_capturing() -> bool {
+    ACTIVE.with(|a| a.borrow().is_some())
+}
+
+/// Emits one prover-round blob into the active capture scope, if any.
+///
+/// `build` is only evaluated when a scope is active, so emission points
+/// on protocol hot paths cost a thread-local read and a branch.
+pub fn emit(stage: &str, build: impl FnOnce(&mut ByteSink)) {
+    ACTIVE.with(|a| {
+        let mut slot = a.borrow_mut();
+        if let Some(rounds) = slot.as_mut() {
+            let mut sink = ByteSink::new();
+            build(&mut sink);
+            rounds.push(CapturedRound { stage: stage.to_string(), payload: sink.into_bytes() });
+        }
+    });
+}
+
+/// Restores the previously active scope even if the captured closure
+/// panics (worker threads are reused across catch_unwind boundaries).
+struct ScopeGuard {
+    previous: Option<Vec<CapturedRound>>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|a| {
+            *a.borrow_mut() = self.previous.take();
+        });
+    }
+}
+
+/// Runs `f` with transcript capture installed on this thread and returns
+/// its result together with everything emitted.
+///
+/// Scopes nest: an inner `capture` shadows the outer one for its
+/// duration (the inner rounds are *not* replayed into the outer scope),
+/// and the outer scope is restored afterwards — also on panic.
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, CapturedTranscript) {
+    let guard = ScopeGuard { previous: ACTIVE.with(|a| a.borrow_mut().replace(Vec::new())) };
+    let out = f();
+    let rounds = ACTIVE.with(|a| a.borrow_mut().replace(Vec::new())).unwrap_or_default();
+    drop(guard);
+    (out, CapturedTranscript { rounds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_without_scope_is_a_noop_and_lazy() {
+        assert!(!is_capturing());
+        let mut evaluated = false;
+        emit("never", |_| evaluated = true);
+        assert!(!evaluated, "build closure must not run without a scope");
+    }
+
+    #[test]
+    fn capture_collects_rounds_in_order() {
+        let ((), t) = capture(|| {
+            emit("a", |s| s.put_u64(1));
+            emit("b", |s| {
+                s.put_u8(2);
+                s.put_bool(true);
+            });
+        });
+        assert_eq!(t.rounds.len(), 2);
+        assert_eq!(t.rounds[0].stage, "a");
+        assert_eq!(t.rounds[0].payload, 1u64.to_le_bytes().to_vec());
+        assert_eq!(t.rounds[1].stage, "b");
+        assert_eq!(t.rounds[1].payload, vec![2, 1]);
+        assert!(!is_capturing());
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let ((), outer) = capture(|| {
+            emit("outer-1", |s| s.put_u8(1));
+            let ((), inner) = capture(|| emit("inner", |s| s.put_u8(9)));
+            assert_eq!(inner.rounds.len(), 1);
+            emit("outer-2", |s| s.put_u8(2));
+        });
+        let stages: Vec<&str> = outer.rounds.iter().map(|r| r.stage.as_str()).collect();
+        assert_eq!(stages, ["outer-1", "outer-2"]);
+    }
+
+    #[test]
+    fn panic_inside_capture_restores_the_scope() {
+        let caught = std::panic::catch_unwind(|| {
+            capture(|| {
+                emit("x", |s| s.put_u8(0));
+                panic!("boom");
+            })
+        });
+        assert!(caught.is_err());
+        assert!(!is_capturing(), "panicked scope must not leak");
+    }
+}

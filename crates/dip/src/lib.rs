@@ -18,12 +18,14 @@
 #![warn(missing_docs)]
 
 pub mod bits;
+pub mod capture;
 pub mod outcome;
 pub mod protocol;
 pub mod trace;
 pub mod transcript;
 
 pub use bits::{bits_for_domain, bits_for_max, Tag};
+pub use capture::{ByteSink, CapturedRound, CapturedTranscript};
 pub use outcome::{RejectReason, Rejections, RunResult, Verdict};
 pub use protocol::{acceptance_rate, DipProtocol};
 pub use trace::trace_stats;

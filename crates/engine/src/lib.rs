@@ -46,6 +46,7 @@ pub mod pool;
 pub mod record;
 pub mod report;
 pub mod seed;
+pub mod serve;
 pub mod sink;
 pub mod spec;
 pub mod trace;
@@ -61,6 +62,11 @@ pub use record::{
 };
 pub use report::{print_table, render_table, Reporter};
 pub use seed::{job_seed, splitmix_finalize, sub_seed};
+pub use serve::{
+    process_batch, read_frame, run_serve_smoke, serve_stream, serve_tcp, smoke_requests,
+    verify_blob, write_frame, Gate, Response, ServeConfig, ServeSmokeReport, ServeStats, Status,
+    E12_SEED,
+};
 pub use sink::{aggregate_json, records_csv, write_outputs};
 pub use spec::{JobCoords, JobSpec, Prover, ProverSpec, SeedMode, SweepSpec};
 pub use trace::{

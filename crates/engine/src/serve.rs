@@ -1,0 +1,857 @@
+//! `pdip serve` — the batch proof-verification service.
+//!
+//! Clients submit serialized [`Transcript`] blobs (see `pdip-wire`) over
+//! a length-prefixed frame stream (TCP localhost or a stdin/stdout pipe)
+//! and get back one response per request. Decoded requests feed a
+//! bounded worker queue with backpressure: when the queue is full a
+//! request is rejected with [`Status::Busy`] instead of stalling the
+//! stream. Each verification runs behind `catch_unwind` (a panicking
+//! replay is reported, never fatal) and may be classified
+//! [`Status::Deadline`] post-hoc, reusing the sweep engine's watchdog
+//! semantics. Responses are reordered by sequence number before they are
+//! written, so the response stream is byte-identical at any worker
+//! count.
+//!
+//! # Frame protocol (all integers little-endian)
+//!
+//! Every frame is `len u32 | payload` with `len ≤` [`MAX_FRAME`].
+//! Request payloads start with a tag byte: [`REQ_VERIFY`] followed by a
+//! transcript blob, [`REQ_PING`], or [`REQ_SHUTDOWN`] (graceful stop).
+//! Response payloads are `seq u64 | status u8 | len u32 | detail` — see
+//! [`Status`] for the code points, which the CLI maps onto distinct
+//! exit codes (`malformed transcript` ≠ `verifier rejected`).
+
+use crate::pool::PanicSilencer;
+use crate::report::{render_table, Reporter};
+use pdip_obs::{counter, span, NoopRecorder, Recorder, ScopedRecorder, SpanId, Stopwatch};
+use pdip_wire::{fnv1a64, Transcript, VerifyOutcome};
+use std::io::{Read, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Hard cap on one frame's payload.
+pub const MAX_FRAME: usize = 1 << 26;
+
+/// Base seed of the committed E12 serve-smoke artifacts.
+pub const E12_SEED: u64 = 0xe12;
+
+/// Request tag: verify the transcript blob that follows.
+pub const REQ_VERIFY: u8 = 0x01;
+/// Request tag: liveness probe, answered with [`Status::Pong`].
+pub const REQ_PING: u8 = 0x02;
+/// Request tag: graceful shutdown of the stream (and, over TCP, the
+/// listener), answered with [`Status::ShutdownAck`].
+pub const REQ_SHUTDOWN: u8 = 0x7f;
+
+/// Per-request response codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Well-formed, replay matched, verifier accepts.
+    Accept = 0,
+    /// Well-formed, but the verifier rejects (honest record of a
+    /// rejecting run, or a replay mismatch — see the detail string).
+    Reject = 1,
+    /// The blob failed to decode: truncated, corrupted, bad magic,
+    /// unsupported version, invalid field, or the request tag itself
+    /// was unknown.
+    Malformed = 2,
+    /// The bounded queue was full; the request was never verified.
+    Busy = 3,
+    /// Verification completed but exceeded the per-request deadline.
+    Deadline = 4,
+    /// Acknowledges [`REQ_SHUTDOWN`].
+    ShutdownAck = 5,
+    /// Acknowledges [`REQ_PING`].
+    Pong = 6,
+}
+
+impl Status {
+    /// The wire code of this status.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`Status::code`].
+    pub fn from_code(c: u8) -> Option<Status> {
+        Some(match c {
+            0 => Status::Accept,
+            1 => Status::Reject,
+            2 => Status::Malformed,
+            3 => Status::Busy,
+            4 => Status::Deadline,
+            5 => Status::ShutdownAck,
+            6 => Status::Pong,
+            _ => return None,
+        })
+    }
+
+    /// Display name (stable; appears in E12 artifacts).
+    pub fn name(self) -> &'static str {
+        match self {
+            Status::Accept => "accept",
+            Status::Reject => "reject",
+            Status::Malformed => "malformed",
+            Status::Busy => "busy",
+            Status::Deadline => "deadline",
+            Status::ShutdownAck => "shutdown-ack",
+            Status::Pong => "pong",
+        }
+    }
+}
+
+/// One response of the service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Sequence number of the request this answers.
+    pub seq: u64,
+    /// Outcome class.
+    pub status: Status,
+    /// Human-readable detail (reject reason, decode error, …).
+    pub detail: String,
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Verification worker threads.
+    pub threads: usize,
+    /// Bound of the request queue; a submission finding it full is
+    /// rejected with [`Status::Busy`].
+    pub queue_cap: usize,
+    /// Post-hoc per-request deadline (the sweep engine's
+    /// `job_deadline` semantics): verification always completes, but a
+    /// run exceeding the budget reports [`Status::Deadline`].
+    pub deadline: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            queue_cap: 256,
+            deadline: None,
+        }
+    }
+}
+
+/// A gate the E12 busy probe uses to hold all workers idle while the
+/// submission side fills the bounded queue, making busy-rejection
+/// deterministic instead of racing the workers.
+#[derive(Debug, Clone, Default)]
+pub struct Gate {
+    inner: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl Gate {
+    /// A closed gate: workers holding it block until [`Gate::open`].
+    pub fn closed() -> Gate {
+        Gate::default()
+    }
+
+    /// Opens the gate, releasing every waiting worker.
+    pub fn open(&self) {
+        let (lock, cv) = &*self.inner;
+        if let Ok(mut open) = lock.lock() {
+            *open = true;
+        }
+        cv.notify_all();
+    }
+
+    fn wait_open(&self) {
+        let (lock, cv) = &*self.inner;
+        if let Ok(guard) = lock.lock() {
+            let _unused = cv.wait_while(guard, |open| !*open);
+        }
+    }
+}
+
+struct Job {
+    seq: u64,
+    blob: Vec<u8>,
+    enqueued: Instant,
+}
+
+/// Counts of one batch, folded from its responses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests answered [`Status::Accept`].
+    pub accepted: u64,
+    /// Requests answered [`Status::Reject`].
+    pub rejected: u64,
+    /// Requests answered [`Status::Malformed`].
+    pub malformed: u64,
+    /// Requests answered [`Status::Busy`].
+    pub busy: u64,
+    /// Requests answered [`Status::Deadline`].
+    pub deadline: u64,
+    /// Verifications that panicked (counted, never fatal).
+    pub panics: u64,
+}
+
+impl ServeStats {
+    /// Folds response statuses into counts (panics are counted by the
+    /// worker, not derivable from statuses).
+    pub fn fold(responses: &[Response]) -> ServeStats {
+        let mut s = ServeStats::default();
+        for r in responses {
+            match r.status {
+                Status::Accept => s.accepted += 1,
+                Status::Reject => s.rejected += 1,
+                Status::Malformed => s.malformed += 1,
+                Status::Busy => s.busy += 1,
+                Status::Deadline => s.deadline += 1,
+                Status::ShutdownAck | Status::Pong => {}
+            }
+        }
+        s
+    }
+}
+
+/// Decodes and replay-verifies one blob (the worker body, also used by
+/// `pdip verify`): malformed blobs map to [`Status::Malformed`],
+/// replay mismatches and verifier rejections to [`Status::Reject`].
+pub fn verify_blob(blob: &[u8], rec: &dyn Recorder) -> (Status, String) {
+    let decoded = {
+        let _s = span(rec, 0, SpanId::new("serve/decode"));
+        let _t = Stopwatch::start(rec, "serve/decode");
+        Transcript::decode(blob)
+    };
+    let t = match decoded {
+        Err(e) => return (Status::Malformed, e.to_string()),
+        Ok(t) => t,
+    };
+    let outcome = {
+        let _s = span(rec, 0, SpanId::new("serve/verify"));
+        let _t = Stopwatch::start(rec, "serve/verify");
+        t.verify()
+    };
+    match outcome {
+        VerifyOutcome::Accepted(_) => (Status::Accept, String::new()),
+        VerifyOutcome::VerifierRejected(res) => {
+            let reason = res
+                .rejections
+                .first()
+                .map(|(v, r)| format!("node {v}: {r}"))
+                .unwrap_or_else(|| "verifier rejected".into());
+            (Status::Reject, reason)
+        }
+        VerifyOutcome::ReplayMismatch { detail } => {
+            (Status::Reject, format!("replay mismatch: {detail}"))
+        }
+    }
+}
+
+/// Pushes a batch of verification requests through a bounded worker
+/// pool and returns one [`Response`] per request, sorted by sequence
+/// number (deterministic at any `threads`).
+///
+/// Submission happens on the calling thread with `try_send`: a full
+/// queue yields an immediate [`Status::Busy`] response — backpressure,
+/// not blocking. `gate`, when given, holds workers idle until opened
+/// (after the submission loop), which the E12 smoke uses to exercise
+/// the busy path deterministically. Panicking verifications are
+/// answered [`Status::Malformed`] with a `panic:` detail and counted
+/// in the returned stats.
+pub fn process_batch(
+    cfg: &ServeConfig,
+    requests: Vec<(u64, Vec<u8>)>,
+    gate: Option<&Gate>,
+    rec: &dyn Recorder,
+) -> (Vec<Response>, ServeStats) {
+    let threads = cfg.threads.max(1);
+    let deadline = cfg.deadline;
+    let _silencer = PanicSilencer::engage();
+    let panics = AtomicU64::new(0);
+    let (jobs_tx, jobs_rx) = sync_channel::<Job>(cfg.queue_cap.max(1));
+    let jobs_rx = Mutex::new(jobs_rx);
+    let (res_tx, res_rx) = std::sync::mpsc::channel::<Response>();
+
+    let mut responses = thread::scope(|s| {
+        for _ in 0..threads {
+            let res_tx = res_tx.clone();
+            let jobs_rx = &jobs_rx;
+            let panics = &panics;
+            s.spawn(move || loop {
+                if let Some(g) = gate {
+                    g.wait_open();
+                }
+                let job = match jobs_rx.lock() {
+                    Ok(rx) => rx.recv(),
+                    Err(_) => break,
+                };
+                let Ok(job) = job else { break };
+                let job_rec = ScopedRecorder::new(rec, job.seq);
+                if job_rec.enabled() {
+                    let waited = job.enqueued.elapsed().as_nanos();
+                    job_rec.duration("serve/queue-wait", u64::try_from(waited).unwrap_or(u64::MAX));
+                }
+                let started = Instant::now();
+                let out = catch_unwind(AssertUnwindSafe(|| verify_blob(&job.blob, &job_rec)));
+                let (status, detail) = out.unwrap_or_else(|payload| {
+                    panics.fetch_add(1, Ordering::Relaxed);
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".into());
+                    (Status::Malformed, format!("panic: {msg}"))
+                });
+                // Post-hoc deadline classification, same semantics as the
+                // sweep engine's `job_deadline` watchdog: the run always
+                // completes, but a budget overrun is reported as such.
+                let (status, detail) = match deadline {
+                    Some(d) if started.elapsed() > d => (
+                        Status::Deadline,
+                        format!("deadline exceeded; completed as {}", status.name()),
+                    ),
+                    _ => (status, detail),
+                };
+                counter(&job_rec, job.seq, SpanId::new("serve/request"), status.name(), 1);
+                if res_tx.send(Response { seq: job.seq, status, detail }).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(res_tx);
+
+        let mut busy = Vec::new();
+        for (seq, blob) in requests {
+            let mut job = Job { seq, blob, enqueued: Instant::now() };
+            match jobs_tx.try_send(job) {
+                Ok(()) => {}
+                Err(TrySendError::Full(j)) => {
+                    job = j;
+                    counter(rec, job.seq, SpanId::new("serve/request"), "busy", 1);
+                    busy.push(Response {
+                        seq: job.seq,
+                        status: Status::Busy,
+                        detail: "queue full".into(),
+                    });
+                }
+                Err(TrySendError::Disconnected(_)) => break,
+            }
+        }
+        drop(jobs_tx);
+        if let Some(g) = gate {
+            g.open();
+        }
+        let mut responses: Vec<Response> = res_rx.iter().collect();
+        responses.append(&mut busy);
+        responses
+    });
+
+    responses.sort_by_key(|r| r.seq);
+    let mut stats = ServeStats::fold(&responses);
+    stats.panics = panics.load(Ordering::Relaxed);
+    (responses, stats)
+}
+
+/// Reads one `len u32 | payload` frame; `Ok(None)` on clean EOF.
+pub fn read_frame(input: &mut dyn Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match input.read(&mut len_buf[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "truncated frame header",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {MAX_FRAME}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    input.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Writes one `len u32 | payload` frame.
+pub fn write_frame(output: &mut dyn Write, payload: &[u8]) -> std::io::Result<()> {
+    output.write_all(&(payload.len() as u32).to_le_bytes())?;
+    output.write_all(payload)
+}
+
+/// Encodes a [`Response`] payload.
+pub fn encode_response(r: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(13 + r.detail.len());
+    out.extend_from_slice(&r.seq.to_le_bytes());
+    out.push(r.status.code());
+    out.extend_from_slice(&(r.detail.len() as u32).to_le_bytes());
+    out.extend_from_slice(r.detail.as_bytes());
+    out
+}
+
+/// Decodes a [`Response`] payload (used by clients and tests).
+pub fn decode_response(payload: &[u8]) -> Option<Response> {
+    if payload.len() < 13 {
+        return None;
+    }
+    let seq = u64::from_le_bytes(payload[0..8].try_into().ok()?);
+    let status = Status::from_code(payload[8])?;
+    let len = u32::from_le_bytes(payload[9..13].try_into().ok()?) as usize;
+    if payload.len() != 13 + len {
+        return None;
+    }
+    let detail = String::from_utf8(payload[13..].to_vec()).ok()?;
+    Some(Response { seq, status, detail })
+}
+
+/// Drives one framed request stream end-to-end: reads frames until EOF
+/// or [`REQ_SHUTDOWN`], pushes every verify request through
+/// [`process_batch`], and writes all responses back sorted by sequence
+/// number. Returns the batch stats and whether a shutdown frame was
+/// seen (the TCP accept loop stops on it).
+pub fn serve_stream(
+    cfg: &ServeConfig,
+    input: &mut dyn Read,
+    output: &mut dyn Write,
+    rec: &dyn Recorder,
+) -> std::io::Result<(ServeStats, bool)> {
+    let mut seq = 0u64;
+    let mut verifies = Vec::new();
+    let mut immediate = Vec::new();
+    let mut shutdown = false;
+    while let Some(frame) = read_frame(input)? {
+        let this_seq = seq;
+        seq += 1;
+        match frame.first().copied() {
+            Some(REQ_VERIFY) => verifies.push((this_seq, frame[1..].to_vec())),
+            Some(REQ_PING) => immediate.push(Response {
+                seq: this_seq,
+                status: Status::Pong,
+                detail: String::new(),
+            }),
+            Some(REQ_SHUTDOWN) => {
+                immediate.push(Response {
+                    seq: this_seq,
+                    status: Status::ShutdownAck,
+                    detail: String::new(),
+                });
+                shutdown = true;
+                break;
+            }
+            tag => immediate.push(Response {
+                seq: this_seq,
+                status: Status::Malformed,
+                detail: format!("unknown request tag {tag:?}"),
+            }),
+        }
+    }
+    let (mut responses, stats) = process_batch(cfg, verifies, None, rec);
+    responses.append(&mut immediate);
+    responses.sort_by_key(|r| r.seq);
+    for r in &responses {
+        write_frame(output, &encode_response(r))?;
+    }
+    output.flush()?;
+    Ok((stats, shutdown))
+}
+
+/// Binds `127.0.0.1:port` and serves framed connections serially until
+/// a connection sends [`REQ_SHUTDOWN`]. Returns aggregate stats.
+pub fn serve_tcp(
+    cfg: &ServeConfig,
+    port: u16,
+    reporter: &mut Reporter,
+    rec: &dyn Recorder,
+) -> std::io::Result<ServeStats> {
+    let listener = std::net::TcpListener::bind(("127.0.0.1", port))?;
+    reporter.line(&format!("pdip serve: listening on {}", listener.local_addr()?));
+    let mut total = ServeStats::default();
+    for conn in listener.incoming() {
+        let mut conn = conn?;
+        let mut out = conn.try_clone()?;
+        let (stats, shutdown) = serve_stream(cfg, &mut conn, &mut out, rec)?;
+        total.accepted += stats.accepted;
+        total.rejected += stats.rejected;
+        total.malformed += stats.malformed;
+        total.busy += stats.busy;
+        total.deadline += stats.deadline;
+        total.panics += stats.panics;
+        if shutdown {
+            reporter.line("pdip serve: shutdown frame received");
+            break;
+        }
+    }
+    Ok(total)
+}
+
+// ---------------------------------------------------------------------
+// E12: serve throughput smoke audit
+// ---------------------------------------------------------------------
+
+/// The deterministic outcome of the E12 serve smoke (timing-free).
+#[derive(Debug)]
+pub struct ServeSmokeReport {
+    /// One line per request of the mixed batch, in sequence order.
+    pub lines: Vec<String>,
+    /// Stats of the mixed batch (at every compared thread count).
+    pub stats: ServeStats,
+    /// Requests submitted to the gated busy probe.
+    pub probe_submitted: u64,
+    /// Busy rejections of the gated probe (must equal
+    /// `probe_submitted - queue_cap`).
+    pub probe_busy: u64,
+    /// Queue bound used by the probe.
+    pub probe_queue_cap: u64,
+    /// Thread counts whose response streams were compared.
+    pub threads_compared: Vec<usize>,
+    /// Whether all compared thread counts produced byte-identical
+    /// response records.
+    pub deterministic: bool,
+    /// FNV-1a-64 digest of the joined record lines.
+    pub digest: u64,
+    /// Audit verdict.
+    pub passed: bool,
+    /// Human-readable audit failures (empty when `passed`).
+    pub failures: Vec<String>,
+}
+
+/// Builds the deterministic E12 request mix: honest transcripts of all
+/// six families (accepts), cheat transcripts (rejects), and
+/// chaos-corrupted blobs (malformed). ≥ 100 requests total.
+pub fn smoke_requests(base_seed: u64) -> Vec<(u64, Vec<u8>)> {
+    use crate::chaos::Mutator;
+    use crate::family::{no_instance, YesInstance, FAMILIES};
+    use pdip_protocols::{PopParams, Transport};
+    use pdip_wire::WireInstance;
+
+    let to_wire = |inst: YesInstance| match inst {
+        YesInstance::Pop(i) => WireInstance::Pop(i),
+        YesInstance::Op(i) => WireInstance::Op(i),
+        YesInstance::Emb(i) => WireInstance::Emb(i),
+        YesInstance::Pl(i) => WireInstance::Pl(i),
+        YesInstance::Spa(i) => WireInstance::Spa(i),
+        YesInstance::Tw2(i) => WireInstance::Tw2(i),
+    };
+    let mut blobs: Vec<Vec<u8>> = Vec::new();
+    // Honest accepts: 6 families × 2 sizes × 2 trials = 24.
+    for (fi, fam) in FAMILIES.iter().enumerate() {
+        for (ni, n) in [16usize, 48].iter().enumerate() {
+            for trial in 0..2u64 {
+                let gen_seed = base_seed + (fi as u64) * 100 + (ni as u64) * 10 + trial;
+                let run_seed = gen_seed ^ 0x5eed;
+                let inst = to_wire(YesInstance::generate(*fam, *n, gen_seed));
+                let t = pdip_wire::Transcript::record(
+                    inst,
+                    PopParams::default(),
+                    Transport::Simulated,
+                    0,
+                    gen_seed,
+                    run_seed,
+                );
+                blobs.push(t.encode());
+            }
+        }
+    }
+    // Cheat provers on no-instances: 6 families × every strategy ≈ 22.
+    for (fi, fam) in FAMILIES.iter().enumerate() {
+        let gen_seed = base_seed + 7000 + fi as u64;
+        let inst = to_wire(no_instance(*fam, 32, gen_seed));
+        for strategy in 0..inst.cheat_count() {
+            let t = pdip_wire::Transcript::record(
+                inst.clone(),
+                PopParams::default(),
+                Transport::Simulated,
+                (strategy + 1) as u8,
+                gen_seed,
+                gen_seed ^ 0xbad,
+            );
+            blobs.push(t.encode());
+        }
+    }
+    // Malformed: corrupt honest blobs with the chaos mutator — bit
+    // flips, truncations, and oversized length fields. 60 requests.
+    let honest_count = blobs.len().min(24);
+    let mut mal = Vec::new();
+    for k in 0..60u64 {
+        let mut m = Mutator::new(base_seed ^ (0xc0ffee + k));
+        let src = &blobs[(k as usize) % honest_count];
+        let mut bad = src.clone();
+        match k % 3 {
+            0 => {
+                // Bit flip somewhere in the body.
+                let i = m.index(bad.len());
+                bad[i] ^= m.bit(8) as u8;
+            }
+            1 => {
+                // Truncate at a random cut.
+                bad.truncate(m.index(bad.len()));
+            }
+            _ => {
+                // Oversized length field: stamp 0xffff_ffff over four
+                // bytes (hits a section or vector length often enough).
+                let i = m.index(bad.len().saturating_sub(4).max(1));
+                for b in bad.iter_mut().skip(i).take(4) {
+                    *b = 0xff;
+                }
+            }
+        }
+        mal.push(bad);
+    }
+    blobs.extend(mal);
+    blobs.into_iter().enumerate().map(|(i, b)| (i as u64, b)).collect()
+}
+
+/// Runs the E12 serve smoke: a deterministic gated busy probe plus a
+/// ≥100-request mixed batch executed at every thread count in
+/// `threads`, whose response records must be byte-identical.
+pub fn run_serve_smoke(threads: &[usize], base_seed: u64) -> ServeSmokeReport {
+    let mut failures = Vec::new();
+
+    // --- Gated busy probe: queue bound 4, 8 requests, workers held ---
+    let probe_cap = 4usize;
+    let probe_n = 8u64;
+    let probe_reqs =
+        smoke_requests(base_seed ^ 0x9999).into_iter().take(probe_n as usize).collect::<Vec<_>>();
+    let gate = Gate::closed();
+    let probe_cfg = ServeConfig { threads: 2, queue_cap: probe_cap, deadline: None };
+    let (probe_responses, probe_stats) =
+        process_batch(&probe_cfg, probe_reqs, Some(&gate), &NoopRecorder);
+    let expect_busy = probe_n - probe_cap as u64;
+    if probe_stats.busy != expect_busy {
+        failures.push(format!(
+            "busy probe: expected exactly {expect_busy} busy rejections, got {}",
+            probe_stats.busy
+        ));
+    }
+    if probe_responses.len() as u64 != probe_n {
+        failures.push(format!(
+            "busy probe: expected {probe_n} responses, got {}",
+            probe_responses.len()
+        ));
+    }
+
+    // --- Mixed batch at every thread count ---
+    let requests = smoke_requests(base_seed);
+    let total = requests.len();
+    if total < 100 {
+        failures.push(format!("request mix too small: {total} < 100"));
+    }
+    let mut streams: Vec<(usize, Vec<String>, ServeStats)> = Vec::new();
+    for &t in threads {
+        let cfg = ServeConfig { threads: t, queue_cap: total.max(1), deadline: None };
+        let (responses, stats) = process_batch(&cfg, requests.clone(), None, &NoopRecorder);
+        let lines: Vec<String> = responses
+            .iter()
+            .map(|r| {
+                let detail = if r.detail.is_empty() { "-" } else { r.detail.as_str() };
+                format!("seq={:03} status={} detail={}", r.seq, r.status.name(), detail)
+            })
+            .collect();
+        if stats.panics > 0 {
+            failures.push(format!("{} verification panics at threads={t}", stats.panics));
+        }
+        if stats.busy > 0 {
+            failures
+                .push(format!("unexpected busy rejection in unbounded mixed batch at threads={t}"));
+        }
+        streams.push((t, lines, stats));
+    }
+    let (first_lines, first_stats) = match streams.first() {
+        Some((_, l, s)) => (l.clone(), *s),
+        None => (Vec::new(), ServeStats::default()),
+    };
+    let deterministic = streams.iter().all(|(_, l, _)| *l == first_lines);
+    if !deterministic {
+        failures.push("response records differ across thread counts".into());
+    }
+    if first_stats.accepted == 0 || first_stats.rejected == 0 || first_stats.malformed == 0 {
+        failures.push(format!(
+            "mix must exercise accept/reject/malformed, got {}/{}/{}",
+            first_stats.accepted, first_stats.rejected, first_stats.malformed
+        ));
+    }
+    let digest = fnv1a64(first_lines.join("\n").as_bytes());
+
+    ServeSmokeReport {
+        lines: first_lines,
+        stats: first_stats,
+        probe_submitted: probe_n,
+        probe_busy: probe_stats.busy,
+        probe_queue_cap: probe_cap as u64,
+        threads_compared: threads.to_vec(),
+        deterministic,
+        digest,
+        passed: failures.is_empty(),
+        failures,
+    }
+}
+
+impl ServeSmokeReport {
+    /// The timing-free text artifact (`results/e12_serve.txt`).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("E12: serve throughput smoke — batch verification service\n");
+        out.push_str(&format!(
+            "requests={} accept={} reject={} malformed={} panics={}\n",
+            self.lines.len(),
+            self.stats.accepted,
+            self.stats.rejected,
+            self.stats.malformed,
+            self.stats.panics,
+        ));
+        out.push_str(&format!(
+            "busy probe: submitted={} queue_cap={} busy={}\n",
+            self.probe_submitted, self.probe_queue_cap, self.probe_busy
+        ));
+        out.push_str(&format!(
+            "threads compared: {:?} deterministic={} digest={:016x}\n\n",
+            self.threads_compared, self.deterministic, self.digest
+        ));
+        let rows: Vec<Vec<String>> =
+            self.lines.iter().map(|l| l.splitn(3, ' ').map(String::from).collect()).collect();
+        out.push_str(&render_table(&["seq", "status", "detail"], &rows));
+        out.push_str(&format!("\nE12 audit: {}\n", if self.passed { "PASS" } else { "FAIL" }));
+        for f in &self.failures {
+            out.push_str(&format!("  failure: {f}\n"));
+        }
+        out
+    }
+
+    /// The timing-free JSON artifact (`results/e12_serve.json`).
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"experiment\": \"e12-serve-smoke\",\n");
+        out.push_str(&format!("  \"requests\": {},\n", self.lines.len()));
+        out.push_str(&format!("  \"accepted\": {},\n", self.stats.accepted));
+        out.push_str(&format!("  \"rejected\": {},\n", self.stats.rejected));
+        out.push_str(&format!("  \"malformed\": {},\n", self.stats.malformed));
+        out.push_str(&format!("  \"panics\": {},\n", self.stats.panics));
+        out.push_str(&format!(
+            "  \"busy_probe\": {{\"submitted\": {}, \"queue_cap\": {}, \"busy\": {}}},\n",
+            self.probe_submitted, self.probe_queue_cap, self.probe_busy
+        ));
+        out.push_str(&format!(
+            "  \"threads_compared\": [{}],\n",
+            self.threads_compared.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
+        ));
+        out.push_str(&format!("  \"deterministic\": {},\n", self.deterministic));
+        out.push_str(&format!("  \"digest\": \"{:016x}\",\n", self.digest));
+        out.push_str(&format!("  \"passed\": {}\n", self.passed));
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::{Family, YesInstance};
+    use pdip_protocols::{PopParams, Transport};
+    use pdip_wire::WireInstance;
+
+    fn honest_blob(seed: u64) -> Vec<u8> {
+        let inst = match YesInstance::generate(Family::PathOuterplanar, 20, seed) {
+            YesInstance::Pop(i) => WireInstance::Pop(i),
+            _ => unreachable!(),
+        };
+        pdip_wire::Transcript::record(
+            inst,
+            PopParams::default(),
+            Transport::Simulated,
+            0,
+            seed,
+            seed ^ 1,
+        )
+        .encode()
+    }
+
+    #[test]
+    fn batch_accepts_honest_and_flags_malformed() {
+        let good = honest_blob(5);
+        let mut bad = good.clone();
+        bad.truncate(bad.len() / 2);
+        let cfg = ServeConfig { threads: 2, queue_cap: 8, deadline: None };
+        let (responses, stats) =
+            process_batch(&cfg, vec![(0, good), (1, bad)], None, &NoopRecorder);
+        assert_eq!(responses.len(), 2);
+        assert_eq!(responses[0].status, Status::Accept);
+        assert_eq!(responses[1].status, Status::Malformed);
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.malformed, 1);
+        assert_eq!(stats.panics, 0);
+    }
+
+    #[test]
+    fn gated_queue_rejects_overflow_busy() {
+        let blob = honest_blob(6);
+        let reqs: Vec<_> = (0..6u64).map(|i| (i, blob.clone())).collect();
+        let gate = Gate::closed();
+        let cfg = ServeConfig { threads: 2, queue_cap: 2, deadline: None };
+        let (responses, stats) = process_batch(&cfg, reqs, Some(&gate), &NoopRecorder);
+        assert_eq!(responses.len(), 6);
+        assert_eq!(stats.busy, 4, "queue bound 2 must busy-reject 4 of 6");
+        assert_eq!(stats.accepted, 2);
+    }
+
+    #[test]
+    fn stream_roundtrip_with_ping_and_shutdown() {
+        let good = honest_blob(7);
+        let mut input = Vec::new();
+        let mut verify_frame = vec![REQ_VERIFY];
+        verify_frame.extend_from_slice(&good);
+        write_frame(&mut input, &[REQ_PING]).unwrap();
+        write_frame(&mut input, &verify_frame).unwrap();
+        write_frame(&mut input, &[REQ_SHUTDOWN]).unwrap();
+        let mut output = Vec::new();
+        let cfg = ServeConfig { threads: 1, queue_cap: 4, deadline: None };
+        let (stats, shutdown) =
+            serve_stream(&cfg, &mut std::io::Cursor::new(input), &mut output, &NoopRecorder)
+                .unwrap();
+        assert!(shutdown);
+        assert_eq!(stats.accepted, 1);
+        let mut cur = std::io::Cursor::new(output);
+        let mut responses = Vec::new();
+        while let Some(f) = read_frame(&mut cur).unwrap() {
+            responses.push(decode_response(&f).expect("response decodes"));
+        }
+        assert_eq!(responses.len(), 3);
+        assert_eq!(responses[0].status, Status::Pong);
+        assert_eq!(responses[1].status, Status::Accept);
+        assert_eq!(responses[2].status, Status::ShutdownAck);
+        assert_eq!(responses.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn oversized_frame_is_io_error() {
+        let mut input = Vec::new();
+        input.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let err = read_frame(&mut std::io::Cursor::new(input)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn zero_deadline_classifies_every_request() {
+        let cfg = ServeConfig { threads: 2, queue_cap: 8, deadline: Some(Duration::from_nanos(0)) };
+        let (responses, stats) =
+            process_batch(&cfg, vec![(0, honest_blob(9))], None, &NoopRecorder);
+        assert_eq!(responses[0].status, Status::Deadline);
+        assert!(responses[0].detail.contains("completed as accept"));
+        assert_eq!(stats.deadline, 1);
+    }
+
+    #[test]
+    fn responses_are_thread_count_invariant() {
+        let reqs: Vec<_> = (0..6u64).map(|i| (i, honest_blob(20 + i % 2))).collect();
+        let run = |threads| {
+            let cfg = ServeConfig { threads, queue_cap: 16, deadline: None };
+            process_batch(&cfg, reqs.clone(), None, &NoopRecorder).0
+        };
+        assert_eq!(run(1), run(4));
+    }
+}

@@ -51,10 +51,12 @@ pub mod export;
 mod hist;
 mod recorder;
 mod span;
+mod stopwatch;
 
 pub use hist::Histogram;
 pub use recorder::{BufferedRecorder, CollectingRecorder, NoopRecorder, ScopedRecorder, Trace};
 pub use span::{counter, span, Event, EventKind, SpanGuard, SpanId, Stamped};
+pub use stopwatch::Stopwatch;
 
 /// The object-safe instrumentation sink.
 ///

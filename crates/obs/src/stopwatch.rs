@@ -1,0 +1,65 @@
+//! RAII duration capture into a [`Recorder`]'s histograms.
+
+use crate::Recorder;
+use std::time::Instant;
+
+/// Measures the time from construction to drop and records it via
+/// [`Recorder::duration`] under a static name.
+///
+/// With a disabled recorder nothing happens at all — no clock read on
+/// either end — so a `Stopwatch` can sit on hot paths under the same
+/// zero-cost contract as [`crate::span`]. Durations land in histograms,
+/// which are timing data: per the crate-level determinism rules they
+/// must never be written into committed artifacts.
+pub struct Stopwatch<'a> {
+    rec: &'a dyn Recorder,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl<'a> Stopwatch<'a> {
+    /// Starts timing `name` (a no-op when `rec` is disabled).
+    pub fn start(rec: &'a dyn Recorder, name: &'static str) -> Self {
+        let start = rec.enabled().then(Instant::now);
+        Stopwatch { rec, name, start }
+    }
+}
+
+impl Drop for Stopwatch<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.rec.duration(self.name, nanos);
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::CollectingRecorder;
+
+    #[test]
+    fn records_into_histogram_when_enabled() {
+        let rec = CollectingRecorder::new();
+        {
+            let _t = Stopwatch::start(&rec, "test/op");
+        }
+        let trace = rec.drain();
+        let hist = trace
+            .histograms()
+            .iter()
+            .find(|(name, _)| *name == "test/op")
+            .map(|(_, h)| h)
+            .expect("histogram exists");
+        assert_eq!(hist.count(), 1);
+    }
+
+    #[test]
+    fn noop_recorder_reads_no_clock() {
+        let rec = crate::NoopRecorder;
+        let t = Stopwatch::start(&rec, "test/op");
+        assert!(t.start.is_none(), "disabled recorder must not start the clock");
+    }
+}

@@ -260,6 +260,18 @@ impl<'a> EmbeddedPlanarity<'a> {
         // ---- The reduction + simulated path-outerplanarity on h ----
         let _stage2 = span(rec, 0, SpanId::at("embedded-planarity/stage", 2));
         let red = build_reduction(g, &self.inst.rho, &tree, root);
+        // Observe-only capture of the reduction shape for replay: the
+        // auxiliary graph h and the Hamiltonian-path witness are pure
+        // functions of (g, rho, tree), so their summary pins the stage-2
+        // input deterministically.
+        pdip_core::capture::emit("emb/reduction", |s| {
+            s.put_usize(red.h.n());
+            s.put_usize(red.h.m());
+            s.put_usize(red.path.len());
+            for &v in &red.path {
+                s.put_usize(v);
+            }
+        });
         let pop_inst = PopInstance {
             witness: Some(red.path.clone()),
             is_yes: self.inst.is_yes,

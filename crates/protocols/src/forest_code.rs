@@ -113,6 +113,17 @@ impl ForestCode {
         let _g = span(rec, 0, id);
         let code = Self::encode(g, forest);
         counter(rec, 0, id, "label_bits", code.label_bits() as u64);
+        // Observe-only capture of the round-1 commitment labels for
+        // stored-transcript replay.
+        pdip_core::capture::emit("lemma2.3/forest-code", |s| {
+            s.put_usize(code.colors);
+            for l in &code.labels {
+                s.put_u32(l.c1);
+                s.put_u32(l.c2);
+                s.put_bool(l.odd);
+                s.put_bool(l.root);
+            }
+        });
         code
     }
 }

@@ -24,6 +24,7 @@ pub mod outerplanar;
 pub mod path_outerplanar;
 pub mod planarity;
 pub mod pls_baseline;
+pub mod replay;
 pub mod series_parallel;
 pub mod spanning_tree;
 pub mod treewidth2;
@@ -39,6 +40,7 @@ pub use multiset_eq::{MsMsg, MultisetEq};
 pub use outerplanar::{OpCheat, OpInstance, Outerplanarity, OP_CHEATS};
 pub use path_outerplanar::{PathOuterplanarity, PopCheat, PopInstance, PopParams, POP_CHEATS};
 pub use planarity::{PlCheat, PlInstance, Planarity, PL_CHEATS};
+pub use replay::{capture_run, diff_transcripts, replay_verify, ReplayOutcome};
 pub use series_parallel::{SeriesParallel, SpaCheat, SpaInstance, SPA_CHEATS};
 pub use spanning_tree::{SpanningTreeVerification, StCoin, StMsg, StParams};
 pub use treewidth2::{Treewidth2, Tw2Cheat, Tw2Instance, TW2_CHEATS};

@@ -30,7 +30,7 @@
 
 use crate::edge_labels::EdgeLabelCarrier;
 use crate::multiset_eq::{MsMsg, MultisetEq};
-use pdip_core::{bits_for_max, trace_stats, Rejections, RunResult, SizeStats};
+use pdip_core::{bits_for_max, capture, trace_stats, Rejections, RunResult, SizeStats};
 use pdip_field::{prefix_poly_evals, smallest_prime_above, Fp};
 use pdip_graph::gen::lr::LrInstance;
 use pdip_graph::{EdgeId, Graph, NodeId};
@@ -642,12 +642,28 @@ impl<'a> LrSorting<'a> {
     /// spans plus per-round bit counters (span name `"lr-sorting"`).
     /// Identical RNG call order and result — `rec` is observe-only.
     pub fn run_with(&self, cheat: Option<LrCheat>, seed: u64, rec: &dyn Recorder) -> RunResult {
-        let g = self.g();
-        let n = g.n();
         let mut rng = SmallRng::seed_from_u64(seed);
         // V-rounds: all nodes draw all coins (public coin model).
-        let coins_span = span(rec, 0, SpanId::new("lr-sorting/coins"));
-        let coins: Vec<LrCoins> = (0..n)
+        let coins = {
+            let _c = span(rec, 0, SpanId::new("lr-sorting/coins"));
+            self.draw_coins(&mut rng)
+        };
+        let t = self.prove(cheat, &coins, rec);
+        self.emit_captured(&coins, &t);
+        let stats = self.stats(&t);
+        let res = {
+            let _d = span(rec, 0, SpanId::new("lr-sorting/decide"));
+            self.verify_given_stats(&t, &coins, stats)
+        };
+        trace_stats(rec, "lr-sorting", &res.stats);
+        res
+    }
+
+    /// Verifier rounds V1/V2: every node draws its public coins. The RNG
+    /// call order is exactly the one [`LrSorting::run_with`] uses, so
+    /// replaying a stored seed reproduces the run's coins.
+    pub fn draw_coins(&self, rng: &mut SmallRng) -> Vec<LrCoins> {
+        (0..self.g().n())
             .map(|_| LrCoins {
                 r: rng.gen_range(0..self.field_p.modulus()),
                 rp: rng.gen_range(0..self.field_p.modulus()),
@@ -655,29 +671,138 @@ impl<'a> LrSorting<'a> {
                 z1: rng.gen_range(0..self.field_pp.modulus()),
                 z0: rng.gen_range(0..self.field_pp.modulus()),
             })
-            .collect();
-        drop(coins_span);
+            .collect()
+    }
+
+    /// Prover rounds P1–P3 under the given coins (honest, or applying a
+    /// cheat). Pure in `(self, cheat, coins)` — the prover side draws no
+    /// randomness of its own; `rec` is observe-only.
+    pub fn prove(
+        &self,
+        cheat: Option<LrCheat>,
+        coins: &[LrCoins],
+        rec: &dyn Recorder,
+    ) -> LrTranscript {
         let s1 = span(rec, 0, SpanId::at("lr-sorting/prover-round", 1));
         let (r1n, r1e) = self.round1(cheat);
         drop(s1);
         let s2 = span(rec, 0, SpanId::at("lr-sorting/prover-round", 2));
-        let (r2n, r2e) = self.round2(&r1n, &r1e, &coins, cheat);
+        let (r2n, r2e) = self.round2(&r1n, &r1e, coins, cheat);
         drop(s2);
         let s3 = span(rec, 0, SpanId::at("lr-sorting/prover-round", 3));
-        let r3n = self.round3(&r1n, &r1e, &r2n, &r2e, &coins, rec);
+        let r3n = self.round3(&r1n, &r1e, &r2n, &r2e, coins, rec);
         drop(s3);
-        let t =
-            LrTranscript { r1_node: r1n, r1_edge: r1e, r2_node: r2n, r2_edge: r2e, r3_node: r3n };
-        let stats = self.stats(&t);
-        let mut rej = Rejections::new();
-        {
-            let _d = span(rec, 0, SpanId::new("lr-sorting/decide"));
-            for v in 0..n {
-                self.decide(v, &t, &coins, &mut rej);
-            }
+        LrTranscript { r1_node: r1n, r1_edge: r1e, r2_node: r2n, r2_edge: r2e, r3_node: r3n }
+    }
+
+    /// Stored-label verification: decides from a transcript and coins
+    /// alone, with **no prover in the loop**. This is the replay-verify
+    /// core used by `pdip verify` on LR-level transcripts: the decision
+    /// functions read only per-node labels, neighbor labels, and the
+    /// node's own coins. Transcripts whose vector arity does not match
+    /// the graph are rejected as malformed up front.
+    pub fn verify_transcript(&self, t: &LrTranscript, coins: &[LrCoins]) -> RunResult {
+        if !self.arity_ok(t, coins) {
+            let mut rej = Rejections::new();
+            rej.reject_malformed(0, "lr: truncated transcript");
+            return rej.into_result(SizeStats { rounds: 5, ..Default::default() });
         }
-        trace_stats(rec, "lr-sorting", &stats);
+        let stats = self.stats(t);
+        self.verify_given_stats(t, coins, stats)
+    }
+
+    fn arity_ok(&self, t: &LrTranscript, coins: &[LrCoins]) -> bool {
+        let (n, m) = (self.g().n(), self.g().m());
+        t.r1_node.len() == n
+            && t.r2_node.len() == n
+            && t.r3_node.len() == n
+            && t.r1_edge.len() == m
+            && t.r2_edge.len() == m
+            && coins.len() == n
+    }
+
+    /// The per-node decision sweep with externally supplied size stats
+    /// (the chaos harness reports the honest pre-tamper stats).
+    fn verify_given_stats(
+        &self,
+        t: &LrTranscript,
+        coins: &[LrCoins],
+        stats: SizeStats,
+    ) -> RunResult {
+        let mut rej = Rejections::new();
+        if !self.arity_ok(t, coins) {
+            rej.reject_malformed(0, "lr: truncated transcript");
+            return rej.into_result(stats);
+        }
+        for v in 0..self.g().n() {
+            self.decide(v, t, coins, &mut rej);
+        }
         rej.into_result(stats)
+    }
+
+    /// Emits the coins and the three prover rounds into the active
+    /// transcript-capture scope, if any (see [`pdip_core::capture`]).
+    /// Observe-only: no RNG, no effect on the run.
+    fn emit_captured(&self, coins: &[LrCoins], t: &LrTranscript) {
+        if !capture::is_capturing() {
+            return;
+        }
+        capture::emit("lr/coins", |s| {
+            for c in coins {
+                s.put_u64(c.r);
+                s.put_u64(c.rp);
+                s.put_u64(c.rb);
+                s.put_u64(c.z1);
+                s.put_u64(c.z0);
+            }
+        });
+        capture::emit("lr/round1", |s| {
+            for l in &t.r1_node {
+                s.put_usize(l.idx);
+                s.put_bool(l.x1_bit);
+                s.put_bool(l.x2_bit);
+                s.put_u8(match l.mark {
+                    ConsecMark::Left => 0,
+                    ConsecMark::Pivot => 1,
+                    ConsecMark::Right => 2,
+                });
+                s.put_u64(l.m0);
+                s.put_u64(l.m1);
+            }
+            for l in &t.r1_edge {
+                match l {
+                    None => s.put_u8(0),
+                    Some(R1Edge::Inner) => s.put_u8(1),
+                    Some(R1Edge::Outer { index }) => {
+                        s.put_u8(2);
+                        s.put_usize(*index);
+                    }
+                }
+            }
+        });
+        capture::emit("lr/round2", |s| {
+            for l in &t.r2_node {
+                s.put_u64(l.r);
+                s.put_u64(l.rp);
+                s.put_u64(l.rb);
+                s.put_u64(l.a2);
+                s.put_u64(l.b1);
+                s.put_u64(l.ph);
+            }
+            for l in &t.r2_edge {
+                s.put_bool(l.is_some());
+                s.put_u64(l.unwrap_or(0));
+            }
+        });
+        capture::emit("lr/round3", |s| {
+            for l in &t.r3_node {
+                for m in [l.eq1, l.eq0] {
+                    s.put_u64(m.z);
+                    s.put_u64(m.a1);
+                    s.put_u64(m.a2);
+                }
+            }
+        });
     }
 
     /// Runs the honest prover rounds, lets `tamper` corrupt the finished
@@ -694,39 +819,12 @@ impl<'a> LrSorting<'a> {
         seed: u64,
         tamper: impl FnOnce(&mut LrTranscript, &mut [LrCoins]),
     ) -> RunResult {
-        let g = self.g();
-        let n = g.n();
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut coins: Vec<LrCoins> = (0..n)
-            .map(|_| LrCoins {
-                r: rng.gen_range(0..self.field_p.modulus()),
-                rp: rng.gen_range(0..self.field_p.modulus()),
-                rb: rng.gen_range(0..self.field_p.modulus()),
-                z1: rng.gen_range(0..self.field_pp.modulus()),
-                z0: rng.gen_range(0..self.field_pp.modulus()),
-            })
-            .collect();
-        let (r1n, r1e) = self.round1(None);
-        let (r2n, r2e) = self.round2(&r1n, &r1e, &coins, None);
-        let r3n = self.round3(&r1n, &r1e, &r2n, &r2e, &coins, &NoopRecorder);
-        let mut t =
-            LrTranscript { r1_node: r1n, r1_edge: r1e, r2_node: r2n, r2_edge: r2e, r3_node: r3n };
+        let mut coins = self.draw_coins(&mut rng);
+        let mut t = self.prove(None, &coins, &NoopRecorder);
         let stats = self.stats(&t);
         tamper(&mut t, &mut coins);
-        let mut rej = Rejections::new();
-        if t.r1_node.len() != n
-            || t.r2_node.len() != n
-            || t.r3_node.len() != n
-            || t.r1_edge.len() != g.m()
-            || t.r2_edge.len() != g.m()
-        {
-            rej.reject_malformed(0, "lr: truncated transcript");
-            return rej.into_result(stats);
-        }
-        for v in 0..n {
-            self.decide(v, &t, &coins, &mut rej);
-        }
-        rej.into_result(stats)
+        self.verify_given_stats(&t, &coins, stats)
     }
 
     /// Size accounting for the honest transcript.

@@ -131,6 +131,14 @@ impl<'a> Outerplanarity<'a> {
             leader_of_block[c] = Some(lead);
         }
         let tags: Vec<Tag> = (0..n).map(|_| Tag::random(self.tag_bits, &mut rng)).collect();
+        // Observe-only capture of the per-node block tags for replay.
+        pdip_core::capture::emit("op/block-tags", |s| {
+            s.put_usize(n);
+            for t in &tags {
+                s.put_usize(t.bits);
+                s.put_u64(t.value);
+            }
+        });
         // Home block of each node: the block where it is *not* separating.
         let mut home_block = vec![usize::MAX; n];
         for c in 0..k {

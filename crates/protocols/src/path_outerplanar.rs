@@ -245,6 +245,12 @@ impl<'a> PathOuterplanarity<'a> {
             is_path_edge[e] = true;
         }
         let tags: Vec<Tag> = (0..n).map(|_| Tag::random(self.tag_bits, &mut rng)).collect();
+        pdip_core::capture::emit("pop/nesting-tags", |s| {
+            for t in &tags {
+                s.put_usize(t.bits);
+                s.put_u64(t.value);
+            }
+        });
         let mut labels = nesting::sweep_assign(g, &positions, &path, &is_path_edge, &tags);
         if cheat == Some(PopCheat::NestingForceMark) {
             if let Some(e) = first_unmarkable_arc(g, &positions) {

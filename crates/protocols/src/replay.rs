@@ -1,0 +1,150 @@
+//! Replay verification of stored transcripts.
+//!
+//! All protocols in this crate are pure functions of `(instance, prover,
+//! seed)`: the verifier's public coins come from
+//! `SmallRng::seed_from_u64(seed)` and the prover rounds are deterministic
+//! given the coins. A stored transcript (see [`pdip_core::capture`]) is
+//! therefore *checkable*: re-run the bound protocol with the stored seed
+//! under a capture scope and byte-compare the emitted rounds against the
+//! stored ones. A mismatch means the stored transcript was not produced
+//! by the claimed `(instance, prover, seed)` — a deterministic reject,
+//! independent of the verdict. If the rounds match, the replayed verdict
+//! *is* the stored run's verdict.
+//!
+//! The LR-sorting core additionally supports true stored-label
+//! verification with no prover in the loop
+//! ([`crate::lr_sorting::LrSorting::verify_transcript`]); the family
+//! protocols compose nested sub-protocols whose labels live in their
+//! captured rounds, so replay-compare is the uniform entry point here.
+
+use pdip_core::{capture, CapturedTranscript, DipProtocol, RunResult};
+
+/// The outcome of replaying a stored transcript.
+#[derive(Debug, Clone)]
+pub enum ReplayOutcome {
+    /// The re-run emitted different rounds than the stored transcript:
+    /// the transcript does not belong to the claimed
+    /// `(instance, prover, seed)`.
+    Mismatch {
+        /// Human-readable description of the first divergence.
+        detail: String,
+    },
+    /// The rounds matched byte-for-byte; this is the replayed verdict.
+    Verdict(RunResult),
+}
+
+/// Runs `p` with the given prover (honest for `None`, cheat strategy `k`
+/// for `Some(k)`) under a capture scope and returns the result together
+/// with the captured rounds.
+pub fn capture_run(
+    p: &dyn DipProtocol,
+    cheat: Option<usize>,
+    seed: u64,
+) -> (RunResult, CapturedTranscript) {
+    capture::capture(|| match cheat {
+        None => p.run_honest(seed),
+        Some(k) => p.run_cheat(k, seed),
+    })
+}
+
+/// Byte-compares two captured transcripts; `None` means identical.
+pub fn diff_transcripts(expected: &CapturedTranscript, got: &CapturedTranscript) -> Option<String> {
+    if expected.rounds.len() != got.rounds.len() {
+        return Some(format!(
+            "round count differs: stored {} vs replayed {}",
+            expected.rounds.len(),
+            got.rounds.len()
+        ));
+    }
+    for (i, (e, g)) in expected.rounds.iter().zip(got.rounds.iter()).enumerate() {
+        if e.stage != g.stage {
+            return Some(format!(
+                "round {i}: stage differs: stored {:?} vs replayed {:?}",
+                e.stage, g.stage
+            ));
+        }
+        if e.payload != g.payload {
+            let at = e
+                .payload
+                .iter()
+                .zip(g.payload.iter())
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| e.payload.len().min(g.payload.len()));
+            return Some(format!(
+                "round {i} ({}): payload differs at byte {at} (stored {} bytes, replayed {})",
+                e.stage,
+                e.payload.len(),
+                g.payload.len()
+            ));
+        }
+    }
+    None
+}
+
+/// Replays the stored transcript: re-runs `p` with the stored
+/// `(cheat, seed)` under capture and byte-compares the emitted rounds
+/// against `expected`. Returns the replayed verdict on a match.
+pub fn replay_verify(
+    p: &dyn DipProtocol,
+    cheat: Option<usize>,
+    seed: u64,
+    expected: &CapturedTranscript,
+) -> ReplayOutcome {
+    let (res, got) = capture_run(p, cheat, seed);
+    match diff_transcripts(expected, &got) {
+        Some(detail) => ReplayOutcome::Mismatch { detail },
+        None => ReplayOutcome::Verdict(res),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lr_sorting::Transport;
+    use crate::path_outerplanar::{PathOuterplanarity, PopInstance, PopParams};
+    use pdip_graph::Graph;
+
+    fn pop_instance(n: usize) -> PopInstance {
+        let g = Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1)));
+        PopInstance { witness: Some((0..n).collect()), is_yes: true, graph: g }
+    }
+
+    #[test]
+    fn honest_replay_matches_itself() {
+        let inst = pop_instance(24);
+        let p = PathOuterplanarity::new(&inst, PopParams::default(), Transport::Simulated);
+        let (res, cap) = capture_run(&p, None, 7);
+        assert!(res.accepted());
+        assert!(!cap.rounds.is_empty(), "capture must observe rounds");
+        match replay_verify(&p, None, 7, &cap) {
+            ReplayOutcome::Verdict(r) => assert!(r.accepted()),
+            ReplayOutcome::Mismatch { detail } => panic!("unexpected mismatch: {detail}"),
+        }
+    }
+
+    #[test]
+    fn wrong_seed_is_a_mismatch() {
+        let inst = pop_instance(24);
+        let p = PathOuterplanarity::new(&inst, PopParams::default(), Transport::Simulated);
+        let (_, cap) = capture_run(&p, None, 7);
+        match replay_verify(&p, None, 8, &cap) {
+            ReplayOutcome::Mismatch { .. } => {}
+            ReplayOutcome::Verdict(_) => panic!("different seed must not replay-match"),
+        }
+    }
+
+    #[test]
+    fn tampered_round_is_a_mismatch() {
+        let inst = pop_instance(24);
+        let p = PathOuterplanarity::new(&inst, PopParams::default(), Transport::Simulated);
+        let (_, mut cap) = capture_run(&p, None, 7);
+        let last = cap.rounds.len() - 1;
+        if let Some(b) = cap.rounds[last].payload.first_mut() {
+            *b ^= 0x40;
+        }
+        match replay_verify(&p, None, 7, &cap) {
+            ReplayOutcome::Mismatch { .. } => {}
+            ReplayOutcome::Verdict(_) => panic!("tampered payload must not replay-match"),
+        }
+    }
+}

@@ -237,6 +237,24 @@ impl<'a> SeriesParallel<'a> {
         let node_ear: Vec<Tag> = (0..n).map(|v| ear_tag[home[v]]).collect();
         let node_pred: Vec<Option<Tag>> =
             (0..n).map(|v| ears[home[v]].1.map(|h| ear_tag[h])).collect();
+        // Observe-only capture of the ear-tag commitment for replay.
+        pdip_core::capture::emit("spa/ear-tags", |s| {
+            s.put_usize(ear_tag.len());
+            for t in &ear_tag {
+                s.put_usize(t.bits);
+                s.put_u64(t.value);
+            }
+            for v in 0..n {
+                s.put_u64(node_ear[v].value);
+                match node_pred[v] {
+                    Some(p) => {
+                        s.put_bool(true);
+                        s.put_u64(p.value);
+                    }
+                    None => s.put_bool(false),
+                }
+            }
+        });
         // Edge labels: (host_tag, guest_tag, guest-side endpoint) for
         // connecting edges, (host_tag,) for single-edge ears.
         #[derive(Clone, Copy, PartialEq)]

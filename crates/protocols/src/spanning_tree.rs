@@ -137,7 +137,27 @@ impl SpanningTreeVerification {
         let _g = span(rec, 0, id);
         counter(rec, 0, id, "msg_bits", self.msg_bits() as u64);
         counter(rec, 0, id, "coin_bits", self.coin_bits() as u64);
-        self.honest_response(forest, coins)
+        let msgs = self.honest_response(forest, coins);
+        // Observe-only capture of the round-3 prover messages (and the
+        // public coins they answer) for stored-transcript replay.
+        pdip_core::capture::emit("lemma2.5/st", |s| {
+            for c in coins {
+                s.put_usize(c.prime_indices.len());
+                for &pi in &c.prime_indices {
+                    s.put_usize(pi);
+                }
+            }
+            for m in &msgs {
+                s.put_usize(m.prime_indices.len());
+                for &pi in &m.prime_indices {
+                    s.put_usize(pi);
+                }
+                for &d in &m.depth_mod_p {
+                    s.put_u64(d);
+                }
+            }
+        });
+        msgs
     }
 
     /// Message size in bits per node.

@@ -100,6 +100,17 @@ impl<'a> Treewidth2<'a> {
                 }
             }
         }
+        // Observe-only capture of the block-tag commitment for replay.
+        pdip_core::capture::emit("tw2/block-tags", |s| {
+            s.put_usize(k);
+            for t in &tags {
+                s.put_usize(t.bits);
+                s.put_u64(t.value);
+            }
+            for &h in &home {
+                s.put_u64(h as u64);
+            }
+        });
         // Block-membership tag checks: every edge lies in one block; its
         // endpoints' tags agree unless one endpoint is the block's
         // separating cut node.

@@ -1,0 +1,338 @@
+//! [`Encode`]/[`Decode`] implementations for the graph substrate, the
+//! `pdip-core` transcript types, and the six family instance types.
+//!
+//! Decoding is *validating*: graphs check edge endpoints, witnesses check
+//! range and uniqueness, rotation systems check that every node's order
+//! is a permutation of its incident edges — a decoded value is safe to
+//! hand to the protocol layer, whose code may index with it.
+
+use crate::format::{Reader, WireError, Writer, MAX_EDGES, MAX_NODES, MAX_ROUNDS};
+use pdip_core::{CapturedRound, CapturedTranscript, SizeStats};
+use pdip_graph::{EdgeId, Graph, NodeId, RotationSystem};
+
+/// Serializes a value into a [`Writer`].
+pub trait Encode {
+    /// Appends the wire form of `self`.
+    fn encode(&self, w: &mut Writer);
+}
+
+/// Parses a value out of a [`Reader`], validating as it goes.
+pub trait Decode: Sized {
+    /// Reads and validates one value.
+    fn decode(r: &mut Reader) -> Result<Self, WireError>;
+}
+
+impl Encode for Graph {
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.n());
+        w.put_usize(self.m());
+        for e in self.edges() {
+            w.put_u32(e.u as u32);
+            w.put_u32(e.v as u32);
+        }
+    }
+}
+
+impl Decode for Graph {
+    fn decode(r: &mut Reader) -> Result<Self, WireError> {
+        let n = r.usize_capped("node count", MAX_NODES)?;
+        if n == 0 {
+            return Err(WireError::Invalid("empty graph".into()));
+        }
+        let m = r.count("edge count", MAX_EDGES, 8)?;
+        let mut g = Graph::new(n);
+        for _ in 0..m {
+            let u = r.u32()? as usize;
+            let v = r.u32()? as usize;
+            if u >= n || v >= n {
+                return Err(WireError::Invalid(format!("edge ({u}, {v}) out of range for n={n}")));
+            }
+            g.add_edge(u, v);
+        }
+        Ok(g)
+    }
+}
+
+/// Whether `g` is connected (the standing assumption of every family
+/// protocol; a decoded instance must not violate it).
+pub fn is_connected(g: &Graph) -> bool {
+    let n = g.n();
+    if n == 0 {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    let mut visited = 1usize;
+    while let Some(v) = stack.pop() {
+        for u in g.neighbor_nodes(v) {
+            if !seen[u] {
+                seen[u] = true;
+                visited += 1;
+                stack.push(u);
+            }
+        }
+    }
+    visited == n
+}
+
+/// Decodes a graph and checks connectivity.
+pub fn decode_connected_graph(r: &mut Reader) -> Result<Graph, WireError> {
+    let g = Graph::decode(r)?;
+    if !is_connected(&g) {
+        return Err(WireError::Invalid("graph is not connected".into()));
+    }
+    Ok(g)
+}
+
+/// Encodes an optional Hamiltonian-path witness.
+pub fn encode_witness(w: &mut Writer, witness: &Option<Vec<NodeId>>) {
+    match witness {
+        None => w.put_bool(false),
+        Some(path) => {
+            w.put_bool(true);
+            w.put_usize(path.len());
+            for &v in path {
+                w.put_u32(v as u32);
+            }
+        }
+    }
+}
+
+/// Decodes an optional Hamiltonian-path witness for a graph on `n`
+/// nodes: each entry in range, no node repeated.
+pub fn decode_witness(r: &mut Reader, n: usize) -> Result<Option<Vec<NodeId>>, WireError> {
+    if !r.bool()? {
+        return Ok(None);
+    }
+    let len = r.count("witness length", MAX_NODES, 4)?;
+    let mut seen = vec![false; n];
+    let mut path = Vec::with_capacity(len);
+    for _ in 0..len {
+        let v = r.u32()? as usize;
+        if v >= n {
+            return Err(WireError::Invalid(format!("witness node {v} out of range for n={n}")));
+        }
+        if seen[v] {
+            return Err(WireError::Invalid(format!("witness repeats node {v}")));
+        }
+        seen[v] = true;
+        path.push(v);
+    }
+    Ok(Some(path))
+}
+
+/// Encodes a rotation system of `g`.
+pub fn encode_rho(w: &mut Writer, g: &Graph, rho: &RotationSystem) {
+    for v in 0..g.n() {
+        let order = rho.order_at(v);
+        w.put_usize(order.len());
+        for &e in order {
+            w.put_u32(e as u32);
+        }
+    }
+}
+
+/// Decodes a rotation system for `g`, checking every node's order is a
+/// permutation of its incident edges (the invariant
+/// [`RotationSystem::from_orders`] asserts).
+pub fn decode_rho(r: &mut Reader, g: &Graph) -> Result<RotationSystem, WireError> {
+    let n = g.n();
+    let mut order: Vec<Vec<EdgeId>> = Vec::with_capacity(n);
+    for v in 0..n {
+        let len = r.count("rotation order", MAX_EDGES, 4)?;
+        let mut at_v = Vec::with_capacity(len);
+        for _ in 0..len {
+            at_v.push(r.u32()? as usize);
+        }
+        let mut want: Vec<EdgeId> = g.incident_edges(v).collect();
+        let mut got = at_v.clone();
+        want.sort_unstable();
+        got.sort_unstable();
+        if want != got {
+            return Err(WireError::Invalid(format!(
+                "rotation order at node {v} is not a permutation of its incident edges"
+            )));
+        }
+        order.push(at_v);
+    }
+    Ok(RotationSystem::from_orders(g, order))
+}
+
+impl Encode for CapturedRound {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.stage);
+        w.put_u32(self.payload.len() as u32);
+        w.put_bytes(&self.payload);
+    }
+}
+
+impl Decode for CapturedRound {
+    fn decode(r: &mut Reader) -> Result<Self, WireError> {
+        let stage = r.str()?;
+        let len = r.u32()? as usize;
+        if len > r.remaining() {
+            return Err(WireError::TooLarge { what: "round payload", len: len as u64 });
+        }
+        let payload = r.take(len)?.to_vec();
+        Ok(CapturedRound { stage, payload })
+    }
+}
+
+impl Encode for CapturedTranscript {
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.rounds.len());
+        for round in &self.rounds {
+            round.encode(w);
+        }
+    }
+}
+
+impl Decode for CapturedTranscript {
+    fn decode(r: &mut Reader) -> Result<Self, WireError> {
+        let n = r.count("round count", MAX_ROUNDS, 8)?;
+        let mut rounds = Vec::with_capacity(n);
+        for _ in 0..n {
+            rounds.push(CapturedRound::decode(r)?);
+        }
+        Ok(CapturedTranscript { rounds })
+    }
+}
+
+impl Encode for SizeStats {
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.per_round_max_bits.len());
+        for &b in &self.per_round_max_bits {
+            w.put_usize(b);
+        }
+        w.put_usize(self.per_round_total_bits.len());
+        for &b in &self.per_round_total_bits {
+            w.put_usize(b);
+        }
+        w.put_usize(self.coin_bits);
+        w.put_usize(self.rounds);
+    }
+}
+
+impl Decode for SizeStats {
+    fn decode(r: &mut Reader) -> Result<Self, WireError> {
+        let read_vec = |r: &mut Reader| -> Result<Vec<usize>, WireError> {
+            let n = r.count("stats vector", MAX_ROUNDS, 8)?;
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(r.usize_capped("stats entry", usize::MAX >> 1)?);
+            }
+            Ok(v)
+        };
+        let per_round_max_bits = read_vec(r)?;
+        let per_round_total_bits = read_vec(r)?;
+        let coin_bits = r.usize_capped("coin bits", usize::MAX >> 1)?;
+        let rounds = r.usize_capped("rounds", MAX_ROUNDS)?;
+        Ok(SizeStats { per_round_max_bits, per_round_total_bits, coin_bits, rounds })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
+    }
+
+    fn roundtrip<T: Encode + Decode>(x: &T) -> T {
+        let mut w = Writer::new();
+        x.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = T::decode(&mut r).expect("decode");
+        assert!(r.is_exhausted(), "decoder must consume everything it wrote");
+        back
+    }
+
+    #[test]
+    fn graph_roundtrip() {
+        let g = cycle(7);
+        let back = roundtrip(&g);
+        assert_eq!(back.n(), g.n());
+        assert_eq!(back.m(), g.m());
+        assert_eq!(back.edges(), g.edges());
+    }
+
+    #[test]
+    fn graph_bad_endpoint_rejected() {
+        let mut w = Writer::new();
+        w.put_usize(3);
+        w.put_usize(1);
+        w.put_u32(0);
+        w.put_u32(9); // out of range
+        let bytes = w.into_bytes();
+        assert!(matches!(Graph::decode(&mut Reader::new(&bytes)), Err(WireError::Invalid(_))));
+    }
+
+    #[test]
+    fn connectivity_check() {
+        assert!(is_connected(&cycle(5)));
+        let disconnected = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        assert!(!is_connected(&disconnected));
+    }
+
+    #[test]
+    fn witness_validation() {
+        let mut w = Writer::new();
+        encode_witness(&mut w, &Some(vec![0, 1, 2]));
+        let bytes = w.into_bytes();
+        assert_eq!(decode_witness(&mut Reader::new(&bytes), 3).unwrap(), Some(vec![0, 1, 2]));
+        // Out of range for a smaller graph.
+        assert!(decode_witness(&mut Reader::new(&bytes), 2).is_err());
+        // Duplicate node.
+        let mut w = Writer::new();
+        encode_witness(&mut w, &Some(vec![0, 0]));
+        let bytes = w.into_bytes();
+        assert!(decode_witness(&mut Reader::new(&bytes), 3).is_err());
+    }
+
+    #[test]
+    fn rho_roundtrip_and_validation() {
+        let g = cycle(5);
+        let rho = RotationSystem::port_order(&g);
+        let mut w = Writer::new();
+        encode_rho(&mut w, &g, &rho);
+        let bytes = w.into_bytes();
+        let back = decode_rho(&mut Reader::new(&bytes), &g).expect("decode rho");
+        for v in 0..g.n() {
+            assert_eq!(back.order_at(v), rho.order_at(v));
+        }
+        // Corrupt one edge id: no longer a permutation.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x3f;
+        assert!(decode_rho(&mut Reader::new(&bad), &g).is_err());
+    }
+
+    #[test]
+    fn captured_transcript_roundtrip() {
+        let t = CapturedTranscript {
+            rounds: vec![
+                CapturedRound { stage: "a".into(), payload: vec![1, 2, 3] },
+                CapturedRound { stage: "b/c".into(), payload: vec![] },
+            ],
+        };
+        let back = roundtrip(&t);
+        assert_eq!(back.rounds.len(), 2);
+        assert_eq!(back.rounds[0].stage, "a");
+        assert_eq!(back.rounds[0].payload, vec![1, 2, 3]);
+        assert_eq!(back.rounds[1].stage, "b/c");
+    }
+
+    #[test]
+    fn size_stats_roundtrip() {
+        let s = SizeStats {
+            per_round_max_bits: vec![8, 40, 66],
+            per_round_total_bits: vec![800, 4000, 6600],
+            coin_bits: 1234,
+            rounds: 5,
+        };
+        assert_eq!(roundtrip(&s), s);
+    }
+}

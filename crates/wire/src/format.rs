@@ -1,0 +1,366 @@
+//! Low-level framing: the `PDIP` container, bounded reads, checksums.
+//!
+//! A wire blob is
+//!
+//! ```text
+//! magic "PDIP" | version u16 | header bytes | sections | checksum u64
+//! ```
+//!
+//! with every multi-byte integer little-endian. Each section is
+//! `tag u8 | len u32 | payload` and the trailer is the FNV-1a-64 hash of
+//! everything before it. The [`Reader`] is hardened against adversarial
+//! input: every length is checked against both a hard cap and the number
+//! of bytes actually remaining *before* any allocation, so a corrupted or
+//! crafted length field yields a structured [`WireError`], never a panic
+//! or an OOM-sized allocation.
+
+use std::fmt;
+
+/// The 4-byte container magic.
+pub const MAGIC: [u8; 4] = *b"PDIP";
+
+/// Current format version. Bump on any incompatible layout change; see
+/// DESIGN.md §5 for the compatibility policy.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Hard cap on node counts in decoded graphs.
+pub const MAX_NODES: usize = 1 << 24;
+/// Hard cap on edge counts in decoded graphs.
+pub const MAX_EDGES: usize = 1 << 26;
+/// Hard cap on captured round counts.
+pub const MAX_ROUNDS: usize = 1 << 16;
+/// Hard cap on decoded string lengths (stage names, reject reasons).
+pub const MAX_STR: usize = 4096;
+/// Hard cap on a single section payload.
+pub const MAX_SECTION: usize = 1 << 28;
+
+/// Structured decode failures. Every malformed input maps to one of
+/// these — decoding never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than a field or section requires.
+    Truncated,
+    /// The blob does not start with [`MAGIC`].
+    BadMagic,
+    /// A format version this decoder does not understand.
+    UnsupportedVersion(u16),
+    /// The FNV-1a trailer does not match the payload.
+    Checksum,
+    /// A length field exceeds its hard cap or the bytes remaining.
+    TooLarge {
+        /// What was being decoded.
+        what: &'static str,
+        /// The claimed length.
+        len: u64,
+    },
+    /// A structurally invalid value (bad tag, out-of-range index,
+    /// non-permutation rotation, …).
+    Invalid(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated input"),
+            WireError::BadMagic => write!(f, "bad magic (not a PDIP blob)"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            WireError::Checksum => write!(f, "checksum mismatch"),
+            WireError::TooLarge { what, len } => write!(f, "{what} length {len} out of bounds"),
+            WireError::Invalid(msg) => write!(f, "invalid field: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// FNV-1a 64-bit hash of `data`.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// An append-only little-endian byte writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// A fresh empty writer.
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, x: u8) {
+        self.buf.push(x);
+    }
+
+    /// Appends a `u16` little-endian.
+    pub fn put_u16(&mut self, x: u16) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Appends a `u32` little-endian.
+    pub fn put_u32(&mut self, x: u32) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Appends a `u64` little-endian.
+    pub fn put_u64(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Appends a `usize` widened to `u64`.
+    pub fn put_usize(&mut self, x: usize) {
+        self.put_u64(x as u64);
+    }
+
+    /// Appends a bool as one byte.
+    pub fn put_bool(&mut self, x: bool) {
+        self.put_u8(x as u8);
+    }
+
+    /// Appends raw bytes (no length prefix).
+    pub fn put_bytes(&mut self, x: &[u8]) {
+        self.buf.extend_from_slice(x);
+    }
+
+    /// Appends a `u32`-length-prefixed string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Appends a tagged, `u32`-length-prefixed section.
+    pub fn put_section(&mut self, tag: u8, payload: &[u8]) {
+        self.put_u8(tag);
+        self.put_u32(payload.len() as u32);
+        self.put_bytes(payload);
+    }
+
+    /// Finishes the blob: appends the FNV-1a trailer and returns the
+    /// bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        let sum = fnv1a64(&self.buf);
+        self.put_u64(sum);
+        self.buf
+    }
+
+    /// The bytes written so far (no trailer).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// A bounds-checked little-endian cursor over a byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether every byte was consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if n > self.remaining() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads a bool byte (strictly 0 or 1).
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError::Invalid(format!("bool byte {b}"))),
+        }
+    }
+
+    /// Reads a `u64` and checks it fits a `usize` and the cap.
+    pub fn usize_capped(&mut self, what: &'static str, cap: usize) -> Result<usize, WireError> {
+        let x = self.u64()?;
+        if x > cap as u64 {
+            return Err(WireError::TooLarge { what, len: x });
+        }
+        Ok(x as usize)
+    }
+
+    /// Reads an element count and checks `count <= cap` **and**
+    /// `count * min_elem_bytes <= remaining` before the caller allocates
+    /// anything — an adversarial length field cannot force an OOM-sized
+    /// reservation.
+    pub fn count(
+        &mut self,
+        what: &'static str,
+        cap: usize,
+        min_elem_bytes: usize,
+    ) -> Result<usize, WireError> {
+        let n = self.usize_capped(what, cap)?;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(WireError::TooLarge { what, len: n as u64 });
+        }
+        Ok(n)
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string (capped at
+    /// [`MAX_STR`]).
+    pub fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        if len > MAX_STR || len > self.remaining() {
+            return Err(WireError::TooLarge { what: "string", len: len as u64 });
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Invalid("non-UTF-8 string".into()))
+    }
+
+    /// Reads a section header with the expected `tag`, returning a
+    /// sub-reader over exactly the section payload.
+    pub fn section(&mut self, tag: u8) -> Result<Reader<'a>, WireError> {
+        let got = self.u8()?;
+        if got != tag {
+            return Err(WireError::Invalid(format!("expected section tag {tag}, found {got}")));
+        }
+        let len = self.u32()? as usize;
+        if len > MAX_SECTION || len > self.remaining() {
+            return Err(WireError::TooLarge { what: "section", len: len as u64 });
+        }
+        Ok(Reader::new(self.take(len)?))
+    }
+}
+
+/// Checks the FNV-1a trailer of a finished blob and returns the payload
+/// (everything before the trailer).
+pub fn checked_payload(data: &[u8]) -> Result<&[u8], WireError> {
+    if data.len() < 8 {
+        return Err(WireError::Truncated);
+    }
+    let (payload, trailer) = data.split_at(data.len() - 8);
+    let stored = u64::from_le_bytes([
+        trailer[0], trailer[1], trailer[2], trailer[3], trailer[4], trailer[5], trailer[6],
+        trailer[7],
+    ]);
+    if fnv1a64(payload) != stored {
+        return Err(WireError::Checksum);
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u16(300);
+        w.put_u32(70_000);
+        w.put_u64(1 << 40);
+        w.put_bool(true);
+        w.put_str("hello");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 300);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.str().unwrap(), "hello");
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_reads_error() {
+        let mut r = Reader::new(&[1, 2]);
+        assert_eq!(r.u32().unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn oversized_count_is_rejected_before_allocation() {
+        // Claims u64::MAX elements with 2 bytes of payload behind it.
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX);
+        w.put_u16(0);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.count("elems", MAX_EDGES, 8), Err(WireError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn checksum_detects_bitflip() {
+        let mut w = Writer::new();
+        w.put_str("payload");
+        let mut blob = w.finish();
+        assert!(checked_payload(&blob).is_ok());
+        blob[3] ^= 1;
+        assert_eq!(checked_payload(&blob).unwrap_err(), WireError::Checksum);
+    }
+
+    #[test]
+    fn section_roundtrip_and_bad_tag() {
+        let mut w = Writer::new();
+        w.put_section(2, &[9, 9, 9]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.section(1), Err(WireError::Invalid(_))));
+        let mut r = Reader::new(&bytes);
+        let mut s = r.section(2).unwrap();
+        assert_eq!(s.take(3).unwrap(), &[9, 9, 9]);
+    }
+}

@@ -12,12 +12,23 @@
 //! pdip bench-graph [--smoke] [--out PATH]
 //! pdip chaos [--smoke] [--threads K] [--out PREFIX]
 //! pdip trace [--smoke] [--threads K] [--out PREFIX] [--quiet]
+//! pdip prove <family> [--n N] [--prover honest|IDX] [--no-instance]
+//!                     [--gen-seed G] [--seed S] [--simulated] [--out PATH]
+//! pdip verify <PATH>
+//! pdip serve [--stdin | --port P | --smoke] [--threads K] [--queue Q]
+//!            [--deadline-ms D] [--out PREFIX]
 //! ```
+//!
+//! Exit codes of `pdip verify`: 0 = replay matched and the verifier
+//! accepts, 3 = well-formed but rejected (verifier rejection or replay
+//! mismatch), 4 = malformed transcript (decode error). `pdip serve`
+//! reports the same distinction per request via response status codes.
 
 use pdip_bench::{no_instance, Family, YesInstance, FAMILIES};
-use pdip_engine::{Engine, ProverSpec, Reporter, SweepSpec};
+use pdip_engine::{Engine, ProverSpec, Reporter, ServeConfig, SweepSpec};
 use planarity_dip::dip::DipProtocol;
 use planarity_dip::protocols::{Amplified, PopParams, Transport};
+use planarity_dip::wire::{Transcript, VerifyOutcome, WireInstance};
 
 fn usage() -> ! {
     eprintln!(
@@ -29,7 +40,12 @@ fn usage() -> ! {
          pdip bench-hotpath [--out PATH]\n  \
          pdip bench-graph [--smoke] [--out PATH]\n  \
          pdip chaos [--smoke] [--threads K] [--out PREFIX]\n  \
-         pdip trace [--smoke] [--threads K] [--out PREFIX] [--quiet]\n\nfamilies: {}",
+         pdip trace [--smoke] [--threads K] [--out PREFIX] [--quiet]\n  \
+         pdip prove <family> [--n N] [--prover honest|IDX] [--no-instance] [--gen-seed G] \
+         [--seed S] [--simulated] [--out PATH]\n  \
+         pdip verify <PATH>   (exit 0 accept / 3 rejected / 4 malformed)\n  \
+         pdip serve [--stdin | --port P | --smoke] [--threads K] [--queue Q] [--deadline-ms D] \
+         [--out PREFIX]\n\nfamilies: {}",
         FAMILIES.iter().map(|f| f.name()).collect::<Vec<_>>().join(", ")
     );
     std::process::exit(2)
@@ -360,7 +376,170 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "prove" => {
+            let fam = parse_family(args.get(1).map(String::as_str).unwrap_or_else(|| usage()));
+            let n = flag_num(&args, "--n", 64);
+            let gen_seed = flag_num(&args, "--gen-seed", 7) as u64;
+            let run_seed = flag_num(&args, "--seed", 11) as u64;
+            let transport = if args.iter().any(|a| a == "--simulated") {
+                Transport::Simulated
+            } else {
+                Transport::Native
+            };
+            let prover_arg = flag_value(&args, "--prover").unwrap_or_else(|| "honest".into());
+            let prover: u8 = if prover_arg == "honest" {
+                0
+            } else {
+                let idx: u8 = prover_arg.parse().unwrap_or_else(|_| {
+                    eprintln!("--prover must be 'honest' or a cheat index");
+                    usage()
+                });
+                idx + 1
+            };
+            let inst = if args.iter().any(|a| a == "--no-instance") || prover != 0 {
+                no_instance(fam, n, gen_seed)
+            } else {
+                YesInstance::generate(fam, n, gen_seed)
+            };
+            let t = Transcript::record(
+                to_wire(inst),
+                PopParams::default(),
+                transport,
+                prover,
+                gen_seed,
+                run_seed,
+            );
+            let bytes = t.encode();
+            let out = flag_value(&args, "--out").unwrap_or_else(|| "out.transcript".into());
+            let path = std::path::Path::new(&out);
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                std::fs::create_dir_all(dir).expect("creating output dir");
+            }
+            std::fs::write(path, &bytes).expect("writing transcript");
+            println!(
+                "wrote {} ({} bytes): {} n={} prover={} verdict={}",
+                path.display(),
+                bytes.len(),
+                t.instance.family_name(),
+                t.instance.n(),
+                prover_arg,
+                if t.accepted { "ACCEPT" } else { "REJECT" }
+            );
+        }
+        "verify" => {
+            let path = args.get(1).cloned().unwrap_or_else(|| usage());
+            let data = std::fs::read(&path).unwrap_or_else(|e| {
+                eprintln!("reading {path}: {e}");
+                std::process::exit(4)
+            });
+            let t = match Transcript::decode(&data) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("malformed transcript: {e}");
+                    std::process::exit(4)
+                }
+            };
+            println!(
+                "transcript : {} n={} prover={} transport={}",
+                t.instance.family_name(),
+                t.instance.n(),
+                match t.cheat() {
+                    None => "honest".to_string(),
+                    Some(k) => format!("cheat {k}"),
+                },
+                if t.transport == 0 { "native" } else { "simulated" }
+            );
+            match t.verify() {
+                VerifyOutcome::Accepted(_) => {
+                    println!("verdict    : ACCEPT (replay matched)");
+                }
+                VerifyOutcome::VerifierRejected(res) => {
+                    println!("verdict    : REJECT (replay matched; the verifier rejects)");
+                    for (v, r) in res.rejections.iter().take(5) {
+                        println!("  node {v}: {r}");
+                    }
+                    std::process::exit(3)
+                }
+                VerifyOutcome::ReplayMismatch { detail } => {
+                    println!("verdict    : REJECT (replay mismatch: {detail})");
+                    std::process::exit(3)
+                }
+            }
+        }
+        "serve" => {
+            let cfg = ServeConfig {
+                threads: flag_num(&args, "--threads", {
+                    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+                }),
+                queue_cap: flag_num(&args, "--queue", 256),
+                deadline: flag_value(&args, "--deadline-ms")
+                    .map(|v| std::time::Duration::from_millis(v.parse().expect("milliseconds"))),
+            };
+            if args.iter().any(|a| a == "--smoke") {
+                let out = flag_value(&args, "--out").unwrap_or_else(|| "results/e12_serve".into());
+                let report = pdip_engine::run_serve_smoke(&[1, 4], pdip_engine::E12_SEED);
+                print!("{}", report.render_text());
+                let txt_path = std::path::PathBuf::from(format!("{out}.txt"));
+                let json_path = std::path::PathBuf::from(format!("{out}.json"));
+                if let Some(dir) = txt_path.parent() {
+                    std::fs::create_dir_all(dir).expect("creating results dir");
+                }
+                std::fs::write(&txt_path, report.render_text()).expect("writing serve text report");
+                std::fs::write(&json_path, report.render_json())
+                    .expect("writing serve json report");
+                println!("\nwrote {} and {}", txt_path.display(), json_path.display());
+                if !report.passed {
+                    eprintln!("serve smoke FAILED (see failures above)");
+                    std::process::exit(1);
+                }
+            } else if args.iter().any(|a| a == "--stdin") {
+                let mut stdin = std::io::stdin().lock();
+                let mut stdout = std::io::stdout().lock();
+                let (stats, _) = pdip_engine::serve_stream(
+                    &cfg,
+                    &mut stdin,
+                    &mut stdout,
+                    &pdip_obs::NoopRecorder,
+                )
+                .expect("serving stdin stream");
+                eprintln!(
+                    "served: accept={} reject={} malformed={} busy={} deadline={} panics={}",
+                    stats.accepted,
+                    stats.rejected,
+                    stats.malformed,
+                    stats.busy,
+                    stats.deadline,
+                    stats.panics
+                );
+            } else {
+                let port = flag_num(&args, "--port", 7437) as u16;
+                let mut rep = Reporter::from_quiet_flag(false);
+                let stats = pdip_engine::serve_tcp(&cfg, port, &mut rep, &pdip_obs::NoopRecorder)
+                    .expect("serving tcp");
+                eprintln!(
+                    "served: accept={} reject={} malformed={} busy={} deadline={} panics={}",
+                    stats.accepted,
+                    stats.rejected,
+                    stats.malformed,
+                    stats.busy,
+                    stats.deadline,
+                    stats.panics
+                );
+            }
+        }
         _ => usage(),
+    }
+}
+
+/// Maps an engine instance onto its wire-format container.
+fn to_wire(inst: YesInstance) -> WireInstance {
+    match inst {
+        YesInstance::Pop(i) => WireInstance::Pop(i),
+        YesInstance::Op(i) => WireInstance::Op(i),
+        YesInstance::Emb(i) => WireInstance::Emb(i),
+        YesInstance::Pl(i) => WireInstance::Pl(i),
+        YesInstance::Spa(i) => WireInstance::Spa(i),
+        YesInstance::Tw2(i) => WireInstance::Tw2(i),
     }
 }
 

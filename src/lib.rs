@@ -27,3 +27,4 @@ pub use pdip_core as dip;
 pub use pdip_field as field;
 pub use pdip_graph as graph;
 pub use pdip_protocols as protocols;
+pub use pdip_wire as wire;

@@ -115,6 +115,72 @@ fn trace_smoke_passes_audit_and_quiet_silences_stdout() {
 }
 
 #[test]
+fn prove_verify_roundtrip_and_exit_codes() {
+    let dir = std::env::temp_dir().join("pdip_wire_cli_smoke");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // Honest transcript: prove writes it, verify accepts with exit 0.
+    let good = dir.join("good.transcript");
+    let out = pdip()
+        .args(["prove", "outerplanarity", "--n", "24", "--gen-seed", "4", "--seed", "9", "--out"])
+        .arg(&good)
+        .output()
+        .expect("run pdip prove");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let v = pdip().arg("verify").arg(&good).output().expect("run pdip verify");
+    assert_eq!(v.status.code(), Some(0), "{}", String::from_utf8_lossy(&v.stdout));
+    assert!(String::from_utf8_lossy(&v.stdout).contains("ACCEPT"));
+
+    // Cheat transcript: well-formed, verifier rejects → exit 3.
+    let cheat = dir.join("cheat.transcript");
+    let out = pdip()
+        .args(["prove", "series-parallel", "--n", "48", "--prover", "0", "--seed", "3", "--out"])
+        .arg(&cheat)
+        .output()
+        .expect("run pdip prove");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let v = pdip().arg("verify").arg(&cheat).output().expect("run pdip verify");
+    assert_eq!(v.status.code(), Some(3), "rejected-but-well-formed must exit 3");
+
+    // Corrupted blob: malformed → exit 4, distinct from rejection.
+    let mut bytes = std::fs::read(&good).expect("read transcript");
+    bytes[20] ^= 0x40;
+    let bad = dir.join("bad.transcript");
+    std::fs::write(&bad, &bytes).expect("write corrupted transcript");
+    let v = pdip().arg("verify").arg(&bad).output().expect("run pdip verify");
+    assert_eq!(v.status.code(), Some(4), "malformed must exit 4");
+    assert!(String::from_utf8_lossy(&v.stderr).contains("malformed"));
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn serve_stdin_answers_ping_and_shutdown_frames() {
+    use std::io::Write;
+    use std::process::Stdio;
+    let mut child = pdip()
+        .args(["serve", "--stdin"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn pdip serve --stdin");
+    // Two frames: ping (tag 0x02), shutdown (tag 0x7f).
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(&[1, 0, 0, 0, 0x02, 1, 0, 0, 0, 0x7f])
+        .expect("write frames");
+    let out = child.wait_with_output().expect("pdip serve exits");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // Response frames are len(4) + seq(8) + status(1) + detail-len(4).
+    assert_eq!(out.stdout.len(), 2 * 17, "two empty-detail response frames");
+    assert_eq!(out.stdout[12], 6, "first response is pong");
+    assert_eq!(out.stdout[17 + 12], 5, "second response is shutdown-ack");
+}
+
+#[test]
 fn size_sweep_prints_rows() {
     let out = pdip()
         .args(["size", "treewidth-2", "--from", "6", "--to", "8"])

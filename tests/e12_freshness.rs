@@ -1,0 +1,36 @@
+//! Freshness guard for the committed `results/e12_serve.{txt,json}`.
+//!
+//! The E12 serve smoke is deterministic end-to-end (fixed base seed,
+//! seq-sorted responses, timing-free rendering), so re-running it must
+//! reproduce the committed artifacts byte-for-byte. Regenerate with
+//! `cargo run --release --bin pdip -- serve --smoke` after any change to
+//! the wire format, the capture emissions, or the protocols.
+
+use pdip_engine::{run_serve_smoke, E12_SEED};
+
+#[test]
+fn committed_e12_matches_rerun_byte_for_byte() {
+    let report = run_serve_smoke(&[1, 4], E12_SEED);
+    assert!(report.passed, "serve smoke audit failed: {:?}", report.failures);
+    assert!(report.lines.len() >= 100, "smoke must push >= 100 requests");
+    assert_eq!(report.stats.panics, 0, "smoke must be panic-free");
+    assert_eq!(
+        report.probe_busy,
+        report.probe_submitted - report.probe_queue_cap,
+        "gated probe must busy-reject exactly the overflow"
+    );
+
+    let txt =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/results/e12_serve.txt"))
+            .expect(
+                "results/e12_serve.txt must be committed; regenerate with `pdip serve --smoke`",
+            );
+    assert_eq!(txt, report.render_text(), "committed e12 text artifact is stale");
+
+    let json =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/results/e12_serve.json"))
+            .expect(
+                "results/e12_serve.json must be committed; regenerate with `pdip serve --smoke`",
+            );
+    assert_eq!(json, report.render_json(), "committed e12 json artifact is stale");
+}

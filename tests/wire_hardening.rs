@@ -1,0 +1,113 @@
+//! Malformed-input hardening of the wire decoder: chaos-corrupted blobs
+//! (truncations, bit flips, oversized length fields) must always yield a
+//! structured [`planarity_dip::wire::WireError`] — never a panic, and
+//! never an allocation sized by attacker-controlled counts.
+
+use pdip_engine::chaos::Mutator;
+use pdip_engine::{YesInstance, FAMILIES};
+use planarity_dip::protocols::{PopParams, Transport};
+use planarity_dip::wire::{fnv1a64, Transcript, WireInstance};
+
+fn family_blob(fi: usize, seed: u64) -> Vec<u8> {
+    let inst = match YesInstance::generate(FAMILIES[fi], 24, seed) {
+        YesInstance::Pop(i) => WireInstance::Pop(i),
+        YesInstance::Op(i) => WireInstance::Op(i),
+        YesInstance::Emb(i) => WireInstance::Emb(i),
+        YesInstance::Pl(i) => WireInstance::Pl(i),
+        YesInstance::Spa(i) => WireInstance::Spa(i),
+        YesInstance::Tw2(i) => WireInstance::Tw2(i),
+    };
+    Transcript::record(inst, PopParams::default(), Transport::Simulated, 0, seed, seed ^ 7).encode()
+}
+
+/// Recomputes the checksum trailer over a corrupted body so decoding
+/// proceeds past the integrity check and into field validation — the
+/// adversarial case the caps and index checks exist for.
+fn resign(bytes: &mut [u8]) {
+    let body = bytes.len() - 8;
+    let ck = fnv1a64(&bytes[..body]);
+    bytes[body..].copy_from_slice(&ck.to_le_bytes());
+}
+
+#[test]
+fn truncation_at_every_cut_is_a_structured_error() {
+    for fi in 0..FAMILIES.len() {
+        let bytes = family_blob(fi, 50 + fi as u64);
+        for cut in (0..bytes.len()).step_by(13).chain([bytes.len() - 1]) {
+            assert!(
+                Transcript::decode(&bytes[..cut]).is_err(),
+                "family {fi}: truncation at {cut} must not decode"
+            );
+        }
+    }
+}
+
+#[test]
+fn bit_flips_never_decode_or_panic() {
+    for fi in 0..FAMILIES.len() {
+        let bytes = family_blob(fi, 80 + fi as u64);
+        let mut m = Mutator::new(0xf11_u64 + fi as u64);
+        for _ in 0..200 {
+            let mut bad = bytes.clone();
+            let i = m.index(bad.len());
+            bad[i] ^= m.bit(8) as u8;
+            assert!(
+                Transcript::decode(&bad).is_err(),
+                "family {fi}: checksum must catch a single-bit flip at {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn oversized_section_length_is_rejected_before_allocation() {
+    // Header is magic(4) + version(2) + family/prover/transport(3); the
+    // first section's length field sits at offset 10. Stamp it to
+    // u32::MAX and re-sign so the parser actually reads it: the section
+    // cap must reject it as a structured error, not attempt a 4 GiB
+    // read or allocation.
+    let mut bytes = family_blob(0, 99);
+    bytes[10..14].copy_from_slice(&u32::MAX.to_le_bytes());
+    resign(&mut bytes);
+    let err = Transcript::decode(&bytes).expect_err("oversized section must not decode");
+    let msg = err.to_string();
+    assert!(!msg.is_empty());
+}
+
+#[test]
+fn resigned_corruptions_are_handled_without_panicking() {
+    // Checksum-valid corruption sweep: flips, truncate-and-resign, and
+    // 0xff stamps anywhere in the body. Decoding may legitimately
+    // succeed (e.g. a flip inside an opaque round payload) — then the
+    // corruption must instead be caught or tolerated by replay
+    // verification. Nothing may panic.
+    for fi in 0..FAMILIES.len() {
+        let bytes = family_blob(fi, 120 + fi as u64);
+        let mut m = Mutator::new(0x5e51_u64 + fi as u64);
+        for round in 0..60u32 {
+            let mut bad = bytes.clone();
+            match round % 3 {
+                0 => {
+                    let i = m.index(bad.len() - 8);
+                    bad[i] ^= m.bit(8) as u8;
+                }
+                1 => {
+                    let keep = 9 + m.index(bad.len() - 17);
+                    bad.truncate(keep + 8);
+                }
+                _ => {
+                    let i = m.index(bad.len().saturating_sub(12));
+                    for b in bad.iter_mut().skip(i).take(4) {
+                        *b = 0xff;
+                    }
+                }
+            }
+            resign(&mut bad);
+            if let Ok(t) = Transcript::decode(&bad) {
+                // Well-formed after corruption: verification must still
+                // run to a verdict (accept, reject, or replay mismatch).
+                let _ = t.verify();
+            }
+        }
+    }
+}
