@@ -52,6 +52,28 @@ fn bench_theorem_protocols(c: &mut Criterion) {
     group.finish();
 }
 
+/// One full honest planarity round (Theorem 1.5 protocol) at n = 10^4:
+/// the round that ISSUE 7's intra-job parallelism, lane-batched LR
+/// commitments and arena-backed labels attack. Kept as a single-size
+/// micro-bench so regressions in the round show up next to the substrate
+/// benches without the minutes-scale 10^5 grid of `pdip bench-round`.
+fn bench_planarity_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planarity-round-honest");
+    group.sample_size(10);
+    let n = 10_000usize;
+    let inst = YesInstance::generate(Family::Planarity, n, 21);
+    group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            inst.with_protocol(PopParams::default(), Transport::Native, |p| {
+                assert!(p.run_honest(seed).accepted())
+            })
+        })
+    });
+    group.finish();
+}
+
 fn bench_pls_baseline(c: &mut Criterion) {
     let mut group = c.benchmark_group("pls-baseline-run");
     group.sample_size(20);
@@ -71,5 +93,11 @@ fn bench_pls_baseline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lr_sorting, bench_theorem_protocols, bench_pls_baseline);
+criterion_group!(
+    benches,
+    bench_lr_sorting,
+    bench_theorem_protocols,
+    bench_planarity_round,
+    bench_pls_baseline
+);
 criterion_main!(benches);

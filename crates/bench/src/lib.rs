@@ -11,6 +11,7 @@
 
 pub mod graphbench;
 pub mod hotpath;
+pub mod roundbench;
 
 pub use pdip_engine::{no_instance, print_table, Family, Reporter, YesInstance, FAMILIES};
 

@@ -20,6 +20,7 @@
 pub mod bits;
 pub mod capture;
 pub mod outcome;
+pub mod par;
 pub mod protocol;
 pub mod trace;
 pub mod transcript;

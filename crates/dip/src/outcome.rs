@@ -202,6 +202,49 @@ impl Rejections {
         self.kinds.contains(&RejectReason::Malformed)
     }
 
+    /// Merges `other` into `self`, exactly as if every rejection recorded
+    /// into `other` had been recorded into `self` directly, in order.
+    ///
+    /// This is the merge half of the chunked-verification pattern (see
+    /// [`crate::par`]): each chunk of a per-node check loop collects into
+    /// its own `Rejections`, and the chunks are absorbed in chunk order,
+    /// reproducing the serial collector byte for byte. The equivalence
+    /// requires that chunks partition the node domain — the same
+    /// `(node, reason)` pair must not be recorded into two different
+    /// chunks (per-node check loops satisfy this by construction); a
+    /// cross-chunk duplicate would be deduplicated by the serial collector
+    /// but double-counted past `other`'s elision cap.
+    pub fn absorb(&mut self, other: Rejections) {
+        // Entries `other` stored verbatim replay through `reject_as`,
+        // which re-applies dedup, capping and kind upgrades against
+        // `self`'s state. `other`'s elision marker (if any) is held back:
+        // it summarizes, it was never a recorded rejection.
+        let stored = other.items.len().min(REASON_CAP);
+        let elided = other.recorded - stored;
+        let mut it = other.items.into_iter().zip(other.kinds);
+        for ((v, reason), kind) in it.by_ref().take(stored) {
+            self.reject_as(v, kind, reason);
+        }
+        // Entries elided in `other` stay elided: the serial collector
+        // would also have been at its cap by now (it saw `other`'s 16
+        // stored entries first), so only their count, their strongest
+        // classification and the marker — which carries the node of the
+        // first elided entry — survive, exactly as in the serial run.
+        if let Some((marker, kind)) = it.next() {
+            debug_assert!(elided > 0);
+            if self.items.len() == REASON_CAP {
+                self.items.push(marker);
+                self.kinds.push(kind);
+            } else {
+                let last = self.kinds.len() - 1;
+                if kind < self.kinds[last] {
+                    self.kinds[last] = kind;
+                }
+            }
+            self.recorded += elided;
+        }
+    }
+
     /// Finalizes into a [`RunResult`].
     pub fn into_result(self, stats: SizeStats) -> RunResult {
         if self.items.is_empty() {
@@ -276,6 +319,64 @@ mod tests {
         let res = r.into_result(SizeStats::default());
         assert!(res.caught_malformed());
         assert_eq!(res.classified_rejections().count(), 1);
+    }
+
+    /// The chunked-collector merge must equal the serial collector on any
+    /// chunking of a per-node rejection stream.
+    fn absorb_equals_serial(events: &[(NodeId, RejectReason, &str)], chunk: usize) {
+        let mut serial = Rejections::new();
+        for &(v, kind, reason) in events {
+            serial.reject_as(v, kind, reason);
+        }
+        let mut merged = Rejections::new();
+        for part in events.chunks(chunk.max(1)) {
+            let mut local = Rejections::new();
+            for &(v, kind, reason) in part {
+                local.reject_as(v, kind, reason);
+            }
+            merged.absorb(local);
+        }
+        assert_eq!(merged.items, serial.items, "chunk={chunk}");
+        assert_eq!(merged.kinds, serial.kinds, "chunk={chunk}");
+        assert_eq!(merged.recorded, serial.recorded, "chunk={chunk}");
+    }
+
+    #[test]
+    fn absorb_matches_serial_below_cap() {
+        let events: Vec<_> =
+            (0..10).map(|v| (v, RejectReason::Probabilistic, "coin miss")).collect();
+        for chunk in [1, 3, 4, 10, 100] {
+            absorb_equals_serial(&events, chunk);
+        }
+    }
+
+    #[test]
+    fn absorb_matches_serial_across_elision_cap() {
+        // 40 distinct rejections (node-keyed, as chunked check loops
+        // produce), mixed kinds: the marker, its node, its upgraded kind
+        // and the recorded count must all match the serial collector.
+        let events: Vec<_> = (0..40)
+            .map(|v| {
+                let kind =
+                    if v % 7 == 3 { RejectReason::Malformed } else { RejectReason::Probabilistic };
+                (v, kind, if v % 2 == 0 { "even check" } else { "odd check" })
+            })
+            .collect();
+        for chunk in [1, 2, 5, 16, 17, 23, 40] {
+            absorb_equals_serial(&events, chunk);
+        }
+    }
+
+    #[test]
+    fn absorb_empty_is_identity() {
+        let mut r = Rejections::new();
+        r.reject(1, "x");
+        r.absorb(Rejections::new());
+        assert_eq!(r.len(), 1);
+        let mut empty = Rejections::new();
+        empty.absorb(std::mem::take(&mut r));
+        assert_eq!(empty.len(), 1);
+        assert_eq!(empty.items[0].0, 1);
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! Intra-job parallelism: deterministic chunked work-splitting.
+//!
+//! The sweep engine parallelizes *across* jobs; this module parallelizes
+//! *within* one job — the per-node work of a single round (label decode,
+//! per-node commitment checks) — without changing a single output byte.
+//! Three rules make that safe:
+//!
+//! * **Worker-count-independent chunking.** The index range `0..len` is
+//!   cut into fixed-size chunks whose boundaries depend only on `len` and
+//!   the grain, never on how many threads run. Workers *claim* chunks
+//!   dynamically (an atomic cursor, for load balance), but what a chunk
+//!   *is* never varies.
+//! * **Chunk-order merge.** Results are reassembled by chunk index, so the
+//!   output of [`map_chunks`] is identical to running the chunks in a
+//!   serial `for` loop. Anything order-sensitive downstream (rejection
+//!   order, captured transcripts, `RunRecord`s) sees the serial order.
+//! * **No nested pools.** The sweep engine's worker threads install a
+//!   [`SerialGuard`]; any intra-job split reached from inside a pool
+//!   worker runs serially on that worker. One machine, one level of
+//!   parallelism, no oversubscription.
+//!
+//! The knob is process-global ([`set_intra_workers`], default 1): single
+//! runs (CLI round benchmarks, one-shot verifications) opt in, sweeps keep
+//! their across-job parallelism. With one worker every entry point
+//! degenerates to the plain serial loop — same code path a round compiled
+//! to before this module existed.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Configured intra-job worker count (process-global, `>= 1`).
+static INTRA_WORKERS: AtomicUsize = AtomicUsize::new(1);
+
+thread_local! {
+    /// Depth of [`SerialGuard`]s active on this thread.
+    static SERIAL_DEPTH: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Sets the process-global intra-job worker count (clamped to `>= 1`).
+///
+/// Callers that own the whole process (the CLI, benchmarks) may raise
+/// this; library code never should. The setting does not affect threads
+/// currently inside a [`SerialGuard`].
+pub fn set_intra_workers(k: usize) {
+    INTRA_WORKERS.store(k.max(1), Ordering::Relaxed);
+}
+
+/// The configured intra-job worker count.
+pub fn intra_workers() -> usize {
+    INTRA_WORKERS.load(Ordering::Relaxed)
+}
+
+/// Worker count effective on *this* thread: 1 inside a [`SerialGuard`].
+fn effective_workers() -> usize {
+    if SERIAL_DEPTH.with(|d| d.get()) > 0 {
+        1
+    } else {
+        intra_workers()
+    }
+}
+
+/// RAII guard forcing all intra-job splits on this thread to run
+/// serially. The sweep engine's pool workers hold one for their whole
+/// life, so a parallel sweep never nests a second thread layer.
+#[derive(Debug)]
+pub struct SerialGuard(());
+
+impl SerialGuard {
+    /// Installs the guard on the current thread (nestable).
+    pub fn install() -> Self {
+        SERIAL_DEPTH.with(|d| d.set(d.get() + 1));
+        SerialGuard(())
+    }
+}
+
+impl Drop for SerialGuard {
+    fn drop(&mut self) {
+        SERIAL_DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
+
+/// The deterministic chunk grid: contiguous ranges of size `grain`
+/// (clamped to `>= 1`) covering `0..len`, last one ragged. Depends only
+/// on `len` and `grain` — never on the worker count.
+pub fn chunk_ranges(len: usize, grain: usize) -> impl Iterator<Item = Range<usize>> {
+    let grain = grain.max(1);
+    (0..len.div_ceil(grain)).map(move |c| c * grain..((c + 1) * grain).min(len))
+}
+
+/// Applies `f` to every chunk of the deterministic grid and returns the
+/// per-chunk results **in chunk order** — byte-for-byte the output of the
+/// serial loop `chunk_ranges(len, grain).map(f).collect()`, at any worker
+/// count.
+///
+/// `f` must be pure up to its range argument (no shared mutable state, no
+/// RNG draws); chunk-local accumulators (scratch buffers, chunk-local
+/// rejection collectors merged by the caller in chunk order) are the
+/// intended pattern. A panic in any chunk propagates to the caller.
+pub fn map_chunks<T, F>(len: usize, grain: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let grain = grain.max(1);
+    let nchunks = len.div_ceil(grain);
+    let workers = effective_workers().min(nchunks.max(1));
+    if workers <= 1 || nchunks <= 1 {
+        return chunk_ranges(len, grain).map(f).collect();
+    }
+    // Workers race on an atomic cursor for load balance; each returns its
+    // claimed (chunk index, result) pairs and the merge re-sorts by chunk
+    // index, so the output order is the grid order regardless of timing.
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(nchunks);
+    slots.resize_with(nchunks, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    // Intra-job workers never split further.
+                    let _serial = SerialGuard::install();
+                    let mut got: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= nchunks {
+                            break;
+                        }
+                        got.push((c, f(c * grain..((c + 1) * grain).min(len))));
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(got) => {
+                    for (c, t) in got {
+                        slots[c] = Some(t);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    slots.into_iter().map(|o| o.expect("every chunk claimed exactly once")).collect()
+}
+
+/// Applies `f` to every index of `0..len` and returns the results in
+/// index order — the parallel equivalent of `(0..len).map(f).collect()`,
+/// with the same determinism contract as [`map_chunks`].
+pub fn map_indexed<T, F>(len: usize, grain: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if effective_workers() <= 1 || len <= grain.max(1) {
+        return (0..len).map(f).collect();
+    }
+    let per_chunk = map_chunks(len, grain, |r| r.map(&f).collect::<Vec<T>>());
+    let mut out = Vec::with_capacity(len);
+    for chunk in per_chunk {
+        out.extend(chunk);
+    }
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Runs `f` with the global worker count set to `k`, restoring 1.
+    fn with_workers<R>(k: usize, f: impl FnOnce() -> R) -> R {
+        set_intra_workers(k);
+        let r = f();
+        set_intra_workers(1);
+        r
+    }
+
+    #[test]
+    fn grid_covers_range_exactly() {
+        for (len, grain) in [(0, 3), (1, 3), (9, 3), (10, 3), (11, 3), (5, 100), (7, 0)] {
+            let chunks: Vec<_> = chunk_ranges(len, grain).collect();
+            let flat: Vec<usize> = chunks.iter().cloned().flatten().collect();
+            assert_eq!(flat, (0..len).collect::<Vec<_>>(), "len={len} grain={grain}");
+            for w in chunks.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+        }
+    }
+
+    #[test]
+    fn map_indexed_matches_serial_at_any_worker_count() {
+        let serial: Vec<u64> = (0..997).map(|i| (i as u64).wrapping_mul(0x9E37)).collect();
+        for k in [1, 2, 3, 4, 8] {
+            let par = with_workers(k, || map_indexed(997, 64, |i| (i as u64).wrapping_mul(0x9E37)));
+            assert_eq!(par, serial, "workers={k}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_preserves_chunk_order() {
+        let serial: Vec<Range<usize>> = chunk_ranges(1000, 7).collect();
+        for k in [1, 2, 4] {
+            let par = with_workers(k, || map_chunks(1000, 7, |r| r));
+            assert_eq!(par, serial, "workers={k}");
+        }
+    }
+
+    #[test]
+    fn serial_guard_disables_splitting() {
+        with_workers(4, || {
+            let _g = SerialGuard::install();
+            assert_eq!(effective_workers(), 1);
+            // Still correct, just serial.
+            let out = map_indexed(100, 10, |i| i * 2);
+            assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        });
+        assert_eq!(SERIAL_DEPTH.with(|d| d.get()), 0, "guard must restore depth");
+    }
+
+    #[test]
+    fn workers_inside_chunks_are_serial() {
+        // A nested map_indexed inside a chunk must not spawn more threads
+        // (it cannot deadlock or oversubscribe) and must stay correct.
+        let out = with_workers(4, || {
+            map_chunks(8, 2, |r| {
+                r.map(|i| map_indexed(3, 1, move |j| i * 10 + j)).collect::<Vec<_>>()
+            })
+        });
+        let flat: Vec<usize> = out.into_iter().flatten().flatten().collect();
+        let serial: Vec<usize> = (0..8).flat_map(|i| (0..3).map(move |j| i * 10 + j)).collect();
+        assert_eq!(flat, serial);
+    }
+
+    #[test]
+    fn chunk_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            with_workers(2, || {
+                map_chunks(10, 1, |r| {
+                    assert!(r.start != 7, "boom");
+                    r.start
+                })
+            })
+        });
+        assert!(caught.is_err());
+        set_intra_workers(1);
+    }
+
+    proptest! {
+        /// The parallel output equals the serial output for arbitrary
+        /// (len, grain, workers) — the core byte-identity contract.
+        #[test]
+        fn prop_parallel_equals_serial(len in 0usize..5000, grain in 0usize..257, k in 1usize..9) {
+            let f = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9).rotate_left((i % 63) as u32);
+            let serial: Vec<u64> = (0..len).map(f).collect();
+            let par = with_workers(k, || map_indexed(len, grain, f));
+            prop_assert_eq!(par, serial);
+        }
+    }
+}

@@ -173,6 +173,11 @@ impl Engine {
                 let tx = tx.clone();
                 let cursor = &cursor;
                 s.spawn(move || {
+                    // Sweeps parallelize across jobs; intra-job chunk
+                    // splitting (pdip_core::par) inside a pool worker
+                    // would nest a second thread layer, so pin this
+                    // worker serial for its whole life.
+                    let _serial = pdip_core::par::SerialGuard::install();
                     // One scratch arena per worker, reused across every
                     // job this worker drains from the queue, and one
                     // contiguous event shard (flushed on drop).

@@ -132,6 +132,16 @@ impl RotationSystem {
         let m = g.m();
         // Dart index: 2*e + (0 if from == edge.u else 1).
         let dart_index = |d: Dart| 2 * d.edge + usize::from(d.from != g.edge(d.edge).u);
+        // Clockwise position of every dart at its `from` node, filled in
+        // one pass over the rotation lists: the face walk then advances in
+        // O(1) per dart where [`RotationSystem::face_successor`] would
+        // rescan the rotation list on every step.
+        let mut pos_of_dart = vec![0u32; 2 * m];
+        for v in 0..self.order.len() {
+            for (i, &e) in self.order[v].iter().enumerate() {
+                pos_of_dart[2 * e + usize::from(v != g.edge(e).u)] = i as u32;
+            }
+        }
         scratch.begin_darts(2 * m);
         let mut faces = 0usize;
         for e in 0..m {
@@ -141,10 +151,16 @@ impl RotationSystem {
                     continue;
                 }
                 faces += 1;
-                let mut d = self.face_successor(g, start);
-                while d != start {
+                let mut d = start;
+                loop {
+                    let to = g.edge(d.edge).other(d.from);
+                    let p = pos_of_dart[2 * d.edge + usize::from(to != g.edge(d.edge).u)] as usize;
+                    let ord = &self.order[to];
+                    d = Dart { edge: ord[(p + 1) % ord.len()], from: to };
+                    if d == start {
+                        break;
+                    }
                     scratch.visit_dart(dart_index(d));
-                    d = self.face_successor(g, d);
                 }
             }
         }

@@ -31,7 +31,7 @@ pub use outerplanar::{
     is_path_outerplanar_with, is_properly_nested, outer_cycle, path_outerplanar_witness,
 };
 pub use planarity::{is_planar, is_planar_bruteforce, is_planar_with};
-pub use scratch::{reset_thread_scratch, with_thread_scratch, TraversalScratch};
+pub use scratch::{reset_thread_scratch, with_thread_scratch, SliceArena, TraversalScratch};
 pub use series_parallel::{
     is_series_parallel, is_treewidth_at_most_2, sp_tree, SpNode, SpTree, SpTreeEntry,
 };

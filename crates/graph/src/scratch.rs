@@ -43,6 +43,41 @@ pub(crate) fn reset_buf<T: Copy>(buf: &mut Vec<T>, len: usize, val: T) {
     buf.resize(len, val);
 }
 
+/// A recycling arena of `usize` work buffers — the zero-copy backing for
+/// per-node *label tables*: flat `(offsets, data)` pairs whose per-node
+/// views are slices, where naive code would allocate one `Vec` per node.
+///
+/// [`SliceArena::take`] hands out a cleared buffer that keeps the
+/// capacity it grew on a previous round; [`SliceArena::give`] returns it.
+/// After one warm-up round every `take` is a pop — no heap traffic — so
+/// the counting-allocator harness can pin the round's steady state at
+/// zero allocations. Buffers are plain `Vec<usize>`: node ids, edge ids,
+/// offsets and small counters all fit, and a buffer taken for one role in
+/// one round may serve another role in the next.
+#[derive(Debug, Default)]
+pub struct SliceArena {
+    free: Vec<Vec<usize>>,
+}
+
+impl SliceArena {
+    /// Borrows a cleared buffer (recycled capacity if available).
+    pub fn take(&mut self) -> Vec<usize> {
+        let mut buf = self.free.pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Returns a buffer to the arena for the next taker.
+    pub fn give(&mut self, buf: Vec<usize>) {
+        self.free.push(buf);
+    }
+
+    /// Number of buffers currently parked in the arena.
+    pub fn parked(&self) -> usize {
+        self.free.len()
+    }
+}
+
 /// Reusable state for graph traversals. See the module docs.
 ///
 /// A single scratch may be used on graphs of any (varying) size; buffers
@@ -54,6 +89,10 @@ pub struct TraversalScratch {
     node_stamp: u32,
     dart_mark: Vec<u32>,
     dart_stamp: u32,
+    edge_mark: Vec<u32>,
+    edge_stamp: u32,
+    /// Recycled flat label buffers (see [`SliceArena`]).
+    arena: SliceArena,
     /// BFS frontier / generic node queue.
     pub(crate) queue: Vec<NodeId>,
     /// DFS stack of (node, next port index).
@@ -95,6 +134,34 @@ impl TraversalScratch {
     /// Starts a new dart-visited epoch able to mark darts `0..two_m`.
     pub(crate) fn begin_darts(&mut self, two_m: usize) {
         begin_epoch(&mut self.dart_mark, &mut self.dart_stamp, two_m);
+    }
+
+    /// Starts a new edge-mark epoch able to mark edges `0..m`.
+    ///
+    /// Edge marks are the epoch-stamped replacement for a per-call
+    /// `vec![false; m]` (tree-edge bitmaps and the like): starting an
+    /// epoch is O(1) on a warm scratch, and the array is allocated once
+    /// for the largest graph seen. Public — unlike the node/dart marks —
+    /// because round code in higher crates consumes it directly.
+    pub fn begin_edges(&mut self, m: usize) {
+        begin_epoch(&mut self.edge_mark, &mut self.edge_stamp, m);
+    }
+
+    /// Marks edge `e` in the current edge epoch.
+    #[inline]
+    pub fn mark_edge(&mut self, e: usize) {
+        self.edge_mark[e] = self.edge_stamp;
+    }
+
+    /// Whether edge `e` is marked in the current edge epoch.
+    #[inline]
+    pub fn edge_marked(&self, e: usize) -> bool {
+        self.edge_mark[e] == self.edge_stamp
+    }
+
+    /// The recycled flat-buffer arena (see [`SliceArena`]).
+    pub fn arena(&mut self) -> &mut SliceArena {
+        &mut self.arena
     }
 
     /// Marks dart `d`; returns `true` iff it was unvisited this epoch.
@@ -276,6 +343,50 @@ mod tests {
         let g = Graph::from_edges(6, [(0, 1), (1, 2), (4, 5)]);
         let mut s = TraversalScratch::new();
         assert_eq!(s.component_summary(&g), (3, 1));
+    }
+
+    #[test]
+    fn slice_arena_recycles_capacity() {
+        let mut arena = SliceArena::default();
+        let mut a = arena.take();
+        a.extend(0..1000);
+        let cap = a.capacity();
+        arena.give(a);
+        assert_eq!(arena.parked(), 1);
+        let b = arena.take();
+        assert!(b.is_empty(), "recycled buffers come back cleared");
+        assert_eq!(b.capacity(), cap, "recycled buffers keep their capacity");
+        assert_eq!(arena.parked(), 0);
+        // An empty arena still hands out (fresh) buffers.
+        let c = arena.take();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn edge_marks_reset_per_epoch() {
+        let mut s = TraversalScratch::new();
+        s.begin_edges(5);
+        s.mark_edge(2);
+        s.mark_edge(4);
+        assert!(s.edge_marked(2) && s.edge_marked(4) && !s.edge_marked(0));
+        s.begin_edges(5);
+        assert!(!s.edge_marked(2) && !s.edge_marked(4), "new epoch clears marks");
+        // Epochs interleave freely with node/dart epochs and grow.
+        s.begin_edges(9);
+        s.mark_edge(8);
+        assert!(s.edge_marked(8));
+    }
+
+    #[test]
+    fn edge_mark_epoch_wraparound() {
+        let mut s = TraversalScratch::new();
+        s.edge_stamp = u32::MAX - 1;
+        s.begin_edges(3);
+        s.mark_edge(1);
+        assert!(s.edge_marked(1));
+        s.begin_edges(3); // wraparound path
+        assert!(!s.edge_marked(1));
+        assert_eq!(s.edge_stamp, 1);
     }
 
     #[test]

@@ -360,6 +360,41 @@ impl EulerTour {
         }
         EulerTour { tour, visits }
     }
+
+    /// Computes the Euler tour directly from per-node child lists that the
+    /// caller guarantees to be consistent (each node's list is a permutation
+    /// of its children in the intended tree). Produces exactly the tour
+    /// [`EulerTour::new`] would for `|v| children[v].clone()`, but without
+    /// the per-node permutation checks or list clones — the fast path for
+    /// construction-time callers that just built `children` from the tree.
+    pub fn from_child_lists(root: NodeId, children: &[Vec<NodeId>]) -> Self {
+        let n = children.len();
+        let total: usize = children.iter().map(Vec::len).sum();
+        let mut tour = Vec::with_capacity(2 * total + 1);
+        let mut visits = vec![Vec::new(); n];
+        // Explicit stack: (node, next child index).
+        let mut stack: Vec<(NodeId, usize)> = Vec::new();
+        stack.push((root, 0));
+        visits[root].push(tour.len());
+        tour.push(root);
+        while let Some((v, idx)) = stack.last_mut() {
+            let kids = &children[*v];
+            if *idx < kids.len() {
+                let c = kids[*idx];
+                *idx += 1;
+                visits[c].push(tour.len());
+                tour.push(c);
+                stack.push((c, 0));
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    visits[p].push(tour.len());
+                    tour.push(p);
+                }
+            }
+        }
+        EulerTour { tour, visits }
+    }
 }
 
 fn sorted(xs: &[NodeId]) -> Vec<NodeId> {
@@ -459,6 +494,16 @@ mod tests {
         assert_eq!(tour.tour, vec![0, 1, 0, 2, 0, 3, 0]);
         assert_eq!(tour.visits[0], vec![0, 2, 4, 6]);
         assert_eq!(tour.visits[2], vec![3]);
+    }
+
+    #[test]
+    fn euler_tour_from_child_lists_matches_new() {
+        let g = Graph::from_edges(7, [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (5, 6)]);
+        let t = RootedForest::bfs_spanning_tree(&g, 0);
+        let children: Vec<Vec<NodeId>> = (0..7).map(|v| t.children(v).to_vec()).collect();
+        let checked = EulerTour::new(&t, 0, |v| children[v].clone());
+        let trusted = EulerTour::from_child_lists(0, &children);
+        assert_eq!(checked, trusted);
     }
 
     #[test]

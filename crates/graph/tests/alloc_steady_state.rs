@@ -50,10 +50,35 @@ fn warm_traversals_do_not_allocate() {
     let mut scratch = TraversalScratch::new();
     let mut order = Vec::new();
 
+    // A slab-arena round: borrow flat label tables, fill them to the
+    // graph's scale, hand them back — the per-node-`Vec` replacement
+    // pattern the round code uses (see `SliceArena`).
+    let arena_round = |scratch: &mut TraversalScratch| {
+        scratch.begin_edges(g.m());
+        for e in 0..g.m() / 2 {
+            scratch.mark_edge(e);
+        }
+        let mut offs = scratch.arena().take();
+        let mut flat = scratch.arena().take();
+        for v in 0..g.n() {
+            offs.push(flat.len());
+            flat.extend((0..g.degree(v)).filter(|_| scratch.edge_marked(v % g.m())));
+        }
+        offs.push(flat.len());
+        let total: usize = flat.len();
+        // Give in reverse take order: the arena is a LIFO, so the next
+        // round's takes see each buffer back in the role it grew for.
+        let arena = scratch.arena();
+        arena.give(flat);
+        arena.give(offs);
+        total
+    };
+
     // Warm-up: every buffer grows to its high-water mark here.
     scratch.bfs_order_into(&g, 0, &mut order);
     scratch.dfs_order_into(&g, 0, &mut order);
     assert!(is_planar_with(&g, &mut scratch));
+    let warm_total = arena_round(&mut scratch);
 
     // Steady state: the same traversals must not touch the heap.
     let before = allocations();
@@ -62,10 +87,11 @@ fn warm_traversals_do_not_allocate() {
     scratch.dfs_order_into(&g, 0, &mut order);
     assert_eq!(order.len(), g.n());
     assert!(is_planar_with(&g, &mut scratch));
+    assert_eq!(arena_round(&mut scratch), warm_total);
     let delta = allocations() - before;
 
     assert_eq!(
         delta, 0,
-        "warm BFS + DFS + LR planarity must be allocation-free, saw {delta} allocations"
+        "warm BFS + DFS + LR planarity + arena round must be allocation-free, saw {delta} allocations"
     );
 }

@@ -16,8 +16,8 @@ use crate::lr_sorting::Transport;
 use crate::path_outerplanar::{PathOuterplanarity, PopCheat, PopInstance, PopParams};
 use crate::spanning_tree::{SpanningTreeVerification, StParams};
 use pdip_core::{trace_stats, DipProtocol, Rejections, RunResult, SizeStats};
-use pdip_graph::{EdgeId, EulerTour, Graph, NodeId, RootedForest, RotationSystem};
-use pdip_obs::{span, NoopRecorder, Recorder, SpanId};
+use pdip_graph::{with_thread_scratch, EdgeId, Graph, NodeId, RootedForest, RotationSystem};
+use pdip_obs::{span, NoopRecorder, Recorder, SpanId, Stopwatch};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -70,100 +70,163 @@ pub fn build_reduction(
     root: NodeId,
 ) -> Reduction {
     assert!(tree.is_spanning_tree(g), "reduction needs a spanning tree");
-    // Children order c_1(v), ..., c_χ(v): clockwise from the parent edge
-    // (for the root: by increasing ρ_r position).
-    let is_tree_edge = |e: EdgeId| {
-        let edge = g.edge(e);
-        tree.parent_edge(edge.u) == Some(e) || tree.parent_edge(edge.v) == Some(e)
-    };
-    let child_order = |v: NodeId| -> Vec<NodeId> {
-        let order = rho.order_at(v);
-        let is_tree_child = |e: EdgeId| {
-            let u = g.edge(e).other(v);
-            tree.parent(u) == Some(v) && tree.parent_edge(u) == Some(e)
-        };
-        match tree.parent_edge(v) {
-            Some(pe) => {
-                let pos = rho.position(v, pe);
-                let d = order.len();
-                (1..d)
-                    .map(|k| order[(pos + k) % d])
-                    .filter(|&e| is_tree_child(e))
-                    .map(|e| g.edge(e).other(v))
-                    .collect()
+    let n = g.n();
+    // Every transient table below is an integer buffer recycled through
+    // the thread scratch's slice arena (and the tree-edge bitmap an
+    // edge-mark epoch), so a warm round builds the reduction without
+    // touching the heap for anything but the returned `Reduction` itself.
+    with_thread_scratch(|scratch| {
+        // Tree-edge marks: every tree edge incident to a node is either
+        // its parent edge or a child's parent edge.
+        scratch.begin_edges(g.m());
+        for v in 0..n {
+            if let Some(e) = tree.parent_edge(v) {
+                scratch.mark_edge(e);
             }
-            None => order
-                .iter()
-                .copied()
-                .filter(|&e| is_tree_child(e))
-                .map(|e| g.edge(e).other(v))
-                .collect(),
         }
-    };
-    let tour = EulerTour::new(tree, root, child_order);
-    // The non-tree edge-ends in corner i of node v, in clockwise order
-    // starting just after the corner's opening tree edge. Corner 0 opens
-    // with the parent edge (the root's corner 0 is empty — its last sector
-    // belongs to corner χ per the first-counterclockwise-tree-edge rule).
-    let corner_ends = |v: NodeId, i: usize| -> Vec<EdgeId> {
-        let order = rho.order_at(v);
-        let d = order.len();
-        let kids = child_order(v);
-        let opening: Option<EdgeId> =
-            if i == 0 { tree.parent_edge(v) } else { g.edge_between(v, kids[i - 1]) };
-        let Some(open) = opening else {
-            return Vec::new(); // the root's corner 0
-        };
-        let pos = rho.position(v, open);
-        let mut out = Vec::new();
-        for k in 1..d {
-            let e = order[(pos + k) % d];
-            if is_tree_edge(e) {
-                break;
+        // One clockwise pass per node computes both the child order
+        // c_1(v), ..., c_χ(v) (clockwise from the parent edge; for the root by
+        // increasing ρ_r position) and every corner's non-tree edge-ends.
+        // Corner 0 opens with the parent edge; corner i > 0 with the edge to
+        // c_i(v); each corner's ends are the non-tree edges up to the next tree
+        // edge. The root's corner 0 is empty, and its pre-first-child sector
+        // wraps into corner χ (the first-counterclockwise-tree-edge rule).
+        // Corner i of v spans ends[corner_start[base[v] + i]..corner_start[base[v] + i + 1]].
+        // Children live in a flat offsets-plus-data table — per-node views
+        // are slices `child_flat[child_off[v]..child_off[v + 1]]`, not
+        // per-node vectors.
+        let mut child_off = scratch.arena().take();
+        let mut child_flat = scratch.arena().take();
+        let mut ends = scratch.arena().take();
+        let mut corner_start = scratch.arena().take();
+        let mut base = scratch.arena().take();
+        let mut prefix = scratch.arena().take();
+        base.resize(n + 1, 0);
+        for v in 0..n {
+            base[v] = corner_start.len();
+            child_off.push(child_flat.len());
+            let order = rho.order_at(v);
+            let d = order.len();
+            corner_start.push(ends.len());
+            match tree.parent_edge(v) {
+                Some(pe) => {
+                    let pos = rho.position(v, pe);
+                    for k in 1..d {
+                        let e = order[(pos + k) % d];
+                        if scratch.edge_marked(e) {
+                            child_flat.push(g.edge(e).other(v));
+                            corner_start.push(ends.len());
+                        } else {
+                            ends.push(e);
+                        }
+                    }
+                }
+                None => {
+                    prefix.clear();
+                    let mut seen_child = false;
+                    for &e in order {
+                        if scratch.edge_marked(e) {
+                            child_flat.push(g.edge(e).other(v));
+                            corner_start.push(ends.len());
+                            seen_child = true;
+                        } else if seen_child {
+                            ends.push(e);
+                        } else {
+                            prefix.push(e);
+                        }
+                    }
+                    ends.extend_from_slice(&prefix);
+                }
             }
-            out.push(e);
         }
-        out
-    };
-    // Emit the boundary walk.
-    let mut h = Graph::new(0);
-    let mut copy_of: Vec<NodeId> = Vec::new();
-    let mut end_node: std::collections::HashMap<(EdgeId, NodeId), NodeId> = Default::default();
-    let mut visit_count = vec![0usize; g.n()];
-    for &v in &tour.tour {
-        let i = visit_count[v];
-        visit_count[v] += 1;
-        // Anchor for the visit itself.
-        let anchor = h.add_node();
-        copy_of.push(v);
-        let _ = anchor;
-        for e in corner_ends(v, i) {
-            let node = h.add_node();
+        base[n] = corner_start.len();
+        child_off.push(child_flat.len());
+        corner_start.push(ends.len());
+        // Emit the boundary walk: the Euler tour of the child table
+        // (every visit in tour order), inlined so the tour is never
+        // materialized. Node ids are assigned in walk order, so the total
+        // count is known up front: a spanning tree's tour makes 2(n-1)+1
+        // visits, plus one node per non-tree edge-end.
+        let hn = 2 * n.saturating_sub(1) + 1 + ends.len();
+        let mut h = Graph::new(hn);
+        let mut copy_of: Vec<NodeId> = Vec::with_capacity(hn);
+        // end_node[2e + side]: the h-node of edge e's end at edge.u (side 0)
+        // or edge.v (side 1).
+        let mut end_node = scratch.arena().take();
+        end_node.resize(2 * g.m(), usize::MAX);
+        let mut visit_count = scratch.arena().take();
+        visit_count.resize(n, 0);
+        let mut emit_visit = |v: NodeId| {
+            let i = visit_count[v];
+            visit_count[v] += 1;
+            // Anchor for the visit itself.
             copy_of.push(v);
-            end_node.insert((e, v), node);
+            let c = base[v] + i;
+            for &e in &ends[corner_start[c]..corner_start[c + 1]] {
+                end_node[2 * e + usize::from(g.edge(e).u != v)] = copy_of.len();
+                copy_of.push(v);
+            }
+        };
+        // DFS over the child table; a node is visited on arrival and
+        // again after each child's subtree returns.
+        let mut stack_node = scratch.arena().take();
+        let mut stack_cur = scratch.arena().take();
+        stack_node.push(root);
+        stack_cur.push(child_off[root]);
+        emit_visit(root);
+        while let (Some(&v), Some(cur)) = (stack_node.last(), stack_cur.last_mut()) {
+            if *cur < child_off[v + 1] {
+                let c = child_flat[*cur];
+                *cur += 1;
+                emit_visit(c);
+                stack_node.push(c);
+                stack_cur.push(child_off[c]);
+            } else {
+                stack_node.pop();
+                stack_cur.pop();
+                if let Some(&p) = stack_node.last() {
+                    emit_visit(p);
+                }
+            }
         }
-    }
-    let hn = h.n();
-    let path: Vec<NodeId> = (0..hn).collect();
-    for i in 0..hn - 1 {
-        h.add_edge(i, i + 1);
-    }
-    let mut arc_of_edge = vec![None; g.m()];
-    for e in 0..g.m() {
-        if is_tree_edge(e) {
-            continue;
+        debug_assert_eq!(copy_of.len(), hn);
+        let path: Vec<NodeId> = (0..hn).collect();
+        for i in 0..hn - 1 {
+            h.add_edge(i, i + 1);
         }
-        let edge = g.edge(e);
-        let xu = end_node[&(e, edge.u)];
-        let xv = end_node[&(e, edge.v)];
-        debug_assert_ne!(xu, xv);
-        if xu.abs_diff(xv) > 1 {
-            arc_of_edge[e] = Some(h.add_edge(xu, xv));
+        let mut arc_of_edge = vec![None; g.m()];
+        for e in 0..g.m() {
+            if scratch.edge_marked(e) {
+                continue;
+            }
+            let xu = end_node[2 * e];
+            let xv = end_node[2 * e + 1];
+            debug_assert_ne!(xu, xv);
+            if xu.abs_diff(xv) > 1 {
+                arc_of_edge[e] = Some(h.add_edge(xu, xv));
+            }
+            // Adjacent end nodes: the arc is parallel to the path and can
+            // never cross; leave it implicit.
         }
-        // Adjacent end nodes: the arc is parallel to the path and can
-        // never cross; leave it implicit.
-    }
-    Reduction { h, path, copy_of, arc_of_edge }
+        // Reverse take order: the arena is a LIFO, so the next round's
+        // takes see each buffer back in the role it grew for.
+        let arena = scratch.arena();
+        for buf in [
+            stack_cur,
+            stack_node,
+            visit_count,
+            end_node,
+            prefix,
+            base,
+            corner_start,
+            ends,
+            child_flat,
+            child_off,
+        ] {
+            arena.give(buf);
+        }
+        Reduction { h, path, copy_of, arc_of_edge }
+    })
 }
 
 /// Cheat strategies for invalid embeddings.
@@ -225,6 +288,7 @@ impl<'a> EmbeddedPlanarity<'a> {
 
         // ---- Spanning-tree commitment + verification ----
         let stage1 = span(rec, 0, SpanId::at("embedded-planarity/stage", 1));
+        let st_watch = Stopwatch::start(rec, "round/spanning-tree");
         let root = 0;
         let tree = if cheat == Some(EmbCheat::FakeTree) {
             // A non-spanning "tree": BFS stopped halfway, rest are roots.
@@ -255,10 +319,12 @@ impl<'a> EmbeddedPlanarity<'a> {
             return rej.into_result(stats);
         }
 
+        drop(st_watch);
         drop(stage1);
 
         // ---- The reduction + simulated path-outerplanarity on h ----
         let _stage2 = span(rec, 0, SpanId::at("embedded-planarity/stage", 2));
+        let red_watch = Stopwatch::start(rec, "round/reduction");
         let red = build_reduction(g, &self.inst.rho, &tree, root);
         // Observe-only capture of the reduction shape for replay: the
         // auxiliary graph h and the Hamiltonian-path witness are pure
@@ -272,11 +338,11 @@ impl<'a> EmbeddedPlanarity<'a> {
                 s.put_usize(v);
             }
         });
-        let pop_inst = PopInstance {
-            witness: Some(red.path.clone()),
-            is_yes: self.inst.is_yes,
-            graph: red.h.clone(),
-        };
+        // Hand h and the witness path to the sub-instance by move — only
+        // the copy_of map is needed after the sub-run (rejection remap).
+        let Reduction { h, path, copy_of, arc_of_edge: _ } = red;
+        let pop_inst = PopInstance { witness: Some(path), is_yes: self.inst.is_yes, graph: h };
+        drop(red_watch);
         let sub = PathOuterplanarity::new(&pop_inst, self.params, self.transport);
         let sub_cheat = match cheat {
             Some(EmbCheat::HonestSweep) => Some(PopCheat::NestingHonestSweep),
@@ -299,7 +365,7 @@ impl<'a> EmbeddedPlanarity<'a> {
         };
         stats.merge_parallel(&own);
         for ((copy, reason), kind) in res.rejections.into_iter().zip(res.kinds) {
-            let orig = red.copy_of.get(copy).copied().unwrap_or(0);
+            let orig = copy_of.get(copy).copied().unwrap_or(0);
             rej.reject_as(orig, kind, format!("emb/h: {reason}"));
         }
         rej.into_result(stats)

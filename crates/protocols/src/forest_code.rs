@@ -68,24 +68,49 @@ impl ForestCode {
         let color_quotient = |uf: &mut Vec<NodeId>| -> (Vec<u32>, usize) {
             let mut rep_index = vec![usize::MAX; n];
             let mut reps = Vec::new();
+            // comp[v] = dense index of v's class; computing it once here
+            // spares the edge loop below (and the per-node relabel at the
+            // end) a find() per endpoint.
+            let mut comp = vec![0usize; n];
             for v in 0..n {
                 let r = find(uf, v);
                 if rep_index[r] == usize::MAX {
                     rep_index[r] = reps.len();
                     reps.push(r);
                 }
+                comp[v] = rep_index[r];
             }
+            // Dedup projected edges with an open-addressed table keyed on
+            // the packed (min, max) pair — deterministic and allocation-lean
+            // where a std HashSet would pay SipHash per edge. Insertion into
+            // `q` happens at each pair's first occurrence in edge order,
+            // exactly as the set-based version did, so the quotient (and
+            // hence the coloring and the captured labels) is unchanged.
+            let cap = (2 * g.m().max(8)).next_power_of_two();
+            let mut table = vec![u64::MAX; cap];
             let mut q = Graph::new(reps.len());
-            let mut seen = std::collections::HashSet::new();
             for e in g.edges() {
-                let (a, b) = (rep_index[find(uf, e.u)], rep_index[find(uf, e.v)]);
-                if a != b && seen.insert((a.min(b), a.max(b))) {
-                    q.add_edge(a, b);
+                let (a, b) = (comp[e.u], comp[e.v]);
+                if a == b {
+                    continue;
+                }
+                // min < max < 2^32, so u64::MAX is never a valid key.
+                let key = ((a.min(b) as u64) << 32) | a.max(b) as u64;
+                let mut slot = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & (cap - 1);
+                loop {
+                    match table[slot] {
+                        k if k == key => break,
+                        u64::MAX => {
+                            table[slot] = key;
+                            q.add_edge(a, b);
+                            break;
+                        }
+                        _ => slot = (slot + 1) & (cap - 1),
+                    }
                 }
             }
             let (colors, count) = greedy_coloring(&q);
-            let per_node: Vec<u32> =
-                (0..n).map(|v| colors[rep_index[find(uf, v)]] as u32).collect();
+            let per_node: Vec<u32> = comp.iter().map(|&c| colors[c] as u32).collect();
             (per_node, count)
         };
         let (c1, k1) = color_quotient(&mut uf_odd);

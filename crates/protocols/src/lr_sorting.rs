@@ -34,7 +34,7 @@ use pdip_core::{bits_for_max, capture, trace_stats, Rejections, RunResult, SizeS
 use pdip_field::{prefix_poly_evals, smallest_prime_above, Fp};
 use pdip_graph::gen::lr::LrInstance;
 use pdip_graph::{EdgeId, Graph, NodeId};
-use pdip_obs::{span, NoopRecorder, Recorder, SpanId};
+use pdip_obs::{span, NoopRecorder, Recorder, SpanId, Stopwatch};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -190,6 +190,19 @@ pub struct LrTranscript {
     pub r3_node: Vec<R3Node>,
 }
 
+/// Reusable working buffers for the per-node decision sweep: the sorted
+/// index→commitment maps and the four reconstructed multisets. One scratch
+/// serves the whole sweep, so warm nodes allocate nothing.
+#[derive(Debug, Default)]
+struct DecideScratch {
+    head_pairs: Vec<(usize, u64)>,
+    tail_pairs: Vec<(usize, u64)>,
+    s1_head: Vec<u64>,
+    s1_tail: Vec<u64>,
+    d_head: Vec<u64>,
+    d_tail: Vec<u64>,
+}
+
 /// The LR-sorting protocol bound to an instance.
 #[derive(Debug)]
 pub struct LrSorting<'a> {
@@ -266,17 +279,6 @@ impl<'a> LrSorting<'a> {
         (block, nblocks)
     }
 
-    /// The L-bit MSB-first representation of `x` (truncated to the block's
-    /// bit capacity `cap`; leading positions beyond the word width are 0).
-    fn bits_of(&self, x: usize, cap: usize) -> Vec<bool> {
-        (0..cap)
-            .map(|i| {
-                let shift = cap - 1 - i;
-                shift < usize::BITS as usize && (x >> shift) & 1 == 1
-            })
-            .collect()
-    }
-
     /// Honest round-1 labels, optionally applying a cheat.
     fn round1(&self, cheat: Option<LrCheat>) -> (Vec<R1Node>, Vec<Option<R1Edge>>) {
         let g = self.g();
@@ -295,16 +297,32 @@ impl<'a> LrSorting<'a> {
             }
         }
         let pos = self.inst.positions();
+        // Per-block bit material, computed once per block instead of once
+        // per node: every node of block b reads the same x1/x2 bitstrings
+        // (the L-bit MSB-first forms of pos(b) and pos(b)+1, i.e. bit idx
+        // is bit `cap - idx` of the word) and the same pivot jb (the least
+        // significant 0 of x1 = cap minus the trailing-ones count).
+        let mut cap_of = vec![0usize; nblocks];
+        let mut jb_of = vec![0usize; nblocks];
+        for b in 0..nblocks {
+            let cap = self.block_cap(b);
+            cap_of[b] = cap;
+            let to = pos_of_block[b].trailing_ones() as usize;
+            jb_of[b] = if to >= cap { 1 } else { cap - to };
+        }
+        let bit_at = |x: usize, shift: usize| shift < usize::BITS as usize && (x >> shift) & 1 == 1;
         let mut nodes = Vec::with_capacity(n);
         for v in 0..n {
             let b = block_of[v];
             let idx = pos[v] - self.block_start(b) + 1;
-            let cap = self.block_cap(b);
-            let x1 = self.bits_of(pos_of_block[b], cap);
-            let x2 = self.bits_of(pos_of_block[b] + 1, cap);
-            // Pivot: least significant 0 of x1 = largest index with bit 0.
-            let jb = (1..=cap).rev().find(|&i| !x1[i - 1]).unwrap_or(1);
-            let (x1b, x2b) = if idx <= cap { (x1[idx - 1], x2[idx - 1]) } else { (false, false) };
+            let cap = cap_of[b];
+            let jb = jb_of[b];
+            let (x1b, x2b) = if idx <= cap {
+                let s = cap - idx;
+                (bit_at(pos_of_block[b], s), bit_at(pos_of_block[b] + 1, s))
+            } else {
+                (false, false)
+            };
             let mark = if idx < jb || idx > cap {
                 ConsecMark::Left
             } else if idx == jb {
@@ -314,7 +332,11 @@ impl<'a> LrSorting<'a> {
             };
             nodes.push(R1Node { idx, x1_bit: x1b, x2_bit: x2b, mark, m0: 0, m1: 0 });
         }
-        // Edge classification.
+        // Edge classification. The distinguishing index (first differing
+        // bit, MSB first) comes straight from the XOR of the two block
+        // positions: bit shift `s` is index `cap - s`, so the smallest
+        // index is the highest set bit of the masked XOR.
+        let top_index = |word: u64, cap: usize| cap - (63 - word.leading_zeros() as usize);
         let mut edges: Vec<Option<R1Edge>> = vec![None; g.m()];
         for e in 0..g.m() {
             if self.is_path_edge[e] {
@@ -330,22 +352,24 @@ impl<'a> LrSorting<'a> {
                 R1Edge::Inner
             } else {
                 // Outer: distinguishing index of the two block positions.
-                let (pt, ph_) = (pos_of_block[bt], pos_of_block[bh]);
-                let cap = self.block_cap(bt).min(self.block_cap(bh));
-                let bits_t = self.bits_of(pt, cap);
-                let bits_h = self.bits_of(ph_, cap);
+                let (pt, ph_) = (pos_of_block[bt] as u64, pos_of_block[bh] as u64);
+                let cap = cap_of[bt].min(cap_of[bh]);
+                let mask = if cap >= 64 { u64::MAX } else { (1u64 << cap) - 1 };
+                let diff = (pt ^ ph_) & mask;
                 let index = match cheat {
                     Some(LrCheat::OuterForgedIndex) if reversed => {
                         // An index where tail-bit = 0, head-bit = 1.
-                        (1..=cap)
-                            .find(|&i| !bits_t[i - 1] && bits_h[i - 1])
-                            .or_else(|| (1..=cap).find(|&i| bits_t[i - 1] != bits_h[i - 1]))
-                            .unwrap_or(1)
+                        let t0h1 = !pt & ph_ & mask;
+                        if t0h1 != 0 {
+                            top_index(t0h1, cap)
+                        } else if diff != 0 {
+                            top_index(diff, cap)
+                        } else {
+                            1
+                        }
                     }
-                    _ => {
-                        // True distinguishing index (first differing bit).
-                        (1..=cap).find(|&i| bits_t[i - 1] != bits_h[i - 1]).unwrap_or(1)
-                    }
+                    _ if diff != 0 => top_index(diff, cap),
+                    _ => 1,
                 };
                 R1Edge::Outer { index }
             };
@@ -356,19 +380,23 @@ impl<'a> LrSorting<'a> {
         // multiset multiplicity only depends on (index, side) because all
         // honest pairs with the same index share the same j. We count the
         // *distinct-per-node* pairs, i.e. per node per index per side at
-        // most one.
+        // most one — indices fit in L ≤ 64 bits, so a pair of per-node
+        // bitmasks replaces the hash sets.
         let mut m1 = vec![vec![0u64; l * 2 + 2]; nblocks];
         let mut m0 = vec![vec![0u64; l * 2 + 2]; nblocks];
         for v in 0..n {
-            let mut seen_head = std::collections::HashSet::new();
-            let mut seen_tail = std::collections::HashSet::new();
+            let mut seen_head = 0u64;
+            let mut seen_tail = 0u64;
             for e in g.incident_edges(v) {
                 if let Some(R1Edge::Outer { index }) = edges[e] {
+                    let bit = 1u64 << (index - 1);
                     if self.head(e) == v {
-                        if seen_head.insert(index) {
+                        if seen_head & bit == 0 {
+                            seen_head |= bit;
                             m1[block_of[v]][index] += 1;
                         }
-                    } else if seen_tail.insert(index) {
+                    } else if seen_tail & bit == 0 {
+                        seen_tail |= bit;
                         m0[block_of[v]][index] += 1;
                     }
                 }
@@ -455,16 +483,19 @@ impl<'a> LrSorting<'a> {
                 x2_bits[b][idx - 1] = r1n[v].x2_bit;
             }
         }
-        // Cumulatives per block.
+        // Cumulatives per block. The x1 prefix evaluations at r' are kept
+        // per block (`prefp_of`) so the outer-edge commitment loop below
+        // reads cached values instead of re-evaluating the prefix
+        // polynomial twice per edge.
         let mut a2 = vec![0u64; n];
         let mut b1 = vec![0u64; n];
         let mut ph = vec![0u64; n];
+        let mut prefp_of: Vec<Vec<u64>> = Vec::with_capacity(nblocks);
         for b in 0..nblocks {
             let cap = self.block_cap(b);
             let size = self.block_size(b);
             // Nodes of the block in idx order.
             let start = self.block_start(b);
-            let members: Vec<NodeId> = (0..size).map(|i| self.inst.path[start + i]).collect();
             let pref2 = prefix_poly_evals(&fp, &x2_bits[b], r);
             let prefp = prefix_poly_evals(&fp, &x1_bits[b], rp);
             // Right-to-left suffix products over the x1 bits at r:
@@ -474,7 +505,8 @@ impl<'a> LrSorting<'a> {
                 let fac = if x1_bits[b][i] { fp.sub((i + 1) as u64, r) } else { 1 };
                 suff1[i] = fp.mul(suff1[i + 1], fac);
             }
-            for (i, &v) in members.iter().enumerate() {
+            for i in 0..size {
+                let v = self.inst.path[start + i];
                 let idx = i + 1;
                 let j = idx.min(cap);
                 a2[v] = pref2[j];
@@ -482,6 +514,7 @@ impl<'a> LrSorting<'a> {
                 // Right-to-left cumulative of x1: product over bits >= idx.
                 b1[v] = if idx > cap { 1 } else { suff1[idx - 1] };
             }
+            prefp_of.push(prefp);
         }
         let r2n: Vec<R2Node> = (0..n)
             .map(|v| R2Node {
@@ -499,12 +532,10 @@ impl<'a> LrSorting<'a> {
             if let Some(R1Edge::Outer { index }) = r1e[e] {
                 let (t, h) = (self.tail(e), self.head(e));
                 let (bt, bh) = (block_of[t], block_of[h]);
-                let prefp_t = prefix_poly_evals(&fp, &x1_bits[bt], rp);
-                let prefp_h = prefix_poly_evals(&fp, &x1_bits[bh], rp);
                 let it = (index - 1).min(self.block_cap(bt));
                 let ih = (index - 1).min(self.block_cap(bh));
-                let jt = prefp_t[it];
-                let jh = prefp_h[ih];
+                let jt = prefp_of[bt][it];
+                let jh = prefp_of[bh][ih];
                 // Honest: jt == jh (common prefix). Cheats commit the value
                 // that passes the tail block's check.
                 let j = match cheat {
@@ -536,37 +567,57 @@ impl<'a> LrSorting<'a> {
                 R3Node { eq1: MsMsg { z: 0, a1: 0, a2: 0 }, eq0: MsMsg { z: 0, a1: 0, a2: 0 } };
                 n
             ];
+        // Arena buffers reused across blocks: the four per-node multisets
+        // live in flat value arrays with per-node offset tables (node i of
+        // the block owns flat[off[i]..off[i+1]]), so the inner loop does no
+        // per-node allocation.
+        let mut parent: Vec<Option<usize>> = Vec::new();
+        let mut flats: [Vec<u64>; 4] = Default::default();
+        let mut offs: [Vec<usize>; 4] = Default::default();
         for b in 0..nblocks {
             let size = self.block_size(b);
             let start = self.block_start(b);
-            let members: Vec<NodeId> = (0..size).map(|i| self.inst.path[start + i]).collect();
-            let headv = members[0];
+            let headv = self.inst.path[start];
             let (z1, z0) = (coins[headv].z1, coins[headv].z0);
-            let parent: Vec<Option<usize>> =
-                (0..size).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
-            let c1: Vec<Vec<u64>> =
-                members.iter().map(|&v| self.c_side(v, true, r1e, r2e)).collect();
-            let c0: Vec<Vec<u64>> =
-                members.iter().map(|&v| self.c_side(v, false, r1e, r2e)).collect();
-            let d1: Vec<Vec<u64>> =
-                members.iter().map(|&v| self.d_side(v, true, r1n, r2n)).collect();
-            let d0: Vec<Vec<u64>> =
-                members.iter().map(|&v| self.d_side(v, false, r1n, r2n)).collect();
+            parent.clear();
+            parent.extend((0..size).map(|i| if i == 0 { None } else { Some(i - 1) }));
+            for k in 0..4 {
+                flats[k].clear();
+                offs[k].clear();
+                offs[k].push(0);
+            }
+            {
+                let [c1, c0, d1, d0] = &mut flats;
+                let [c1o, c0o, d1o, d0o] = &mut offs;
+                for i in 0..size {
+                    let v = self.inst.path[start + i];
+                    self.c_sides_into(v, r1e, r2e, c1, c0);
+                    self.d_side_into(v, true, r1n, r2n, d1);
+                    self.d_side_into(v, false, r1n, r2n, d0);
+                    c1o.push(c1.len());
+                    c0o.push(c0.len());
+                    d1o.push(d1.len());
+                    d0o.push(d0.len());
+                }
+            }
+            let [c1, c0, d1, d0] = &flats;
+            let [c1o, c0o, d1o, d0o] = &offs;
             let msgs1 = ms.honest_response_traced(
                 &parent,
-                |i| c1[i].as_slice(),
-                |i| d1[i].as_slice(),
+                |i| &c1[c1o[i]..c1o[i + 1]],
+                |i| &d1[d1o[i]..d1o[i + 1]],
                 z1,
                 rec,
             );
             let msgs0 = ms.honest_response_traced(
                 &parent,
-                |i| c0[i].as_slice(),
-                |i| d0[i].as_slice(),
+                |i| &c0[c0o[i]..c0o[i + 1]],
+                |i| &d0[d0o[i]..d0o[i + 1]],
                 z0,
                 rec,
             );
-            for (i, &v) in members.iter().enumerate() {
+            for i in 0..size {
+                let v = self.inst.path[start + i];
                 out[v] = R3Node { eq1: msgs1[i], eq0: msgs0[i] };
             }
         }
@@ -581,45 +632,85 @@ impl<'a> LrSorting<'a> {
     /// The C-side multiset of node `v`: the *set* of pairs on its incident
     /// outer edges where `v` is the head (`head_side = true`) or the tail.
     /// Node-local: reads only `v`'s incident edge labels.
-    fn c_side(
+    /// The C-side multiset appended to a caller-owned buffer: the new
+    /// tail of `out` holds the sorted distinct pairs (the same ascending
+    /// order the set-based construction produced), with no allocation when
+    /// `out` has capacity.
+    #[cfg_attr(not(test), allow(dead_code))] // scalar reference for the differential test
+    fn c_side_into(
         &self,
         v: NodeId,
         head_side: bool,
         r1e: &[Option<R1Edge>],
         r2e: &[Option<R2Edge>],
-    ) -> Vec<u64> {
+        out: &mut Vec<u64>,
+    ) {
         let g = self.g();
-        let mut pairs = std::collections::BTreeSet::new();
+        let start = out.len();
         for e in g.incident_edges(v) {
             if let Some(R1Edge::Outer { index }) = r1e[e] {
                 let mine = (self.head(e) == v) == head_side;
                 if mine {
                     if let Some(j) = r2e[e] {
-                        pairs.insert(self.encode_pair(index.max(1), j));
+                        out.push(self.encode_pair(index.max(1), j));
                     }
                 }
             }
         }
-        pairs.into_iter().collect()
+        sort_dedup_tail(out, start);
+    }
+
+    /// Both C-side multisets of `v` in a single incidence scan: head-side
+    /// pairs append to `out_head`, tail-side pairs to `out_tail`, then each
+    /// fresh tail is sorted + deduped — the same result as one
+    /// [`LrSorting::c_side_into`] call per side at half the scan cost.
+    fn c_sides_into(
+        &self,
+        v: NodeId,
+        r1e: &[Option<R1Edge>],
+        r2e: &[Option<R2Edge>],
+        out_head: &mut Vec<u64>,
+        out_tail: &mut Vec<u64>,
+    ) {
+        let g = self.g();
+        let start_h = out_head.len();
+        let start_t = out_tail.len();
+        for e in g.incident_edges(v) {
+            if let Some(R1Edge::Outer { index }) = r1e[e] {
+                if let Some(j) = r2e[e] {
+                    let out = if self.head(e) == v { &mut *out_head } else { &mut *out_tail };
+                    out.push(self.encode_pair(index.max(1), j));
+                }
+            }
+        }
+        sort_dedup_tail(out_head, start_h);
+        sort_dedup_tail(out_tail, start_t);
     }
 
     /// The D-side multiset of node `v`: `m1` (or `m0`) copies of
     /// `(idx, φ_{idx−1}(r'))`, where the prefix value is read from the left
     /// block-neighbor's round-2 label. Node-local.
-    fn d_side(&self, v: NodeId, one_side: bool, r1n: &[R1Node], r2n: &[R2Node]) -> Vec<u64> {
+    fn d_side_into(
+        &self,
+        v: NodeId,
+        one_side: bool,
+        r1n: &[R1Node],
+        r2n: &[R2Node],
+        out: &mut Vec<u64>,
+    ) {
         let me = r1n[v];
         // Bit capacity is min(L, block size); it is below the index only
         // when idx > L (blocks smaller than L exist only in the single-
         // block case, where every index fits).
         if me.idx > self.block_len {
-            return Vec::new();
+            return;
         }
         if one_side != me.x1_bit {
-            return Vec::new();
+            return;
         }
         let mult = if one_side { me.m1 } else { me.m0 };
         if mult == 0 {
-            return Vec::new();
+            return;
         }
         let prev_ph = if me.idx == 1 {
             1
@@ -630,7 +721,8 @@ impl<'a> LrSorting<'a> {
             }
         };
         let enc = self.encode_pair(me.idx, prev_ph);
-        vec![enc; mult as usize]
+        let new_len = out.len() + mult as usize;
+        out.resize(new_len, enc);
     }
 
     /// Runs the whole protocol and decides.
@@ -646,13 +738,18 @@ impl<'a> LrSorting<'a> {
         // V-rounds: all nodes draw all coins (public coin model).
         let coins = {
             let _c = span(rec, 0, SpanId::new("lr-sorting/coins"));
+            let _w = Stopwatch::start(rec, "round/lr-coins");
             self.draw_coins(&mut rng)
         };
         let t = self.prove(cheat, &coins, rec);
-        self.emit_captured(&coins, &t);
-        let stats = self.stats(&t);
+        let stats = {
+            let _w = Stopwatch::start(rec, "round/transcript");
+            self.emit_captured(&coins, &t);
+            self.stats(&t)
+        };
         let res = {
             let _d = span(rec, 0, SpanId::new("lr-sorting/decide"));
+            let _w = Stopwatch::start(rec, "round/lr-decide");
             self.verify_given_stats(&t, &coins, stats)
         };
         trace_stats(rec, "lr-sorting", &res.stats);
@@ -684,13 +781,19 @@ impl<'a> LrSorting<'a> {
         rec: &dyn Recorder,
     ) -> LrTranscript {
         let s1 = span(rec, 0, SpanId::at("lr-sorting/prover-round", 1));
+        let w1 = Stopwatch::start(rec, "round/lr-labels");
         let (r1n, r1e) = self.round1(cheat);
+        drop(w1);
         drop(s1);
         let s2 = span(rec, 0, SpanId::at("lr-sorting/prover-round", 2));
+        let w2 = Stopwatch::start(rec, "round/lr-commit");
         let (r2n, r2e) = self.round2(&r1n, &r1e, coins, cheat);
+        drop(w2);
         drop(s2);
         let s3 = span(rec, 0, SpanId::at("lr-sorting/prover-round", 3));
+        let w3 = Stopwatch::start(rec, "round/lr-msets");
         let r3n = self.round3(&r1n, &r1e, &r2n, &r2e, coins, rec);
+        drop(w3);
         drop(s3);
         LrTranscript { r1_node: r1n, r1_edge: r1e, r2_node: r2n, r2_edge: r2e, r3_node: r3n }
     }
@@ -734,8 +837,9 @@ impl<'a> LrSorting<'a> {
             rej.reject_malformed(0, "lr: truncated transcript");
             return rej.into_result(stats);
         }
+        let mut scratch = DecideScratch::default();
         for v in 0..self.g().n() {
-            self.decide(v, t, coins, &mut rej);
+            self.decide(v, t, coins, &mut rej, &mut scratch);
         }
         rej.into_result(stats)
     }
@@ -861,7 +965,17 @@ impl<'a> LrSorting<'a> {
     }
 
     /// The verifier decision at node `v` (node-local information only).
-    fn decide(&self, v: NodeId, t: &LrTranscript, coins: &[LrCoins], rej: &mut Rejections) {
+    /// `scratch` holds the per-node working buffers; the sweep in
+    /// [`LrSorting::verify_given_stats`] reuses one scratch across all
+    /// nodes so warm iterations allocate nothing.
+    fn decide(
+        &self,
+        v: NodeId,
+        t: &LrTranscript,
+        coins: &[LrCoins],
+        rej: &mut Rejections,
+        scratch: &mut DecideScratch,
+    ) {
         let g = self.g();
         let l = self.block_len;
         let fp = self.field_p;
@@ -973,10 +1087,32 @@ impl<'a> LrSorting<'a> {
             }
         }
         // --- E: per-edge checks ---
-        let mut head_pairs: std::collections::BTreeMap<usize, u64> = Default::default();
-        let mut tail_pairs: std::collections::BTreeMap<usize, u64> = Default::default();
+        // Index→commitment maps as sorted scratch vectors: iteration and
+        // first-insert-wins semantics match the former BTreeMaps, without
+        // the per-node tree allocations. The C-side multisets (needed by
+        // the V checks below) read the same Outer labels, so they build
+        // during this same scan — every Outer edge with a commitment
+        // contributes its pair, path edges included, exactly as the
+        // standalone C-side scan did — and get set semantics from the
+        // sort + dedup after the loop.
+        let DecideScratch { head_pairs, tail_pairs, s1_head, s1_tail, d_head, d_tail } = scratch;
+        head_pairs.clear();
+        tail_pairs.clear();
+        s1_head.clear();
+        s1_tail.clear();
+        d_head.clear();
+        d_tail.clear();
         for e in g.incident_edges(v) {
+            let i_am_head = self.head(e) == v;
             if self.is_path_edge[e] {
+                // Path edges skip the E checks, but a (malformed) Outer
+                // label on one still lands in the C-side multiset.
+                if let Some(R1Edge::Outer { index }) = t.r1_edge[e] {
+                    if let Some(j) = t.r2_edge[e] {
+                        let c = if i_am_head { &mut *s1_head } else { &mut *s1_tail };
+                        c.push(self.encode_pair(index.max(1), j));
+                    }
+                }
                 continue;
             }
             let Some(lbl) = t.r1_edge[e] else {
@@ -984,7 +1120,6 @@ impl<'a> LrSorting<'a> {
                 return;
             };
             let u = g.edge(e).other(v);
-            let i_am_head = self.head(e) == v;
             match lbl {
                 R1Edge::Inner => {
                     // Same r_b and index order.
@@ -1005,22 +1140,24 @@ impl<'a> LrSorting<'a> {
                         return;
                     };
                     rej.check(v, j < fp.modulus(), || "lr: commitment not reduced".into());
-                    let side = if i_am_head { &mut head_pairs } else { &mut tail_pairs };
-                    match side.entry(index) {
-                        std::collections::btree_map::Entry::Vacant(slot) => {
-                            slot.insert(j);
-                        }
-                        std::collections::btree_map::Entry::Occupied(slot) => {
-                            rej.check(v, *slot.get() == j, || {
+                    let side = if i_am_head { &mut *head_pairs } else { &mut *tail_pairs };
+                    match side.binary_search_by_key(&index, |&(i, _)| i) {
+                        Err(slot) => side.insert(slot, (index, j)),
+                        Ok(slot) => {
+                            rej.check(v, side[slot].1 == j, || {
                                 "lr: same index committed to two prefixes".into()
                             });
                         }
                     }
+                    let c = if i_am_head { &mut *s1_head } else { &mut *s1_tail };
+                    c.push(self.encode_pair(index.max(1), j));
                 }
             }
         }
-        for i in head_pairs.keys() {
-            rej.check(v, !tail_pairs.contains_key(i), || {
+        sort_dedup_tail(s1_head, 0);
+        sort_dedup_tail(s1_tail, 0);
+        for (i, _) in head_pairs.iter() {
+            rej.check(v, tail_pairs.binary_search_by_key(i, |&(i, _)| i).is_err(), || {
                 "lr: index claims bit 1 and bit 0 simultaneously".into()
             });
         }
@@ -1029,43 +1166,52 @@ impl<'a> LrSorting<'a> {
         let parent_local = if me1.idx == 1 { None } else { left };
         let child_local = right.filter(|&u| t.r1_node[u].idx != 1);
         // Build segment-local message views: we reuse MultisetEq::check by
-        // passing messages indexed 0 = me, 1 = parent, 2 = child.
-        let mut msgs1 = vec![t.r3_node[v].eq1];
-        let mut msgs0 = vec![t.r3_node[v].eq0];
+        // passing messages indexed 0 = me, 1 = parent, 2 = child — at most
+        // three, so they live on the stack.
+        let zero = MsMsg { z: 0, a1: 0, a2: 0 };
+        let mut msgs1 = [t.r3_node[v].eq1, zero, zero];
+        let mut msgs0 = [t.r3_node[v].eq0, zero, zero];
+        let mut len = 1;
         let parent_idx = parent_local.map(|u| {
-            msgs1.push(t.r3_node[u].eq1);
-            msgs0.push(t.r3_node[u].eq0);
-            msgs1.len() - 1
+            msgs1[len] = t.r3_node[u].eq1;
+            msgs0[len] = t.r3_node[u].eq0;
+            len += 1;
+            len - 1
         });
         let child_idx = child_local.map(|u| {
-            msgs1.push(t.r3_node[u].eq1);
-            msgs0.push(t.r3_node[u].eq0);
-            msgs1.len() - 1
+            msgs1[len] = t.r3_node[u].eq1;
+            msgs0[len] = t.r3_node[u].eq0;
+            len += 1;
+            len - 1
         });
-        let children: Vec<usize> = child_idx.into_iter().collect();
-        let s1_head = self.c_side(v, true, &t.r1_edge, &t.r2_edge);
-        let s1_tail = self.c_side(v, false, &t.r1_edge, &t.r2_edge);
-        let d_head = self.d_side_checked(v, true, t);
-        let d_tail = self.d_side_checked(v, false, t);
+        let children: &[usize] = match child_idx {
+            Some(ref i) => std::slice::from_ref(i),
+            None => &[],
+        };
+        self.d_side_checked_into(v, true, t, d_head);
+        self.d_side_checked_into(v, false, t, d_tail);
         let root_z1 = if me1.idx == 1 { Some(coins[v].z1) } else { None };
         let root_z0 = if me1.idx == 1 { Some(coins[v].z0) } else { None };
-        ms.check(v, 0, parent_idx, &children, &s1_head, &d_head, &msgs1, root_z1, rej);
-        ms.check(v, 0, parent_idx, &children, &s1_tail, &d_tail, &msgs0, root_z0, rej);
+        let m1 = &msgs1[..len];
+        let m0 = &msgs0[..len];
+        ms.check(v, 0, parent_idx, children, s1_head, d_head, m1, root_z1, rej);
+        ms.check(v, 0, parent_idx, children, s1_tail, d_tail, m0, root_z0, rej);
     }
 
     /// D-side multiset as the verifier reconstructs it locally: uses the
     /// node's own idx / bit / multiplicity and the left neighbor's `ph`.
-    fn d_side_checked(&self, v: NodeId, one_side: bool, t: &LrTranscript) -> Vec<u64> {
+    /// Appends to a caller-owned buffer (no allocation when warm).
+    fn d_side_checked_into(&self, v: NodeId, one_side: bool, t: &LrTranscript, out: &mut Vec<u64>) {
         let me = t.r1_node[v];
         if me.idx > self.block_len {
-            return Vec::new();
+            return;
         }
         if one_side != me.x1_bit {
-            return Vec::new();
+            return;
         }
         let mult = if one_side { me.m1 } else { me.m0 };
         if mult == 0 || mult as usize > 2 * self.block_len + 1 {
-            return Vec::new();
+            return;
         }
         let prev_ph = if me.idx == 1 {
             1
@@ -1076,9 +1222,10 @@ impl<'a> LrSorting<'a> {
             }
         };
         if prev_ph >= self.field_p.modulus() {
-            return Vec::new();
+            return;
         }
-        vec![self.encode_pair(me.idx, prev_ph); mult as usize]
+        let new_len = out.len() + mult as usize;
+        out.resize(new_len, self.encode_pair(me.idx, prev_ph));
     }
 
     /// Names of the cheat strategies in [`LR_CHEATS`] order.
@@ -1090,6 +1237,20 @@ impl<'a> LrSorting<'a> {
             "swap-block-positions".into(),
         ]
     }
+}
+
+/// Sorts and dedups `out[start..]` in place (set semantics for a multiset
+/// tail freshly appended to a shared arena buffer).
+fn sort_dedup_tail(out: &mut Vec<u64>, start: usize) {
+    out[start..].sort_unstable();
+    let mut w = start;
+    for r in start..out.len() {
+        if r == start || out[r] != out[w - 1] {
+            out[w] = out[r];
+            w += 1;
+        }
+    }
+    out.truncate(w);
 }
 
 #[cfg(test)]
@@ -1169,6 +1330,83 @@ mod tests {
         let res = lr.run(None, 3);
         assert_eq!(res.stats.rounds, 5);
         assert_eq!(res.stats.per_round_max_bits.len(), 3); // three prover rounds
+    }
+
+    /// Bit-scan reference for the XOR-based distinguishing index: the
+    /// first position (1-based, MSB first over `cap` bits) where the two
+    /// words differ.
+    fn scan_index(pt: usize, ph: usize, cap: usize) -> usize {
+        let bit = |x: usize, i: usize| {
+            let shift = cap - i;
+            shift < usize::BITS as usize && (x >> shift) & 1 == 1
+        };
+        (1..=cap).find(|&i| bit(pt, i) != bit(ph, i)).unwrap_or(1)
+    }
+
+    #[test]
+    fn xor_distinguishing_index_matches_bit_scan() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        for cap in [1usize, 2, 7, 17, 31, 60] {
+            for _ in 0..200 {
+                let bound = 1usize << cap.min(60);
+                let (pt, ph) = (rng.gen_range(0..bound), rng.gen_range(0..bound));
+                let mask = if cap >= 64 { u64::MAX } else { (1u64 << cap) - 1 };
+                let diff = (pt as u64 ^ ph as u64) & mask;
+                let fast = if diff != 0 { cap - (63 - diff.leading_zeros() as usize) } else { 1 };
+                assert_eq!(fast, scan_index(pt, ph, cap), "pt={pt} ph={ph} cap={cap}");
+            }
+        }
+    }
+
+    /// Differential: the lane-batched commitment path (Montgomery
+    /// `prefix_poly_evals` + `multiset_poly_eval` behind the round-2 `ph`
+    /// values and the round-3 aggregates) against a scalar baseline built
+    /// on `Fp::mul_naive`. A pipelining bug in the batch path would
+    /// desynchronize the two transcripts.
+    #[test]
+    fn batched_commitments_match_scalar_baseline() {
+        use pdip_field::multiset_poly_eval_naive;
+        let mut rng = SmallRng::seed_from_u64(88);
+        let inst = random_lr_yes(97, 40, true, &mut rng);
+        let lr = LrSorting::new(&inst, LrParams::default(), Transport::Native);
+        let mut run_rng = SmallRng::seed_from_u64(13);
+        let coins = lr.draw_coins(&mut run_rng);
+        let t = lr.prove(None, &coins, &pdip_obs::NoopRecorder);
+        let fp = lr.field_p;
+        let head = inst.path[0];
+        let rp = coins[head].rp;
+        // Scalar PH recomputation: left-to-right product of (idx - r')
+        // over the x1 bits, restarting at each block head.
+        let mut acc = 1u64;
+        for &v in &inst.path {
+            let l1 = t.r1_node[v];
+            if l1.idx == 1 {
+                acc = 1;
+            }
+            if l1.idx <= lr.block_len && l1.x1_bit {
+                acc = fp.mul_naive(acc, fp.sub(l1.idx as u64, rp));
+            }
+            assert_eq!(t.r2_node[v].ph, acc, "ph at node {v}");
+        }
+        // Scalar round-3 recomputation: each node's aggregate must equal
+        // the naive product of its own multiset evaluation and its
+        // children's aggregates.
+        let fpp = lr.field_pp;
+        for (i, &v) in inst.path.iter().enumerate() {
+            let child = inst.path.get(i + 1).copied().filter(|&u| t.r1_node[u].idx != 1);
+            let mut s = Vec::new();
+            lr.c_side_into(v, true, &t.r1_edge, &t.r2_edge, &mut s);
+            let mut e1 = multiset_poly_eval_naive(&fpp, s.iter().copied(), t.r3_node[v].eq1.z);
+            let mut d = Vec::new();
+            lr.d_side_into(v, true, &t.r1_node, &t.r2_node, &mut d);
+            let mut e2 = multiset_poly_eval_naive(&fpp, d.iter().copied(), t.r3_node[v].eq1.z);
+            if let Some(u) = child {
+                e1 = fpp.mul_naive(e1, t.r3_node[u].eq1.a1);
+                e2 = fpp.mul_naive(e2, t.r3_node[u].eq1.a2);
+            }
+            assert_eq!(t.r3_node[v].eq1.a1, e1, "eq1.a1 at node {v}");
+            assert_eq!(t.r3_node[v].eq1.a2, e2, "eq1.a2 at node {v}");
+        }
     }
 
     #[test]

@@ -98,81 +98,79 @@ pub fn sweep_assign(
     tags: &[Tag],
 ) -> NestingLabels {
     let n = g.n();
-    let name_of = |e: EdgeId| -> (Tag, Tag) {
-        let edge = g.edge(e);
-        let (a, b) =
-            if positions[edge.u] < positions[edge.v] { (edge.u, edge.v) } else { (edge.v, edge.u) };
-        (tags[a], tags[b])
-    };
-    // Longest arcs per node and side.
+    let m = g.m();
+    // Flat per-arc endpoint tables, resolved once: `al[e]` / `ar[e]` are
+    // the left/right (by path position) endpoints of non-path edge `e`
+    // (`u32::MAX` on path edges, which never equals a node id). Everything
+    // downstream — pops, names, sort keys — becomes array lookups instead
+    // of re-deriving endpoints through `g.edge` + position compares.
+    const NOT_ARC: u32 = u32::MAX;
+    let mut al: Vec<u32> = vec![NOT_ARC; m];
+    let mut ar: Vec<u32> = vec![NOT_ARC; m];
+    // Longest arcs per node and side (ties keep the first edge in edge
+    // order, as before), plus the number of arcs ending (rightward) at
+    // each node — the sweep uses the counts to pop its stack from the top
+    // instead of rescanning it.
     let mut longest_right: Vec<Option<EdgeId>> = vec![None; n];
     let mut longest_left: Vec<Option<EdgeId>> = vec![None; n];
-    for e in 0..g.m() {
+    let mut best_r_pos: Vec<usize> = vec![0; n];
+    let mut best_l_pos: Vec<usize> = vec![0; n];
+    let mut ends_at: Vec<u32> = vec![0; n];
+    for e in 0..m {
         if is_path_edge[e] {
             continue;
         }
         let edge = g.edge(e);
         let (a, b) =
             if positions[edge.u] < positions[edge.v] { (edge.u, edge.v) } else { (edge.v, edge.u) };
-        let better_r = longest_right[a].is_none_or(|f| {
-            let fe = g.edge(f);
-            let fb = if positions[fe.u] > positions[fe.v] { fe.u } else { fe.v };
-            positions[b] > positions[fb]
-        });
-        if better_r {
+        al[e] = a as u32;
+        ar[e] = b as u32;
+        ends_at[b] += 1;
+        if longest_right[a].is_none() || positions[b] > best_r_pos[a] {
             longest_right[a] = Some(e);
+            best_r_pos[a] = positions[b];
         }
-        let better_l = longest_left[b].is_none_or(|f| {
-            let fe = g.edge(f);
-            let fa = if positions[fe.u] < positions[fe.v] { fe.u } else { fe.v };
-            positions[a] < positions[fa]
-        });
-        if better_l {
+        if longest_left[b].is_none() || positions[a] < best_l_pos[b] {
             longest_left[b] = Some(e);
+            best_l_pos[b] = positions[a];
         }
     }
+    let name_of = |e: EdgeId| -> (Tag, Tag) { (tags[al[e] as usize], tags[ar[e] as usize]) };
     // Sweep left to right with an arc stack.
-    let mut arcs: Vec<Option<ArcLabel>> = vec![None; g.m()];
+    let mut arcs: Vec<Option<ArcLabel>> = vec![None; m];
     let mut above: Vec<AboveLabel> = vec![AboveLabel { above: None }; n];
-    let mut gaps: Vec<Option<ArcName>> = vec![None; g.m()];
+    let mut gaps: Vec<Option<ArcName>> = vec![None; m];
     let mut stack: Vec<EdgeId> = Vec::new();
+    let mut starting: Vec<(usize, EdgeId)> = Vec::new();
     for &w in path_order {
-        // Pop (extract) arcs ending at w.
-        stack.retain(|&e| {
-            let edge = g.edge(e);
-            let right = if positions[edge.u] > positions[edge.v] { edge.u } else { edge.v };
-            right != w
-        });
+        // Pop (extract) arcs ending at w. On properly nested instances
+        // they sit on top of the stack; buried arcs (crossings) need the
+        // full rescan, which keeps the remaining order exactly as a
+        // `retain` would.
+        let mut to_pop = ends_at[w];
+        while to_pop > 0 && stack.last().is_some_and(|&e| ar[e] as usize == w) {
+            stack.pop();
+            to_pop -= 1;
+        }
+        if to_pop > 0 {
+            stack.retain(|&e| ar[e] as usize != w);
+        }
         // `above(w)`: the innermost arc strictly covering w at this point.
         above[w] = AboveLabel { above: stack.last().map(|&e| name_of(e)) };
-        // Push arcs starting at w, longest first.
-        let mut starting: Vec<EdgeId> = g
-            .incident_edges(w)
-            .filter(|&e| {
-                if is_path_edge[e] {
-                    return false;
-                }
-                let edge = g.edge(e);
-                let left = if positions[edge.u] < positions[edge.v] { edge.u } else { edge.v };
-                left == w
-            })
-            .collect();
-        starting.sort_by_key(|&e| {
-            let edge = g.edge(e);
-            let right = if positions[edge.u] > positions[edge.v] { edge.u } else { edge.v };
-            std::cmp::Reverse(positions[right])
-        });
-        for e in starting {
+        // Push arcs starting at w, longest first (stable on ties, so equal
+        // right positions keep incidence order).
+        starting.clear();
+        for e in g.incident_edges(w) {
+            if al[e] as usize == w {
+                starting.push((positions[ar[e] as usize], e));
+            }
+        }
+        starting.sort_by_key(|&(p, _)| std::cmp::Reverse(p));
+        for &(_, e) in &starting {
             let succ = stack.last().map(|&f| name_of(f));
-            let edge = g.edge(e);
-            let (a, b) = if positions[edge.u] < positions[edge.v] {
-                (edge.u, edge.v)
-            } else {
-                (edge.v, edge.u)
-            };
             arcs[e] = Some(ArcLabel {
-                longest_right_of_tail: longest_right[a] == Some(e),
-                longest_left_of_head: longest_left[b] == Some(e),
+                longest_right_of_tail: longest_right[al[e] as usize] == Some(e),
+                longest_left_of_head: longest_left[ar[e] as usize] == Some(e),
                 name: name_of(e),
                 succ,
             });
@@ -222,6 +220,22 @@ struct SideArc {
     longest_other: bool,
 }
 
+/// Reusable buffers for [`check_node_with`]. One scratch serves any
+/// number of nodes sequentially; reusing it across a whole verification
+/// sweep makes the per-node decision allocation-free on honest runs.
+#[derive(Debug, Default)]
+pub struct NestingScratch {
+    lefts: Vec<SideArc>,
+    rights: Vec<SideArc>,
+}
+
+impl NestingScratch {
+    /// A fresh scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The verifier's nesting checks at node `v` (conditions of §5).
 ///
 /// * `left_nb` / `right_nb` — path neighbors (from the committed path);
@@ -242,8 +256,39 @@ pub fn check_node(
     labels: &NestingLabels,
     rej: &mut Rejections,
 ) {
-    let mut lefts: Vec<SideArc> = Vec::new();
-    let mut rights: Vec<SideArc> = Vec::new();
+    let mut scratch = NestingScratch::new();
+    check_node_with(
+        g,
+        v,
+        left_nb,
+        right_nb,
+        is_path_edge,
+        is_left_arc,
+        tags,
+        labels,
+        rej,
+        &mut scratch,
+    );
+}
+
+/// [`check_node`] with caller-owned scratch buffers — the allocation-free
+/// form for sweeping a whole graph node by node.
+#[allow(clippy::too_many_arguments)]
+pub fn check_node_with(
+    g: &Graph,
+    v: NodeId,
+    left_nb: Option<NodeId>,
+    right_nb: Option<NodeId>,
+    is_path_edge: &[bool],
+    is_left_arc: &dyn Fn(EdgeId) -> bool,
+    tags: &[Tag],
+    labels: &NestingLabels,
+    rej: &mut Rejections,
+    scratch: &mut NestingScratch,
+) {
+    scratch.lefts.clear();
+    scratch.rights.clear();
+    let NestingScratch { lefts, rights } = scratch;
     for e in g.incident_edges(v) {
         if is_path_edge.get(e) != Some(&false) {
             if is_path_edge.get(e).is_none() {
@@ -329,10 +374,10 @@ pub fn check_node(
                 rej.reject(v, "nest: above differs from right gap");
                 return;
             }
-        } else if !exists_chain(&rights, Some(gap), rej, v, "right") {
+        } else if !exists_chain(rights, Some(gap), rej, v, "right") {
             return;
         }
-    } else if !rights.is_empty() && !exists_chain(&rights, None, rej, v, "right") {
+    } else if !rights.is_empty() && !exists_chain(rights, None, rej, v, "right") {
         return;
     }
     if let Some(u) = left_nb {
@@ -348,9 +393,9 @@ pub fn check_node(
             if my_above != gap {
                 rej.reject(v, "nest: above differs from left gap");
             }
-        } else if !exists_chain(&lefts, Some(gap), rej, v, "left") {
+        } else if !exists_chain(lefts, Some(gap), rej, v, "left") {
         }
-    } else if !lefts.is_empty() && !exists_chain(&lefts, None, rej, v, "left") {
+    } else if !lefts.is_empty() && !exists_chain(lefts, None, rej, v, "left") {
     }
 }
 
@@ -382,6 +427,50 @@ fn exists_chain(
             rej.reject(v, format!("nest: single {side} arc name mismatch with neighbor above"));
         }
         return ok;
+    }
+    // Fast path: with pairwise-distinct names AND pairwise-distinct succs
+    // (the honest case — random tags collide with probability 2^{-Θ(ℓ)}),
+    // every DP state has at most one successor, so the grouped search
+    // degenerates to a forced backward walk from the longest arc. The walk
+    // gives the identical verdict (and, on failure, the identical
+    // rejection) in O(k²) scalar work with no allocation; any collision
+    // falls through to the exact DP below.
+    let k = arcs.len();
+    if k <= 128 {
+        let mut eligible = true;
+        'pairs: for i in 0..k {
+            for j in i + 1..k {
+                let same_succ =
+                    i != longest_idx && j != longest_idx && arcs[i].succ == arcs[j].succ;
+                if arcs[i].name == arcs[j].name || same_succ {
+                    eligible = false;
+                    break 'pairs;
+                }
+            }
+        }
+        if eligible {
+            let mut placed = 0u128;
+            let mut need = arcs[longest_idx].name;
+            for step in 0..k - 1 {
+                let hit = (0..k).find(|&i| {
+                    i != longest_idx && placed & (1 << i) == 0 && arcs[i].succ == Some(need)
+                });
+                let Some(i) = hit else {
+                    rej.reject(v, format!("nest: no valid {side} arc ordering"));
+                    return false;
+                };
+                if step == k - 2 {
+                    // e_1: enforce the `first` constraint on its name.
+                    if first.is_none_or(|f| f == Some(arcs[i].name)) {
+                        return true;
+                    }
+                    rej.reject(v, format!("nest: no valid {side} arc ordering"));
+                    return false;
+                }
+                placed |= 1 << i;
+                need = arcs[i].name;
+            }
+        }
     }
     // Group the non-longest arcs by (name, succ): chain feasibility only
     // depends on group counts.

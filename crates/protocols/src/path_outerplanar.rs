@@ -17,14 +17,14 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use crate::forest_code::{decode_children, decode_parent, ForestCode};
+use crate::forest_code::{decode_parent, ForestCode};
 use crate::lr_sorting::{LrCheat, LrParams, LrSorting, Transport};
 use crate::nesting::{self, NestingLabels};
 use crate::spanning_tree::{SpanningTreeVerification, StParams};
-use pdip_core::{trace_stats, DipProtocol, Rejections, RunResult, SizeStats, Tag};
+use pdip_core::{par, trace_stats, DipProtocol, Rejections, RunResult, SizeStats, Tag};
 use pdip_graph::gen::lr::LrInstance;
 use pdip_graph::{Graph, NodeId, Orientation, RootedForest};
-use pdip_obs::{span, NoopRecorder, Recorder, SpanId};
+use pdip_obs::{span, NoopRecorder, Recorder, SpanId, Stopwatch};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -73,6 +73,12 @@ pub enum PopCheat {
     /// contradiction into the probabilistic `succ` chain.
     NestingForceMark,
 }
+
+/// Chunk grain for the intra-job parallel loops: coarse enough that a
+/// chunk amortizes its thread hand-off, fine enough that n = 10⁵ still
+/// splits across every worker. The grid depends only on `n` and this
+/// constant, never on the worker count (see `pdip_core::par`).
+const PAR_GRAIN: usize = 8192;
 
 /// All cheats, in [`PathOuterplanarity::cheat_names`] order.
 pub const POP_CHEATS: [PopCheat; 4] = [
@@ -137,6 +143,7 @@ impl<'a> PathOuterplanarity<'a> {
 
         // ---- Stage 1: committing to a path ----
         let stage1 = span(rec, 0, SpanId::at("path-outerplanarity/stage", 1));
+        let commit_watch = Stopwatch::start(rec, "round/path-commit");
         let path = self.claimed_path(cheat);
         // A corrupted witness can name unknown nodes, revisit a node
         // (which would put a cycle in the parent pointers), or traverse
@@ -164,16 +171,32 @@ impl<'a> PathOuterplanarity<'a> {
         }
         let forest = RootedForest::from_parents(g, parent);
         let code = ForestCode::encode_traced(g, &forest, rec);
+        // The per-node label decode and every node-local check loop below
+        // run on the intra-job chunk grid (`pdip_core::par`): chunk-local
+        // rejection collectors absorbed in chunk order reproduce the
+        // serial rejection stream — and with it every downstream artifact
+        // — byte for byte at any worker count.
         let claimed_parent: Vec<Option<NodeId>> =
-            (0..n).map(|v| decode_parent(g, &code.labels, v)).collect();
+            par::map_indexed(n, PAR_GRAIN, |v| decode_parent(g, &code.labels, v));
         let claimed_root: Vec<bool> = (0..n).map(|v| code.labels[v].root).collect();
         // Node-local structure checks: at most one child; root flags match.
-        for v in 0..n {
-            let kids = decode_children(g, &code.labels, v);
-            rej.check(v, kids.len() <= 1, || "pop: committed path branches".into());
-            rej.check(v, claimed_root[v] == claimed_parent[v].is_none(), || {
-                "pop: root flag inconsistent with parent decode".into()
-            });
+        // A neighbor u is a decoded child of v exactly when u's own parent
+        // decode resolves to v (decode_children's parity/color/root filters
+        // are implied by `decode_parent(u) == Some(v)`), so the child count
+        // reads off the already-computed `claimed_parent` table instead of
+        // re-deriving each neighbor's parent.
+        for local in par::map_chunks(n, PAR_GRAIN, |vs| {
+            let mut local = Rejections::new();
+            for v in vs {
+                let kids = g.neighbor_nodes(v).filter(|&u| claimed_parent[u] == Some(v)).count();
+                local.check(v, kids <= 1, || "pop: committed path branches".into());
+                local.check(v, claimed_root[v] == claimed_parent[v].is_none(), || {
+                    "pop: root flag inconsistent with parent decode".into()
+                });
+            }
+            local
+        }) {
+            rej.absorb(local);
         }
         // Spanning-tree verification on the committed structure.
         let st = SpanningTreeVerification::new(StParams::for_n(
@@ -183,8 +206,14 @@ impl<'a> PathOuterplanarity<'a> {
         ));
         let st_coins = st.draw_coins(n, &mut rng);
         let st_msgs = st.honest_response_traced(&forest, &st_coins, rec);
-        for v in 0..n {
-            st.check(g, v, claimed_parent[v], claimed_root[v], &st_coins, &st_msgs, &mut rej);
+        for local in par::map_chunks(n, PAR_GRAIN, |vs| {
+            let mut local = Rejections::new();
+            for v in vs {
+                st.check(g, v, claimed_parent[v], claimed_root[v], &st_coins, &st_msgs, &mut local);
+            }
+            local
+        }) {
+            rej.absorb(local);
         }
         // If the committed structure is not a genuine Hamiltonian path and
         // the probabilistic checks somehow passed, the adversary wins this
@@ -199,10 +228,12 @@ impl<'a> PathOuterplanarity<'a> {
             stats.coin_bits = n * st.coin_bits();
             return rej.into_result(stats);
         }
+        drop(commit_watch);
         drop(stage1);
 
         // ---- Stage 2: LR-sorting on the claimed orientation ----
         let stage2 = span(rec, 0, SpanId::at("path-outerplanarity/stage", 2));
+        let orient_watch = Stopwatch::start(rec, "round/lr-orientation");
         let mut positions = vec![0usize; n];
         for (i, &v) in path.iter().enumerate() {
             positions[v] = i;
@@ -231,6 +262,7 @@ impl<'a> PathOuterplanarity<'a> {
             LrParams { c: self.params.c, block_len: None },
             self.transport,
         );
+        drop(orient_watch);
         let lr_res = lr.run_with(lr_cheat, rng.gen(), rec);
         stats.merge_parallel(&lr_res.stats);
         for ((v, reason), kind) in lr_res.rejections.into_iter().zip(lr_res.kinds) {
@@ -240,6 +272,7 @@ impl<'a> PathOuterplanarity<'a> {
 
         // ---- Stage 3: nesting verification ----
         let _stage3 = span(rec, 0, SpanId::at("path-outerplanarity/stage", 3));
+        let _nest_watch = Stopwatch::start(rec, "round/nesting");
         let mut is_path_edge = vec![false; g.m()];
         for &e in &path_edges {
             is_path_edge[e] = true;
@@ -257,24 +290,35 @@ impl<'a> PathOuterplanarity<'a> {
                 nesting::force_longest_left(&mut labels, g, &positions, e);
             }
         }
-        for v in 0..n {
-            let posn = positions[v];
-            let left_nb = if posn > 0 { Some(path[posn - 1]) } else { None };
-            let right_nb = if posn + 1 < n { Some(path[posn + 1]) } else { None };
-            // Left/right classification per the *claimed, LR-verified*
-            // orientation: the arc is a left arc iff v is its head.
-            let is_left = |e: usize| orientation.head(g, e) == v;
-            nesting::check_node(
-                g,
-                v,
-                left_nb,
-                right_nb,
-                &is_path_edge,
-                &is_left,
-                &tags,
-                &labels,
-                &mut rej,
-            );
+        // The per-node nesting checks chunk like the stage-1 loops; each
+        // chunk owns its scratch (no sharing across workers) and the
+        // merged rejection order is the serial one.
+        for local in par::map_chunks(n, PAR_GRAIN, |vs| {
+            let mut local = Rejections::new();
+            let mut nest_scratch = nesting::NestingScratch::new();
+            for v in vs {
+                let posn = positions[v];
+                let left_nb = if posn > 0 { Some(path[posn - 1]) } else { None };
+                let right_nb = if posn + 1 < n { Some(path[posn + 1]) } else { None };
+                // Left/right classification per the *claimed, LR-verified*
+                // orientation: the arc is a left arc iff v is its head.
+                let is_left = |e: usize| orientation.head(g, e) == v;
+                nesting::check_node_with(
+                    g,
+                    v,
+                    left_nb,
+                    right_nb,
+                    &is_path_edge,
+                    &is_left,
+                    &tags,
+                    &labels,
+                    &mut local,
+                    &mut nest_scratch,
+                );
+            }
+            local
+        }) {
+            rej.absorb(local);
         }
 
         // ---- Size accounting ----

@@ -15,7 +15,7 @@ use crate::lr_sorting::Transport;
 use crate::path_outerplanar::PopParams;
 use pdip_core::{bits_for_domain, trace_stats, DipProtocol, Rejections, RunResult};
 use pdip_graph::{Graph, RotationSystem};
-use pdip_obs::{counter, span, NoopRecorder, Recorder, SpanId};
+use pdip_obs::{counter, span, NoopRecorder, Recorder, SpanId, Stopwatch};
 
 /// A planarity instance: graph plus (for yes-instances) a witness
 /// embedding.
@@ -73,6 +73,7 @@ impl<'a> Planarity<'a> {
         let mut rej = Rejections::new();
         // The prover's rotation system.
         let rot_span = span(rec, 0, SpanId::new("planarity/rotation"));
+        let rot_watch = Stopwatch::start(rec, "round/rotation");
         let rho = match (&self.inst.witness_rho, cheat) {
             (Some(w), None) => w.clone(),
             _ => RotationSystem::port_order(g),
@@ -87,7 +88,10 @@ impl<'a> Planarity<'a> {
                 "pl: rotation is not a permutation of incident edges".into()
             });
         }
+        drop(rot_watch);
+        let prep_watch = Stopwatch::start(rec, "round/instance-prep");
         let emb_inst = EmbInstance { graph: g.clone(), is_yes: rho.is_planar_embedding(g), rho };
+        drop(prep_watch);
         let emb = EmbeddedPlanarity::new(&emb_inst, self.params, self.transport);
         let sub_cheat = match cheat {
             Some(PlCheat::PortOrderHonestSweep) => Some(EmbCheat::HonestSweep),

@@ -10,6 +10,7 @@
 //!            [--threads K] [--seed S] [--honest-only] [--out PATH] [--quiet]
 //! pdip bench-hotpath [--out PATH]
 //! pdip bench-graph [--smoke] [--out PATH]
+//! pdip bench-round [--smoke] [--workers K] [--out PATH]
 //! pdip chaos [--smoke] [--threads K] [--out PREFIX]
 //! pdip trace [--smoke] [--threads K] [--out PREFIX] [--quiet]
 //! pdip prove <family> [--n N] [--prover honest|IDX] [--no-instance]
@@ -39,6 +40,7 @@ fn usage() -> ! {
          [--seed S] [--honest-only] [--out PATH] [--quiet]\n  \
          pdip bench-hotpath [--out PATH]\n  \
          pdip bench-graph [--smoke] [--out PATH]\n  \
+         pdip bench-round [--smoke] [--workers K] [--out PATH]\n  \
          pdip chaos [--smoke] [--threads K] [--out PREFIX]\n  \
          pdip trace [--smoke] [--threads K] [--out PREFIX] [--quiet]\n  \
          pdip prove <family> [--n N] [--prover honest|IDX] [--no-instance] [--gen-seed G] \
@@ -290,6 +292,63 @@ fn main() {
             let doc = pdip_bench::graphbench::graphbench_json(
                 if smoke { "smoke" } else { "full" },
                 &entries,
+            );
+            let path = std::path::Path::new(&out);
+            if let Some(dir) = path.parent() {
+                std::fs::create_dir_all(dir).expect("creating results dir");
+            }
+            std::fs::write(path, doc).expect("writing bench snapshot");
+            println!("\nwrote {}", path.display());
+        }
+        "bench-round" => {
+            let out =
+                flag_value(&args, "--out").unwrap_or_else(|| "results/bench_round.json".into());
+            let smoke = args.iter().any(|a| a == "--smoke");
+            // Intra-job workers for the round's chunked per-node loops.
+            // Transcripts are byte-identical at any value (the chunk grid
+            // is worker-count independent); the default of 1 keeps the
+            // committed timings comparable across machines.
+            if let Some(w) = flag_value(&args, "--workers") {
+                let w: usize = w.parse().expect("--workers takes a positive integer");
+                pdip_core::par::set_intra_workers(w.max(1));
+            }
+            let cfg = if smoke {
+                pdip_bench::roundbench::RoundBenchConfig::smoke()
+            } else {
+                pdip_bench::roundbench::RoundBenchConfig::full()
+            };
+            println!(
+                "planarity-round profile ({}; honest run vs committed pre-optimization baseline):\n",
+                if smoke { "smoke" } else { "full" }
+            );
+            let report = pdip_bench::roundbench::run_roundbench(&cfg);
+            println!(
+                "{:<24} {:>10} {:>14} {:>14} {:>9}",
+                "benchmark", "n", "baseline ns", "fast ns", "speedup"
+            );
+            for e in &report.entries {
+                println!(
+                    "{:<24} {:>10} {:>14.1} {:>14.1} {:>8.2}x",
+                    e.name,
+                    e.n,
+                    e.baseline_ns,
+                    e.fast_ns,
+                    e.speedup()
+                );
+            }
+            println!("\n{:<24} {:>10} {:>14} {:>8}", "stage", "n", "total ns", "share");
+            for r in &report.stages {
+                println!(
+                    "{:<24} {:>10} {:>14.1} {:>7.1}%",
+                    r.stage,
+                    r.n,
+                    r.total_ns,
+                    100.0 * r.share
+                );
+            }
+            let doc = pdip_bench::roundbench::roundbench_json(
+                if smoke { "smoke" } else { "full" },
+                &report,
             );
             let path = std::path::Path::new(&out);
             if let Some(dir) = path.parent() {
