@@ -120,6 +120,25 @@ impl Rejections {
         Self::default()
     }
 
+    /// Rebuilds a collector from the parallel `rejections`/`kinds`
+    /// vectors of a finalized [`RunResult`], so a sharded verifier can
+    /// [`Rejections::absorb`] per-block results the block runner already
+    /// finalized.
+    ///
+    /// The recorded count is taken as `items.len()`: a count elided past
+    /// the cap inside the source result is not recoverable from its
+    /// vectors. That undercounts only [`Rejections::len`] — the stored
+    /// entries, their kinds and the elision marker round-trip exactly,
+    /// which is what the shard-merge byte-identity contract needs.
+    ///
+    /// # Panics
+    /// Panics if the vectors' lengths differ.
+    pub fn from_parts(items: Vec<(NodeId, String)>, kinds: Vec<RejectReason>) -> Self {
+        assert_eq!(items.len(), kinds.len(), "rejections/kinds must be parallel");
+        let recorded = items.len();
+        Rejections { items, kinds, recorded }
+    }
+
     /// Records that node `v` rejects for `reason`, classified `kind`.
     ///
     /// Duplicate `(node, reason)` pairs are recorded once: a node that
@@ -365,6 +384,24 @@ mod tests {
         for chunk in [1, 2, 5, 16, 17, 23, 40] {
             absorb_equals_serial(&events, chunk);
         }
+    }
+
+    #[test]
+    fn from_parts_roundtrips_a_finalized_result() {
+        let mut r = Rejections::new();
+        r.reject(2, "coin miss");
+        r.reject_malformed(5, "truncated label");
+        let (items, kinds) = (r.items.clone(), r.kinds.clone());
+        let res = r.into_result(SizeStats::default());
+        let rebuilt = Rejections::from_parts(res.rejections, res.kinds);
+        assert_eq!(rebuilt.items, items);
+        assert_eq!(rebuilt.kinds, kinds);
+        assert_eq!(rebuilt.recorded, 2);
+        // And it keeps absorbing as a live collector.
+        let mut combined = Rejections::new();
+        combined.absorb(rebuilt);
+        assert_eq!(combined.len(), 2);
+        assert!(combined.any_malformed());
     }
 
     #[test]

@@ -19,35 +19,61 @@
 //!   worker runs serially on that worker. One machine, one level of
 //!   parallelism, no oversubscription.
 //!
-//! The knob is process-global ([`set_intra_workers`], default 1): single
-//! runs (CLI round benchmarks, one-shot verifications) opt in, sweeps keep
-//! their across-job parallelism. With one worker every entry point
+//! The knob is process-global ([`set_intra_workers`]; the default is
+//! *auto* — `available_parallelism()` capped at [`MAX_AUTO_WORKERS`]) so
+//! single runs (CLI round benchmarks, one-shot verifications, the E11
+//! scaling driver) engage the parallel path out of the box on multi-core
+//! machines. Sweeps keep their across-job parallelism: the engine's pool
+//! workers hold a [`SerialGuard`], so the auto default never nests a
+//! second thread layer. With one effective worker every entry point
 //! degenerates to the plain serial loop — same code path a round compiled
-//! to before this module existed.
+//! to before this module existed, and small inputs (`len <= grain`) stay
+//! serial at any setting.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Configured intra-job worker count (process-global, `>= 1`).
-static INTRA_WORKERS: AtomicUsize = AtomicUsize::new(1);
+/// Configured intra-job worker count (process-global). `0` is the *auto*
+/// sentinel: resolve to [`auto_intra_workers`] at read time.
+static INTRA_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Cap on the auto-resolved worker count: intra-job chunks are
+/// memory-bandwidth bound well before 8 threads, and an uncapped default
+/// would oversubscribe big CI boxes running the test harness in parallel.
+pub const MAX_AUTO_WORKERS: usize = 8;
 
 thread_local! {
     /// Depth of [`SerialGuard`]s active on this thread.
     static SERIAL_DEPTH: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
 }
 
-/// Sets the process-global intra-job worker count (clamped to `>= 1`).
+/// Sets the process-global intra-job worker count (clamped to `>= 1`),
+/// overriding the auto default.
 ///
-/// Callers that own the whole process (the CLI, benchmarks) may raise
+/// Callers that own the whole process (the CLI, benchmarks) may pin
 /// this; library code never should. The setting does not affect threads
 /// currently inside a [`SerialGuard`].
 pub fn set_intra_workers(k: usize) {
     INTRA_WORKERS.store(k.max(1), Ordering::Relaxed);
 }
 
-/// The configured intra-job worker count.
+/// Restores the auto default ([`auto_intra_workers`] at read time).
+pub fn set_intra_workers_auto() {
+    INTRA_WORKERS.store(0, Ordering::Relaxed);
+}
+
+/// The worker count the auto default resolves to:
+/// `available_parallelism()` capped at [`MAX_AUTO_WORKERS`].
+pub fn auto_intra_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(MAX_AUTO_WORKERS)
+}
+
+/// The configured intra-job worker count (auto default resolved).
 pub fn intra_workers() -> usize {
-    INTRA_WORKERS.load(Ordering::Relaxed)
+    match INTRA_WORKERS.load(Ordering::Relaxed) {
+        0 => auto_intra_workers(),
+        k => k,
+    }
 }
 
 /// Worker count effective on *this* thread: 1 inside a [`SerialGuard`].
@@ -101,9 +127,23 @@ where
     T: Send,
     F: Fn(Range<usize>) -> T + Sync,
 {
+    map_chunks_with(effective_workers(), len, grain, f)
+}
+
+/// [`map_chunks`] with an explicit worker count, bypassing the
+/// process-global knob (but not the grid: chunk boundaries still depend
+/// only on `len` and `grain`). For callers that must compare worker
+/// counts side by side — the E11 scaling driver's 1-vs-K byte-identity
+/// probe, thread-invariance tests — without racing other threads on
+/// [`set_intra_workers`].
+pub fn map_chunks_with<T, F>(workers: usize, len: usize, grain: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
     let grain = grain.max(1);
     let nchunks = len.div_ceil(grain);
-    let workers = effective_workers().min(nchunks.max(1));
+    let workers = workers.max(1).min(nchunks.max(1));
     if workers <= 1 || nchunks <= 1 {
         return chunk_ranges(len, grain).map(f).collect();
     }
@@ -153,10 +193,20 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    if effective_workers() <= 1 || len <= grain.max(1) {
+    map_indexed_with(effective_workers(), len, grain, f)
+}
+
+/// [`map_indexed`] with an explicit worker count; same contract as
+/// [`map_chunks_with`].
+pub fn map_indexed_with<T, F>(workers: usize, len: usize, grain: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || len <= grain.max(1) {
         return (0..len).map(f).collect();
     }
-    let per_chunk = map_chunks(len, grain, |r| r.map(&f).collect::<Vec<T>>());
+    let per_chunk = map_chunks_with(workers, len, grain, |r| r.map(&f).collect::<Vec<T>>());
     let mut out = Vec::with_capacity(len);
     for chunk in per_chunk {
         out.extend(chunk);
@@ -205,6 +255,29 @@ mod tests {
         for k in [1, 2, 4] {
             let par = with_workers(k, || map_chunks(1000, 7, |r| r));
             assert_eq!(par, serial, "workers={k}");
+        }
+    }
+
+    #[test]
+    fn auto_default_resolves_within_cap() {
+        // Never touches the global knob: the sentinel resolution and the
+        // cap are pure functions of the machine.
+        let k = auto_intra_workers();
+        assert!((1..=MAX_AUTO_WORKERS).contains(&k), "auto resolved to {k}");
+        set_intra_workers_auto();
+        assert_eq!(intra_workers(), k, "0 sentinel must resolve to auto");
+        set_intra_workers(1);
+    }
+
+    #[test]
+    fn explicit_worker_variants_match_serial_without_global_knob() {
+        // map_*_with must not read (or require) the process-global knob.
+        let f = |i: usize| (i as u64).wrapping_mul(0x51_7C);
+        let serial: Vec<u64> = (0..1203).map(f).collect();
+        let grid: Vec<Range<usize>> = chunk_ranges(1203, 31).collect();
+        for k in [1, 2, 4, 8, 64] {
+            assert_eq!(map_indexed_with(k, 1203, 31, f), serial, "workers={k}");
+            assert_eq!(map_chunks_with(k, 1203, 31, |r| r), grid, "workers={k}");
         }
     }
 

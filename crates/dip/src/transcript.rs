@@ -128,6 +128,30 @@ impl SizeStats {
         self.coin_bits += other.coin_bits;
         self.rounds = self.rounds.max(other.rounds);
     }
+
+    /// Merges stats of a protocol run on a *disjoint shard* of the same
+    /// instance (block-cut-tree verification: each biconnected block is an
+    /// independent run on its own node set).
+    ///
+    /// Unlike [`SizeStats::merge_parallel`] — where one node receives the
+    /// concatenation of sub-protocol labels, so maxima *add* — a node
+    /// belongs to essentially one block, so the per-round maximum over the
+    /// whole graph is the elementwise **max** over blocks. (A cut vertex
+    /// sits in several blocks, but its label in each is independently
+    /// bounded by the theorem's per-block O(log log n); the shard table
+    /// reports the per-block maximum, matching the paper's per-instance
+    /// proof-size measure.) Totals and coin bits sum — every node in every
+    /// block really communicates — and the round count is the max.
+    pub fn merge_shard_max(&mut self, other: &SizeStats) {
+        let rounds = self.per_round_max_bits.len().max(other.per_round_max_bits.len());
+        self.per_round_max_bits.resize(rounds, 0);
+        for (d, &s) in self.per_round_max_bits.iter_mut().zip(&other.per_round_max_bits) {
+            *d = (*d).max(s);
+        }
+        Self::resize_add(&mut self.per_round_total_bits, &other.per_round_total_bits, rounds);
+        self.coin_bits += other.coin_bits;
+        self.rounds = self.rounds.max(other.rounds);
+    }
 }
 
 /// Collects the labels of the neighbors of `v` in port order — the only
@@ -177,6 +201,62 @@ mod tests {
         assert_eq!(a.per_round_max_bits, vec![5, 7, 2]);
         assert_eq!(a.coin_bits, 11);
         assert_eq!(a.rounds, 5);
+    }
+
+    #[test]
+    fn shard_merge_takes_per_round_max_and_sums_totals() {
+        let mut a = SizeStats {
+            per_round_max_bits: vec![3, 5],
+            per_round_total_bits: vec![9, 15],
+            coin_bits: 10,
+            rounds: 3,
+        };
+        let b = SizeStats {
+            per_round_max_bits: vec![2, 8, 2],
+            per_round_total_bits: vec![4, 4, 4],
+            coin_bits: 1,
+            rounds: 5,
+        };
+        a.merge_shard_max(&b);
+        assert_eq!(a.per_round_max_bits, vec![3, 8, 2], "disjoint blocks: max, not sum");
+        assert_eq!(a.per_round_total_bits, vec![13, 19, 4], "communication still sums");
+        assert_eq!(a.coin_bits, 11);
+        assert_eq!(a.rounds, 5);
+        assert_eq!(a.proof_size(), 8);
+    }
+
+    #[test]
+    fn shard_merge_is_commutative_and_associative_on_proof_size() {
+        let parts = [
+            SizeStats {
+                per_round_max_bits: vec![7, 1],
+                per_round_total_bits: vec![7, 1],
+                coin_bits: 2,
+                rounds: 2,
+            },
+            SizeStats {
+                per_round_max_bits: vec![3],
+                per_round_total_bits: vec![3],
+                coin_bits: 0,
+                rounds: 1,
+            },
+            SizeStats {
+                per_round_max_bits: vec![4, 9, 2],
+                per_round_total_bits: vec![4, 9, 2],
+                coin_bits: 5,
+                rounds: 3,
+            },
+        ];
+        let mut fwd = SizeStats::default();
+        let mut rev = SizeStats::default();
+        for p in &parts {
+            fwd.merge_shard_max(p);
+        }
+        for p in parts.iter().rev() {
+            rev.merge_shard_max(p);
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.proof_size(), 9);
     }
 
     #[test]

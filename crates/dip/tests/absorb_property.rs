@@ -1,0 +1,66 @@
+//! Property: absorbing per-stream `Rejections` collectors in stream
+//! order reproduces the serial collector — even when *every* stream
+//! individually overflows the 16-entry elision cap.
+//!
+//! This is the merge contract the sharded block-cut-tree verifier leans
+//! on (PR 8): each biconnected block collects rejections locally, the
+//! combiner absorbs them in block order, and the result must be
+//! byte-identical to one verifier walking all blocks serially. The
+//! overflow case is the dangerous one — the elision marker, the elided
+//! count and the strongest-kind upgrade all have to survive the merge.
+
+use pdip_core::{RejectReason, Rejections, SizeStats};
+use proptest::prelude::*;
+
+const REASONS: [&str; 3] = ["depth residue mismatch", "arity mismatch", "bad arc"];
+
+/// Decodes an event code (0..6) into `(kind, reason)`; the vendored
+/// proptest subset has no `prop_map`, so events travel as `u8`s.
+fn decode(code: u8) -> (RejectReason, &'static str) {
+    let kind =
+        if code.is_multiple_of(2) { RejectReason::Malformed } else { RejectReason::Probabilistic };
+    (kind, REASONS[(code / 2) as usize])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Three to five streams, each with 17..40 events — every one past
+    /// the 16-entry cap on its own.
+    #[test]
+    fn absorb_of_capped_streams_reproduces_serial(
+        streams in prop::collection::vec(prop::collection::vec(0u8..6, 17..40), 3..6),
+    ) {
+        // Assign node ids globally increasing across streams: each stream
+        // owns a contiguous node range, so streams partition the domain
+        // and concatenating them is a valid serial rejection stream.
+        let mut serial = Rejections::new();
+        let mut merged = Rejections::new();
+        let mut node = 0usize;
+        let mut serial_len = 0usize;
+        for stream in &streams {
+            let mut local = Rejections::new();
+            for &code in stream {
+                let (kind, reason) = decode(code);
+                serial.reject_as(node, kind, reason);
+                local.reject_as(node, kind, reason);
+                node += 1;
+            }
+            prop_assert!(local.len() > 16, "stream must overflow the cap");
+            serial_len += local.len();
+            merged.absorb(local);
+        }
+
+        prop_assert_eq!(merged.len(), serial.len());
+        prop_assert_eq!(merged.len(), serial_len);
+        prop_assert_eq!(merged.any_malformed(), serial.any_malformed());
+
+        // The finalized results must match entry for entry: stored
+        // reasons, their order, the elision marker, and every kind.
+        let m = merged.into_result(SizeStats::default());
+        let s = serial.into_result(SizeStats::default());
+        prop_assert_eq!(m.verdict, s.verdict);
+        prop_assert_eq!(m.rejections, s.rejections);
+        prop_assert_eq!(m.kinds, s.kinds);
+    }
+}

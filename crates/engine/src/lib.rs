@@ -45,6 +45,7 @@ pub mod family;
 pub mod pool;
 pub mod record;
 pub mod report;
+pub mod scale;
 pub mod seed;
 pub mod serve;
 pub mod sink;
@@ -61,6 +62,10 @@ pub use record::{
     CellAgg, CellKey, FailureKind, JobFailure, RunRecord, SweepMetrics, SweepOutcome,
 };
 pub use report::{print_table, render_table, Reporter};
+pub use scale::{
+    digest_result, run_scale, scale_metrics, verify_stream, OverlapAudit, ScaleReport, ScaleRow,
+    ScaleSpec, E11_SEED,
+};
 pub use seed::{job_seed, splitmix_finalize, sub_seed};
 pub use serve::{
     process_batch, read_frame, run_serve_smoke, serve_stream, serve_tcp, smoke_requests,

@@ -214,7 +214,7 @@ impl Engine {
         let timed_out = failures.iter().filter(|f| f.kind == FailureKind::TimedOut).count() as u64;
         let retries = records.iter().map(|r| (r.attempts - 1) as u64).sum::<u64>()
             + failures.iter().map(|f| (f.attempts - 1) as u64).sum::<u64>();
-        let metrics = SweepMetrics {
+        let mut metrics = SweepMetrics {
             jobs: (records.len() + failures.len()) as u64,
             failures: failures.len() as u64,
             quarantined,
@@ -222,7 +222,10 @@ impl Engine {
             retries,
             threads,
             wall: start.elapsed(),
+            peak_rss_bytes: None,
+            alloc_peak_bytes: None,
         };
+        metrics.capture_memory();
         SweepOutcome { records, failures, metrics }
     }
 }

@@ -133,9 +133,25 @@ pub struct SweepMetrics {
     pub threads: usize,
     /// End-to-end wall time of the sweep.
     pub wall: Duration,
+    /// Process peak RSS (`VmHWM`) observed at the end of the sweep, or
+    /// `None` where the kernel doesn't expose it.
+    pub peak_rss_bytes: Option<u64>,
+    /// Allocator high-water (tracked heap bytes) over the sweep, or
+    /// `None` when no tracking allocator is installed (library callers,
+    /// unit tests). The `pdip` binary installs [`pdip_obs::PeakAlloc`].
+    pub alloc_peak_bytes: Option<u64>,
 }
 
 impl SweepMetrics {
+    /// Captures the memory high-water marks from `pdip-obs`: the kernel's
+    /// `VmHWM`, and the allocator peak when a tracking allocator is
+    /// installed in this process.
+    pub fn capture_memory(&mut self) {
+        self.peak_rss_bytes = pdip_obs::peak_rss_bytes();
+        self.alloc_peak_bytes =
+            pdip_obs::alloc_installed().then(|| pdip_obs::alloc_peak_bytes() as u64);
+    }
+
     /// Jobs per second of wall time. A zero wall time (possible for
     /// empty sweeps on coarse clocks) reports 0.0, not infinity, so the
     /// summary line always prints a finite number.
@@ -148,13 +164,23 @@ impl SweepMetrics {
         }
     }
 
+    /// Formats an optional byte count for the summary line.
+    fn fmt_mem(bytes: Option<u64>) -> String {
+        match bytes {
+            Some(b) => format!("{:.1} MiB", b as f64 / (1024.0 * 1024.0)),
+            None => "untracked".into(),
+        }
+    }
+
     /// The one-line summary the experiment binaries print. The failure
     /// count is broken down into panic quarantines and watchdog
-    /// timeouts, and retry churn is surfaced alongside.
+    /// timeouts; retry churn and the memory high-water marks are
+    /// surfaced alongside.
     pub fn summary_line(&self) -> String {
         format!(
             "[engine] {} jobs, {} failures ({} quarantined, {} timed out), \
-             {} retries, {} threads, {:.2}s wall, {:.1} jobs/sec",
+             {} retries, {} threads, {:.2}s wall, {:.1} jobs/sec, \
+             peak rss {}, alloc peak {}",
             self.jobs,
             self.failures,
             self.quarantined,
@@ -162,7 +188,9 @@ impl SweepMetrics {
             self.retries,
             self.threads,
             self.wall.as_secs_f64(),
-            self.jobs_per_sec()
+            self.jobs_per_sec(),
+            Self::fmt_mem(self.peak_rss_bytes),
+            Self::fmt_mem(self.alloc_peak_bytes),
         )
     }
 }
@@ -343,6 +371,8 @@ mod tests {
                 retries: 1,
                 threads: 1,
                 wall: Duration::from_millis(4),
+                peak_rss_bytes: None,
+                alloc_peak_bytes: None,
             },
         };
         let table = outcome.aggregate();
@@ -368,6 +398,8 @@ mod tests {
             retries: 3,
             threads: 4,
             wall: Duration::from_secs(2),
+            peak_rss_bytes: Some(6 * 1024 * 1024),
+            alloc_peak_bytes: None,
         };
         let line = m.summary_line();
         assert!(line.contains("100 jobs"));
@@ -389,6 +421,8 @@ mod tests {
             retries: 0,
             threads: 1,
             wall: Duration::ZERO,
+            peak_rss_bytes: None,
+            alloc_peak_bytes: None,
         };
         assert_eq!(m.jobs_per_sec(), 0.0);
         assert!(m.jobs_per_sec().is_finite());

@@ -4,37 +4,12 @@
 //! keyed by `(base_seed, job_index)`. The derivation depends only on those
 //! two values — never on scheduling — so a sweep executed on one worker
 //! and on sixteen workers produces byte-identical records.
+//!
+//! The derivation itself lives in [`pdip_graph::seed`] so the streaming
+//! generator and the sharded verifier share the exact same streams; this
+//! module re-exports it and owns the engine's label constants.
 
-/// SplitMix64's odd multiplicative constant (the golden-ratio increment).
-const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
-
-/// The 64-bit finalizer of SplitMix64 (Stafford's Mix13 variant, as in
-/// the reference implementation).
-#[inline]
-pub fn splitmix_finalize(mut z: u64) -> u64 {
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// The seed of job `index` in the stream keyed by `base_seed`.
-///
-/// This is the SplitMix64 output sequence with seed `base_seed`, read at
-/// position `index`: finalize(base + (index + 1) · γ). Distinct indices
-/// give distinct pre-finalization states (γ is odd, so `i ↦ i·γ` is a
-/// bijection mod 2⁶⁴), and the finalizer is itself a bijection — hence
-/// two jobs of one sweep can never collide.
-#[inline]
-pub fn job_seed(base_seed: u64, index: u64) -> u64 {
-    splitmix_finalize(base_seed.wrapping_add(GAMMA.wrapping_mul(index.wrapping_add(1))))
-}
-
-/// Derives a labelled sub-seed from a job seed (e.g. instance generation
-/// vs. protocol run vs. retry attempt), again bijectively per label.
-#[inline]
-pub fn sub_seed(seed: u64, label: u64) -> u64 {
-    splitmix_finalize(seed ^ GAMMA.wrapping_mul(label.wrapping_add(1)))
-}
+pub use pdip_graph::seed::{job_seed, splitmix_finalize, sub_seed};
 
 /// Seed-derivation labels used by the engine (public so tests and docs
 /// can name them).
@@ -50,30 +25,24 @@ pub mod labels {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
 
+    /// The engine's job-seed stream is the shared `pdip-graph` one: a
+    /// re-export, not a second derivation that could silently drift.
     #[test]
-    fn stream_is_deterministic() {
-        assert_eq!(job_seed(42, 7), job_seed(42, 7));
-        assert_ne!(job_seed(42, 7), job_seed(42, 8));
-        assert_ne!(job_seed(42, 7), job_seed(43, 7));
-    }
-
-    #[test]
-    fn no_collisions_on_a_large_window() {
-        let mut seen = HashSet::new();
-        for base in [0u64, 1, 0xDEAD_BEEF] {
-            seen.clear();
-            for i in 0..100_000u64 {
-                assert!(seen.insert(job_seed(base, i)), "collision at index {i}");
-            }
+    fn engine_stream_is_the_shared_stream() {
+        for (base, i) in [(0u64, 0u64), (42, 7), (0xE11, 305)] {
+            assert_eq!(job_seed(base, i), pdip_graph::seed::job_seed(base, i));
+            assert_eq!(sub_seed(base, i), pdip_graph::seed::sub_seed(base, i));
         }
+        assert_eq!(splitmix_finalize(7), pdip_graph::seed::splitmix_finalize(7));
     }
 
     #[test]
-    fn sub_seeds_are_distinct_per_label() {
+    fn labels_are_distinct() {
         let s = job_seed(9, 3);
-        let distinct: HashSet<u64> = (0..64).map(|l| sub_seed(s, l)).collect();
-        assert_eq!(distinct.len(), 64);
+        let g = sub_seed(s, labels::GEN);
+        let r = sub_seed(s, labels::RUN);
+        let t = sub_seed(s, labels::RETRY);
+        assert!(g != r && r != t && g != t);
     }
 }

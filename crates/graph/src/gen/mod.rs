@@ -12,6 +12,7 @@ pub mod no_instances;
 pub mod outerplanar;
 pub mod planar;
 pub mod sp;
+pub mod stream;
 
 use crate::graph::{Graph, NodeId};
 use rand::seq::SliceRandom;

@@ -14,6 +14,7 @@ pub mod naive;
 pub mod outerplanar;
 pub mod planarity;
 pub mod scratch;
+pub mod seed;
 pub mod series_parallel;
 pub mod traversal;
 
@@ -24,6 +25,7 @@ pub use degeneracy::{
 };
 pub use ear::{nested_ear_decomposition, Ear, EarDecomposition};
 pub use embedding::{Dart, RotationSystem};
+pub use gen::stream::{BlockMeta, Shard, StreamInstance, StreamMode, StreamSkeleton, StreamSpec};
 pub use graph::{Edge, EdgeId, Graph, NodeId, Orientation};
 pub use naive::NaiveAdjacency;
 pub use outerplanar::{

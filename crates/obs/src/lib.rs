@@ -49,11 +49,15 @@
 
 pub mod export;
 mod hist;
+pub mod mem;
 mod recorder;
 mod span;
 mod stopwatch;
 
 pub use hist::Histogram;
+pub use mem::{
+    alloc_installed, alloc_live_bytes, alloc_peak_bytes, peak_rss_bytes, reset_peak, PeakAlloc,
+};
 pub use recorder::{BufferedRecorder, CollectingRecorder, NoopRecorder, ScopedRecorder, Trace};
 pub use span::{counter, span, Event, EventKind, SpanGuard, SpanId, Stamped};
 pub use stopwatch::Stopwatch;

@@ -26,6 +26,7 @@ pub mod planarity;
 pub mod pls_baseline;
 pub mod replay;
 pub mod series_parallel;
+pub mod sharded;
 pub mod spanning_tree;
 pub mod treewidth2;
 
@@ -42,5 +43,6 @@ pub use path_outerplanar::{PathOuterplanarity, PopCheat, PopInstance, PopParams,
 pub use planarity::{PlCheat, PlInstance, Planarity, PL_CHEATS};
 pub use replay::{capture_run, diff_transcripts, replay_verify, ReplayOutcome};
 pub use series_parallel::{SeriesParallel, SpaCheat, SpaInstance, SPA_CHEATS};
+pub use sharded::{BlockShard, ShardCombiner, ShardPlan};
 pub use spanning_tree::{SpanningTreeVerification, StCoin, StMsg, StParams};
 pub use treewidth2::{Treewidth2, Tw2Cheat, Tw2Instance, TW2_CHEATS};

@@ -13,6 +13,7 @@
 //! pdip bench-round [--smoke] [--workers K] [--out PATH]
 //! pdip chaos [--smoke] [--threads K] [--out PREFIX]
 //! pdip trace [--smoke] [--threads K] [--out PREFIX] [--quiet]
+//! pdip scale [--smoke] [--threads K] [--out PREFIX]
 //! pdip prove <family> [--n N] [--prover honest|IDX] [--no-instance]
 //!                     [--gen-seed G] [--seed S] [--simulated] [--out PATH]
 //! pdip verify <PATH>
@@ -26,6 +27,13 @@
 //! reports the same distinction per request via response status codes.
 
 use pdip_bench::{no_instance, Family, YesInstance, FAMILIES};
+
+/// Track the allocator high-water so `pdip scale` (E11) and the
+/// `[engine]` summary line can report real heap peaks; see
+/// [`pdip_obs::PeakAlloc`]. Library users and plain test binaries run
+/// untracked — only this binary pays the (two relaxed atomics) cost.
+#[global_allocator]
+static ALLOC: pdip_obs::PeakAlloc = pdip_obs::PeakAlloc::new();
 use pdip_engine::{Engine, ProverSpec, Reporter, ServeConfig, SweepSpec};
 use planarity_dip::dip::DipProtocol;
 use planarity_dip::protocols::{Amplified, PopParams, Transport};
@@ -43,6 +51,7 @@ fn usage() -> ! {
          pdip bench-round [--smoke] [--workers K] [--out PATH]\n  \
          pdip chaos [--smoke] [--threads K] [--out PREFIX]\n  \
          pdip trace [--smoke] [--threads K] [--out PREFIX] [--quiet]\n  \
+         pdip scale [--smoke] [--threads K] [--out PREFIX]\n  \
          pdip prove <family> [--n N] [--prover honest|IDX] [--no-instance] [--gen-seed G] \
          [--seed S] [--simulated] [--out PATH]\n  \
          pdip verify <PATH>   (exit 0 accept / 3 rejected / 4 malformed)\n  \
@@ -306,12 +315,17 @@ fn main() {
             let smoke = args.iter().any(|a| a == "--smoke");
             // Intra-job workers for the round's chunked per-node loops.
             // Transcripts are byte-identical at any value (the chunk grid
-            // is worker-count independent); the default of 1 keeps the
-            // committed timings comparable across machines.
-            if let Some(w) = flag_value(&args, "--workers") {
-                let w: usize = w.parse().expect("--workers takes a positive integer");
-                pdip_core::par::set_intra_workers(w.max(1));
+            // is worker-count independent), so the default follows the
+            // machine: available_parallelism, capped at MAX_AUTO_WORKERS.
+            // Pass --workers 1 to reproduce single-thread timings.
+            match flag_value(&args, "--workers") {
+                Some(w) => {
+                    let w: usize = w.parse().expect("--workers takes a positive integer");
+                    pdip_core::par::set_intra_workers(w.max(1));
+                }
+                None => pdip_core::par::set_intra_workers_auto(),
             }
+            println!("intra-job workers: {}\n", pdip_core::par::intra_workers());
             let cfg = if smoke {
                 pdip_bench::roundbench::RoundBenchConfig::smoke()
             } else {
@@ -432,6 +446,48 @@ fn main() {
             rep.summary(&outcome.metrics);
             if !outcome.report.all_pass {
                 eprintln!("trace audit FAILED (see table above)");
+                std::process::exit(1);
+            }
+        }
+        "scale" => {
+            let smoke = args.iter().any(|a| a == "--smoke");
+            let mut spec = if smoke {
+                pdip_engine::ScaleSpec::smoke()
+            } else {
+                pdip_engine::ScaleSpec::full()
+            };
+            spec.threads = flag_num(&args, "--threads", spec.threads);
+            let out = flag_value(&args, "--out").unwrap_or_else(|| "results/e11_scale".into());
+            println!(
+                "scaling audit ({}): sizes={:?} shard-n={} base-seed={:#x} threads={}\n",
+                if smoke { "smoke" } else { "full" },
+                spec.sizes,
+                spec.shard_n,
+                spec.base_seed,
+                spec.threads
+            );
+            let start = std::time::Instant::now();
+            let report = pdip_engine::run_scale(&spec);
+            print!("{}", report.render_text());
+            let txt_path = std::path::PathBuf::from(format!("{out}.txt"));
+            let json_path = std::path::PathBuf::from(format!("{out}.json"));
+            if let Some(dir) = txt_path.parent() {
+                std::fs::create_dir_all(dir).expect("creating results dir");
+            }
+            std::fs::write(&txt_path, report.render_text()).expect("writing scale text report");
+            std::fs::write(&json_path, report.render_json()).expect("writing scale json report");
+            println!("\nwrote {} and {}", txt_path.display(), json_path.display());
+            let mut rep = Reporter::from_quiet_flag(false);
+            rep.summary(&pdip_engine::scale_metrics(&report, start.elapsed()));
+            // This binary installs the tracking allocator, so the
+            // bounded-memory gate must have run for real — an untracked
+            // run means the gate silently passed vacuously.
+            if !report.rss_tracked {
+                eprintln!("scale audit FAILED: allocator peak untracked in the pdip binary");
+                std::process::exit(1);
+            }
+            if !report.all_pass {
+                eprintln!("scale audit FAILED (see table above)");
                 std::process::exit(1);
             }
         }
