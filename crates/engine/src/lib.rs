@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod client;
 pub mod family;
 pub mod pool;
 pub mod record;
@@ -48,6 +49,7 @@ pub mod report;
 pub mod scale;
 pub mod seed;
 pub mod serve;
+pub mod serve_chaos;
 pub mod sink;
 pub mod spec;
 pub mod trace;
@@ -56,6 +58,7 @@ pub use chaos::{
     build_target, run_chaos, ChaosOutcome, ChaosRecord, ChaosReport, ChaosSpec, Determinism,
     MutatorKind, TamperOutcome, Tamperable, TargetId, MUTATORS, TARGETS,
 };
+pub use client::{backoff_delay_ms, run_client, ClientOpts, ClientOutcome};
 pub use family::{no_instance, no_instance_with, Family, YesInstance, FAMILIES};
 pub use pool::{execute_job, execute_job_traced, execute_job_with, Engine, WorkerScratch};
 pub use record::{
@@ -68,9 +71,13 @@ pub use scale::{
 };
 pub use seed::{job_seed, splitmix_finalize, sub_seed};
 pub use serve::{
-    process_batch, read_frame, run_serve_smoke, serve_stream, serve_tcp, smoke_requests,
-    verify_blob, write_frame, Gate, Response, ServeConfig, ServeSmokeReport, ServeStats, Status,
-    E12_SEED,
+    decode_response, encode_response, panic_blob, process_batch, read_frame, run_serve_smoke,
+    serve_concurrent, serve_stream, serve_tcp, smoke_requests, spawn_server, verify_blob,
+    write_frame, Gate, Response, ServeConfig, ServeSmokeReport, ServeStats, ServerHandle,
+    ShutdownFlag, Status, E12_SEED,
+};
+pub use serve_chaos::{
+    determinism_probe, run_serve_chaos, ChaosCell, ServeChaosReport, ServeChaosSpec, E13_SEED,
 };
 pub use sink::{aggregate_json, records_csv, write_outputs};
 pub use spec::{JobCoords, JobSpec, Prover, ProverSpec, SeedMode, SweepSpec};

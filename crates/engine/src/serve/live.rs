@@ -1,0 +1,503 @@
+//! The long-lived concurrent TCP front-end of `pdip serve`.
+//!
+//! # Connection lifecycle
+//!
+//! ```text
+//! accept ──▶ reader thread ──▶ bounded queue ──▶ shared worker pool
+//!               │  per-frame read deadline          │  verify deadline
+//!               │  (idle-timeout / read-stall)      │  catch_unwind
+//!               ▼                                   ▼
+//!         ConnError + close              streamed response (per-conn
+//!         (that connection only)         writer mutex keeps frames
+//!                                        atomic; clients sort by seq)
+//! ```
+//!
+//! One accept loop feeds per-connection reader threads into a **single
+//! shared worker pool** — concurrency is bounded by
+//! [`ServeConfig::threads`] workers and [`ServeConfig::queue_cap`]
+//! queued requests no matter how many connections are open. Readers
+//! submit with `try_send`: a full queue answers [`Status::Busy`]
+//! immediately (backpressure, never blocking the socket).
+//!
+//! # Failure semantics
+//!
+//! * A **frame-level fault** (truncated frame, oversized length
+//!   declaration, idle timeout, mid-frame stall, peer reset) tears down
+//!   *only its own connection*: the reader answers a best-effort
+//!   [`Status::ConnError`] frame carrying the stable
+//!   [`fault_class`] string, counts the fault, and exits. No other
+//!   connection observes anything.
+//! * A **worker panic** poisons only its request: the worker answers
+//!   [`Status::Malformed`] with a `panic:` detail and keeps serving.
+//! * A **failed response write** (peer vanished mid-response) marks the
+//!   connection dead and is counted in `io_errors`; the verdict of
+//!   every other request is unaffected.
+//!
+//! # Graceful drain
+//!
+//! A [`REQ_SHUTDOWN`] frame (or [`ShutdownFlag::request`], which the
+//! CLI wires to SIGTERM/SIGINT) stops the accept loop, read-shuts every
+//! open socket (unblocking readers without dropping data already
+//! queued), waits up to [`ServeConfig::drain_deadline`] for in-flight
+//! requests to finish, and sends a final [`Status::Stats`] frame
+//! (`seq = u64::MAX`) to the shutdown-requesting connection. Every
+//! request accepted into the queue is completed and answered even if
+//! the drain deadline expires — the deadline bounds only the wait for
+//! the stats frame, which then reports `drained=timeout`.
+
+use super::{
+    encode_response, fault_class, read_frame_deadline, verify_guarded, write_frame, Response,
+    ServeConfig, ServeStats, Status, REQ_PING, REQ_SHUTDOWN, REQ_VERIFY,
+};
+use crate::pool::PanicSilencer;
+use crate::report::Reporter;
+use pdip_obs::{counter, NoopRecorder, Recorder, ScopedRecorder, SpanId};
+use std::io::Write;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, TrySendError};
+use std::sync::{Arc, Mutex, Weak};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// A cloneable shutdown request line: the CLI's signal handler, a
+/// [`REQ_SHUTDOWN`] frame, and [`ServerHandle::stop`] all pull the same
+/// flag, and the accept loop polls it.
+#[derive(Debug, Clone, Default)]
+pub struct ShutdownFlag(Arc<AtomicBool>);
+
+impl ShutdownFlag {
+    /// A fresh, unrequested flag.
+    pub fn new() -> ShutdownFlag {
+        ShutdownFlag::default()
+    }
+
+    /// Requests shutdown (idempotent).
+    pub fn request(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn requested(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Shared per-connection counters (folded into [`ServeStats`] at the
+/// end of [`serve_concurrent`]).
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    malformed: AtomicU64,
+    busy: AtomicU64,
+    deadline: AtomicU64,
+    panics: AtomicU64,
+    conn_faults: AtomicU64,
+    io_errors: AtomicU64,
+    connections: AtomicU64,
+    /// Requests accepted into the queue whose response has not been
+    /// written yet — the drain loop waits for this to hit zero.
+    inflight: AtomicU64,
+    /// Current queue occupancy (gauge source, not part of the stats).
+    queue_depth: AtomicU64,
+}
+
+impl Counters {
+    fn bump(&self, status: Status) {
+        match status {
+            Status::Accept => &self.accepted,
+            Status::Reject => &self.rejected,
+            Status::Malformed => &self.malformed,
+            Status::Busy => &self.busy,
+            Status::Deadline => &self.deadline,
+            Status::ShutdownAck | Status::Pong | Status::ConnError | Status::Stats => return,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn stats(&self) -> ServeStats {
+        ServeStats {
+            accepted: self.accepted.load(Ordering::SeqCst),
+            rejected: self.rejected.load(Ordering::SeqCst),
+            malformed: self.malformed.load(Ordering::SeqCst),
+            busy: self.busy.load(Ordering::SeqCst),
+            deadline: self.deadline.load(Ordering::SeqCst),
+            panics: self.panics.load(Ordering::SeqCst),
+            conn_faults: self.conn_faults.load(Ordering::SeqCst),
+            io_errors: self.io_errors.load(Ordering::SeqCst),
+            connections: self.connections.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// One accepted connection: an id for observability and the shared
+/// write half. The mutex keeps response frames atomic when a worker and
+/// the reader answer the same peer concurrently; `None` marks the
+/// connection dead (a failed write never cascades).
+struct Conn {
+    id: u64,
+    writer: Mutex<Option<TcpStream>>,
+}
+
+impl Conn {
+    /// Writes one response frame (best-effort). A failed write marks
+    /// the connection dead and counts one `io_error`; it never affects
+    /// any other connection or request.
+    fn send(&self, r: &Response, counters: &Counters) {
+        let Ok(mut guard) = self.writer.lock() else { return };
+        let Some(stream) = guard.as_mut() else { return };
+        let ok = write_frame(stream, &encode_response(r)).and_then(|()| stream.flush());
+        if ok.is_err() {
+            counters.io_errors.fetch_add(1, Ordering::Relaxed);
+            *guard = None;
+        }
+    }
+
+    /// Shuts down the read half of the socket, waking a blocked reader
+    /// thread with a clean EOF. Data already queued is unaffected.
+    fn shutdown_read(&self) {
+        if let Ok(guard) = self.writer.lock() {
+            if let Some(stream) = guard.as_ref() {
+                let _unused = stream.shutdown(Shutdown::Read);
+            }
+        }
+    }
+}
+
+/// One queued verification request, tagged with its connection so the
+/// worker can stream the response back directly.
+struct ConnJob {
+    conn: Arc<Conn>,
+    seq: u64,
+    blob: Vec<u8>,
+    enqueued: Instant,
+}
+
+/// Runs the concurrent front-end on an already-bound listener until
+/// `shutdown` is requested (by a [`REQ_SHUTDOWN`] frame, a signal
+/// handler, or [`ServerHandle::stop`]), then drains gracefully.
+/// Returns the aggregate stats over the server's whole lifetime.
+pub fn serve_concurrent(
+    cfg: &ServeConfig,
+    listener: TcpListener,
+    shutdown: &ShutdownFlag,
+    rec: &dyn Recorder,
+) -> std::io::Result<ServeStats> {
+    let threads = cfg.threads.max(1);
+    let _silencer = PanicSilencer::engage();
+    let counters = Counters::default();
+    let (jobs_tx, jobs_rx) = sync_channel::<ConnJob>(cfg.queue_cap.max(1));
+    let jobs_rx = Mutex::new(jobs_rx);
+    // The connection that sent REQ_SHUTDOWN receives the final stats
+    // frame after the drain.
+    let stats_conn: Mutex<Option<Arc<Conn>>> = Mutex::new(None);
+    let mut drained_ok = true;
+
+    listener.set_nonblocking(true)?;
+
+    thread::scope(|s| -> std::io::Result<()> {
+        for _ in 0..threads {
+            let jobs_rx = &jobs_rx;
+            let counters = &counters;
+            let cfg = &*cfg;
+            s.spawn(move || loop {
+                if let Some(g) = &cfg.hold {
+                    g.wait_open();
+                }
+                let job = match jobs_rx.lock() {
+                    Ok(rx) => rx.recv(),
+                    Err(_) => break,
+                };
+                let Ok(job) = job else { break };
+                counters.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                let job_rec = ScopedRecorder::new(rec, job.seq);
+                if job_rec.enabled() {
+                    let waited = job.enqueued.elapsed().as_nanos();
+                    job_rec.duration("serve/queue-wait", u64::try_from(waited).unwrap_or(u64::MAX));
+                }
+                let (status, detail) = verify_guarded(
+                    &job.blob,
+                    cfg.panic_token,
+                    cfg.deadline,
+                    &job_rec,
+                    &counters.panics,
+                );
+                counter(&job_rec, job.seq, SpanId::new("serve/request"), status.name(), 1);
+                counters.bump(status);
+                job.conn.send(&Response { seq: job.seq, status, detail }, counters);
+                // Decrement only after the response hit (or provably
+                // missed) the socket, so the drain loop never races a
+                // half-written response.
+                counters.inflight.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+
+        // Accept loop: non-blocking so the shutdown flag is polled even
+        // while idle. Each connection gets its own reader thread; all
+        // readers share `jobs_tx` clones. A fatal accept error falls
+        // through to the drain (never an early return — workers blocked
+        // on `recv` must see the queue disconnect before the scope
+        // joins them).
+        let mut conns: Vec<Weak<Conn>> = Vec::new();
+        let mut accept_err = None;
+        while !shutdown.requested() {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    let id = counters.connections.fetch_add(1, Ordering::SeqCst);
+                    let writer = match stream.try_clone() {
+                        Ok(w) => w,
+                        Err(_) => {
+                            counters.io_errors.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    };
+                    let conn = Arc::new(Conn { id, writer: Mutex::new(Some(writer)) });
+                    conns.push(Arc::downgrade(&conn));
+                    let jobs_tx = jobs_tx.clone();
+                    let counters = &counters;
+                    let stats_conn = &stats_conn;
+                    let cfg = &*cfg;
+                    s.spawn(move || {
+                        read_connection(
+                            cfg, stream, conn, jobs_tx, counters, stats_conn, shutdown, rec,
+                        )
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    accept_err = Some(e);
+                    break;
+                }
+            }
+        }
+
+        // Drain: stop reading everywhere (clean EOF for blocked
+        // readers), then wait for every accepted request's response.
+        for weak in &conns {
+            if let Some(conn) = weak.upgrade() {
+                conn.shutdown_read();
+            }
+        }
+        let drain_started = Instant::now();
+        while counters.inflight.load(Ordering::SeqCst) > 0 {
+            if drain_started.elapsed() > cfg.drain_deadline {
+                drained_ok = false;
+                break;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        let snap = counters.stats();
+        let detail = format!(
+            "accept={} reject={} malformed={} busy={} deadline={} panics={} \
+             conn_faults={} connections={} drained={}",
+            snap.accepted,
+            snap.rejected,
+            snap.malformed,
+            snap.busy,
+            snap.deadline,
+            snap.panics,
+            snap.conn_faults,
+            snap.connections,
+            if drained_ok { "ok" } else { "timeout" }
+        );
+        let receiver = stats_conn.lock().ok().and_then(|mut g| g.take());
+        if let Some(conn) = receiver {
+            conn.send(&Response { seq: u64::MAX, status: Status::Stats, detail }, &counters);
+        }
+        // Disconnect the queue: workers finish every still-queued job
+        // (answering on whatever connections remain writable) and exit.
+        // `thread::scope` joins them before we return, so a drain
+        // timeout delays the stats frame but never loses a request.
+        drop(jobs_tx);
+        match accept_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    })?;
+
+    Ok(counters.stats())
+}
+
+/// The per-connection reader loop (one thread per accepted socket).
+#[allow(clippy::too_many_arguments)]
+fn read_connection(
+    cfg: &ServeConfig,
+    mut stream: TcpStream,
+    conn: Arc<Conn>,
+    jobs_tx: std::sync::mpsc::SyncSender<ConnJob>,
+    counters: &Counters,
+    stats_conn: &Mutex<Option<Arc<Conn>>>,
+    shutdown: &ShutdownFlag,
+    rec: &dyn Recorder,
+) {
+    // The socket timeout wakes blocked reads; the frame reader's own
+    // total-elapsed check turns slow drips into `read-stall` faults.
+    let _unused = stream.set_read_timeout(cfg.read_deadline);
+    let mut seq = 0u64;
+    loop {
+        match read_frame_deadline(&mut stream, cfg.max_frame_bytes, cfg.read_deadline) {
+            Ok(None) => break, // clean EOF (peer closed or drain read-shutdown)
+            Ok(Some(frame)) => {
+                let this_seq = seq;
+                seq += 1;
+                match frame.first().copied() {
+                    Some(REQ_VERIFY) => {
+                        counters.inflight.fetch_add(1, Ordering::SeqCst);
+                        let depth = counters.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
+                        rec.gauge("serve/queue-depth", depth);
+                        let job = ConnJob {
+                            conn: Arc::clone(&conn),
+                            seq: this_seq,
+                            blob: frame[1..].to_vec(),
+                            enqueued: Instant::now(),
+                        };
+                        match jobs_tx.try_send(job) {
+                            Ok(()) => {}
+                            Err(TrySendError::Full(job)) => {
+                                counters.inflight.fetch_sub(1, Ordering::SeqCst);
+                                counters.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                                counters.busy.fetch_add(1, Ordering::Relaxed);
+                                counter(rec, this_seq, SpanId::new("serve/request"), "busy", 1);
+                                job.conn.send(
+                                    &Response {
+                                        seq: this_seq,
+                                        status: Status::Busy,
+                                        detail: "queue full".into(),
+                                    },
+                                    counters,
+                                );
+                            }
+                            Err(TrySendError::Disconnected(_)) => {
+                                counters.inflight.fetch_sub(1, Ordering::SeqCst);
+                                counters.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                                break;
+                            }
+                        }
+                    }
+                    Some(REQ_PING) => conn.send(
+                        &Response { seq: this_seq, status: Status::Pong, detail: String::new() },
+                        counters,
+                    ),
+                    Some(REQ_SHUTDOWN) => {
+                        conn.send(
+                            &Response {
+                                seq: this_seq,
+                                status: Status::ShutdownAck,
+                                detail: String::new(),
+                            },
+                            counters,
+                        );
+                        if let Ok(mut slot) = stats_conn.lock() {
+                            *slot = Some(Arc::clone(&conn));
+                        }
+                        shutdown.request();
+                        break;
+                    }
+                    tag => {
+                        counters.malformed.fetch_add(1, Ordering::Relaxed);
+                        conn.send(
+                            &Response {
+                                seq: this_seq,
+                                status: Status::Malformed,
+                                detail: format!("unknown request tag {tag:?}"),
+                            },
+                            counters,
+                        );
+                    }
+                }
+            }
+            Err(e) => {
+                if shutdown.requested() {
+                    // The drain's read-shutdown can surface as an error
+                    // mid-frame; that is not a peer fault.
+                    break;
+                }
+                let class = fault_class(e.kind());
+                counters.conn_faults.fetch_add(1, Ordering::Relaxed);
+                counter(rec, conn.id, SpanId::new("serve/conn"), class, 1);
+                // The fault response carries the seq the faulted frame
+                // would have had.
+                conn.send(
+                    &Response { seq, status: Status::ConnError, detail: format!("{class}: {e}") },
+                    counters,
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// Binds `127.0.0.1:port` (0 picks a free port), prints the bound
+/// address through `reporter`, and runs [`serve_concurrent`] until
+/// shutdown. This is the `pdip serve --port` entry point.
+pub fn serve_tcp(
+    cfg: &ServeConfig,
+    port: u16,
+    shutdown: &ShutdownFlag,
+    reporter: &mut Reporter,
+    rec: &dyn Recorder,
+) -> std::io::Result<ServeStats> {
+    let listener = TcpListener::bind(("127.0.0.1", port))?;
+    reporter.line(&format!("pdip serve: listening on {}", listener.local_addr()?));
+    let stats = serve_concurrent(cfg, listener, shutdown, rec)?;
+    reporter.line(&format!(
+        "pdip serve: drained — accept={} reject={} malformed={} busy={} deadline={} \
+         panics={} conn_faults={} io_errors={} connections={}",
+        stats.accepted,
+        stats.rejected,
+        stats.malformed,
+        stats.busy,
+        stats.deadline,
+        stats.panics,
+        stats.conn_faults,
+        stats.io_errors,
+        stats.connections,
+    ));
+    Ok(stats)
+}
+
+/// A server running on its own OS thread, for tests and the chaos
+/// harness. Bind is synchronous, so the port is usable immediately.
+pub struct ServerHandle {
+    port: u16,
+    shutdown: ShutdownFlag,
+    join: thread::JoinHandle<std::io::Result<ServeStats>>,
+}
+
+impl ServerHandle {
+    /// The bound localhost port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// A clone of the server's shutdown flag.
+    pub fn shutdown_flag(&self) -> ShutdownFlag {
+        self.shutdown.clone()
+    }
+
+    /// Requests shutdown and joins the server thread. An `Err` from the
+    /// join means a panic escaped the server — the E13 audit treats
+    /// that as an immediate failure.
+    pub fn stop(self) -> std::io::Result<ServeStats> {
+        self.shutdown.request();
+        match self.join.join() {
+            Ok(result) => result,
+            Err(_) => Err(std::io::Error::other("server thread panicked")),
+        }
+    }
+}
+
+/// Spawns [`serve_concurrent`] on `127.0.0.1:0` in a background thread
+/// and returns a handle holding the bound port and shutdown flag.
+pub fn spawn_server(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    let port = listener.local_addr()?.port();
+    let shutdown = ShutdownFlag::new();
+    let flag = shutdown.clone();
+    let join = thread::spawn(move || serve_concurrent(&cfg, listener, &flag, &NoopRecorder));
+    Ok(ServerHandle { port, shutdown, join })
+}

@@ -1,29 +1,45 @@
-//! `pdip serve` — the batch proof-verification service.
+//! `pdip serve` — the proof-verification service.
 //!
 //! Clients submit serialized [`Transcript`] blobs (see `pdip-wire`) over
-//! a length-prefixed frame stream (TCP localhost or a stdin/stdout pipe)
-//! and get back one response per request. Decoded requests feed a
-//! bounded worker queue with backpressure: when the queue is full a
-//! request is rejected with [`Status::Busy`] instead of stalling the
-//! stream. Each verification runs behind `catch_unwind` (a panicking
-//! replay is reported, never fatal) and may be classified
-//! [`Status::Deadline`] post-hoc, reusing the sweep engine's watchdog
-//! semantics. Responses are reordered by sequence number before they are
-//! written, so the response stream is byte-identical at any worker
-//! count.
+//! a length-prefixed frame stream and get back one response per request.
+//! Two front-ends share this module's verification core:
+//!
+//! * **Batch** ([`serve_stream`], used by `--stdin` pipes and the E12
+//!   smoke): one framed stream is read to EOF, every request is pushed
+//!   through [`process_batch`], and all responses are written back
+//!   sorted by sequence number — byte-identical at any worker count.
+//! * **Concurrent** ([`live`], used by TCP): a long-lived accept loop
+//!   feeds per-connection reader threads into one shared worker pool,
+//!   responses stream back as each request completes (clients reorder
+//!   by seq), and connection faults are isolated per connection. See
+//!   the [`live`] module docs for the lifecycle and drain semantics.
+//!
+//! In both modes, requests feed a bounded worker queue with
+//! backpressure: when the queue is full a request is rejected with
+//! [`Status::Busy`] instead of stalling the stream. Each verification
+//! runs behind `catch_unwind` (a panicking replay is reported, never
+//! fatal) and may be classified [`Status::Deadline`] post-hoc, reusing
+//! the sweep engine's watchdog semantics.
 //!
 //! # Frame protocol (all integers little-endian)
 //!
-//! Every frame is `len u32 | payload` with `len ≤` [`MAX_FRAME`].
-//! Request payloads start with a tag byte: [`REQ_VERIFY`] followed by a
-//! transcript blob, [`REQ_PING`], or [`REQ_SHUTDOWN`] (graceful stop).
-//! Response payloads are `seq u64 | status u8 | len u32 | detail` — see
-//! [`Status`] for the code points, which the CLI maps onto distinct
-//! exit codes (`malformed transcript` ≠ `verifier rejected`).
+//! Every frame is `len u32 | payload` with `len ≤`
+//! [`ServeConfig::max_frame_bytes`] (framing lives in
+//! [`pdip_wire::frame`]). Request payloads start with a tag byte:
+//! [`REQ_VERIFY`] followed by a transcript blob, [`REQ_PING`], or
+//! [`REQ_SHUTDOWN`] (graceful stop). Response payloads are
+//! `seq u64 | status u8 | len u32 | detail` — see [`Status`] for the
+//! code points, which the CLI maps onto distinct exit codes
+//! (`malformed transcript` ≠ `verifier rejected`).
+
+pub mod live;
 
 use crate::pool::PanicSilencer;
-use crate::report::{render_table, Reporter};
+use crate::report::render_table;
 use pdip_obs::{counter, span, NoopRecorder, Recorder, ScopedRecorder, SpanId, Stopwatch};
+pub use pdip_wire::frame::{
+    fault_class, read_frame, read_frame_deadline, read_frame_limited, write_frame,
+};
 use pdip_wire::{fnv1a64, Transcript, VerifyOutcome};
 use std::io::{Read, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -33,8 +49,15 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-/// Hard cap on one frame's payload.
-pub const MAX_FRAME: usize = 1 << 26;
+pub use live::{serve_concurrent, serve_tcp, spawn_server, ServerHandle, ShutdownFlag};
+
+/// Default hard cap on one frame's payload (the E12-era constant; now
+/// configurable per service via [`ServeConfig::max_frame_bytes`]).
+pub const MAX_FRAME: usize = pdip_wire::frame::DEFAULT_MAX_FRAME_BYTES;
+
+/// Magic prefix of a chaos panic-injection blob (see
+/// [`ServeConfig::panic_token`] and [`panic_blob`]).
+pub const PANIC_MAGIC: &[u8; 8] = b"PANICME!";
 
 /// Base seed of the committed E12 serve-smoke artifacts.
 pub const E12_SEED: u64 = 0xe12;
@@ -67,6 +90,14 @@ pub enum Status {
     ShutdownAck = 5,
     /// Acknowledges [`REQ_PING`].
     Pong = 6,
+    /// The connection itself faulted (truncated frame, oversized
+    /// length, read stall, …). Sent best-effort with the fault class in
+    /// the detail before the server closes that one connection; other
+    /// connections are unaffected.
+    ConnError = 7,
+    /// Final aggregate-statistics frame of a graceful drain, sent with
+    /// `seq = u64::MAX` to the connection that requested shutdown.
+    Stats = 8,
 }
 
 impl Status {
@@ -85,6 +116,8 @@ impl Status {
             4 => Status::Deadline,
             5 => Status::ShutdownAck,
             6 => Status::Pong,
+            7 => Status::ConnError,
+            8 => Status::Stats,
             _ => return None,
         })
     }
@@ -99,6 +132,8 @@ impl Status {
             Status::Deadline => "deadline",
             Status::ShutdownAck => "shutdown-ack",
             Status::Pong => "pong",
+            Status::ConnError => "conn-error",
+            Status::Stats => "stats",
         }
     }
 }
@@ -126,6 +161,26 @@ pub struct ServeConfig {
     /// `job_deadline` semantics): verification always completes, but a
     /// run exceeding the budget reports [`Status::Deadline`].
     pub deadline: Option<Duration>,
+    /// Hard cap on one frame's payload; a header declaring more is
+    /// rejected before any allocation. Defaults to [`MAX_FRAME`] (the
+    /// E12-era constant), overridable via `--max-frame-bytes`.
+    pub max_frame_bytes: usize,
+    /// Per-frame read deadline of the concurrent front-end: the total
+    /// wall time one frame may take to arrive (slow-loris bound). The
+    /// batch front-end ([`serve_stream`]) ignores it — pipes have no
+    /// hostile peers.
+    pub read_deadline: Option<Duration>,
+    /// How long a graceful shutdown waits for in-flight requests before
+    /// stamping the final stats frame `drained=timeout`. Queued work is
+    /// still completed either way; the deadline only bounds the wait.
+    pub drain_deadline: Duration,
+    /// Chaos hook: when set, a [`REQ_VERIFY`] blob equal to
+    /// [`panic_blob`]`(token)` panics inside the worker. Proves (E13)
+    /// that worker panics poison only their own request.
+    pub panic_token: Option<u64>,
+    /// Chaos hook: when set, workers block on this gate before taking
+    /// each job, making busy-storm rejection counts deterministic.
+    pub hold: Option<Gate>,
 }
 
 impl Default for ServeConfig {
@@ -134,6 +189,11 @@ impl Default for ServeConfig {
             threads: thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             queue_cap: 256,
             deadline: None,
+            max_frame_bytes: MAX_FRAME,
+            read_deadline: Some(Duration::from_secs(30)),
+            drain_deadline: Duration::from_secs(5),
+            panic_token: None,
+            hold: None,
         }
     }
 }
@@ -161,7 +221,7 @@ impl Gate {
         cv.notify_all();
     }
 
-    fn wait_open(&self) {
+    pub(crate) fn wait_open(&self) {
         let (lock, cv) = &*self.inner;
         if let Ok(guard) = lock.lock() {
             let _unused = cv.wait_while(guard, |open| !*open);
@@ -190,6 +250,14 @@ pub struct ServeStats {
     pub deadline: u64,
     /// Verifications that panicked (counted, never fatal).
     pub panics: u64,
+    /// Connections torn down by a frame-level fault (truncated frame,
+    /// oversized length, stall, peer reset). Concurrent front-end only.
+    pub conn_faults: u64,
+    /// Response writes that failed because the peer was gone.
+    /// Concurrent front-end only.
+    pub io_errors: u64,
+    /// Connections accepted. Concurrent front-end only.
+    pub connections: u64,
 }
 
 impl ServeStats {
@@ -204,10 +272,62 @@ impl ServeStats {
                 Status::Malformed => s.malformed += 1,
                 Status::Busy => s.busy += 1,
                 Status::Deadline => s.deadline += 1,
-                Status::ShutdownAck | Status::Pong => {}
+                Status::ShutdownAck | Status::Pong | Status::ConnError | Status::Stats => {}
             }
         }
         s
+    }
+}
+
+/// The chaos panic-injection blob for `token`: [`PANIC_MAGIC`]
+/// followed by the token, little-endian. A server configured with
+/// [`ServeConfig::panic_token`]` = Some(token)` panics inside the
+/// worker when it sees exactly this blob (and treats every other blob
+/// normally — the magic alone is not enough).
+pub fn panic_blob(token: u64) -> Vec<u8> {
+    let mut b = PANIC_MAGIC.to_vec();
+    b.extend_from_slice(&token.to_le_bytes());
+    b
+}
+
+/// Runs one verification the way a worker does: panic-token check,
+/// `catch_unwind` isolation (panic → [`Status::Malformed`] with a
+/// `panic:` detail, counted into `panics`), then post-hoc deadline
+/// classification. Shared by [`process_batch`] and the concurrent
+/// front-end so both report identical statuses for identical blobs.
+pub(crate) fn verify_guarded(
+    blob: &[u8],
+    panic_token: Option<u64>,
+    deadline: Option<Duration>,
+    rec: &dyn Recorder,
+    panics: &AtomicU64,
+) -> (Status, String) {
+    let started = Instant::now();
+    let out = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(tok) = panic_token {
+            if *blob == *panic_blob(tok) {
+                panic!("chaos panic token {tok:#x}");
+            }
+        }
+        verify_blob(blob, rec)
+    }));
+    let (status, detail) = out.unwrap_or_else(|payload| {
+        panics.fetch_add(1, Ordering::Relaxed);
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".into());
+        (Status::Malformed, format!("panic: {msg}"))
+    });
+    // Post-hoc deadline classification, same semantics as the sweep
+    // engine's `job_deadline` watchdog: the run always completes, but a
+    // budget overrun is reported as such.
+    match deadline {
+        Some(d) if started.elapsed() > d => {
+            (Status::Deadline, format!("deadline exceeded; completed as {}", status.name()))
+        }
+        _ => (status, detail),
     }
 }
 
@@ -289,27 +409,8 @@ pub fn process_batch(
                     let waited = job.enqueued.elapsed().as_nanos();
                     job_rec.duration("serve/queue-wait", u64::try_from(waited).unwrap_or(u64::MAX));
                 }
-                let started = Instant::now();
-                let out = catch_unwind(AssertUnwindSafe(|| verify_blob(&job.blob, &job_rec)));
-                let (status, detail) = out.unwrap_or_else(|payload| {
-                    panics.fetch_add(1, Ordering::Relaxed);
-                    let msg = payload
-                        .downcast_ref::<&str>()
-                        .map(|s| (*s).to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "non-string panic payload".into());
-                    (Status::Malformed, format!("panic: {msg}"))
-                });
-                // Post-hoc deadline classification, same semantics as the
-                // sweep engine's `job_deadline` watchdog: the run always
-                // completes, but a budget overrun is reported as such.
-                let (status, detail) = match deadline {
-                    Some(d) if started.elapsed() > d => (
-                        Status::Deadline,
-                        format!("deadline exceeded; completed as {}", status.name()),
-                    ),
-                    _ => (status, detail),
-                };
+                let (status, detail) =
+                    verify_guarded(&job.blob, cfg.panic_token, deadline, &job_rec, panics);
                 counter(&job_rec, job.seq, SpanId::new("serve/request"), status.name(), 1);
                 if res_tx.send(Response { seq: job.seq, status, detail }).is_err() {
                     break;
@@ -348,40 +449,6 @@ pub fn process_batch(
     let mut stats = ServeStats::fold(&responses);
     stats.panics = panics.load(Ordering::Relaxed);
     (responses, stats)
-}
-
-/// Reads one `len u32 | payload` frame; `Ok(None)` on clean EOF.
-pub fn read_frame(input: &mut dyn Read) -> std::io::Result<Option<Vec<u8>>> {
-    let mut len_buf = [0u8; 4];
-    let mut filled = 0;
-    while filled < 4 {
-        match input.read(&mut len_buf[filled..])? {
-            0 if filled == 0 => return Ok(None),
-            0 => {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "truncated frame header",
-                ))
-            }
-            n => filled += n,
-        }
-    }
-    let len = u32::from_le_bytes(len_buf) as usize;
-    if len > MAX_FRAME {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("frame length {len} exceeds cap {MAX_FRAME}"),
-        ));
-    }
-    let mut payload = vec![0u8; len];
-    input.read_exact(&mut payload)?;
-    Ok(Some(payload))
-}
-
-/// Writes one `len u32 | payload` frame.
-pub fn write_frame(output: &mut dyn Write, payload: &[u8]) -> std::io::Result<()> {
-    output.write_all(&(payload.len() as u32).to_le_bytes())?;
-    output.write_all(payload)
 }
 
 /// Encodes a [`Response`] payload.
@@ -458,35 +525,6 @@ pub fn serve_stream(
     }
     output.flush()?;
     Ok((stats, shutdown))
-}
-
-/// Binds `127.0.0.1:port` and serves framed connections serially until
-/// a connection sends [`REQ_SHUTDOWN`]. Returns aggregate stats.
-pub fn serve_tcp(
-    cfg: &ServeConfig,
-    port: u16,
-    reporter: &mut Reporter,
-    rec: &dyn Recorder,
-) -> std::io::Result<ServeStats> {
-    let listener = std::net::TcpListener::bind(("127.0.0.1", port))?;
-    reporter.line(&format!("pdip serve: listening on {}", listener.local_addr()?));
-    let mut total = ServeStats::default();
-    for conn in listener.incoming() {
-        let mut conn = conn?;
-        let mut out = conn.try_clone()?;
-        let (stats, shutdown) = serve_stream(cfg, &mut conn, &mut out, rec)?;
-        total.accepted += stats.accepted;
-        total.rejected += stats.rejected;
-        total.malformed += stats.malformed;
-        total.busy += stats.busy;
-        total.deadline += stats.deadline;
-        total.panics += stats.panics;
-        if shutdown {
-            reporter.line("pdip serve: shutdown frame received");
-            break;
-        }
-    }
-    Ok(total)
 }
 
 // ---------------------------------------------------------------------
@@ -618,7 +656,8 @@ pub fn run_serve_smoke(threads: &[usize], base_seed: u64) -> ServeSmokeReport {
     let probe_reqs =
         smoke_requests(base_seed ^ 0x9999).into_iter().take(probe_n as usize).collect::<Vec<_>>();
     let gate = Gate::closed();
-    let probe_cfg = ServeConfig { threads: 2, queue_cap: probe_cap, deadline: None };
+    let probe_cfg =
+        ServeConfig { threads: 2, queue_cap: probe_cap, deadline: None, ..ServeConfig::default() };
     let (probe_responses, probe_stats) =
         process_batch(&probe_cfg, probe_reqs, Some(&gate), &NoopRecorder);
     let expect_busy = probe_n - probe_cap as u64;
@@ -643,7 +682,12 @@ pub fn run_serve_smoke(threads: &[usize], base_seed: u64) -> ServeSmokeReport {
     }
     let mut streams: Vec<(usize, Vec<String>, ServeStats)> = Vec::new();
     for &t in threads {
-        let cfg = ServeConfig { threads: t, queue_cap: total.max(1), deadline: None };
+        let cfg = ServeConfig {
+            threads: t,
+            queue_cap: total.max(1),
+            deadline: None,
+            ..ServeConfig::default()
+        };
         let (responses, stats) = process_batch(&cfg, requests.clone(), None, &NoopRecorder);
         let lines: Vec<String> = responses
             .iter()
@@ -776,7 +820,7 @@ mod tests {
         let good = honest_blob(5);
         let mut bad = good.clone();
         bad.truncate(bad.len() / 2);
-        let cfg = ServeConfig { threads: 2, queue_cap: 8, deadline: None };
+        let cfg = ServeConfig { threads: 2, queue_cap: 8, deadline: None, ..Default::default() };
         let (responses, stats) =
             process_batch(&cfg, vec![(0, good), (1, bad)], None, &NoopRecorder);
         assert_eq!(responses.len(), 2);
@@ -792,7 +836,7 @@ mod tests {
         let blob = honest_blob(6);
         let reqs: Vec<_> = (0..6u64).map(|i| (i, blob.clone())).collect();
         let gate = Gate::closed();
-        let cfg = ServeConfig { threads: 2, queue_cap: 2, deadline: None };
+        let cfg = ServeConfig { threads: 2, queue_cap: 2, deadline: None, ..Default::default() };
         let (responses, stats) = process_batch(&cfg, reqs, Some(&gate), &NoopRecorder);
         assert_eq!(responses.len(), 6);
         assert_eq!(stats.busy, 4, "queue bound 2 must busy-reject 4 of 6");
@@ -809,7 +853,7 @@ mod tests {
         write_frame(&mut input, &verify_frame).unwrap();
         write_frame(&mut input, &[REQ_SHUTDOWN]).unwrap();
         let mut output = Vec::new();
-        let cfg = ServeConfig { threads: 1, queue_cap: 4, deadline: None };
+        let cfg = ServeConfig { threads: 1, queue_cap: 4, deadline: None, ..Default::default() };
         let (stats, shutdown) =
             serve_stream(&cfg, &mut std::io::Cursor::new(input), &mut output, &NoopRecorder)
                 .unwrap();
@@ -837,7 +881,12 @@ mod tests {
 
     #[test]
     fn zero_deadline_classifies_every_request() {
-        let cfg = ServeConfig { threads: 2, queue_cap: 8, deadline: Some(Duration::from_nanos(0)) };
+        let cfg = ServeConfig {
+            threads: 2,
+            queue_cap: 8,
+            deadline: Some(Duration::from_nanos(0)),
+            ..Default::default()
+        };
         let (responses, stats) =
             process_batch(&cfg, vec![(0, honest_blob(9))], None, &NoopRecorder);
         assert_eq!(responses[0].status, Status::Deadline);
@@ -849,7 +898,7 @@ mod tests {
     fn responses_are_thread_count_invariant() {
         let reqs: Vec<_> = (0..6u64).map(|i| (i, honest_blob(20 + i % 2))).collect();
         let run = |threads| {
-            let cfg = ServeConfig { threads, queue_cap: 16, deadline: None };
+            let cfg = ServeConfig { threads, queue_cap: 16, deadline: None, ..Default::default() };
             process_batch(&cfg, reqs.clone(), None, &NoopRecorder).0
         };
         assert_eq!(run(1), run(4));

@@ -1,0 +1,290 @@
+//! The concurrent serve front-end's failure semantics, end-to-end over
+//! real localhost sockets: connection isolation, structured fault
+//! classification, deadlines, busy backpressure, panic containment,
+//! graceful drain, and thread-count-invariant responses.
+
+use pdip_engine::chaos::Mutator;
+use pdip_engine::{
+    decode_response, panic_blob, read_frame, spawn_server, write_frame, Gate, Response,
+    ServeConfig, Status, YesInstance,
+};
+use pdip_engine::{Family, E13_SEED};
+use pdip_protocols::{PopParams, Transport};
+use pdip_wire::WireInstance;
+use std::io::Write;
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+const REQ_VERIFY: u8 = 0x01;
+const REQ_SHUTDOWN: u8 = 0x7f;
+
+fn honest_blob(seed: u64) -> Vec<u8> {
+    let inst = match YesInstance::generate(Family::PathOuterplanar, 16, seed) {
+        YesInstance::Pop(i) => WireInstance::Pop(i),
+        _ => unreachable!(),
+    };
+    pdip_wire::Transcript::record(
+        inst,
+        PopParams::default(),
+        Transport::Simulated,
+        0,
+        seed,
+        seed ^ 1,
+    )
+    .encode()
+}
+
+fn connect(port: u16) -> TcpStream {
+    let s = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout");
+    s
+}
+
+fn send_verify(s: &mut TcpStream, blob: &[u8]) {
+    let mut f = Vec::with_capacity(1 + blob.len());
+    f.push(REQ_VERIFY);
+    f.extend_from_slice(blob);
+    write_frame(s, &f).expect("send verify");
+    s.flush().expect("flush");
+}
+
+/// Reads exactly `n` responses, sorted by seq.
+fn read_n(s: &mut TcpStream, n: usize) -> Vec<Response> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let p = read_frame(s).expect("recv frame").unwrap_or_else(|| panic!("EOF at response {i}"));
+        out.push(decode_response(&p).expect("decodable response"));
+    }
+    out.sort_by_key(|r| r.seq);
+    out
+}
+
+fn small_cfg() -> ServeConfig {
+    ServeConfig { threads: 2, queue_cap: 32, deadline: None, ..ServeConfig::default() }
+}
+
+#[test]
+fn two_connections_each_get_their_own_answers() {
+    let server = spawn_server(small_cfg()).expect("spawn");
+    let good = honest_blob(1);
+    let mut bad = good.clone();
+    bad.truncate(bad.len() / 2);
+
+    let mut a = connect(server.port());
+    let mut b = connect(server.port());
+    // Interleave submissions across the two connections; each has its
+    // own seq space and must get exactly its own verdicts back.
+    send_verify(&mut a, &good);
+    send_verify(&mut b, &bad);
+    send_verify(&mut a, &bad);
+    send_verify(&mut b, &good);
+    let ra = read_n(&mut a, 2);
+    let rb = read_n(&mut b, 2);
+    assert_eq!(ra[0].status, Status::Accept);
+    assert_eq!(ra[1].status, Status::Malformed);
+    assert_eq!(rb[0].status, Status::Malformed);
+    assert_eq!(rb[1].status, Status::Accept);
+    drop((a, b));
+    let stats = server.stop().expect("clean stop");
+    assert_eq!(stats.accepted, 2);
+    assert_eq!(stats.malformed, 2);
+    assert_eq!(stats.connections, 2);
+    assert_eq!(stats.conn_faults, 0);
+}
+
+#[test]
+fn connection_drop_mid_response_leaves_others_unharmed() {
+    let server = spawn_server(small_cfg()).expect("spawn");
+    let good = honest_blob(2);
+
+    // The dropper submits work and vanishes without reading anything.
+    let mut dropper = connect(server.port());
+    for _ in 0..4 {
+        send_verify(&mut dropper, &good);
+    }
+    drop(dropper);
+
+    // The victim's full round-trip proves the serving threads recycled.
+    let mut victim = connect(server.port());
+    for _ in 0..3 {
+        send_verify(&mut victim, &good);
+    }
+    let rv = read_n(&mut victim, 3);
+    assert!(rv.iter().all(|r| r.status == Status::Accept), "victim must see only accepts");
+    drop(victim);
+
+    let stats = server.stop().expect("server must survive a mid-response drop");
+    // Every submitted request was verified even though the dropper's
+    // responses had nowhere to go.
+    assert_eq!(stats.accepted, 7);
+}
+
+#[test]
+fn half_written_frame_is_a_structured_conn_error() {
+    let server = spawn_server(small_cfg()).expect("spawn");
+
+    // Declare 80 payload bytes, deliver 10, half-close: the read side
+    // stays open for the structured answer.
+    let mut attacker = connect(server.port());
+    attacker.write_all(&80u32.to_le_bytes()).expect("header");
+    attacker.write_all(&[0xee; 10]).expect("partial payload");
+    attacker.flush().expect("flush");
+    attacker.shutdown(Shutdown::Write).expect("half-close");
+    let r = read_n(&mut attacker, 1);
+    assert_eq!(r[0].status, Status::ConnError);
+    assert!(
+        r[0].detail.starts_with("truncated-frame"),
+        "expected truncated-frame class, got {:?}",
+        r[0].detail
+    );
+
+    // A fresh connection is completely unaffected.
+    let mut victim = connect(server.port());
+    send_verify(&mut victim, &honest_blob(3));
+    assert_eq!(read_n(&mut victim, 1)[0].status, Status::Accept);
+    drop((attacker, victim));
+
+    let stats = server.stop().expect("clean stop");
+    assert_eq!(stats.conn_faults, 1);
+    assert_eq!(stats.accepted, 1);
+}
+
+#[test]
+fn slow_loris_cannot_pin_a_serving_thread() {
+    let cfg = ServeConfig { read_deadline: Some(Duration::from_millis(60)), ..small_cfg() };
+    let server = spawn_server(cfg).expect("spawn");
+
+    // Two header bytes, then silence: the per-frame deadline must cut
+    // the connection loose with a read-stall classification.
+    let mut loris = connect(server.port());
+    loris.write_all(&[4, 0]).expect("partial header");
+    loris.flush().expect("flush");
+    std::thread::sleep(Duration::from_millis(200));
+    let r = read_n(&mut loris, 1);
+    assert_eq!(r[0].status, Status::ConnError);
+    assert!(r[0].detail.starts_with("read-stall"), "got {:?}", r[0].detail);
+
+    // The serving capacity is free again.
+    let mut after = connect(server.port());
+    send_verify(&mut after, &honest_blob(4));
+    assert_eq!(read_n(&mut after, 1)[0].status, Status::Accept);
+    drop((loris, after));
+    let stats = server.stop().expect("clean stop");
+    assert_eq!(stats.conn_faults, 1);
+}
+
+#[test]
+fn busy_backpressure_is_exact_and_every_request_is_answered() {
+    let gate = Gate::closed();
+    let cfg = ServeConfig {
+        threads: 2,
+        queue_cap: 2,
+        deadline: None,
+        hold: Some(gate.clone()),
+        ..ServeConfig::default()
+    };
+    let server = spawn_server(cfg).expect("spawn");
+    let blob = honest_blob(5);
+    let mut s = connect(server.port());
+    for _ in 0..5 {
+        send_verify(&mut s, &blob);
+    }
+    // Workers held: the 3 over-capacity rejections stream back first.
+    let busy = read_n(&mut s, 3);
+    assert!(busy.iter().all(|r| r.status == Status::Busy));
+    assert_eq!(busy.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![2, 3, 4]);
+    gate.open();
+    let done = read_n(&mut s, 2);
+    assert_eq!(done.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![0, 1]);
+    assert!(done.iter().all(|r| r.status == Status::Accept));
+    drop(s);
+    let stats = server.stop().expect("clean stop");
+    assert_eq!(stats.busy, 3);
+    assert_eq!(stats.accepted, 2);
+}
+
+#[test]
+fn worker_panic_poisons_only_its_own_request() {
+    let cfg = ServeConfig { panic_token: Some(0xbad_cafe), ..small_cfg() };
+    let server = spawn_server(cfg).expect("spawn");
+    let mut s = connect(server.port());
+    send_verify(&mut s, &panic_blob(0xbad_cafe));
+    send_verify(&mut s, &honest_blob(6));
+    let r = read_n(&mut s, 2);
+    assert_eq!(r[0].status, Status::Malformed);
+    assert!(r[0].detail.starts_with("panic:"), "got {:?}", r[0].detail);
+    assert_eq!(r[1].status, Status::Accept);
+    drop(s);
+    let stats = server.stop().expect("the panic must not escape the worker");
+    assert_eq!(stats.panics, 1);
+}
+
+#[test]
+fn graceful_drain_answers_every_accepted_request() {
+    let gate = Gate::closed();
+    let cfg = ServeConfig {
+        threads: 2,
+        queue_cap: 16,
+        deadline: None,
+        drain_deadline: Duration::from_secs(10),
+        hold: Some(gate.clone()),
+        ..ServeConfig::default()
+    };
+    let server = spawn_server(cfg).expect("spawn");
+    let blob = honest_blob(7);
+    let mut s = connect(server.port());
+    for _ in 0..4 {
+        send_verify(&mut s, &blob);
+    }
+    write_frame(&mut s, &[REQ_SHUTDOWN]).expect("send shutdown");
+    s.flush().expect("flush");
+    // Workers are held, so the ack arrives before any verdict.
+    let first = read_frame(&mut s).expect("recv").expect("ack frame");
+    assert_eq!(decode_response(&first).expect("decodes").status, Status::ShutdownAck);
+    gate.open();
+    // All four queued verdicts, then the final stats frame.
+    let mut accepts = 0;
+    let mut stats_frame = None;
+    for _ in 0..5 {
+        let p = read_frame(&mut s).expect("recv").expect("frame");
+        let r = decode_response(&p).expect("decodes");
+        match r.status {
+            Status::Accept => accepts += 1,
+            Status::Stats => stats_frame = Some(r),
+            other => panic!("unexpected {} during drain", other.name()),
+        }
+    }
+    assert_eq!(accepts, 4, "drain must answer every accepted request");
+    let stats_frame = stats_frame.expect("final stats frame");
+    assert_eq!(stats_frame.seq, u64::MAX);
+    assert!(stats_frame.detail.contains("drained=ok"), "got {:?}", stats_frame.detail);
+    assert!(stats_frame.detail.contains("accept=4"));
+    let stats = server.stop().expect("clean stop");
+    assert_eq!(stats.accepted, 4);
+}
+
+#[test]
+fn responses_are_identical_at_one_and_four_workers() {
+    // A deterministic mixed batch (honest, corrupted, unknown-tag) per
+    // thread count; seq-sorted response records must match exactly.
+    let run = |threads: usize| -> Vec<(u64, u8, String)> {
+        let cfg = ServeConfig { threads, queue_cap: 64, deadline: None, ..ServeConfig::default() };
+        let server = spawn_server(cfg).expect("spawn");
+        let mut s = connect(server.port());
+        let mut m = Mutator::new(E13_SEED ^ 0x1234);
+        for k in 0..12u64 {
+            let mut blob = honest_blob(k % 3);
+            if k % 4 == 3 {
+                let i = m.index(blob.len());
+                blob[i] ^= 1 << m.index(8);
+            }
+            send_verify(&mut s, &blob);
+        }
+        let out =
+            read_n(&mut s, 12).into_iter().map(|r| (r.seq, r.status.code(), r.detail)).collect();
+        drop(s);
+        server.stop().expect("clean stop");
+        out
+    };
+    assert_eq!(run(1), run(4));
+}

@@ -97,4 +97,10 @@ pub trait Recorder: Sync {
 
     /// Record an observed duration into the histogram for `name`.
     fn duration(&self, _name: &'static str, _nanos: u64) {}
+
+    /// Record an instantaneous gauge observation (e.g. the serve queue
+    /// depth at enqueue time). Collecting recorders keep the per-name
+    /// maximum; like durations, gauge values are measurement data and
+    /// never enter the deterministic event stream.
+    fn gauge(&self, _name: &'static str, _value: u64) {}
 }

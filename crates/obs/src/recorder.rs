@@ -32,6 +32,7 @@ pub struct CollectingRecorder {
     /// Events recorded without an intermediate buffer.
     direct: Mutex<Vec<Stamped>>,
     hists: Mutex<BTreeMap<&'static str, Histogram>>,
+    gauges: Mutex<BTreeMap<&'static str, u64>>,
     epoch: Option<Instant>,
 }
 
@@ -50,6 +51,7 @@ impl CollectingRecorder {
             shards: Mutex::new(Vec::new()),
             direct: Mutex::new(Vec::new()),
             hists: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
             epoch: None,
         }
     }
@@ -82,7 +84,8 @@ impl CollectingRecorder {
         let mut events: Vec<Stamped> = shards.into_iter().flatten().collect();
         events.sort_by_key(|s| (s.ev.ctx, s.ev.span));
         let hists = std::mem::take(&mut *Self::lock(&self.hists));
-        Trace { events, hists: hists.into_iter().collect() }
+        let gauges = std::mem::take(&mut *Self::lock(&self.gauges));
+        Trace { events, hists: hists.into_iter().collect(), gauges: gauges.into_iter().collect() }
     }
 }
 
@@ -108,6 +111,12 @@ impl Recorder for CollectingRecorder {
 
     fn duration(&self, name: &'static str, nanos: u64) {
         Self::lock(&self.hists).entry(name).or_default().record(nanos);
+    }
+
+    fn gauge(&self, name: &'static str, value: u64) {
+        let mut gauges = Self::lock(&self.gauges);
+        let slot = gauges.entry(name).or_insert(0);
+        *slot = (*slot).max(value);
     }
 }
 
@@ -149,6 +158,10 @@ impl Recorder for BufferedRecorder<'_> {
 
     fn duration(&self, name: &'static str, nanos: u64) {
         self.parent.duration(name, nanos);
+    }
+
+    fn gauge(&self, name: &'static str, value: u64) {
+        self.parent.gauge(name, value);
     }
 }
 
@@ -195,6 +208,10 @@ impl Recorder for ScopedRecorder<'_> {
     fn duration(&self, name: &'static str, nanos: u64) {
         self.inner.duration(name, nanos);
     }
+
+    fn gauge(&self, name: &'static str, value: u64) {
+        self.inner.gauge(name, value);
+    }
 }
 
 /// Everything a [`CollectingRecorder`] gathered, post-drain.
@@ -205,6 +222,7 @@ impl Recorder for ScopedRecorder<'_> {
 pub struct Trace {
     events: Vec<Stamped>,
     hists: Vec<(&'static str, Histogram)>,
+    gauges: Vec<(&'static str, u64)>,
 }
 
 impl Trace {
@@ -216,6 +234,14 @@ impl Trace {
     /// Duration histograms, sorted by span name.
     pub fn histograms(&self) -> &[(&'static str, Histogram)] {
         &self.hists
+    }
+
+    /// The maximum observed value of the gauge `name`, or `None` if it
+    /// was never recorded. Gauge maxima are measurement data (like
+    /// durations): scheduling-dependent, so they never enter committed
+    /// artifacts.
+    pub fn gauge_max(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
     }
 
     /// The deterministic projection of the event stream (wall stamps

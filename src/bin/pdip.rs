@@ -18,13 +18,24 @@
 //!                     [--gen-seed G] [--seed S] [--simulated] [--out PATH]
 //! pdip verify <PATH>
 //! pdip serve [--stdin | --port P | --smoke] [--threads K] [--queue Q]
-//!            [--deadline-ms D] [--out PREFIX]
+//!            [--deadline-ms D] [--read-deadline-ms D] [--drain-deadline-ms D]
+//!            [--max-frame-bytes B] [--out PREFIX]
+//! pdip serve-chaos [--smoke] [--out PREFIX]
+//! pdip client [--host H] [--port P] [--seed S] [--retries R]
+//!             [--backoff-ms B] [--shutdown] FILE...
 //! ```
 //!
 //! Exit codes of `pdip verify`: 0 = replay matched and the verifier
 //! accepts, 3 = well-formed but rejected (verifier rejection or replay
 //! mismatch), 4 = malformed transcript (decode error). `pdip serve`
-//! reports the same distinction per request via response status codes.
+//! reports the same distinction per request via response status codes,
+//! and `pdip client` folds its responses back into exit codes: 0 all
+//! accepted, 3 at least one reject/malformed, 5 busy-retries exhausted,
+//! 6 transport failure.
+//!
+//! `pdip serve --port P` runs the long-lived concurrent front-end:
+//! SIGTERM/SIGINT (or a client shutdown frame) triggers a graceful
+//! drain that answers every accepted request before exiting.
 
 use pdip_bench::{no_instance, Family, YesInstance, FAMILIES};
 
@@ -56,7 +67,10 @@ fn usage() -> ! {
          [--seed S] [--simulated] [--out PATH]\n  \
          pdip verify <PATH>   (exit 0 accept / 3 rejected / 4 malformed)\n  \
          pdip serve [--stdin | --port P | --smoke] [--threads K] [--queue Q] [--deadline-ms D] \
-         [--out PREFIX]\n\nfamilies: {}",
+         [--read-deadline-ms D] [--drain-deadline-ms D] [--max-frame-bytes B] [--out PREFIX]\n  \
+         pdip serve-chaos [--smoke] [--out PREFIX]\n  \
+         pdip client [--host H] [--port P] [--seed S] [--retries R] [--backoff-ms B] \
+         [--shutdown] FILE...\n\nfamilies: {}",
         FAMILIES.iter().map(|f| f.name()).collect::<Vec<_>>().join(", ")
     );
     std::process::exit(2)
@@ -582,6 +596,14 @@ fn main() {
             }
         }
         "serve" => {
+            let max_frame_bytes =
+                flag_num(&args, "--max-frame-bytes", pdip_engine::serve::MAX_FRAME);
+            // A cap below one response header (13 bytes) or absurdly
+            // large is a configuration mistake, not a policy.
+            if !(64..=(1usize << 30)).contains(&max_frame_bytes) {
+                eprintln!("--max-frame-bytes must be in [64, 2^30], got {max_frame_bytes}");
+                std::process::exit(2);
+            }
             let cfg = ServeConfig {
                 threads: flag_num(&args, "--threads", {
                     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -589,6 +611,14 @@ fn main() {
                 queue_cap: flag_num(&args, "--queue", 256),
                 deadline: flag_value(&args, "--deadline-ms")
                     .map(|v| std::time::Duration::from_millis(v.parse().expect("milliseconds"))),
+                max_frame_bytes,
+                read_deadline: flag_value(&args, "--read-deadline-ms")
+                    .map(|v| std::time::Duration::from_millis(v.parse().expect("milliseconds")))
+                    .or(ServeConfig::default().read_deadline),
+                drain_deadline: flag_value(&args, "--drain-deadline-ms")
+                    .map(|v| std::time::Duration::from_millis(v.parse().expect("milliseconds")))
+                    .unwrap_or(ServeConfig::default().drain_deadline),
+                ..ServeConfig::default()
             };
             if args.iter().any(|a| a == "--smoke") {
                 let out = flag_value(&args, "--out").unwrap_or_else(|| "results/e12_serve".into());
@@ -629,22 +659,145 @@ fn main() {
             } else {
                 let port = flag_num(&args, "--port", 7437) as u16;
                 let mut rep = Reporter::from_quiet_flag(false);
-                let stats = pdip_engine::serve_tcp(&cfg, port, &mut rep, &pdip_obs::NoopRecorder)
-                    .expect("serving tcp");
+                let shutdown = pdip_engine::ShutdownFlag::new();
+                install_signal_drain(&shutdown);
+                let stats = pdip_engine::serve_tcp(
+                    &cfg,
+                    port,
+                    &shutdown,
+                    &mut rep,
+                    &pdip_obs::NoopRecorder,
+                )
+                .expect("serving tcp");
                 eprintln!(
-                    "served: accept={} reject={} malformed={} busy={} deadline={} panics={}",
+                    "served: accept={} reject={} malformed={} busy={} deadline={} panics={} \
+                     conn_faults={} connections={}",
                     stats.accepted,
                     stats.rejected,
                     stats.malformed,
                     stats.busy,
                     stats.deadline,
-                    stats.panics
+                    stats.panics,
+                    stats.conn_faults,
+                    stats.connections
                 );
             }
+        }
+        "serve-chaos" => {
+            let smoke = args.iter().any(|a| a == "--smoke");
+            let spec = if smoke {
+                pdip_engine::ServeChaosSpec::smoke()
+            } else {
+                pdip_engine::ServeChaosSpec::full()
+            };
+            let out =
+                flag_value(&args, "--out").unwrap_or_else(|| "results/e13_serve_chaos".into());
+            println!(
+                "serve chaos audit ({}): trials-per-class={} base-seed={:#x}\n",
+                if smoke { "smoke" } else { "full" },
+                spec.trials,
+                pdip_engine::E13_SEED
+            );
+            let report = pdip_engine::run_serve_chaos(&spec, pdip_engine::E13_SEED);
+            print!("{}", report.render_text());
+            // Throughput is timing data: stdout only in the text form,
+            // one clearly-marked field in the JSON.
+            println!("\nsustained throughput: {:.1} requests/sec over localhost TCP", report.rps);
+            let txt_path = std::path::PathBuf::from(format!("{out}.txt"));
+            let json_path = std::path::PathBuf::from(format!("{out}.json"));
+            if let Some(dir) = txt_path.parent() {
+                std::fs::create_dir_all(dir).expect("creating results dir");
+            }
+            std::fs::write(&txt_path, report.render_text()).expect("writing chaos text report");
+            std::fs::write(&json_path, report.render_json()).expect("writing chaos json report");
+            println!("wrote {} and {}", txt_path.display(), json_path.display());
+            if !report.passed {
+                eprintln!("serve chaos audit FAILED (see failures above)");
+                std::process::exit(1);
+            }
+        }
+        "client" => {
+            let opts = pdip_engine::ClientOpts {
+                host: flag_value(&args, "--host").unwrap_or_else(|| "127.0.0.1".into()),
+                port: flag_num(&args, "--port", 7437) as u16,
+                seed: flag_num(&args, "--seed", 0) as u64,
+                retries: flag_num(&args, "--retries", 5) as u32,
+                backoff_base_ms: flag_num(&args, "--backoff-ms", 10) as u64,
+                send_shutdown: args.iter().any(|a| a == "--shutdown"),
+                ..pdip_engine::ClientOpts::default()
+            };
+            // Positional FILE... arguments: everything that is neither
+            // a flag nor a flag's value.
+            let flags_with_value = ["--host", "--port", "--seed", "--retries", "--backoff-ms"];
+            let mut files: Vec<String> = Vec::new();
+            let mut skip = false;
+            for a in args.iter().skip(1) {
+                if skip {
+                    skip = false;
+                    continue;
+                }
+                if flags_with_value.contains(&a.as_str()) {
+                    skip = true;
+                } else if !a.starts_with("--") {
+                    files.push(a.clone());
+                }
+            }
+            if files.is_empty() {
+                eprintln!("pdip client: no transcript files given");
+                usage()
+            }
+            let mut items = Vec::with_capacity(files.len());
+            for f in &files {
+                match std::fs::read(f) {
+                    Ok(bytes) => items.push((f.clone(), bytes)),
+                    Err(e) => {
+                        eprintln!("reading {f}: {e}");
+                        std::process::exit(6)
+                    }
+                }
+            }
+            let mut rep = Reporter::from_quiet_flag(false);
+            let outcome = pdip_engine::run_client(&opts, &items, &mut rep);
+            if let Some(e) = &outcome.io_error {
+                eprintln!("pdip client: {e}");
+            }
+            std::process::exit(outcome.exit_code());
         }
         _ => usage(),
     }
 }
+
+/// Wires SIGTERM/SIGINT to a graceful drain: the handler only sets an
+/// atomic; a watcher thread forwards it to the serve shutdown flag.
+/// Raw `signal(2)` keeps this dependency-free (no libc crate).
+#[cfg(unix)]
+fn install_signal_drain(shutdown: &pdip_engine::ShutdownFlag) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static SIGNALLED: AtomicBool = AtomicBool::new(false);
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+    let shutdown = shutdown.clone();
+    std::thread::spawn(move || loop {
+        if SIGNALLED.load(Ordering::SeqCst) {
+            shutdown.request();
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    });
+}
+
+#[cfg(not(unix))]
+fn install_signal_drain(_shutdown: &pdip_engine::ShutdownFlag) {}
 
 /// Maps an engine instance onto its wire-format container.
 fn to_wire(inst: YesInstance) -> WireInstance {

@@ -181,6 +181,65 @@ fn serve_stdin_answers_ping_and_shutdown_frames() {
 }
 
 #[test]
+fn serve_tcp_and_client_end_to_end() {
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+
+    let dir = std::env::temp_dir().join("pdip_serve_client_smoke");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // Materialize one honest and one corrupted transcript.
+    let good = dir.join("good.transcript");
+    let out = pdip()
+        .args(["prove", "path-outerplanarity", "--n", "24", "--seed", "6", "--out"])
+        .arg(&good)
+        .output()
+        .expect("run pdip prove");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let mut bytes = std::fs::read(&good).expect("read transcript");
+    bytes[16] ^= 0x20;
+    let bad = dir.join("bad.transcript");
+    std::fs::write(&bad, &bytes).expect("write corrupted transcript");
+
+    // A concurrent server on an ephemeral port; the listening line
+    // carries the port the OS picked.
+    let mut server = pdip()
+        .args(["serve", "--port", "0", "--threads", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn pdip serve");
+    let mut lines = BufReader::new(server.stdout.take().expect("server stdout")).lines();
+    let banner = lines.next().expect("listening line").expect("readable stdout");
+    let port = banner.rsplit(':').next().expect("port in banner");
+    assert!(banner.contains("listening on"), "{banner}");
+
+    // Honest transcript → accept → exit 0.
+    let c = pdip().args(["client", "--port", port]).arg(&good).output().expect("run pdip client");
+    assert_eq!(c.status.code(), Some(0), "{}", String::from_utf8_lossy(&c.stderr));
+    assert!(String::from_utf8_lossy(&c.stdout).contains("accept"));
+
+    // Mixed batch with a corrupted blob → malformed verdict → exit 3,
+    // and the final run also drains the server with --shutdown.
+    let c = pdip()
+        .args(["client", "--port", port, "--shutdown"])
+        .arg(&good)
+        .arg(&bad)
+        .output()
+        .expect("run pdip client");
+    assert_eq!(c.status.code(), Some(3), "{}", String::from_utf8_lossy(&c.stderr));
+    let text = String::from_utf8_lossy(&c.stdout);
+    assert!(text.contains("malformed"), "{text}");
+    assert!(text.contains("server stats:"), "{text}");
+
+    // The shutdown frame must have drained the server to a clean exit.
+    let st = server.wait().expect("server exits after drain");
+    assert!(st.success(), "server exit: {st:?}");
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
 fn size_sweep_prints_rows() {
     let out = pdip()
         .args(["size", "treewidth-2", "--from", "6", "--to", "8"])

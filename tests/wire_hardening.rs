@@ -6,7 +6,10 @@
 use pdip_engine::chaos::Mutator;
 use pdip_engine::{YesInstance, FAMILIES};
 use planarity_dip::protocols::{PopParams, Transport};
-use planarity_dip::wire::{fnv1a64, Transcript, WireInstance};
+use planarity_dip::wire::{
+    fault_class, fnv1a64, read_frame, read_frame_limited, write_frame, Transcript, WireInstance,
+};
+use std::io::Cursor;
 
 fn family_blob(fi: usize, seed: u64) -> Vec<u8> {
     let inst = match YesInstance::generate(FAMILIES[fi], 24, seed) {
@@ -107,6 +110,74 @@ fn resigned_corruptions_are_handled_without_panicking() {
                 // Well-formed after corruption: verification must still
                 // run to a verdict (accept, reject, or replay mismatch).
                 let _ = t.verify();
+            }
+        }
+    }
+}
+
+// --- Frame layer: the length-prefixed envelope the serve front-end ---
+// --- speaks. Corruption at this layer must be a structured I/O error --
+// --- with a stable fault class, and must never reach the decoder. ------
+
+#[test]
+fn framed_transcript_roundtrips_through_the_wire_envelope() {
+    let blob = family_blob(0, 210);
+    let mut stream = Vec::new();
+    write_frame(&mut stream, &blob).expect("frame");
+    write_frame(&mut stream, &blob).expect("frame");
+    let mut cur = Cursor::new(stream);
+    for _ in 0..2 {
+        let payload = read_frame(&mut cur).expect("read").expect("frame present");
+        assert_eq!(payload, blob);
+        let _ = Transcript::decode(&payload).expect("framed blob decodes unchanged").verify();
+    }
+    assert!(read_frame(&mut cur).expect("read").is_none(), "clean EOF at frame boundary");
+}
+
+#[test]
+fn half_written_frames_are_truncated_frame_faults_at_every_cut() {
+    // A transcript blob cut mid-frame — the envelope, not the decoder,
+    // must catch it, and always with the same stable fault class.
+    let blob = family_blob(1, 220);
+    let mut stream = Vec::new();
+    write_frame(&mut stream, &blob).expect("frame");
+    let mut m = Mutator::new(0xf8a3);
+    for _ in 0..40 {
+        let cut = 1 + m.index(stream.len() - 1);
+        let err = read_frame(&mut Cursor::new(&stream[..cut]))
+            .expect_err("half-written frame must not yield a payload");
+        assert_eq!(fault_class(err.kind()), "truncated-frame", "cut at {cut}");
+    }
+}
+
+#[test]
+fn corrupt_length_headers_never_reach_the_transcript_decoder() {
+    // Stamp the 4-byte length header with adversarial values: anything
+    // beyond the cap is rejected before allocation; anything under it
+    // merely truncates/extends the payload, which the checksum catches.
+    let blob = family_blob(2, 230);
+    let cap = blob.len() + 64;
+    let mut m = Mutator::new(0x1e47);
+    for _ in 0..60 {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &blob).expect("frame");
+        let stamp = m.next_u64() as u32;
+        stream[..4].copy_from_slice(&stamp.to_le_bytes());
+        match read_frame_limited(&mut Cursor::new(&stream), cap) {
+            Ok(Some(payload)) => {
+                // A shorter declared length re-frames a prefix; the
+                // transcript layer must reject it structurally.
+                if payload.len() != blob.len() {
+                    assert!(Transcript::decode(&payload).is_err(), "stamp {stamp}");
+                }
+            }
+            Ok(None) => panic!("a stamped header is never a clean EOF"),
+            Err(e) => {
+                let class = fault_class(e.kind());
+                assert!(
+                    class == "oversized-frame" || class == "truncated-frame",
+                    "stamp {stamp}: unexpected class {class}"
+                );
             }
         }
     }
