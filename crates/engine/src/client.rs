@@ -19,7 +19,7 @@ use crate::chaos::Mutator;
 use crate::report::Reporter;
 use crate::seed::sub_seed;
 use crate::serve::{
-    decode_response, read_frame, write_frame, Response, Status, REQ_SHUTDOWN, REQ_VERIFY,
+    decode_response, read_frame, write_frame, Response, Status, REQ_SHUTDOWN, REQ_STATS, REQ_VERIFY,
 };
 use std::collections::HashMap;
 use std::io::Write;
@@ -238,6 +238,57 @@ pub fn run_client(
     outcome
 }
 
+/// Re-encodes the server's `k=v`-pair stats detail (the final frame
+/// after a drain) as a single JSON object. Purely numeric values stay
+/// unquoted; everything else is emitted as a JSON string.
+pub fn stats_detail_to_json(detail: &str) -> String {
+    let mut out = String::from("{");
+    for (i, pair) in detail.split_whitespace().enumerate() {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push('"');
+        out.push_str(&escape_json(key));
+        out.push_str("\": ");
+        if !value.is_empty() && value.bytes().all(|b| b.is_ascii_digit()) {
+            out.push_str(value);
+        } else {
+            out.push('"');
+            out.push_str(&escape_json(value));
+            out.push('"');
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Connects to a running server, sends one [`REQ_STATS`] frame with
+/// the given render mode (0 = Prometheus text, 1 = JSON snapshot,
+/// 2 = flight-recorder JSONL), and returns the stats payload.
+pub fn fetch_stats(host: &str, port: u16, mode: u8) -> Result<String, String> {
+    let mut stream =
+        TcpStream::connect((host, port)).map_err(|e| format!("connect {host}:{port}: {e}"))?;
+    let _unused = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    write_frame(&mut stream, &[REQ_STATS, mode])
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("send: {e}"))?;
+    let payload = match read_frame(&mut stream) {
+        Ok(Some(p)) => p,
+        Ok(None) => return Err("server closed the connection before answering".into()),
+        Err(e) => return Err(format!("recv: {e}")),
+    };
+    let resp = decode_response(&payload).ok_or_else(|| "undecodable response frame".to_string())?;
+    if resp.status != Status::Stats {
+        return Err(format!("unexpected response status {}", resp.status.name()));
+    }
+    Ok(resp.detail)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +315,18 @@ mod tests {
         assert!(d4 > d1 * 4, "attempt 4 ({d4}ms) should dwarf attempt 1 ({d1}ms)");
         let capped = backoff_delay_ms(1, 30, base, 500);
         assert!(capped < 500 + base, "cap must bound the exponential component");
+    }
+
+    #[test]
+    fn stats_detail_round_trips_to_json() {
+        let detail = "accept=5 reject=2 malformed=0 drained=ok";
+        assert_eq!(
+            stats_detail_to_json(detail),
+            "{\"accept\": 5, \"reject\": 2, \"malformed\": 0, \"drained\": \"ok\"}"
+        );
+        assert_eq!(stats_detail_to_json(""), "{}");
+        // Quotes in a value must not break the JSON framing.
+        assert_eq!(stats_detail_to_json("note=a\"b"), "{\"note\": \"a\\\"b\"}");
     }
 
     #[test]

@@ -43,6 +43,7 @@
 pub mod chaos;
 pub mod client;
 pub mod family;
+pub mod obs_audit;
 pub mod pool;
 pub mod record;
 pub mod report;
@@ -58,8 +59,13 @@ pub use chaos::{
     build_target, run_chaos, ChaosOutcome, ChaosRecord, ChaosReport, ChaosSpec, Determinism,
     MutatorKind, TamperOutcome, Tamperable, TargetId, MUTATORS, TARGETS,
 };
-pub use client::{backoff_delay_ms, run_client, ClientOpts, ClientOutcome};
+pub use client::{
+    backoff_delay_ms, fetch_stats, run_client, stats_detail_to_json, ClientOpts, ClientOutcome,
+};
 pub use family::{no_instance, no_instance_with, Family, YesInstance, FAMILIES};
+pub use obs_audit::{
+    metrics_determinism_probe, run_obs_audit, MetricsProbe, ObsAuditReport, ObsAuditSpec, E14_SEED,
+};
 pub use pool::{execute_job, execute_job_traced, execute_job_with, Engine, WorkerScratch};
 pub use record::{
     CellAgg, CellKey, FailureKind, JobFailure, RunRecord, SweepMetrics, SweepOutcome,
@@ -73,8 +79,8 @@ pub use seed::{job_seed, splitmix_finalize, sub_seed};
 pub use serve::{
     decode_response, encode_response, panic_blob, process_batch, read_frame, run_serve_smoke,
     serve_concurrent, serve_stream, serve_tcp, smoke_requests, spawn_server, verify_blob,
-    write_frame, Gate, Response, ServeConfig, ServeSmokeReport, ServeStats, ServerHandle,
-    ShutdownFlag, Status, E12_SEED,
+    write_frame, Gate, Response, ServeConfig, ServeObs, ServeSmokeReport, ServeStats, ServerHandle,
+    ShutdownFlag, Status, DEFAULT_FLIGHT_CAP, DEFAULT_SLOW_THRESHOLD, E12_SEED, REQ_STATS,
 };
 pub use serve_chaos::{
     determinism_probe, run_serve_chaos, ChaosCell, ServeChaosReport, ServeChaosSpec, E13_SEED,

@@ -47,11 +47,11 @@
 
 use super::{
     encode_response, fault_class, read_frame_deadline, verify_guarded, write_frame, Response,
-    ServeConfig, ServeStats, Status, REQ_PING, REQ_SHUTDOWN, REQ_VERIFY,
+    ServeConfig, ServeObs, ServeStats, Status, REQ_PING, REQ_SHUTDOWN, REQ_STATS, REQ_VERIFY,
 };
 use crate::pool::PanicSilencer;
 use crate::report::Reporter;
-use pdip_obs::{counter, NoopRecorder, Recorder, ScopedRecorder, SpanId};
+use pdip_obs::{counter, NoopRecorder, Recorder, ScopedRecorder, SpanId, TeeRecorder};
 use std::io::Write;
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -141,15 +141,21 @@ struct Conn {
 }
 
 impl Conn {
-    /// Writes one response frame (best-effort). A failed write marks
-    /// the connection dead and counts one `io_error`; it never affects
-    /// any other connection or request.
-    fn send(&self, r: &Response, counters: &Counters) {
+    /// Writes one response frame (best-effort), timing it into the
+    /// `serve/write` latency histogram. A failed write marks the
+    /// connection dead and counts one `io_error`; it never affects any
+    /// other connection or request.
+    fn send(&self, r: &Response, counters: &Counters, rec: &dyn Recorder) {
         let Ok(mut guard) = self.writer.lock() else { return };
         let Some(stream) = guard.as_mut() else { return };
+        let started = rec.enabled().then(Instant::now);
         let ok = write_frame(stream, &encode_response(r)).and_then(|()| stream.flush());
+        if let Some(t0) = started {
+            rec.duration("serve/write", u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
         if ok.is_err() {
             counters.io_errors.fetch_add(1, Ordering::Relaxed);
+            counter(rec, self.id, SpanId::new("serve/io-error"), "io-error", 1);
             *guard = None;
         }
     }
@@ -186,6 +192,13 @@ pub fn serve_concurrent(
 ) -> std::io::Result<ServeStats> {
     let threads = cfg.threads.max(1);
     let _silencer = PanicSilencer::engage();
+    // Live metrics are always on: use the caller's shared bridge or a
+    // private one, and tee it next to the caller's trace recorder so
+    // both observe the same instrumentation stream.
+    let obs_arc = cfg.obs.clone().unwrap_or_default();
+    let obs: &ServeObs = obs_arc.as_ref();
+    let tee = TeeRecorder::new(rec, obs);
+    let rec: &dyn Recorder = &tee;
     let counters = Counters::default();
     let (jobs_tx, jobs_rx) = sync_channel::<ConnJob>(cfg.queue_cap.max(1));
     let jobs_rx = Mutex::new(jobs_rx);
@@ -225,7 +238,14 @@ pub fn serve_concurrent(
                 );
                 counter(&job_rec, job.seq, SpanId::new("serve/request"), status.name(), 1);
                 counters.bump(status);
-                job.conn.send(&Response { seq: job.seq, status, detail }, counters);
+                if status == Status::Malformed && detail.starts_with("panic: ") {
+                    obs.note_panic(job.conn.id, job.seq, detail.clone());
+                }
+                job.conn.send(&Response { seq: job.seq, status, detail }, counters, &job_rec);
+                let elapsed = u64::try_from(job.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                if elapsed > obs.slow_threshold_nanos() {
+                    obs.note_slow(job.conn.id, job.seq, status.name(), elapsed);
+                }
                 // Decrement only after the response hit (or provably
                 // missed) the socket, so the drain loop never races a
                 // half-written response.
@@ -254,13 +274,14 @@ pub fn serve_concurrent(
                     };
                     let conn = Arc::new(Conn { id, writer: Mutex::new(Some(writer)) });
                     conns.push(Arc::downgrade(&conn));
+                    obs.note_connection(id);
                     let jobs_tx = jobs_tx.clone();
                     let counters = &counters;
                     let stats_conn = &stats_conn;
                     let cfg = &*cfg;
                     s.spawn(move || {
                         read_connection(
-                            cfg, stream, conn, jobs_tx, counters, stats_conn, shutdown, rec,
+                            cfg, stream, conn, jobs_tx, counters, stats_conn, shutdown, rec, obs,
                         )
                     });
                 }
@@ -304,10 +325,14 @@ pub fn serve_concurrent(
             snap.connections,
             if drained_ok { "ok" } else { "timeout" }
         );
+        obs.flight_event("drain", 0, 0, if drained_ok { "ok" } else { "timeout" }, detail.clone());
         let receiver = stats_conn.lock().ok().and_then(|mut g| g.take());
         if let Some(conn) = receiver {
-            conn.send(&Response { seq: u64::MAX, status: Status::Stats, detail }, &counters);
+            conn.send(&Response { seq: u64::MAX, status: Status::Stats, detail }, &counters, rec);
         }
+        // Post-mortem capture: the drain is the SIGTERM/shutdown path,
+        // so dump the flight ring (best-effort, no-op without a path).
+        obs.dump_flight("drain");
         // Disconnect the queue: workers finish every still-queued job
         // (answering on whatever connections remain writable) and exit.
         // `thread::scope` joins them before we return, so a drain
@@ -333,6 +358,7 @@ fn read_connection(
     stats_conn: &Mutex<Option<Arc<Conn>>>,
     shutdown: &ShutdownFlag,
     rec: &dyn Recorder,
+    obs: &ServeObs,
 ) {
     // The socket timeout wakes blocked reads; the frame reader's own
     // total-elapsed check turns slow drips into `read-stall` faults.
@@ -340,7 +366,11 @@ fn read_connection(
     let mut seq = 0u64;
     loop {
         match read_frame_deadline(&mut stream, cfg.max_frame_bytes, cfg.read_deadline) {
-            Ok(None) => break, // clean EOF (peer closed or drain read-shutdown)
+            Ok(None) => {
+                // Clean EOF (peer closed or drain read-shutdown).
+                obs.flight_event("conn-close", conn.id, seq, "close", String::new());
+                break;
+            }
             Ok(Some(frame)) => {
                 let this_seq = seq;
                 seq += 1;
@@ -362,6 +392,13 @@ fn read_connection(
                                 counters.queue_depth.fetch_sub(1, Ordering::SeqCst);
                                 counters.busy.fetch_add(1, Ordering::Relaxed);
                                 counter(rec, this_seq, SpanId::new("serve/request"), "busy", 1);
+                                obs.flight_event(
+                                    "busy",
+                                    conn.id,
+                                    this_seq,
+                                    "busy",
+                                    "queue full".into(),
+                                );
                                 job.conn.send(
                                     &Response {
                                         seq: this_seq,
@@ -369,6 +406,7 @@ fn read_connection(
                                         detail: "queue full".into(),
                                     },
                                     counters,
+                                    rec,
                                 );
                             }
                             Err(TrySendError::Disconnected(_)) => {
@@ -381,7 +419,20 @@ fn read_connection(
                     Some(REQ_PING) => conn.send(
                         &Response { seq: this_seq, status: Status::Pong, detail: String::new() },
                         counters,
+                        rec,
                     ),
+                    Some(REQ_STATS) => {
+                        let mode = frame.get(1).copied().unwrap_or(0);
+                        conn.send(
+                            &Response {
+                                seq: this_seq,
+                                status: Status::Stats,
+                                detail: obs.render(mode),
+                            },
+                            counters,
+                            rec,
+                        );
+                    }
                     Some(REQ_SHUTDOWN) => {
                         conn.send(
                             &Response {
@@ -390,15 +441,18 @@ fn read_connection(
                                 detail: String::new(),
                             },
                             counters,
+                            rec,
                         );
                         if let Ok(mut slot) = stats_conn.lock() {
                             *slot = Some(Arc::clone(&conn));
                         }
+                        obs.flight_event("shutdown", conn.id, this_seq, "shutdown", String::new());
                         shutdown.request();
                         break;
                     }
                     tag => {
                         counters.malformed.fetch_add(1, Ordering::Relaxed);
+                        counter(rec, this_seq, SpanId::new("serve/request"), "malformed", 1);
                         conn.send(
                             &Response {
                                 seq: this_seq,
@@ -406,6 +460,7 @@ fn read_connection(
                                 detail: format!("unknown request tag {tag:?}"),
                             },
                             counters,
+                            rec,
                         );
                     }
                 }
@@ -419,11 +474,13 @@ fn read_connection(
                 let class = fault_class(e.kind());
                 counters.conn_faults.fetch_add(1, Ordering::Relaxed);
                 counter(rec, conn.id, SpanId::new("serve/conn"), class, 1);
+                obs.flight_event("conn-fault", conn.id, seq, class, e.to_string());
                 // The fault response carries the seq the faulted frame
                 // would have had.
                 conn.send(
                     &Response { seq, status: Status::ConnError, detail: format!("{class}: {e}") },
                     counters,
+                    rec,
                 );
                 break;
             }

@@ -33,10 +33,11 @@
 //! (`malformed transcript` ≠ `verifier rejected`).
 
 pub mod live;
+pub mod obs;
 
 use crate::pool::PanicSilencer;
 use crate::report::render_table;
-use pdip_obs::{counter, span, NoopRecorder, Recorder, ScopedRecorder, SpanId, Stopwatch};
+use pdip_obs::{counter, span, NoopRecorder, Recorder, ScopedRecorder, SpanId, TeeRecorder};
 pub use pdip_wire::frame::{
     fault_class, read_frame, read_frame_deadline, read_frame_limited, write_frame,
 };
@@ -50,6 +51,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 pub use live::{serve_concurrent, serve_tcp, spawn_server, ServerHandle, ShutdownFlag};
+pub use obs::{ServeObs, DEFAULT_FLIGHT_CAP, DEFAULT_SLOW_THRESHOLD};
 
 /// Default hard cap on one frame's payload (the E12-era constant; now
 /// configurable per service via [`ServeConfig::max_frame_bytes`]).
@@ -66,6 +68,11 @@ pub const E12_SEED: u64 = 0xe12;
 pub const REQ_VERIFY: u8 = 0x01;
 /// Request tag: liveness probe, answered with [`Status::Pong`].
 pub const REQ_PING: u8 = 0x02;
+/// Request tag: live metrics snapshot, answered with [`Status::Stats`]
+/// carrying the rendering in the detail. An optional second payload
+/// byte selects the format: 0 = Prometheus-style text (default),
+/// 1 = JSON, 2 = flight-recorder JSONL.
+pub const REQ_STATS: u8 = 0x03;
 /// Request tag: graceful shutdown of the stream (and, over TCP, the
 /// listener), answered with [`Status::ShutdownAck`].
 pub const REQ_SHUTDOWN: u8 = 0x7f;
@@ -101,6 +108,20 @@ pub enum Status {
 }
 
 impl Status {
+    /// Every status, in wire-code order (the order the live-metrics
+    /// `requests_total` counters are pre-registered in).
+    pub const ALL: [Status; 9] = [
+        Status::Accept,
+        Status::Reject,
+        Status::Malformed,
+        Status::Busy,
+        Status::Deadline,
+        Status::ShutdownAck,
+        Status::Pong,
+        Status::ConnError,
+        Status::Stats,
+    ];
+
     /// The wire code of this status.
     pub fn code(self) -> u8 {
         self as u8
@@ -181,6 +202,12 @@ pub struct ServeConfig {
     /// Chaos hook: when set, workers block on this gate before taking
     /// each job, making busy-storm rejection counts deterministic.
     pub hold: Option<Gate>,
+    /// Live observability bridge shared with the caller: metrics
+    /// registry + flight recorder (see [`ServeObs`]). The concurrent
+    /// front-end creates a private one when `None`, so [`REQ_STATS`]
+    /// always answers; pass a shared handle to read snapshots from
+    /// outside (as `pdip obs-audit` does).
+    pub obs: Option<Arc<ServeObs>>,
 }
 
 impl Default for ServeConfig {
@@ -194,6 +221,7 @@ impl Default for ServeConfig {
             drain_deadline: Duration::from_secs(5),
             panic_token: None,
             hold: None,
+            obs: None,
         }
     }
 }
@@ -335,9 +363,11 @@ pub(crate) fn verify_guarded(
 /// `pdip verify`): malformed blobs map to [`Status::Malformed`],
 /// replay mismatches and verifier rejections to [`Status::Reject`].
 pub fn verify_blob(blob: &[u8], rec: &dyn Recorder) -> (Status, String) {
+    // Each span's guard records the duration on drop — exactly one
+    // observation per stage per request, which is what the E14
+    // conservation invariants (histogram count == requests) pin.
     let decoded = {
         let _s = span(rec, 0, SpanId::new("serve/decode"));
-        let _t = Stopwatch::start(rec, "serve/decode");
         Transcript::decode(blob)
     };
     let t = match decoded {
@@ -346,12 +376,27 @@ pub fn verify_blob(blob: &[u8], rec: &dyn Recorder) -> (Status, String) {
     };
     let outcome = {
         let _s = span(rec, 0, SpanId::new("serve/verify"));
-        let _t = Stopwatch::start(rec, "serve/verify");
         t.verify()
     };
+    // Live proof-size accounting: every completed replay contributes
+    // its max per-round label bits to its family's counter, keyed by
+    // the stable family name.
+    let proof_bits = |res: &pdip_core::RunResult| {
+        counter(
+            rec,
+            0,
+            SpanId::new("serve/proof-bits"),
+            t.instance.family_name(),
+            res.stats.proof_size() as u64,
+        );
+    };
     match outcome {
-        VerifyOutcome::Accepted(_) => (Status::Accept, String::new()),
+        VerifyOutcome::Accepted(res) => {
+            proof_bits(&res);
+            (Status::Accept, String::new())
+        }
         VerifyOutcome::VerifierRejected(res) => {
+            proof_bits(&res);
             let reason = res
                 .rejections
                 .first()
@@ -490,6 +535,9 @@ pub fn serve_stream(
     let mut seq = 0u64;
     let mut verifies = Vec::new();
     let mut immediate = Vec::new();
+    // Stats requests are answered after the batch so the snapshot
+    // reflects it: `(seq, render mode)`.
+    let mut stats_reqs: Vec<(u64, u8)> = Vec::new();
     let mut shutdown = false;
     while let Some(frame) = read_frame(input)? {
         let this_seq = seq;
@@ -501,6 +549,7 @@ pub fn serve_stream(
                 status: Status::Pong,
                 detail: String::new(),
             }),
+            Some(REQ_STATS) => stats_reqs.push((this_seq, frame.get(1).copied().unwrap_or(0))),
             Some(REQ_SHUTDOWN) => {
                 immediate.push(Response {
                     seq: this_seq,
@@ -517,7 +566,20 @@ pub fn serve_stream(
             }),
         }
     }
-    let (mut responses, stats) = process_batch(cfg, verifies, None, rec);
+    let (mut responses, stats) = match &cfg.obs {
+        Some(o) => {
+            let tee = TeeRecorder::new(rec, o.as_ref());
+            process_batch(cfg, verifies, None, &tee)
+        }
+        None => process_batch(cfg, verifies, None, rec),
+    };
+    for (stat_seq, mode) in stats_reqs {
+        let detail = match &cfg.obs {
+            Some(o) => o.render(mode),
+            None => String::new(),
+        };
+        responses.push(Response { seq: stat_seq, status: Status::Stats, detail });
+    }
     responses.append(&mut immediate);
     responses.sort_by_key(|r| r.seq);
     for r in &responses {

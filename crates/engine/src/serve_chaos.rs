@@ -37,7 +37,7 @@ use crate::serve::{
     decode_response, panic_blob, read_frame, smoke_requests, spawn_server, write_frame, Gate,
     Response, ServeConfig, Status, REQ_SHUTDOWN, REQ_VERIFY,
 };
-use pdip_wire::fnv1a64;
+use pdip_wire::{fnv1a64, frame::fault};
 use std::io::Write;
 use std::net::{Shutdown, TcpStream};
 use std::time::{Duration, Instant};
@@ -72,7 +72,7 @@ impl ServeChaosSpec {
 /// The seven injected fault classes.
 const CLASSES: [&str; 7] = [
     "mid-frame-disconnect",
-    "truncated-frame",
+    fault::TRUNCATED_FRAME,
     "garbage-interleaved",
     "stalled-writer",
     "oversized-length",
@@ -283,7 +283,7 @@ fn run_trial(class: &'static str, spec: &ServeChaosSpec, seed: u64) -> CellOutco
             drop(s);
             Ok(true) // confirmation is server-side (conn_faults)
         }
-        "truncated-frame" => {
+        fault::TRUNCATED_FRAME => {
             // Declared length exceeds the bytes sent; half-close keeps
             // our read side open to catch the structured answer.
             let mut s = connect(port).map_err(|e| e.to_string())?;
@@ -294,7 +294,7 @@ fn run_trial(class: &'static str, spec: &ServeChaosSpec, seed: u64) -> CellOutco
             s.flush().map_err(|e| e.to_string())?;
             s.shutdown(Shutdown::Write).map_err(|e| e.to_string())?;
             let r = read_responses(&mut s, 1)?;
-            Ok(r[0].status == Status::ConnError && r[0].detail.starts_with("truncated-frame"))
+            Ok(r[0].status == Status::ConnError && r[0].detail.starts_with(fault::TRUNCATED_FRAME))
         }
         "garbage-interleaved" => {
             // Honest, unknown-tag, corrupted-blob, honest on ONE
@@ -327,7 +327,7 @@ fn run_trial(class: &'static str, spec: &ServeChaosSpec, seed: u64) -> CellOutco
             s.flush().map_err(|e| e.to_string())?;
             std::thread::sleep(Duration::from_millis(300));
             let r = read_responses(&mut s, 1)?;
-            Ok(r[0].status == Status::ConnError && r[0].detail.starts_with("read-stall"))
+            Ok(r[0].status == Status::ConnError && r[0].detail.starts_with(fault::READ_STALL))
         }
         "oversized-length" => {
             // Header declaring cap+1+jitter bytes: rejected before any
@@ -337,7 +337,7 @@ fn run_trial(class: &'static str, spec: &ServeChaosSpec, seed: u64) -> CellOutco
             s.write_all(&declared.to_le_bytes()).map_err(|e| e.to_string())?;
             s.flush().map_err(|e| e.to_string())?;
             let r = read_responses(&mut s, 1)?;
-            Ok(r[0].status == Status::ConnError && r[0].detail.starts_with("oversized-frame"))
+            Ok(r[0].status == Status::ConnError && r[0].detail.starts_with(fault::OVERSIZED_FRAME))
         }
         "panic-blob" => {
             // The panic-injection blob, then an honest request on the
@@ -567,9 +567,10 @@ pub fn run_serve_chaos(spec: &ServeChaosSpec, base_seed: u64) -> ServeChaosRepor
         // Per-class invariants: which classes must produce server-side
         // connection faults, and which must not.
         let faults_expected: u64 = match *class {
-            "mid-frame-disconnect" | "truncated-frame" | "stalled-writer" | "oversized-length" => {
-                cell.trials
-            }
+            "mid-frame-disconnect"
+            | fault::TRUNCATED_FRAME
+            | "stalled-writer"
+            | "oversized-length" => cell.trials,
             _ => 0,
         };
         if cell.conn_faults != faults_expected {

@@ -4,7 +4,7 @@ use crate::{EventKind, Trace};
 use std::fmt::Write as _;
 
 /// Escape a string for inclusion in a JSON string literal.
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -51,6 +51,12 @@ pub fn to_jsonl(trace: &Trace) -> String {
             let _ = write!(out, ", \"wall_ns\": {w}");
         }
         out.push_str("}\n");
+    }
+    // Gauge maxima close the stream: one row per gauge, name-sorted
+    // (the drain already sorted them), after all events.
+    for (name, max) in trace.gauges() {
+        let _ =
+            writeln!(out, "{{\"kind\": \"gauge\", \"name\": \"{}\", \"max\": {max}}}", esc(name));
     }
     out
 }
@@ -104,6 +110,19 @@ pub fn to_chrome_trace(trace: &Trace) -> String {
             ),
         });
     }
+    // Gauge maxima become Chrome counter events at the end of the
+    // timeline, so Perfetto plots them alongside the span tracks.
+    let tail_ts = match trace.events().last().and_then(|s| s.wall_nanos) {
+        Some(w) => format!("{:.3}", w as f64 / 1000.0),
+        None => format!("{}", trace.events().len()),
+    };
+    for (name, max) in trace.gauges() {
+        parts.push(format!(
+            "{{\"name\": \"{}\", \"ph\": \"C\", \"pid\": 0, \"tid\": 0, \"ts\": {tail_ts}, \
+             \"args\": {{\"max\": {max}}}}}",
+            esc(name)
+        ));
+    }
     format!("[\n{}\n]\n", parts.join(",\n"))
 }
 
@@ -152,6 +171,38 @@ mod tests {
         let rec2 = CollectingRecorder::new();
         counter(&rec2, 0, SpanId::new("x"), "k", 1);
         assert_eq!(t.deterministic_events(), rec2.drain().deterministic_events());
+    }
+
+    #[test]
+    fn gauges_round_trip_through_both_exporters() {
+        use crate::Recorder as _;
+        let rec = CollectingRecorder::new();
+        counter(&rec, 0, SpanId::new("x"), "k", 1);
+        rec.gauge("serve/queue-depth", 3);
+        rec.gauge("serve/queue-depth", 7);
+        rec.gauge("serve/inflight", 2);
+        let t = rec.drain();
+
+        let jsonl = to_jsonl(&t);
+        // One gauge row per name, after the event rows, max retained.
+        let gauge_rows: Vec<&str> =
+            jsonl.lines().filter(|l| l.contains("\"kind\": \"gauge\"")).collect();
+        assert_eq!(gauge_rows.len(), 2);
+        assert!(jsonl.ends_with(
+            "{\"kind\": \"gauge\", \"name\": \"serve/inflight\", \"max\": 2}\n\
+             {\"kind\": \"gauge\", \"name\": \"serve/queue-depth\", \"max\": 7}\n"
+        ));
+
+        let chrome = to_chrome_trace(&t);
+        assert!(chrome.contains(
+            "{\"name\": \"serve/queue-depth\", \"ph\": \"C\", \"pid\": 0, \"tid\": 0, \
+             \"ts\": 1, \"args\": {\"max\": 7}}"
+        ));
+        assert!(chrome.contains("\"name\": \"serve/inflight\", \"ph\": \"C\""));
+
+        // Reading the values back out of the trace agrees with both.
+        assert_eq!(t.gauge_max("serve/queue-depth"), Some(7));
+        assert_eq!(t.gauges().len(), 2);
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! A bounded flight recorder: the last N structured events, kept in a
+//! ring buffer and dumped as JSONL for post-mortem analysis.
+//!
+//! The metrics registry ([`crate::MetricsRegistry`]) answers "how
+//! many"; the flight recorder answers "what happened just before it
+//! went wrong". It keeps a fixed-capacity ring of [`FlightEvent`]s —
+//! connection lifecycle, faults, slow requests — so a panic, SIGTERM,
+//! or on-demand dump can replay the recent past without unbounded
+//! memory. Recording takes one short mutex hold (the ring is cold
+//! relative to the per-request hot path: only notable events land
+//! here), and every event carries a monotone sequence number so drops
+//! are detectable: `total_recorded - len` events have scrolled off.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One structured flight-recorder event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Monotone sequence number, assigned at record time.
+    pub seq: u64,
+    /// Event kind, e.g. `conn-open`, `conn-fault`, `slow-request`.
+    pub kind: &'static str,
+    /// Connection id the event belongs to (0 when not applicable).
+    pub conn: u64,
+    /// Request sequence number (0 when not applicable).
+    pub req: u64,
+    /// Short static label, e.g. a fault class or status name.
+    pub label: &'static str,
+    /// Free-form detail.
+    pub detail: String,
+    /// Nanoseconds since the recorder was created (timing data; never
+    /// part of a committed artifact).
+    pub wall_nanos: u64,
+}
+
+/// A fixed-capacity ring buffer of recent [`FlightEvent`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    cap: usize,
+    epoch: Instant,
+    total: AtomicU64,
+    ring: Mutex<VecDeque<FlightEvent>>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping at most `cap` events (clamped to ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            cap,
+            epoch: Instant::now(),
+            total: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(cap)),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<FlightEvent>> {
+        match self.ring.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Records one event, evicting the oldest if the ring is full.
+    pub fn record(
+        &self,
+        kind: &'static str,
+        conn: u64,
+        req: u64,
+        label: &'static str,
+        detail: String,
+    ) {
+        let seq = self.total.fetch_add(1, Ordering::Relaxed);
+        let wall_nanos = u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let ev = FlightEvent { seq, kind, conn, req, label, detail, wall_nanos };
+        let mut ring = self.lock();
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(ev);
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        self.lock().iter().cloned().collect()
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Total events ever recorded (including scrolled-off ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Events that have scrolled off the ring.
+    pub fn dropped(&self) -> u64 {
+        let len = self.len() as u64;
+        self.total_recorded().saturating_sub(len)
+    }
+
+    /// The retained events as JSONL, one object per line, oldest
+    /// first, prefixed by a header line recording capacity and drops.
+    pub fn dump_jsonl(&self) -> String {
+        let events = self.snapshot();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"flight\": \"header\", \"capacity\": {}, \"retained\": {}, \"dropped\": {}}}",
+            self.cap,
+            events.len(),
+            self.dropped()
+        );
+        for ev in &events {
+            let _ = writeln!(
+                out,
+                "{{\"seq\": {}, \"kind\": \"{}\", \"conn\": {}, \"req\": {}, \"label\": \"{}\", \
+                 \"detail\": \"{}\", \"wall_ns\": {}}}",
+                ev.seq,
+                crate::export::esc(ev.kind),
+                ev.conn,
+                ev.req,
+                crate::export::esc(ev.label),
+                crate::export::esc(&ev.detail),
+                ev.wall_nanos
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let fr = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            fr.record("conn-open", i, 0, "open", String::new());
+        }
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.total_recorded(), 5);
+        assert_eq!(fr.dropped(), 2);
+        let snap = fr.snapshot();
+        assert_eq!(snap.len(), 3);
+        // Oldest retained is seq 2 (0 and 1 scrolled off).
+        assert_eq!(snap[0].seq, 2);
+        assert_eq!(snap[2].seq, 4);
+        assert_eq!(snap[2].conn, 4);
+    }
+
+    #[test]
+    fn dump_is_jsonl_with_header() {
+        let fr = FlightRecorder::new(8);
+        fr.record("conn-fault", 1, 0, "truncated-frame", "short read \"x\"".to_string());
+        let dump = fr.dump_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"capacity\": 8"));
+        assert!(lines[0].contains("\"dropped\": 0"));
+        assert!(lines[1].contains("\"kind\": \"conn-fault\""));
+        assert!(lines[1].contains("\"label\": \"truncated-frame\""));
+        // Quotes in the detail are escaped.
+        assert!(lines[1].contains("short read \\\"x\\\""));
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let fr = FlightRecorder::new(0);
+        fr.record("a", 0, 0, "", String::new());
+        fr.record("b", 0, 0, "", String::new());
+        assert_eq!(fr.len(), 1);
+        assert_eq!(fr.snapshot()[0].kind, "b");
+    }
+}

@@ -40,6 +40,29 @@ impl Histogram {
         self.total = self.total.saturating_add(nanos);
     }
 
+    /// Build a histogram from raw bucket counts and a (saturating)
+    /// nanosecond total. The observation count is derived from the
+    /// bucket sum, so the result is always internally consistent —
+    /// this is how [`crate::AtomicHistogram`] snapshots while writers
+    /// race the read.
+    pub(crate) fn from_raw(buckets: [u64; 64], total: u64) -> Self {
+        let count = buckets.iter().sum();
+        Self { buckets, count, total }
+    }
+
+    /// The per-bucket difference `self - earlier` (saturating), for
+    /// interval readings between two snapshots of a growing histogram.
+    /// Meaningful when `earlier` is a prefix of `self`'s history; any
+    /// bucket where `earlier` is ahead clamps to zero.
+    pub fn delta_since(&self, earlier: &Histogram) -> Histogram {
+        let mut buckets = [0u64; 64];
+        for (i, b) in buckets.iter_mut().enumerate() {
+            *b = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        let total = self.total.saturating_sub(earlier.total);
+        Self { buckets, count: buckets.iter().sum(), total }
+    }
+
     /// Fold another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {

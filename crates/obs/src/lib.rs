@@ -43,22 +43,37 @@
 //! Exporters: [`export::to_jsonl`] (deterministic, one event per line)
 //! and [`export::to_chrome_trace`] (`chrome://tracing` / Perfetto
 //! trace-event JSON, using wall stamps when captured).
+//!
+//! Long-lived services use the *live* side of the crate instead of
+//! drained traces: [`MetricsRegistry`] — sharded atomic counters,
+//! gauges, and atomic duration histograms with snapshot/delta
+//! semantics and a Prometheus-style text encoder — plus
+//! [`FlightRecorder`], a bounded ring of recent structured events
+//! dumped as JSONL for post-mortem analysis. [`TeeRecorder`] feeds a
+//! trace recorder and a live bridge from the same instrumentation
+//! points.
 
 #![warn(missing_docs)]
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod export;
+mod flight;
 mod hist;
 pub mod mem;
+mod metrics;
 mod recorder;
 mod span;
 mod stopwatch;
 
+pub use flight::{FlightEvent, FlightRecorder};
 pub use hist::Histogram;
 pub use mem::{
     alloc_installed, alloc_live_bytes, alloc_peak_bytes, peak_rss_bytes, reset_peak, PeakAlloc,
 };
-pub use recorder::{BufferedRecorder, CollectingRecorder, NoopRecorder, ScopedRecorder, Trace};
+pub use metrics::{AtomicHistogram, Counter, Gauge, GaugeValue, MetricsRegistry, MetricsSnapshot};
+pub use recorder::{
+    BufferedRecorder, CollectingRecorder, NoopRecorder, ScopedRecorder, TeeRecorder, Trace,
+};
 pub use span::{counter, span, Event, EventKind, SpanGuard, SpanId, Stamped};
 pub use stopwatch::Stopwatch;
 

@@ -1,0 +1,520 @@
+//! Live metrics: sharded atomic counters, gauges, and atomic duration
+//! histograms behind a get-or-register [`MetricsRegistry`].
+//!
+//! The recorder layer ([`crate::Recorder`]) is built for *post-hoc*
+//! analysis: events buffer into shards and become a [`crate::Trace`]
+//! once drained. A long-lived service needs the opposite shape —
+//! always-on instruments that can be read while traffic continues.
+//! This module provides that shape with the same zero-dependency
+//! discipline as the rest of the crate:
+//!
+//! * **Counters** are monotone and sharded: each thread increments its
+//!   own cache-line-padded `AtomicU64` slot, so the hot path is one
+//!   relaxed `fetch_add` with no cross-core ping-pong; reads sum the
+//!   shards.
+//! * **Gauges** keep the last observation and the running maximum.
+//! * **Histograms** ([`AtomicHistogram`]) are the crate's power-of-two
+//!   nanosecond buckets, atomically incremented, snapshotting into the
+//!   ordinary [`Histogram`] so all existing quantile/merge machinery
+//!   applies.
+//!
+//! Registration goes through an `RwLock`ed name map, but callers are
+//! expected to register once and keep the returned `Arc` handle — the
+//! steady state never touches a lock.
+//!
+//! # Snapshot semantics
+//!
+//! [`MetricsRegistry::snapshot`] reads every instrument with relaxed
+//! ordering while writers continue. A snapshot is therefore not a
+//! single atomic cut across instruments, but each *counter* value and
+//! each *histogram count* is exact once its writers have quiesced, and
+//! successive snapshots are monotone ([`MetricsSnapshot::monotone_over`]).
+//! [`MetricsSnapshot::delta`] subtracts an earlier snapshot for
+//! interval readings. Counter values and histogram *counts* are
+//! scheduling-independent for a deterministic workload; histogram
+//! bucket shapes, sums, and gauges are timing data and never enter a
+//! committed artifact ([`MetricsSnapshot::render_deterministic`] is the
+//! projection that may).
+
+use crate::Histogram;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Counter shards; power of two so the thread slot is a mask.
+const SHARDS: usize = 8;
+
+/// One cache line per shard so concurrent increments from different
+/// threads never contend on the same line.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct Shard(AtomicU64);
+
+/// This thread's shard index: assigned round-robin on first use.
+fn shard_index() -> usize {
+    use std::cell::Cell;
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SLOT.with(|c| {
+        let mut i = c.get();
+        if i == usize::MAX {
+            i = NEXT.fetch_add(1, Ordering::Relaxed) & (SHARDS - 1);
+            c.set(i);
+        }
+        i
+    })
+}
+
+/// A monotone sharded counter. `add` is one relaxed `fetch_add` on a
+/// thread-local shard; `get` sums the shards.
+#[derive(Debug, Default)]
+pub struct Counter {
+    shards: [Shard; SHARDS],
+}
+
+impl Counter {
+    /// Adds `v` to the counter.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.shards[shard_index()].0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current total across all shards.
+    pub fn get(&self) -> u64 {
+        self.shards.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A gauge holding the last observed value and the running maximum.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    last: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Gauge {
+    /// Records an observation.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.last.store(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The most recent observation.
+    pub fn last(&self) -> u64 {
+        self.last.load(Ordering::Relaxed)
+    }
+
+    /// The maximum observation so far.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+}
+
+/// The atomic twin of [`Histogram`]: 64 power-of-two nanosecond
+/// buckets incremented lock-free, snapshotting into the plain type.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; 64],
+    total: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self { buckets: std::array::from_fn(|_| AtomicU64::new(0)), total: AtomicU64::new(0) }
+    }
+}
+
+impl AtomicHistogram {
+    /// Records one nanosecond observation.
+    #[inline]
+    pub fn record(&self, nanos: u64) {
+        let idx = ((64 - nanos.leading_zeros()) as usize).min(63);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        // Saturating total, mirroring Histogram::record.
+        let mut cur = self.total.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(nanos);
+            match self.total.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Snapshots into a plain [`Histogram`]. The count is derived from
+    /// the bucket sum so it is always internally consistent with the
+    /// buckets, even while writers race the read.
+    pub fn snapshot(&self) -> Histogram {
+        let buckets: [u64; 64] = std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        Histogram::from_raw(buckets, self.total.load(Ordering::Relaxed))
+    }
+
+    /// Number of observations so far (bucket sum).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A get-or-register table of named live instruments.
+///
+/// Names are free-form but the serve layer uses a Prometheus-flavoured
+/// scheme (`requests_total{status="accept"}`); the text encoder
+/// ([`MetricsSnapshot::render_prometheus`]) passes names through
+/// verbatim, emitting one `# TYPE` comment per base name (the part
+/// before `{`).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    hists: RwLock<BTreeMap<String, Arc<AtomicHistogram>>>,
+}
+
+/// Get-or-insert an instrument handle; read-lock fast path, write lock
+/// only on first registration. Poisoning is tolerated the same way the
+/// collecting recorder tolerates it: the map is structurally sound.
+fn get_or_register<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    let read = match map.read() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    if let Some(found) = read.get(name) {
+        return Arc::clone(found);
+    }
+    drop(read);
+    let mut write = match map.write() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    Arc::clone(write.entry(name.to_string()).or_default())
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, registering it at zero on first use.
+    /// Keep the handle: steady-state increments then never lock.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_register(&self.counters, name)
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_register(&self.gauges, name)
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<AtomicHistogram> {
+        get_or_register(&self.hists, name)
+    }
+
+    /// A point-in-time reading of every registered instrument, sorted
+    /// by name (BTreeMap order). See the module docs for what is and
+    /// is not atomic about it.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = match self.counters.read() {
+            Ok(g) => g.iter().map(|(n, c)| (n.clone(), c.get())).collect(),
+            Err(p) => p.into_inner().iter().map(|(n, c)| (n.clone(), c.get())).collect(),
+        };
+        let gauges = match self.gauges.read() {
+            Ok(g) => g.iter().map(|(n, v)| (n.clone(), GaugeValue::read(v))).collect(),
+            Err(p) => {
+                p.into_inner().iter().map(|(n, v)| (n.clone(), GaugeValue::read(v))).collect()
+            }
+        };
+        let hists = match self.hists.read() {
+            Ok(g) => g.iter().map(|(n, h)| (n.clone(), h.snapshot())).collect(),
+            Err(p) => p.into_inner().iter().map(|(n, h)| (n.clone(), h.snapshot())).collect(),
+        };
+        MetricsSnapshot { counters, gauges, hists }
+    }
+}
+
+/// A gauge reading: last observation plus running maximum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeValue {
+    /// Most recent observation.
+    pub last: u64,
+    /// Maximum observation so far.
+    pub max: u64,
+}
+
+impl GaugeValue {
+    fn read(g: &Gauge) -> GaugeValue {
+        GaugeValue { last: g.last(), max: g.max() }
+    }
+}
+
+/// A point-in-time reading of a [`MetricsRegistry`], sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, total)` per counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, last/max)` per gauge.
+    pub gauges: Vec<(String, GaugeValue)>,
+    /// `(name, histogram)` per duration histogram.
+    pub hists: Vec<(String, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// The value of the counter `name`, or `None` if absent.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The histogram named `name`, or `None` if absent.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Whether this snapshot is a valid successor of `earlier`: every
+    /// counter and histogram count present earlier is present here
+    /// with a value at least as large. Gauges are excluded — they are
+    /// not monotone by design.
+    pub fn monotone_over(&self, earlier: &MetricsSnapshot) -> bool {
+        earlier.counters.iter().all(|(n, v)| self.counter(n).is_some_and(|cur| cur >= *v))
+            && earlier
+                .hists
+                .iter()
+                .all(|(n, h)| self.histogram(n).is_some_and(|cur| cur.count() >= h.count()))
+    }
+
+    /// Interval reading: this snapshot minus `earlier` (saturating).
+    /// Counters subtract; histograms subtract per bucket; gauges keep
+    /// the later reading (a gauge has no meaningful difference).
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(n, v)| (n.clone(), v.saturating_sub(earlier.counter(n).unwrap_or(0))))
+            .collect();
+        let hists = self
+            .hists
+            .iter()
+            .map(|(n, h)| match earlier.histogram(n) {
+                Some(e) => (n.clone(), h.delta_since(e)),
+                None => (n.clone(), h.clone()),
+            })
+            .collect();
+        MetricsSnapshot { counters, gauges: self.gauges.clone(), hists }
+    }
+
+    /// Prometheus-style text exposition: `# TYPE` comment per base
+    /// name, one sample line per counter/gauge, and cumulative
+    /// `_bucket{le=...}` / `_sum` / `_count` lines per histogram.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_base = String::new();
+        for (name, v) in &self.counters {
+            let base = name.split('{').next().unwrap_or(name);
+            if base != last_base {
+                let _ = writeln!(out, "# TYPE {base} counter");
+                last_base = base.to_string();
+            }
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, g) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", g.last);
+            let _ = writeln!(out, "# TYPE {name}_max gauge");
+            let _ = writeln!(out, "{name}_max {}", g.max);
+        }
+        for (name, h) in &self.hists {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (i, &c) in h.buckets().iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                cumulative += c;
+                if i < 63 {
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", 1u64 << i);
+                }
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+            let _ = writeln!(out, "{name}_sum {}", h.total_nanos());
+            let _ = writeln!(out, "{name}_count {}", h.count());
+        }
+        out
+    }
+
+    /// The scheduling-independent projection: counter totals and
+    /// histogram *counts* only (no bucket shapes, sums, or gauges).
+    /// For a deterministic workload this rendering is byte-identical
+    /// across thread counts — it is what the E14 audit digests.
+    pub fn render_deterministic(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "counter {name} {v}");
+        }
+        for (name, h) in &self.hists {
+            let _ = writeln!(out, "hist {name} count {}", h.count());
+        }
+        out
+    }
+
+    /// Machine-readable JSON (one object; timing fields included).
+    pub fn render_json(&self) -> String {
+        let esc = crate::export::esc;
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (n, v)) in self.counters.iter().enumerate() {
+            let _ = write!(out, "{}\n    \"{}\": {v}", if i > 0 { "," } else { "" }, esc(n));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (n, g)) in self.gauges.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    \"{}\": {{\"last\": {}, \"max\": {}}}",
+                if i > 0 { "," } else { "" },
+                esc(n),
+                g.last,
+                g.max
+            );
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (n, h)) in self.hists.iter().enumerate() {
+            let buckets: Vec<String> = h
+                .buckets()
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| **c > 0)
+                .map(|(b, c)| format!("[{b}, {c}]"))
+                .collect();
+            let _ = write!(
+                out,
+                "{}\n    \"{}\": {{\"count\": {}, \"total_ns\": {}, \"mean_ns\": {}, \
+                 \"buckets\": [{}]}}",
+                if i > 0 { "," } else { "" },
+                esc(n),
+                h.count(),
+                h.total_nanos(),
+                h.mean_nanos(),
+                buckets.join(", ")
+            );
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_threads_exactly() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("requests_total");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        assert_eq!(reg.snapshot().counter("requests_total"), Some(4000));
+    }
+
+    #[test]
+    fn gauge_keeps_last_and_max() {
+        let g = Gauge::default();
+        g.set(7);
+        g.set(3);
+        assert_eq!(g.last(), 3);
+        assert_eq!(g.max(), 7);
+    }
+
+    #[test]
+    fn atomic_histogram_snapshots_into_plain() {
+        let h = AtomicHistogram::default();
+        h.record(0);
+        h.record(5);
+        h.record(1 << 40);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 3);
+        assert_eq!(snap.buckets()[0], 1);
+        assert_eq!(snap.buckets()[3], 1);
+        assert_eq!(snap.buckets()[41], 1);
+        assert_eq!(snap.total_nanos(), 5 + (1 << 40));
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn snapshot_monotone_and_delta() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("a_total");
+        let h = reg.histogram("lat_ns");
+        c.add(3);
+        h.record(10);
+        let s1 = reg.snapshot();
+        c.add(2);
+        h.record(20);
+        h.record(30);
+        let s2 = reg.snapshot();
+        assert!(s2.monotone_over(&s1));
+        assert!(!s1.monotone_over(&s2));
+        let d = s2.delta(&s1);
+        assert_eq!(d.counter("a_total"), Some(2));
+        assert_eq!(d.histogram("lat_ns").map(Histogram::count), Some(2));
+        // Same snapshot is its own (all-zero) delta and successor.
+        assert!(s2.monotone_over(&s2));
+        assert_eq!(s2.delta(&s2).counter("a_total"), Some(0));
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("requests_total{status=\"accept\"}").add(24);
+        reg.counter("requests_total{status=\"reject\"}").add(1);
+        reg.gauge("queue_depth").set(3);
+        reg.histogram("latency_verify_ns").record(100);
+        let text = reg.snapshot().render_prometheus();
+        assert_eq!(text.matches("# TYPE requests_total counter").count(), 1);
+        assert!(text.contains("requests_total{status=\"accept\"} 24"));
+        assert!(text.contains("# TYPE queue_depth gauge"));
+        assert!(text.contains("queue_depth_max 3"));
+        assert!(text.contains("latency_verify_ns_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("latency_verify_ns_count 1"));
+        assert!(text.contains("latency_verify_ns_bucket{le=\"128\"} 1"));
+    }
+
+    #[test]
+    fn deterministic_rendering_excludes_timing() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total").add(5);
+        reg.histogram("lat_ns").record(12345);
+        let det = reg.snapshot().render_deterministic();
+        assert_eq!(det, "counter a_total 5\nhist lat_ns count 1\n");
+        assert!(!det.contains("12345"), "sums/buckets are timing data");
+    }
+
+    #[test]
+    fn json_rendering_parses_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total").add(1);
+        reg.gauge("g").set(2);
+        reg.histogram("h_ns").record(3);
+        let json = reg.snapshot().render_json();
+        assert!(json.contains("\"a_total\": 1"));
+        assert!(json.contains("\"g\": {\"last\": 2, \"max\": 2}"));
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("\"buckets\": [[2, 1]]"));
+    }
+}

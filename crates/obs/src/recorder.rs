@@ -214,6 +214,64 @@ impl Recorder for ScopedRecorder<'_> {
     }
 }
 
+/// A recorder that forwards everything to two underlying recorders.
+///
+/// The serve path uses this to feed both a caller-supplied trace
+/// recorder and the always-on live-metrics bridge from the same
+/// instrumentation points: enabled when either side is, with events
+/// cloned only when both sides want them.
+pub struct TeeRecorder<'a> {
+    a: &'a dyn Recorder,
+    b: &'a dyn Recorder,
+}
+
+impl<'a> TeeRecorder<'a> {
+    /// A tee over `a` and `b`.
+    pub fn new(a: &'a dyn Recorder, b: &'a dyn Recorder) -> Self {
+        Self { a, b }
+    }
+}
+
+impl Recorder for TeeRecorder<'_> {
+    fn enabled(&self) -> bool {
+        self.a.enabled() || self.b.enabled()
+    }
+
+    fn now(&self) -> Option<u64> {
+        self.a.now().or_else(|| self.b.now())
+    }
+
+    fn record(&self, ev: Event) {
+        if self.a.enabled() {
+            self.a.record(ev);
+        }
+        if self.b.enabled() {
+            self.b.record(ev);
+        }
+    }
+
+    fn flush_shard(&self, shard: Vec<Stamped>) {
+        if self.a.enabled() && self.b.enabled() {
+            self.a.flush_shard(shard.clone());
+            self.b.flush_shard(shard);
+        } else if self.a.enabled() {
+            self.a.flush_shard(shard);
+        } else if self.b.enabled() {
+            self.b.flush_shard(shard);
+        }
+    }
+
+    fn duration(&self, name: &'static str, nanos: u64) {
+        self.a.duration(name, nanos);
+        self.b.duration(name, nanos);
+    }
+
+    fn gauge(&self, name: &'static str, value: u64) {
+        self.a.gauge(name, value);
+        self.b.gauge(name, value);
+    }
+}
+
 /// Everything a [`CollectingRecorder`] gathered, post-drain.
 ///
 /// `events()` is the deterministic stream (artifact-safe once wall
@@ -234,6 +292,13 @@ impl Trace {
     /// Duration histograms, sorted by span name.
     pub fn histograms(&self) -> &[(&'static str, Histogram)] {
         &self.hists
+    }
+
+    /// All gauge maxima, sorted by name. Like [`Trace::gauge_max`],
+    /// these are measurement data: exporters render them, committed
+    /// artifacts never include them.
+    pub fn gauges(&self) -> &[(&'static str, u64)] {
+        &self.gauges
     }
 
     /// The maximum observed value of the gauge `name`, or `None` if it

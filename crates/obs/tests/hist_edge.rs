@@ -1,0 +1,102 @@
+//! Edge-case coverage for `pdip_obs::Histogram`: empty snapshots,
+//! single-observation quantiles, saturation at the top bucket, and
+//! merge/delta over disjoint snapshots.
+
+use pdip_obs::{AtomicHistogram, Histogram};
+
+#[test]
+fn empty_histogram_snapshot_is_all_zero() {
+    let h = Histogram::new();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.total_nanos(), 0);
+    assert_eq!(h.mean_nanos(), 0);
+    assert!(h.buckets().iter().all(|&b| b == 0));
+    assert_eq!(h.quantile_upper_bound(0.0), 0);
+    assert_eq!(h.quantile_upper_bound(0.5), 0);
+    assert_eq!(h.quantile_upper_bound(1.0), 0);
+
+    // The atomic twin snapshots to the same empty histogram.
+    let a = AtomicHistogram::default();
+    assert_eq!(a.count(), 0);
+    assert_eq!(a.snapshot(), h);
+}
+
+#[test]
+fn single_observation_pins_every_quantile() {
+    let mut h = Histogram::new();
+    h.record(1000); // bucket 10: [512, 1024)
+    assert_eq!(h.count(), 1);
+    assert_eq!(h.mean_nanos(), 1000);
+    // With one sample, every quantile lands in its bucket.
+    for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+        assert_eq!(h.quantile_upper_bound(q), 1024, "q={q}");
+    }
+    // Out-of-range q clamps instead of panicking.
+    assert_eq!(h.quantile_upper_bound(-1.0), 1024);
+    assert_eq!(h.quantile_upper_bound(2.0), 1024);
+}
+
+#[test]
+fn top_bucket_saturates_not_overflows() {
+    let mut h = Histogram::new();
+    h.record(u64::MAX);
+    h.record(u64::MAX);
+    h.record(1u64 << 63);
+    assert_eq!(h.buckets()[63], 3, "all huge observations share bucket 63");
+    assert_eq!(h.count(), 3);
+    // The running total saturates rather than wrapping.
+    assert_eq!(h.total_nanos(), u64::MAX);
+    // Quantiles in the top bucket report the open upper bound.
+    assert_eq!(h.quantile_upper_bound(1.0), u64::MAX);
+
+    let a = AtomicHistogram::default();
+    a.record(u64::MAX);
+    a.record(u64::MAX);
+    let snap = a.snapshot();
+    assert_eq!(snap.buckets()[63], 2);
+    assert_eq!(snap.total_nanos(), u64::MAX, "atomic total saturates too");
+}
+
+#[test]
+fn merge_of_disjoint_snapshots_preserves_both() {
+    let mut low = Histogram::new();
+    for x in [1u64, 2, 3] {
+        low.record(x);
+    }
+    let mut high = Histogram::new();
+    for x in [1u64 << 20, 1u64 << 30] {
+        high.record(x);
+    }
+    // No bucket is populated by both sides.
+    assert!(low.buckets().iter().zip(high.buckets().iter()).all(|(&a, &b)| a == 0 || b == 0));
+    let mut merged = low.clone();
+    merged.merge(&high);
+    assert_eq!(merged.count(), 5);
+    assert_eq!(merged.total_nanos(), 6 + (1u64 << 20) + (1u64 << 30));
+    for i in 0..64 {
+        assert_eq!(merged.buckets()[i], low.buckets()[i] + high.buckets()[i], "bucket {i}");
+    }
+    // Quantiles span the merged range: median from the low side, max
+    // from the high side.
+    assert!(merged.quantile_upper_bound(0.5) <= 8);
+    assert_eq!(merged.quantile_upper_bound(1.0), 1u64 << 31);
+}
+
+#[test]
+fn delta_since_recovers_the_interval() {
+    let a = AtomicHistogram::default();
+    a.record(10);
+    let before = a.snapshot();
+    a.record(20);
+    a.record(1u64 << 40);
+    let after = a.snapshot();
+    let d = after.delta_since(&before);
+    assert_eq!(d.count(), 2);
+    assert_eq!(d.total_nanos(), 20 + (1u64 << 40));
+    assert_eq!(d.buckets()[5], 1, "20ns lands in bucket 5");
+    assert_eq!(d.buckets()[41], 1);
+    // Delta against itself is empty; delta against a *later* snapshot
+    // clamps to zero instead of wrapping.
+    assert_eq!(after.delta_since(&after).count(), 0);
+    assert_eq!(before.delta_since(&after).count(), 0);
+}

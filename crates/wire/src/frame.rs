@@ -124,21 +124,44 @@ fn is_timeout(e: &Error) -> bool {
     matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
 }
 
-/// The stable per-connection fault class of a frame-read error.
+/// The stable per-connection fault classes, spelled exactly once.
 ///
 /// These strings appear in `ConnError` response details, per-connection
-/// observability counters, and the E13 chaos artifacts — they are part
-/// of the serve contract, not free-form messages.
+/// observability counters, metrics label values, and the E13/E14
+/// artifacts — they are part of the serve contract, not free-form
+/// messages. Everything that matches on or renders a fault class must
+/// name these constants so the spellings cannot drift.
+pub mod fault {
+    /// Peer closed mid-frame: header or payload cut short.
+    pub const TRUNCATED_FRAME: &str = "truncated-frame";
+    /// Declared frame length exceeds the configured cap.
+    pub const OVERSIZED_FRAME: &str = "oversized-frame";
+    /// No frame arrived at all within the read deadline.
+    pub const IDLE_TIMEOUT: &str = "idle-timeout";
+    /// Bytes stopped (or dripped too slowly) mid-frame.
+    pub const READ_STALL: &str = "read-stall";
+    /// Connection reset/aborted or pipe broken by the peer.
+    pub const PEER_RESET: &str = "peer-reset";
+    /// Any other I/O failure.
+    pub const IO_ERROR: &str = "io-error";
+
+    /// Every fault class, in the order counters are pre-registered.
+    pub const ALL: [&str; 6] =
+        [TRUNCATED_FRAME, OVERSIZED_FRAME, IDLE_TIMEOUT, READ_STALL, PEER_RESET, IO_ERROR];
+}
+
+/// The stable per-connection fault class of a frame-read error — one
+/// of the [`fault`] constants.
 pub fn fault_class(kind: ErrorKind) -> &'static str {
     match kind {
-        ErrorKind::UnexpectedEof => "truncated-frame",
-        ErrorKind::InvalidData => "oversized-frame",
-        ErrorKind::WouldBlock => "idle-timeout",
-        ErrorKind::TimedOut => "read-stall",
+        ErrorKind::UnexpectedEof => fault::TRUNCATED_FRAME,
+        ErrorKind::InvalidData => fault::OVERSIZED_FRAME,
+        ErrorKind::WouldBlock => fault::IDLE_TIMEOUT,
+        ErrorKind::TimedOut => fault::READ_STALL,
         ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted | ErrorKind::BrokenPipe => {
-            "peer-reset"
+            fault::PEER_RESET
         }
-        _ => "io-error",
+        _ => fault::IO_ERROR,
     }
 }
 

@@ -28,7 +28,7 @@ pub mod transcript;
 pub use codec::{decode_rho, encode_rho, is_connected, Decode, Encode};
 pub use format::{fnv1a64, Reader, WireError, Writer, FORMAT_VERSION, MAGIC};
 pub use frame::{
-    fault_class, read_frame, read_frame_deadline, read_frame_limited, write_frame,
+    fault, fault_class, read_frame, read_frame_deadline, read_frame_limited, write_frame,
     DEFAULT_MAX_FRAME_BYTES,
 };
 pub use transcript::{family_name, Transcript, VerifyOutcome, WireInstance};

@@ -19,10 +19,12 @@
 //! pdip verify <PATH>
 //! pdip serve [--stdin | --port P | --smoke] [--threads K] [--queue Q]
 //!            [--deadline-ms D] [--read-deadline-ms D] [--drain-deadline-ms D]
-//!            [--max-frame-bytes B] [--out PREFIX]
+//!            [--max-frame-bytes B] [--flight-dump PATH] [--out PREFIX]
 //! pdip serve-chaos [--smoke] [--out PREFIX]
+//! pdip obs-audit [--smoke] [--out PREFIX]
+//! pdip stats [--host H] [--port P] [--json | --flight]
 //! pdip client [--host H] [--port P] [--seed S] [--retries R]
-//!             [--backoff-ms B] [--shutdown] FILE...
+//!             [--backoff-ms B] [--shutdown] [--json] FILE...
 //! ```
 //!
 //! Exit codes of `pdip verify`: 0 = replay matched and the verifier
@@ -35,7 +37,13 @@
 //!
 //! `pdip serve --port P` runs the long-lived concurrent front-end:
 //! SIGTERM/SIGINT (or a client shutdown frame) triggers a graceful
-//! drain that answers every accepted request before exiting.
+//! drain that answers every accepted request before exiting. The
+//! running server exposes live metrics over the same frame protocol:
+//! `pdip stats` fetches a Prometheus-style snapshot (`--json` for the
+//! JSON form, `--flight` for the flight-recorder event ring), and
+//! `--flight-dump PATH` makes the server write that ring as JSONL on
+//! panic and at drain. `pdip obs-audit` is the gating E14 audit of the
+//! whole observability layer.
 
 use pdip_bench::{no_instance, Family, YesInstance, FAMILIES};
 
@@ -67,10 +75,13 @@ fn usage() -> ! {
          [--seed S] [--simulated] [--out PATH]\n  \
          pdip verify <PATH>   (exit 0 accept / 3 rejected / 4 malformed)\n  \
          pdip serve [--stdin | --port P | --smoke] [--threads K] [--queue Q] [--deadline-ms D] \
-         [--read-deadline-ms D] [--drain-deadline-ms D] [--max-frame-bytes B] [--out PREFIX]\n  \
+         [--read-deadline-ms D] [--drain-deadline-ms D] [--max-frame-bytes B] \
+         [--flight-dump PATH] [--out PREFIX]\n  \
          pdip serve-chaos [--smoke] [--out PREFIX]\n  \
+         pdip obs-audit [--smoke] [--out PREFIX]\n  \
+         pdip stats [--host H] [--port P] [--json | --flight]\n  \
          pdip client [--host H] [--port P] [--seed S] [--retries R] [--backoff-ms B] \
-         [--shutdown] FILE...\n\nfamilies: {}",
+         [--shutdown] [--json] FILE...\n\nfamilies: {}",
         FAMILIES.iter().map(|f| f.name()).collect::<Vec<_>>().join(", ")
     );
     std::process::exit(2)
@@ -618,6 +629,15 @@ fn main() {
                 drain_deadline: flag_value(&args, "--drain-deadline-ms")
                     .map(|v| std::time::Duration::from_millis(v.parse().expect("milliseconds")))
                     .unwrap_or(ServeConfig::default().drain_deadline),
+                // A shared obs bridge so the flight ring survives the
+                // server and can land on disk at drain or panic.
+                obs: flag_value(&args, "--flight-dump").map(|path| {
+                    std::sync::Arc::new(pdip_engine::ServeObs::with_options(
+                        pdip_engine::DEFAULT_FLIGHT_CAP,
+                        pdip_engine::DEFAULT_SLOW_THRESHOLD,
+                        Some(std::path::PathBuf::from(path)),
+                    ))
+                }),
                 ..ServeConfig::default()
             };
             if args.iter().any(|a| a == "--smoke") {
@@ -716,6 +736,60 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "obs-audit" => {
+            let smoke = args.iter().any(|a| a == "--smoke");
+            let spec = if smoke {
+                pdip_engine::ObsAuditSpec::smoke()
+            } else {
+                pdip_engine::ObsAuditSpec::full()
+            };
+            let out = flag_value(&args, "--out").unwrap_or_else(|| "results/e14_obs".into());
+            println!(
+                "observability audit ({}): fault-trials-per-class={} threads={:?} base-seed={:#x}\n",
+                if smoke { "smoke" } else { "full" },
+                spec.fault_trials,
+                spec.threads,
+                pdip_engine::E14_SEED
+            );
+            let report = pdip_engine::run_obs_audit(&spec, pdip_engine::E14_SEED);
+            print!("{}", report.render_text());
+            // Throughput and latency are timing data: stdout only in
+            // the text form, clearly-marked fields in the JSON.
+            println!(
+                "\nsustained throughput: {:.1} requests/sec, mean verify latency {} ns",
+                report.rps, report.mean_verify_ns
+            );
+            let txt_path = std::path::PathBuf::from(format!("{out}.txt"));
+            let json_path = std::path::PathBuf::from(format!("{out}.json"));
+            if let Some(dir) = txt_path.parent() {
+                std::fs::create_dir_all(dir).expect("creating results dir");
+            }
+            std::fs::write(&txt_path, report.render_text()).expect("writing obs text report");
+            std::fs::write(&json_path, report.render_json()).expect("writing obs json report");
+            println!("wrote {} and {}", txt_path.display(), json_path.display());
+            if !report.passed {
+                eprintln!("observability audit FAILED (see failures above)");
+                std::process::exit(1);
+            }
+        }
+        "stats" => {
+            let host = flag_value(&args, "--host").unwrap_or_else(|| "127.0.0.1".into());
+            let port = flag_num(&args, "--port", 7437) as u16;
+            let mode: u8 = if args.iter().any(|a| a == "--flight") {
+                2
+            } else if args.iter().any(|a| a == "--json") {
+                1
+            } else {
+                0
+            };
+            match pdip_engine::fetch_stats(&host, port, mode) {
+                Ok(body) => print!("{body}"),
+                Err(e) => {
+                    eprintln!("pdip stats: {e}");
+                    std::process::exit(6);
+                }
+            }
+        }
         "client" => {
             let opts = pdip_engine::ClientOpts {
                 host: flag_value(&args, "--host").unwrap_or_else(|| "127.0.0.1".into()),
@@ -756,10 +830,17 @@ fn main() {
                     }
                 }
             }
-            let mut rep = Reporter::from_quiet_flag(false);
+            let json = args.iter().any(|a| a == "--json");
+            // With --json the human-readable per-file lines are
+            // suppressed so stdout carries exactly one JSON object.
+            let mut rep = Reporter::from_quiet_flag(json);
             let outcome = pdip_engine::run_client(&opts, &items, &mut rep);
             if let Some(e) = &outcome.io_error {
                 eprintln!("pdip client: {e}");
+            }
+            if json {
+                let detail = outcome.shutdown_stats.as_deref().unwrap_or("");
+                println!("{}", pdip_engine::stats_detail_to_json(detail));
             }
             std::process::exit(outcome.exit_code());
         }

@@ -240,6 +240,77 @@ fn serve_tcp_and_client_end_to_end() {
 }
 
 #[test]
+fn stats_subcommand_and_json_client_read_live_metrics() {
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+
+    let dir = std::env::temp_dir().join("pdip_stats_cli_smoke");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let good = dir.join("good.transcript");
+    let out = pdip()
+        .args(["prove", "path-outerplanarity", "--n", "24", "--seed", "6", "--out"])
+        .arg(&good)
+        .output()
+        .expect("run pdip prove");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let mut server = pdip()
+        .args(["serve", "--port", "0", "--threads", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn pdip serve");
+    let mut lines = BufReader::new(server.stdout.take().expect("server stdout")).lines();
+    let banner = lines.next().expect("listening line").expect("readable stdout");
+    let port = banner.rsplit(':').next().expect("port in banner");
+
+    // Verify one honest transcript so the counters are non-trivial.
+    let c = pdip().args(["client", "--port", port]).arg(&good).output().expect("run pdip client");
+    assert_eq!(c.status.code(), Some(0), "{}", String::from_utf8_lossy(&c.stderr));
+
+    // Prometheus-style snapshot over the live stats frame.
+    let s = pdip().args(["stats", "--port", port]).output().expect("run pdip stats");
+    assert!(s.status.success(), "{}", String::from_utf8_lossy(&s.stderr));
+    let text = String::from_utf8_lossy(&s.stdout);
+    assert!(text.contains("requests_total{status=\"accept\"} 1"), "{text}");
+    assert!(text.contains("latency_verify_ns_count 1"), "{text}");
+    assert!(text.contains("connections_total"), "{text}");
+
+    // JSON snapshot form of the same registry.
+    let s = pdip().args(["stats", "--port", port, "--json"]).output().expect("run pdip stats");
+    assert!(s.status.success(), "{}", String::from_utf8_lossy(&s.stderr));
+    let text = String::from_utf8_lossy(&s.stdout);
+    assert!(text.contains("\"counters\""), "{text}");
+    assert!(text.contains("proof_size_bits_total"), "{text}");
+
+    // Flight-recorder event ring as JSONL.
+    let s = pdip().args(["stats", "--port", port, "--flight"]).output().expect("run pdip stats");
+    assert!(s.status.success(), "{}", String::from_utf8_lossy(&s.stderr));
+    let text = String::from_utf8_lossy(&s.stdout);
+    assert!(text.contains("\"kind\": \"conn-open\""), "{text}");
+
+    // --shutdown --json: exactly one JSON object on stdout carrying
+    // the server's final drained stats.
+    let c = pdip()
+        .args(["client", "--port", port, "--shutdown", "--json"])
+        .arg(&good)
+        .output()
+        .expect("run pdip client");
+    assert_eq!(c.status.code(), Some(0), "{}", String::from_utf8_lossy(&c.stderr));
+    let text = String::from_utf8_lossy(&c.stdout);
+    let line = text.trim();
+    assert!(line.starts_with('{') && line.ends_with('}'), "not a single JSON object: {text}");
+    assert_eq!(text.lines().count(), 1, "--json must print exactly one line: {text}");
+    assert!(line.contains("\"accept\": 2"), "{text}");
+    assert!(line.contains("\"drained\": \"ok\""), "{text}");
+
+    let st = server.wait().expect("server exits after drain");
+    assert!(st.success(), "server exit: {st:?}");
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
 fn size_sweep_prints_rows() {
     let out = pdip()
         .args(["size", "treewidth-2", "--from", "6", "--to", "8"])
